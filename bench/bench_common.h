@@ -1,0 +1,98 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Each binary reproduces one table/figure of the paper: it runs the
+// scenario at a commodity-server-friendly scale, prints the same rows the
+// paper reports, and quotes the paper's published value next to the
+// measured one. DCPIM_BENCH_SCALE (default 1.0) stretches the simulated
+// horizons (and the FatTree size) toward paper scale.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "util/env.h"
+
+namespace dcpim::bench {
+
+inline Time scaled(Time t) {
+  return static_cast<Time>(static_cast<double>(t) * dcpim::bench_scale());
+}
+
+/// The four protocols of the paper's simulation figures.
+inline std::vector<harness::Protocol> figure_protocols() {
+  return {harness::Protocol::Dcpim, harness::Protocol::HomaAeolus,
+          harness::Protocol::Ndp, harness::Protocol::Hpcc};
+}
+
+/// Default-setup timing (Table 1 scenario) trimmed for bench runtime.
+inline harness::ExperimentConfig default_setup(harness::Protocol p) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = p;
+  cfg.workload = "imc10";
+  cfg.load = 0.6;
+  cfg.gen_stop = scaled(ms(1.2));
+  cfg.measure_start = scaled(us(300));
+  cfg.measure_end = scaled(ms(1.2));
+  cfg.horizon = scaled(ms(3));
+  return cfg;
+}
+
+/// Steady-state timing for utilization/sustained-load measurements: the
+/// generator runs to the horizon and the window covers the second half.
+inline void steady_state_timing(harness::ExperimentConfig& cfg, Time horizon) {
+  cfg.gen_stop = scaled(horizon);
+  cfg.horizon = scaled(horizon);
+  cfg.measure_start = scaled(horizon / 2);
+  cfg.measure_end = scaled(horizon);
+}
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper: %s\n", paper_note);
+  std::printf("(DCPIM_BENCH_SCALE=%.2f; see EXPERIMENTS.md for method)\n\n",
+              dcpim::bench_scale());
+}
+
+inline void print_slowdown_row(const char* name,
+                               const stats::SlowdownSummary& s) {
+  std::printf("  %-12s n=%-6zu mean=%6.2f p50=%6.2f p99=%7.2f max=%8.2f\n",
+              name, s.count, s.mean, s.p50, s.p99, s.max);
+}
+
+/// Bucket label like "<18K", "18K-73K", ">4.7M".
+inline std::string bucket_label(Bytes lo, Bytes hi) {
+  auto human = [](Bytes b) {
+    char buf[32];
+    if (b >= 1'000'000) {
+      std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(b) / 1e6);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%lldK",
+                    static_cast<long long>(b / 1000));
+    }
+    return std::string(buf);
+  };
+  if (lo == 0) return "<" + human(hi);
+  if (hi == 0) return ">" + human(lo);
+  return human(lo) + "-" + human(hi);
+}
+
+/// Appends a result row to $DCPIM_BENCH_CSV/<experiment>.csv when set.
+inline void maybe_csv(const std::string& experiment,
+                      harness::Protocol protocol,
+                      const std::string& workload, double load,
+                      const harness::ExperimentResult& result) {
+  const std::string dir = harness::csv_dir_from_env();
+  if (dir.empty()) return;
+  harness::ReportRow row;
+  row.experiment = experiment;
+  row.protocol = harness::to_string(protocol);
+  row.workload = workload;
+  row.load = load;
+  row.result = result;
+  harness::append_csv(dir, {row});
+}
+
+}  // namespace dcpim::bench

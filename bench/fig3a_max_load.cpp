@@ -1,0 +1,75 @@
+// Figure 3(a): maximum load each protocol sustains on the IMC10 workload
+// (leaf-spine, all-to-all). Paper result: dcPIM sustains ~0.84; Homa Aeolus
+// comes closest among baselines; NDP and HPCC saturate earlier.
+//
+// Method: sweep ascending loads and measure the carried ratio (delivered
+// rate / offered rate) in a steady-state window. The heavy-tailed workload
+// ramps slowly, depressing absolute ratios equally at every load, so each
+// protocol is normalized by its own ratio at the 0.5 baseline load: the
+// sustained region is where the normalized ratio stays near 1, and the knee
+// where it collapses. Raise DCPIM_BENCH_SCALE for longer, sharper windows.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace dcpim;
+using namespace dcpim::harness;
+
+int main() {
+  bench::print_header("Figure 3(a): maximum sustainable load (IMC10)",
+                      "dcPIM 0.84, Homa Aeolus next best, NDP/HPCC lower; "
+                      "(WebSearch also 0.84, DataMining 0.7)");
+
+  const std::vector<double> loads = {0.5, 0.6, 0.7, 0.8, 0.84, 0.88, 0.92};
+  const double keep_fraction = 0.92;  // normalized ratio to count as "kept up"
+
+  std::printf("  carried ratio, normalized to each protocol's 0.5-load "
+              "baseline:\n");
+  std::printf("  %-12s", "protocol");
+  for (double l : loads) std::printf(" %6.2f", l);
+  std::printf(" | max sustained\n");
+
+  for (Protocol p : bench::figure_protocols()) {
+    ExperimentConfig cfg = bench::default_setup(p);
+    bench::steady_state_timing(cfg, ms(2.5));
+    std::printf("  %-12s", to_string(p));
+    std::fflush(stdout);
+    double baseline = 0;
+    double sustained = 0;
+    std::vector<ExperimentResult> results;
+    for (double load : loads) {
+      cfg.load = load;
+      results.push_back(run_experiment(cfg));
+      const ExperimentResult& res = results.back();
+      bench::maybe_csv("fig3a", p, cfg.workload, load, res);
+      if (baseline == 0) baseline = res.load_carried_ratio;
+      const double norm =
+          baseline > 0 ? res.load_carried_ratio / baseline : 0.0;
+      std::printf(" %6.3f", norm);
+      std::fflush(stdout);
+      if (norm >= keep_fraction) sustained = load;
+    }
+    std::printf(" | %.2f\n", sustained);
+    // Collapse signatures: drops+trims explode and short-flow tails blow up
+    // once a protocol is pushed past what it can sustain.
+    std::printf("  %-12s", "  drops(K)");
+    for (const auto& res : results) {
+      std::printf(" %6.1f",
+                  static_cast<double>(res.drops + res.trims) / 1000.0);
+    }
+    std::printf("\n  %-12s", "  shortp99");
+    for (const auto& res : results) {
+      std::printf(" %6.1f", res.short_flows.p99);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n  a load is sustained while the normalized ratio stays >= %.2f; "
+      "the knee, the drop explosion, and the short-flow tail mark "
+      "saturation. Default horizons underestimate absolute sustainability "
+      "(heavy-tail ramp); DCPIM_BENCH_SCALE>=4 sharpens the estimate.\n",
+      keep_fraction);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 3(b): mean slowdown across ALL flows at load 0.6 (the highest load
+// every protocol sustains), for the three Table-1 workloads.
+// Paper result: dcPIM and Homa Aeolus achieve the best overall means;
+// NDP and HPCC trail (HPCC good on short flows, poor on long).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace dcpim;
+using namespace dcpim::harness;
+
+int main() {
+  bench::print_header(
+      "Figure 3(b): mean slowdown across all flows, load 0.6",
+      "dcPIM/HomaAeolus lowest overall mean; NDP worst; slowdown >= 1");
+
+  const std::vector<std::string> workloads = {"imc10", "websearch",
+                                              "datamining"};
+  std::printf("  %-12s", "protocol");
+  for (const auto& w : workloads) std::printf(" %12s", w.c_str());
+  std::printf("\n");
+
+  for (Protocol p : bench::figure_protocols()) {
+    std::printf("  %-12s", to_string(p));
+    std::fflush(stdout);
+    for (const auto& w : workloads) {
+      ExperimentConfig cfg = bench::default_setup(p);
+      cfg.workload = w;
+      const ExperimentResult res = run_experiment(cfg);
+      bench::maybe_csv("fig3b", p, w, cfg.load, res);
+      std::printf(" %12.2f", res.overall.mean);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figures 3(c)-(e): mean and 99th-percentile slowdown broken down by flow
+// size, per workload, at load 0.6 on the default leaf-spine setup.
+//
+// Paper result (short flows, across workloads): dcPIM mean 1.03-1.04 and
+// p99 1.09-1.16; Homa Aeolus mean 2.5-2.7 / p99 3-6.1; NDP mean 2.5-4.1 /
+// p99 12.5-22.3; HPCC mean 1.1-1.9 / p99 2-5.8. dcPIM trades medium-flow
+// latency for that (matching wait), staying strong on long flows.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace dcpim;
+using namespace dcpim::harness;
+
+int main() {
+  bench::print_header(
+      "Figures 3(c)-(e): slowdown by flow size, load 0.6",
+      "short flows: dcPIM mean 1.03-1.04 / p99 1.09-1.16; HomaAeolus "
+      "2.5-2.7 / 3-6.1; NDP 2.5-4.1 / 12.5-22.3; HPCC 1.1-1.9 / 2-5.8");
+
+  for (const std::string workload : {"imc10", "websearch", "datamining"}) {
+    std::printf("--- workload: %s ---\n", workload.c_str());
+    bool header_done = false;
+    for (Protocol p : bench::figure_protocols()) {
+      ExperimentConfig cfg = bench::default_setup(p);
+      cfg.workload = workload;
+      const ExperimentResult res = run_experiment(cfg);
+      bench::maybe_csv("fig3cde", p, workload, cfg.load, res);
+      if (!header_done) {
+        std::printf("  %-12s %6s", "protocol", "");
+        for (const auto& b : res.buckets) {
+          std::printf(" %13s",
+                      bench::bucket_label(b.lo, b.hi).c_str());
+        }
+        std::printf("\n");
+        header_done = true;
+      }
+      std::printf("  %-12s %6s", to_string(p), "mean");
+      for (const auto& b : res.buckets) {
+        if (b.slowdown.count == 0) {
+          std::printf(" %13s", "-");
+        } else {
+          std::printf(" %13.2f", b.slowdown.mean);
+        }
+      }
+      std::printf("\n  %-12s %6s", "", "p99");
+      for (const auto& b : res.buckets) {
+        if (b.slowdown.count == 0) {
+          std::printf(" %13s", "-");
+        } else {
+          std::printf(" %13.2f", b.slowdown.p99);
+        }
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 5(a)-(b): 2:1 oversubscribed leaf-spine (spine links halved) at
+// load 0.5 — the highest load the baselines survive there. Trends must
+// match Figure 3: dcPIM's token clocking absorbs core congestion.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace dcpim;
+using namespace dcpim::harness;
+
+int main() {
+  bench::print_header(
+      "Figure 5(a,b): 2:1 oversubscribed topology, load 0.5",
+      "same trends as Fig 3: dcPIM near-optimal short-flow latency, high "
+      "utilization via token clocking; baselines can't sustain >0.5");
+
+  for (const std::string workload : {"imc10", "websearch", "datamining"}) {
+    std::printf("--- workload: %s ---\n", workload.c_str());
+    std::printf("  %-12s %10s %10s | %12s %12s | %8s\n", "protocol",
+                "mean(all)", "p99(all)", "short mean", "short p99",
+                "carried");
+    for (Protocol p : bench::figure_protocols()) {
+      ExperimentConfig cfg = bench::default_setup(p);
+      cfg.topo = TopoKind::Oversubscribed;
+      cfg.workload = workload;
+      cfg.load = 0.5;
+      const ExperimentResult res = run_experiment(cfg);
+      bench::maybe_csv("fig5ab", p, workload, cfg.load, res);
+      std::printf("  %-12s %10.2f %10.2f | %12.2f %12.2f | %8.3f\n",
+                  to_string(p), res.overall.mean, res.overall.p99,
+                  res.short_flows.mean, res.short_flows.p99,
+                  res.load_carried_ratio);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

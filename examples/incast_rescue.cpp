@@ -1,0 +1,70 @@
+// Domain scenario: a parameter-server style 40:1 incast of short flows on
+// small switch buffers. The unscheduled bursts overflow the receiver's
+// downlink; dcPIM detects the losses via notifications and rescues the
+// affected flows through the matching phase (§3.2) — every flow completes
+// with no congestion collapse.
+//
+// Run: ./build/examples/incast_rescue
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/dcpim_host.h"
+#include "net/topology.h"
+#include "workload/generator.h"
+
+using namespace dcpim;
+
+int main() {
+  net::NetConfig net_cfg;
+  net_cfg.seed = 1;
+  net::Network network(net_cfg);
+
+  core::DcpimConfig dcpim;
+  net::LeafSpineParams params;
+  params.racks = 4;
+  params.hosts_per_rack = 12;
+  params.spines = 2;
+  params.buffer_bytes = 100 * kKB;  // small buffers: drops will happen
+  auto topo = net::Topology::leaf_spine(network, params,
+                                        core::dcpim_host_factory(dcpim));
+  dcpim.control_rtt = topo.max_control_rtt();
+  dcpim.bdp_bytes = topo.bdp_bytes();
+
+  // 40 senders each fire one 60KB flow (short: < 1 BDP) at receiver 0.
+  std::vector<int> senders;
+  for (int h = 1; h <= 40; ++h) senders.push_back(h);
+  const Bytes flow_size = 60 * kKB;
+  workload::schedule_incast(network, 0, senders, flow_size, 0);
+  std::printf("offered: 40 x %lld KB incast into host 0 (aggregate %.1f MB "
+              "against a %lld KB switch buffer)\n",
+              static_cast<long long>(flow_size / 1000), 40 * 60e3 / 1e6,
+              static_cast<long long>(params.buffer_bytes / 1000));
+
+  network.sim().run(ms(30));
+
+  Time last = 0;
+  std::size_t done = 0;
+  for (const auto& flow : network.flows()) {
+    if (flow->finished()) {
+      ++done;
+      last = std::max(last, flow->finish_time);
+    }
+  }
+  auto* receiver = static_cast<core::DcpimHost*>(network.host(0));
+  std::printf("\ncompleted %zu/40 flows; last at %.1f us\n", done,
+              to_us(last));
+  std::printf("drops at switches: %llu (the incast really overflowed)\n",
+              static_cast<unsigned long long>(network.total_drops()));
+  std::printf("flows rescued through matching: %llu\n",
+              static_cast<unsigned long long>(
+                  receiver->counters().short_flows_rescued));
+  std::printf("tokens issued to retransmit the lost packets: %llu\n",
+              static_cast<unsigned long long>(
+                  receiver->counters().tokens_sent));
+  std::printf("\ndcPIM's rule: short flows fly unscheduled, but anything "
+              "the incast destroyed is re-admitted via receiver tokens — "
+              "drops indicate congestion, so the retransmissions go "
+              "through admission control.\n");
+  return 0;
+}

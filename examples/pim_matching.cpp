@@ -1,0 +1,68 @@
+// Figure-1 walkthrough: classic Parallel Iterative Matching on a small
+// bipartite demand graph, round by round — plus the Theorem 1 bound that
+// motivates dcPIM's constant-round design.
+//
+// Run: ./build/examples/pim_matching
+#include <cmath>
+#include <cstdio>
+
+#include "matching/pim.h"
+#include "util/rng.h"
+
+using namespace dcpim;
+using namespace dcpim::matching;
+
+int main() {
+  // The example of Figure 1: four input ports (senders, colored in the
+  // paper) with demands toward four output ports (receivers).
+  BipartiteGraph g(4);
+  // blue(0) -> outputs 1, 3, 4 ; red(1) -> 1, 2 ; green(2) -> 1 ;
+  // yellow(3) -> 1, 3   (0-indexed below)
+  g.add_edge(0, 0);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 0);
+  g.add_edge(1, 1);
+  g.add_edge(2, 0);
+  g.add_edge(3, 0);
+  g.add_edge(3, 2);
+
+  std::printf("demand graph: %zu edges, max matching %d\n", g.num_edges(),
+              g.maximum_matching_size());
+
+  Rng rng(7);
+  MatchResult result = run_pim(g, 3, rng);
+  for (std::size_t round = 0; round < result.size_after_round.size();
+       ++round) {
+    std::printf("after round %zu: matching size %d\n", round + 1,
+                result.size_after_round[round]);
+  }
+  std::printf("final matching (sender -> receiver):\n");
+  for (int s = 0; s < g.n(); ++s) {
+    if (result.match_of_sender[static_cast<std::size_t>(s)] >= 0) {
+      std::printf("  %d -> %d\n", s,
+                  result.match_of_sender[static_cast<std::size_t>(s)]);
+    }
+  }
+  std::printf("maximal? %s\n", result.is_maximal(g) ? "yes" : "no");
+
+  // Theorem 1: why a datacenter (sparse demand) needs only constant rounds.
+  std::printf("\nTheorem 1 bound, fraction of converged matching kept:\n");
+  std::printf("  %8s %6s | r=1    r=2    r=3    r=4\n", "n", "degree");
+  for (int n : {144, 10'000, 1'000'000}) {
+    for (double deg : {2.0, 5.0}) {
+      std::printf("  %8d %6.1f |", n, deg);
+      for (int r = 1; r <= 4; ++r) {
+        // alpha=1.25 (80% of hosts matched by converged PIM, per §3.1).
+        const double m_star = 0.8 * n;
+        std::printf(" %5.3f",
+                    theorem1_bound(n, deg, m_star, r) / m_star);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nNote the rows are identical across n: the bound depends "
+              "only on the average degree — dcPIM's matching scales "
+              "independent of datacenter size.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Domain scenario: compare all seven transports on one identical scenario
+// through the experiment harness — the programmatic API the bench binaries
+// are built on.
+//
+// Run: ./build/examples/protocol_faceoff [workload] [load]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.h"
+
+using namespace dcpim;
+using namespace dcpim::harness;
+
+int main(int argc, char** argv) {
+  const std::string workload = argc > 1 ? argv[1] : "websearch";
+  const double load = argc > 2 ? std::atof(argv[2]) : 0.6;
+
+  std::printf("all-to-all %s at load %.2f on the 144-host leaf-spine "
+              "(shorter horizons than the benches; see bench/ for the "
+              "paper-figure versions)\n\n",
+              workload.c_str(), load);
+  std::printf("%-12s %10s %10s | %11s %11s | %8s %7s\n", "protocol",
+              "mean(all)", "p99(all)", "short mean", "short p99", "carried",
+              "drops");
+
+  for (Protocol p :
+       {Protocol::Dcpim, Protocol::Phost, Protocol::Homa, Protocol::HomaAeolus, Protocol::Ndp,
+        Protocol::Hpcc, Protocol::Dctcp, Protocol::Tcp}) {
+    ExperimentConfig cfg;
+    cfg.protocol = p;
+    cfg.workload = workload;
+    cfg.load = load;
+    cfg.gen_stop = us(500);
+    cfg.measure_start = us(100);
+    cfg.measure_end = us(500);
+    cfg.horizon = ms(3);
+    const ExperimentResult res = run_experiment(cfg);
+    std::printf("%-12s %10.2f %10.2f | %11.2f %11.2f | %8.3f %7llu\n",
+                to_string(p), res.overall.mean, res.overall.p99,
+                res.short_flows.mean, res.short_flows.p99,
+                res.load_carried_ratio,
+                static_cast<unsigned long long>(res.drops));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// dcPIM protocol parameters (§3.6): rounds r, channels k, slack beta —
+// plus the ablation and robustness knobs DESIGN.md calls out.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/time.h"
+#include "util/units.h"
+
+namespace dcpim::core {
+
+struct DcpimConfig {
+  // --- the paper's three parameters (§3.6) -------------------------------
+  int rounds = 4;    ///< r: matching rounds per phase (first may be FCT-opt)
+  int channels = 4;  ///< k: per-host channels (paper recommends k == r)
+  double beta = 1.3;  ///< slack on cRTT/2 per stage (§3.3)
+
+  // --- environment-derived (filled from the topology) ----------------------
+  Time control_rtt = 0;  ///< longest unloaded control RTT in the fabric
+  Bytes bdp_bytes = 0;   ///< 1 BDP at the access link
+
+  /// Flows <= threshold bypass matching (default: 1 BDP). 0 = use BDP.
+  Bytes short_flow_threshold = 0;
+  /// Per-flow token window (default: 1 BDP). 0 = use BDP.
+  Bytes token_window_bytes = 0;
+
+  // --- optimizations & ablations -----------------------------------------
+  bool fct_optimizing_first_round = true;  ///< §3.5 smallest-flow round 1
+  /// §3.1/§3.5: notifications "may contain" flow size. When false the
+  /// receiver schedules size-blind — demand is estimated at one channel per
+  /// active flow, round 1 degenerates to a random round, and tokens are
+  /// issued FIFO rather than SRPT (the paper's unknown-size regime).
+  bool flow_size_aware = true;
+  bool pipeline_phases = true;  ///< §3.3; false = sequential (ablation)
+  /// Max uniform per-host clock offset (async robustness, §3.5). The offset
+  /// is drawn once per host in [0, clock_jitter].
+  Time clock_jitter = 0;
+  /// Long-flow data priority levels (>=1). With 1, all matched data uses
+  /// priority 2; more levels map smaller-remaining flows to higher priority.
+  int long_flow_priorities = 1;
+
+  /// Fractional slack added to the token pacing interval. Pacing tokens at
+  /// exactly line rate leaves zero headroom: any control-plane jitter
+  /// compresses token spacing, builds a standing queue at the sender NIC,
+  /// and inflates the token->data loop beyond what the 1-BDP window covers.
+  /// A few percent of headroom keeps the loop near its unloaded value.
+  double token_pacing_headroom = 0.04;
+
+  // --- recovery timers ------------------------------------------------------
+  /// Notification / finish control retransmission interval; 0 = control RTT.
+  Time control_retx_timeout = 0;
+  int max_control_retx = 50;
+
+  // --- derived quantities ---------------------------------------------------
+  Time stage_length() const {
+    return static_cast<Time>(beta * static_cast<double>(control_rtt) / 2.0);
+  }
+  /// Matching-phase length == data-phase length (pipelined, §3.3).
+  Time epoch_length() const {
+    return (2 * static_cast<Time>(rounds) + 1) * stage_length();
+  }
+  Bytes effective_short_threshold() const {
+    return short_flow_threshold > 0 ? short_flow_threshold : bdp_bytes;
+  }
+  Bytes effective_token_window() const {
+    return token_window_bytes > 0 ? token_window_bytes : bdp_bytes;
+  }
+  Time effective_control_retx() const {
+    return control_retx_timeout > 0 ? control_retx_timeout : control_rtt;
+  }
+
+  void validate() const {
+    assert(rounds >= 1);
+    assert(channels >= 1);
+    assert(beta >= 1.0);
+    assert(control_rtt > 0);
+    assert(bdp_bytes > 0);
+    assert(long_flow_priorities >= 1);
+  }
+};
+
+}  // namespace dcpim::core

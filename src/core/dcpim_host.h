@@ -1,0 +1,195 @@
+// DcpimHost: end-host implementation of the dcPIM protocol (§3).
+//
+// Each host plays both roles: sender (notifies flows, answers requests with
+// grants, transmits admitted data) and receiver (tracks demand, issues
+// requests/accepts, paces tokens). Time is organized into fixed epochs of
+// length E = (2r+1)*beta*cRTT/2; the matching phase for data-epoch m runs in
+// [m*P, m*P+E) and its matches drive token issue during [m*P+E, m*P+2E),
+// where the period P is E when phases are pipelined (§3.3) and 2E in the
+// sequential ablation. Hosts act purely on their local clocks (plus an
+// optional per-host jitter) — no synchronization is assumed (§3.5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dcpim_config.h"
+#include "core/dcpim_packets.h"
+#include "net/host.h"
+#include "net/topology.h"
+
+namespace dcpim::core {
+
+class DcpimHost : public net::Host {
+ public:
+  DcpimHost(net::Network& net, int host_id, const net::PortConfig& nic,
+            const DcpimConfig& cfg);
+
+  void on_flow_arrival(net::Flow& flow) override;
+
+  // --- introspection (tests/benches) ---------------------------------------
+  struct Counters {
+    std::uint64_t notifications_sent = 0;
+    std::uint64_t requests_sent = 0;
+    std::uint64_t grants_sent = 0;
+    std::uint64_t accepts_sent = 0;
+    std::uint64_t tokens_sent = 0;
+    std::uint64_t tokens_expired = 0;  ///< stale tokens discarded by sender
+    std::uint64_t pacer_skips_window = 0;  ///< tick found all windows full
+    std::uint64_t pacer_skips_no_work = 0;  ///< tick found nothing to admit
+    std::uint64_t token_loop_ps = 0;   ///< sum of token->data round times
+    std::uint64_t token_loop_count = 0;
+    std::uint64_t token_oneway_ps = 0;  ///< token network latency sum
+    std::uint64_t token_oneway_count = 0;
+    std::uint64_t data_oneway_ps = 0;  ///< data network latency sum
+    std::uint64_t data_oneway_count = 0;
+    std::uint64_t data_sent = 0;
+    std::uint64_t short_data_sent = 0;
+    std::uint64_t notify_retx = 0;
+    std::uint64_t finish_retx = 0;
+    std::uint64_t readmitted_seqs = 0;  ///< token retransmissions (loss)
+    std::uint64_t short_flows_rescued = 0;  ///< short flows moved to matching
+  };
+  const Counters& counters() const { return counters_; }
+  const DcpimConfig& protocol_config() const { return cfg_; }
+
+  /// Matched channels (receiver role) in the matching phase for epoch m.
+  int receiver_matched_channels(std::uint64_t epoch) const;
+  /// Distinct senders matched (receiver role) in epoch m.
+  int receiver_matched_peers(std::uint64_t epoch) const;
+
+ protected:
+  void on_packet(net::PacketPtr p) override;
+
+ private:
+  // === clock =================================================================
+  Time period() const;  ///< epoch period P (E pipelined, 2E sequential)
+  Time matching_start(std::uint64_t m) const;
+  Time data_phase_start(std::uint64_t m) const;
+  Bytes channel_bytes_per_phase() const;
+  std::uint32_t window_packets(int channels) const;
+
+  void epoch_tick(std::uint64_t m);
+
+  // === sender-side state ====================================================
+  struct TxFlow {
+    net::Flow* flow = nullptr;
+    std::uint32_t packets = 0;
+    std::vector<bool> sent;       ///< distinct seqs transmitted
+    std::uint32_t sent_count = 0;
+    bool is_short = false;
+    bool notify_acked = false;
+    bool finish_sent = false;
+    bool finish_acked = false;
+    int notify_retx = 0;
+    int finish_retx = 0;
+  };
+
+  struct SenderEpochState {
+    int matched_channels = 0;
+    /// Requests buffered per round, drained by the grant-stage event.
+    std::unordered_map<int, std::vector<RequestPacket>> requests;
+    std::unordered_map<int, bool> grant_stage_scheduled;
+  };
+
+  void send_notification(TxFlow& tx, bool retransmit);
+  void maybe_send_finish(TxFlow& tx);
+  void schedule_notify_timer(std::uint64_t flow_id);
+  void schedule_finish_timer(std::uint64_t flow_id);
+  void handle_request(const RequestPacket& req);
+  void run_grant_stage(std::uint64_t m, int round);
+  void handle_accept(const AcceptPacket& acc);
+  void handle_token(const TokenPacket& tok);
+  /// Sender-side data pacer (§3.2): one admitted packet per MTU time, with
+  /// stale tokens discarded at pop time (phase end + cRTT/2 grace).
+  void sender_pacer_tick();
+  bool token_expired(const TokenPacket& tok) const;
+  void transmit_for_token(const TokenPacket& tok);
+
+  // === receiver-side state ===================================================
+  struct RxFlow {
+    net::Flow* flow = nullptr;
+    std::uint32_t packets = 0;
+    std::uint32_t next_new_seq = 0;  ///< next never-admitted seq
+    std::deque<std::uint32_t> readmit;  ///< lost-token seqs to re-admit
+    std::unordered_map<std::uint32_t, Time> outstanding;  ///< token->sent time
+    bool needs_matching = false;  ///< long flow, or rescued short flow
+    bool rescue_scheduled = false;
+  };
+
+  struct ReceiverEpochState {
+    int matched_channels = 0;
+    std::unordered_map<int, Bytes> demand;  ///< sender -> pending bytes
+    std::unordered_map<int, Bytes> min_remaining;  ///< FCT-opt sort key
+    std::unordered_map<int, std::vector<GrantPacket>> grants;
+    std::unordered_map<int, bool> accept_stage_scheduled;
+    std::unordered_map<int, int> matches;  ///< sender -> accepted channels
+  };
+
+  struct ActiveMatch {
+    int sender = -1;
+    int channels = 0;
+    std::uint64_t skipped_ticks = 0;  ///< pacer ticks with nothing to send
+  };
+
+  void handle_notification(const NotificationPacket& note);
+  void handle_finish(const FinishPacket& fin);
+  void handle_data(net::PacketPtr p);
+  void snapshot_demand(ReceiverEpochState& st);
+  void run_request_stage(std::uint64_t m, int round);
+  void handle_grant(const GrantPacket& grant);
+  void run_accept_stage(std::uint64_t m, int round);
+  void start_data_phase(std::uint64_t m);
+  void token_tick(std::uint64_t phase, std::size_t match_idx);
+  bool issue_token(ActiveMatch& match);
+  void check_short_flow(std::uint64_t flow_id);
+  std::uint8_t data_priority_for(Bytes remaining) const;
+
+  Bytes flow_remaining(const RxFlow& rx) const;
+
+  SenderEpochState& sender_epoch(std::uint64_t m);
+  ReceiverEpochState& receiver_epoch(std::uint64_t m);
+  void gc_epochs(std::uint64_t current);
+
+  // === members ================================================================
+  /// Shared protocol config. Held by reference: the topology-dependent
+  /// fields (control_rtt, bdp_bytes) are filled in by the owner after the
+  /// topology is built but before the simulation starts.
+  const DcpimConfig& cfg_;
+  Time jitter_ = 0;
+  Counters counters_;
+
+  std::unordered_map<std::uint64_t, TxFlow> tx_flows_;
+  /// Sender-side queue of unused tokens, drained at one packet per MTU
+  /// transmission time; stale entries expire instead of standing in the
+  /// NIC queue (the paper's "discard unused tokens" rule, §3.2).
+  std::deque<TokenPacket> token_queue_;
+  bool sender_pacer_running_ = false;
+  std::unordered_map<std::uint64_t, RxFlow> rx_flows_;
+  /// Receiver-side index: sender -> flow ids that (may) need matching.
+  std::unordered_map<int, std::vector<std::uint64_t>> rx_by_sender_;
+
+  std::unordered_map<std::uint64_t, SenderEpochState> send_epochs_;
+  std::unordered_map<std::uint64_t, ReceiverEpochState> recv_epochs_;
+
+  /// Token-pacing state for the currently active data phase.
+  std::uint64_t active_phase_ = UINT64_MAX;
+  std::vector<ActiveMatch> active_matches_;
+
+  /// Receiver-wide count of outstanding tokens across all flows
+  /// (introspection/debugging; admission itself is bounded per flow by the
+  /// channel-scaled window plus the sender-side stale-token expiry).
+  std::size_t outstanding_total_ = 0;
+  std::size_t total_window_packets() const;
+  void forget_outstanding(RxFlow& rx);
+};
+
+/// Topology-aware factory helper: fills control_rtt / bdp into `cfg` and
+/// returns a HostFactory for Topology builders. The config must outlive the
+/// returned factory. (Two-phase because the topology metrics are only known
+/// after build; see make_dcpim_network in harness for the ergonomic path.)
+net::Topology::HostFactory dcpim_host_factory(const DcpimConfig& cfg);
+
+}  // namespace dcpim::core

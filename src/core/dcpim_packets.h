@@ -1,0 +1,69 @@
+// dcPIM control packet definitions (§3.1, §3.2).
+//
+// All control packets travel at priority 0 ("the network behaves like a
+// lossless fabric for control packets"). Matching packets carry their
+// (epoch, round) so stragglers from past stages can be ignored (§3.3).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+
+namespace dcpim::core {
+
+enum PacketKind : int {
+  kData = 0,
+  kNotification,  ///< sender -> receiver on flow arrival
+  kNotifyAck,     ///< receiver -> sender ack of notification
+  kFinish,        ///< sender -> receiver: all data transmitted
+  kFinishAck,     ///< receiver -> sender: flow fully received
+  kRequest,       ///< receiver -> sender (matching)
+  kGrant,         ///< sender -> receiver (matching)
+  kAccept,        ///< receiver -> sender (matching)
+  kToken,         ///< receiver -> sender: admit one data packet
+};
+
+struct NotificationPacket : net::Packet {
+  Bytes flow_size = 0;
+  bool is_retransmit = false;
+};
+
+struct NotifyAckPacket : net::Packet {};
+
+struct FinishPacket : net::Packet {
+  std::uint32_t packets_sent = 0;  ///< distinct data packets transmitted
+};
+
+struct FinishAckPacket : net::Packet {};
+
+struct RequestPacket : net::Packet {
+  std::uint64_t epoch = 0;
+  int round = 0;
+  int channels_wanted = 0;
+  /// Smallest remaining flow size this receiver has from the sender —
+  /// the FCT-optimizing round's sort key (§3.5).
+  Bytes min_remaining_bytes = 0;
+};
+
+struct GrantPacket : net::Packet {
+  std::uint64_t epoch = 0;
+  int round = 0;
+  int channels_granted = 0;
+  Bytes min_remaining_bytes = 0;
+};
+
+struct AcceptPacket : net::Packet {
+  std::uint64_t epoch = 0;
+  int round = 0;
+  int channels_accepted = 0;
+};
+
+struct TokenPacket : net::Packet {
+  std::uint64_t token_flow_id = 0;  ///< flow whose packet is admitted
+  std::uint32_t data_seq = 0;       ///< admitted data packet index
+  std::uint32_t cumulative_ack = 0;  ///< lowest seq not yet received
+  std::uint64_t phase = 0;          ///< data phase the token belongs to
+  std::uint8_t data_priority = 2;   ///< priority the data should use
+};
+
+}  // namespace dcpim::core

@@ -1,0 +1,344 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "core/dcpim_host.h"
+#include "net/topology.h"
+#include "util/logging.h"
+#include "workload/cdf.h"
+#include "workload/generator.h"
+
+namespace dcpim::harness {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::Dcpim: return "dcPIM";
+    case Protocol::Phost: return "pHost";
+    case Protocol::Homa: return "Homa";
+    case Protocol::HomaAeolus: return "HomaAeolus";
+    case Protocol::Ndp: return "NDP";
+    case Protocol::Hpcc: return "HPCC";
+    case Protocol::Dctcp: return "DCTCP";
+    case Protocol::Tcp: return "TCP";
+  }
+  return "?";
+}
+
+double ExperimentResult::mean_util(std::size_t from_bin,
+                                   std::size_t to_bin) const {
+  if (to_bin > util_series.size()) to_bin = util_series.size();
+  if (to_bin <= from_bin) return 0.0;
+  double sum = 0;
+  for (std::size_t i = from_bin; i < to_bin; ++i) sum += util_series[i];
+  return sum / static_cast<double>(to_bin - from_bin);
+}
+
+std::vector<Bytes> default_bucket_edges(Bytes bdp) {
+  return {0, bdp / 4, bdp, 4 * bdp, 16 * bdp, 64 * bdp};
+}
+
+namespace {
+
+/// Everything whose lifetime must span the simulation (hosts keep references
+/// to the protocol configs).
+struct Runtime {
+  explicit Runtime(const ExperimentConfig& cfg)
+      : exp(cfg) {}
+  ExperimentConfig exp;  ///< owned copy; protocol configs live here
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<net::Topology> topo;
+};
+
+bool uses_packet_spraying(Protocol p) {
+  // The TCP family (and HPCC, per its paper) use per-flow ECMP to avoid
+  // pathological reordering; the receiver-driven designs spray per packet.
+  return p == Protocol::Dcpim || p == Protocol::Phost ||
+         p == Protocol::Homa || p == Protocol::HomaAeolus ||
+         p == Protocol::Ndp;
+}
+
+net::Topology::HostFactory make_factory(Runtime& rt) {
+  switch (rt.exp.protocol) {
+    case Protocol::Dcpim:
+      return core::dcpim_host_factory(rt.exp.dcpim);
+    case Protocol::Phost:
+      return proto::phost_host_factory(rt.exp.phost);
+    case Protocol::Homa:
+    case Protocol::HomaAeolus:
+      return proto::homa_host_factory(rt.exp.homa);
+    case Protocol::Ndp:
+      return proto::ndp_host_factory(rt.exp.ndp);
+    case Protocol::Hpcc:
+      return proto::hpcc_host_factory(rt.exp.hpcc);
+    case Protocol::Dctcp:
+      return proto::dctcp_host_factory(rt.exp.dctcp);
+    case Protocol::Tcp:
+      return proto::tcp_host_factory(rt.exp.tcp);
+  }
+  throw std::logic_error("unknown protocol");
+}
+
+net::PortCustomize make_port_customize(Runtime& rt, Bytes mtu_wire) {
+  const double loss = rt.exp.loss_rate;
+  switch (rt.exp.protocol) {
+    case Protocol::HomaAeolus:
+      return [loss](net::PortConfig& pc) {
+        pc.loss_rate = loss;
+        // Aeolus selective dropping: unscheduled packets yield once the
+        // queue holds more than a small headroom.
+        pc.aeolus_threshold = pc.buffer_bytes / 8;
+      };
+    case Protocol::Ndp:
+      return [loss, mtu_wire](net::PortConfig& pc) {
+        pc.loss_rate = loss;
+        proto::ndp_port_customize(pc, mtu_wire);
+      };
+    case Protocol::Hpcc:
+      return [loss](net::PortConfig& pc) {
+        pc.loss_rate = loss;
+        proto::hpcc_port_customize(pc);
+      };
+    case Protocol::Dctcp: {
+      const Bytes threshold = rt.exp.dctcp.ecn_threshold_bytes;
+      return [loss, threshold](net::PortConfig& pc) {
+        pc.loss_rate = loss;
+        proto::dctcp_port_customize(pc, threshold);
+      };
+    }
+    default:
+      return [loss](net::PortConfig& pc) { pc.loss_rate = loss; };
+  }
+}
+
+void build_topology(Runtime& rt, const net::Topology::HostFactory& factory,
+                    const net::PortCustomize& customize) {
+  switch (rt.exp.topo) {
+    case TopoKind::LeafSpine:
+    case TopoKind::Oversubscribed: {
+      net::LeafSpineParams p;
+      p.racks = rt.exp.racks;
+      p.hosts_per_rack = rt.exp.hosts_per_rack;
+      p.spines = rt.exp.spines;
+      if (rt.exp.topo == TopoKind::Oversubscribed) {
+        p.spine_rate = p.spine_rate / 2;  // 2:1 (§4.1)
+      }
+      p.port_customize = customize;
+      rt.topo = std::make_unique<net::Topology>(
+          net::Topology::leaf_spine(*rt.net, p, factory));
+      break;
+    }
+    case TopoKind::FatTree: {
+      net::FatTreeParams p;
+      p.k = rt.exp.fat_tree_k;
+      p.port_customize = customize;
+      rt.topo = std::make_unique<net::Topology>(
+          net::Topology::fat_tree(*rt.net, p, factory));
+      break;
+    }
+    case TopoKind::Testbed: {
+      // Figure 7: 32 servers, two racks, 10 Gbps links (~8 us RTT emerges
+      // from the software-host latency below).
+      net::LeafSpineParams p;
+      p.racks = 2;
+      p.hosts_per_rack = 16;
+      p.spines = 2;
+      p.host_rate = 10 * kGbps;
+      p.spine_rate = 40 * kGbps;
+      p.port_customize = customize;
+      rt.topo = std::make_unique<net::Topology>(
+          net::Topology::leaf_spine(*rt.net, p, factory));
+      break;
+    }
+  }
+}
+
+void fill_protocol_params(Runtime& rt) {
+  const net::Topology& topo = *rt.topo;
+  auto& exp = rt.exp;
+  exp.dcpim.control_rtt = topo.max_control_rtt();
+  exp.dcpim.bdp_bytes = topo.bdp_bytes();
+
+  exp.phost.bdp_bytes = topo.bdp_bytes();
+  exp.phost.control_rtt = topo.max_control_rtt();
+
+  exp.homa.bdp_bytes = topo.bdp_bytes();
+  exp.homa.control_rtt = topo.max_control_rtt();
+  exp.homa.aeolus = exp.protocol == Protocol::HomaAeolus;
+
+  exp.ndp.bdp_bytes = topo.bdp_bytes();
+  exp.ndp.control_rtt = topo.max_control_rtt();
+
+  for (proto::WindowConfig* w :
+       {&exp.hpcc.window, &exp.dctcp.window, &exp.tcp.window}) {
+    w->bdp_bytes = topo.bdp_bytes();
+    w->base_rtt = topo.max_data_rtt();
+  }
+  exp.hpcc.window.collect_int = true;
+}
+
+void drive_pattern(Runtime& rt, std::vector<std::unique_ptr<workload::PoissonGenerator>>& gens) {
+  auto& exp = rt.exp;
+  net::Network& net = *rt.net;
+  const net::Topology& topo = *rt.topo;
+
+  const workload::EmpiricalCdf* cdf = nullptr;
+  static thread_local std::unique_ptr<workload::EmpiricalCdf> fixed_holder;
+  if (exp.fixed_size != 0) {
+    const Bytes size = exp.fixed_size > 0 ? exp.fixed_size
+                                          : topo.bdp_bytes() + 1;  // Fig 4b
+    fixed_holder =
+        std::make_unique<workload::EmpiricalCdf>(workload::fixed_size_cdf(size));
+    cdf = fixed_holder.get();
+  } else {
+    cdf = &workload::workload_by_name(exp.workload);
+  }
+
+  switch (exp.pattern) {
+    case Pattern::AllToAll: {
+      workload::PoissonPatternConfig pc;
+      pc.cdf = cdf;
+      pc.load = exp.load;
+      pc.stop = exp.gen_stop;
+      gens.push_back(std::make_unique<workload::PoissonGenerator>(
+          net, topo.host_rate(), pc));
+      gens.back()->start();
+      break;
+    }
+    case Pattern::Bursty: {
+      // 16 senders in rack 0 run a MapReduce-style shuffle to 16 receivers
+      // in rack 1 (Fig 4a): a dense block of long flows that keeps the
+      // receivers loaded for the whole horizon...
+      std::vector<int> senders, receivers;
+      for (int h = 0; h < exp.hosts_per_rack; ++h) senders.push_back(h);
+      for (int h = 0; h < exp.hosts_per_rack; ++h) {
+        receivers.push_back(exp.hosts_per_rack + h);
+      }
+      workload::schedule_dense_tm(net, senders, receivers,
+                                  exp.dense_flow_size, 0);
+      // ... plus a 50:1 incast from other racks every 100 us (first 600 us).
+      std::vector<int> incasters;
+      for (int h = 2 * exp.hosts_per_rack;
+           h < net.num_hosts() && static_cast<int>(incasters.size()) <
+                                      exp.incast_fanin;
+           ++h) {
+        incasters.push_back(h);
+      }
+      for (int b = 0; b < exp.incast_bursts; ++b) {
+        workload::schedule_incast(net, receivers[0], incasters,
+                                  exp.incast_size,
+                                  static_cast<Time>(b) * exp.incast_interval);
+      }
+      break;
+    }
+    case Pattern::DenseTM: {
+      workload::schedule_dense_tm(net, workload::all_hosts(net),
+                                  workload::all_hosts(net),
+                                  exp.dense_flow_size, 0);
+      break;
+    }
+    case Pattern::Incast: {
+      std::vector<int> senders;
+      for (int h = 1;
+           h < net.num_hosts() &&
+           static_cast<int>(senders.size()) < exp.incast_fanin;
+           ++h) {
+        senders.push_back(h);
+      }
+      workload::schedule_incast(net, 0, senders, exp.incast_size, 0);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  Runtime rt(cfg);
+
+  net::NetConfig ncfg;
+  ncfg.seed = cfg.seed;
+  ncfg.packet_spraying = uses_packet_spraying(cfg.protocol);
+  rt.net = std::make_unique<net::Network>(ncfg);
+
+  auto factory = make_factory(rt);
+  auto customize = make_port_customize(rt, ncfg.mtu_wire());
+  build_topology(rt, factory, customize);
+  fill_protocol_params(rt);
+
+  stats::FlowStats fstats(*rt.net, *rt.topo);
+  fstats.set_window(cfg.measure_start, cfg.measure_end);
+  stats::GoodputMeter goodput(*rt.net);
+  goodput.set_window(cfg.measure_start, cfg.measure_end);
+  stats::UtilizationSeries util(*rt.net, cfg.util_bin);
+
+  std::vector<std::unique_ptr<workload::PoissonGenerator>> gens;
+  drive_pattern(rt, gens);
+
+  rt.net->sim().run(cfg.horizon);
+
+  ExperimentResult res;
+  res.bdp = rt.topo->bdp_bytes();
+  res.data_rtt = rt.topo->max_data_rtt();
+  res.control_rtt = rt.topo->max_control_rtt();
+  res.overall = fstats.summary();
+  res.short_flows = fstats.short_flows(res.bdp);
+  res.buckets = fstats.by_buckets(default_bucket_edges(res.bdp));
+  res.goodput_ratio = goodput.ratio();
+  {
+    const double window_sec = to_sec(cfg.measure_end - cfg.measure_start);
+    const double offered_rate_bytes =
+        cfg.load * static_cast<double>(rt.topo->host_rate()) / 8.0 *
+        rt.net->num_hosts();
+    if (window_sec > 0 && offered_rate_bytes > 0) {
+      res.load_carried_ratio = static_cast<double>(goodput.delivered()) /
+                               (offered_rate_bytes * window_sec);
+    }
+  }
+  res.flows_total = rt.net->num_flows();
+  res.flows_done = rt.net->completed_flows;
+  res.drops = rt.net->total_drops();
+  res.trims = rt.net->total_trims();
+  for (const auto& dev : rt.net->devices()) {
+    if (dev->kind() == net::Device::Kind::Switch) {
+      res.pfc_pauses += static_cast<net::Switch*>(dev.get())->pfc_pauses_sent;
+    }
+  }
+  // Utilization relative to the aggregate receiver capacity involved in the
+  // pattern (all hosts for all-to-all / dense; one rack for bursty).
+  double capacity_bps =
+      static_cast<double>(rt.topo->host_rate()) * rt.net->num_hosts();
+  if (cfg.pattern == Pattern::Bursty) {
+    capacity_bps =
+        static_cast<double>(rt.topo->host_rate()) * cfg.hosts_per_rack;
+  } else if (cfg.pattern == Pattern::Incast) {
+    capacity_bps = static_cast<double>(rt.topo->host_rate());
+  }
+  res.util_bin = cfg.util_bin;
+  res.util_series.resize(util.num_bins());
+  for (std::size_t i = 0; i < util.num_bins(); ++i) {
+    res.util_series[i] = util.utilization(i, capacity_bps);
+  }
+  return res;
+}
+
+double max_sustained_load(ExperimentConfig cfg,
+                          const std::vector<double>& loads, double threshold) {
+  double best = 0;
+  for (double load : loads) {
+    cfg.load = load;
+    const ExperimentResult res = run_experiment(cfg);
+    LOG_INFO("%s load %.2f -> carried %.3f (goodput %.3f)",
+             to_string(cfg.protocol), load, res.load_carried_ratio,
+             res.goodput_ratio);
+    if (res.load_carried_ratio >= threshold) {
+      best = load;
+    } else {
+      break;  // loads ascend; saturation only worsens
+    }
+  }
+  return best;
+}
+
+}  // namespace dcpim::harness

@@ -1,0 +1,125 @@
+// Experiment harness: one call from scenario description to measured
+// results. Benches (one per paper figure/table) and integration tests are
+// thin wrappers around run_experiment().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dcpim_config.h"
+#include "proto/dctcp.h"
+#include "proto/homa.h"
+#include "proto/hpcc.h"
+#include "proto/ndp.h"
+#include "proto/phost.h"
+#include "proto/tcp.h"
+#include "stats/metrics.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace dcpim::harness {
+
+enum class Protocol { Dcpim, Phost, Homa, HomaAeolus, Ndp, Hpcc, Dctcp, Tcp };
+enum class TopoKind {
+  LeafSpine,       ///< Table 1: 9 racks x 16 hosts, 4 spines, 100G/400G
+  Oversubscribed,  ///< same, spine links halved (2:1)
+  FatTree,         ///< three-tier, k^3/4 hosts, uniform 100G
+  Testbed,         ///< Figure 7: 32 hosts, 10G, two-tier
+};
+enum class Pattern {
+  AllToAll,       ///< Poisson arrivals, uniform receiver (default setup)
+  Bursty,         ///< rack-to-rack shuffle + periodic 50:1 incast (Fig 4a)
+  DenseTM,        ///< every sender -> every receiver, one long flow (Fig 4c)
+  Incast,         ///< single n:1 burst (tests)
+};
+
+const char* to_string(Protocol p);
+
+struct ExperimentConfig {
+  Protocol protocol = Protocol::Dcpim;
+  TopoKind topo = TopoKind::LeafSpine;
+  Pattern pattern = Pattern::AllToAll;
+
+  // --- topology scaling ------------------------------------------------------
+  int racks = 9;
+  int hosts_per_rack = 16;
+  int spines = 4;
+  int fat_tree_k = 16;
+
+  // --- workload -----------------------------------------------------------
+  std::string workload = "imc10";  ///< imc10 | websearch | datamining
+  /// >0: every flow this size; -1: every flow BDP+1 (Fig 4b worst case).
+  Bytes fixed_size = 0;
+  double load = 0.6;
+
+  // --- timing -----------------------------------------------------------------
+  Time gen_stop = us(800);       ///< arrivals stop here
+  Time horizon = ms(3);          ///< simulation end (drain tail)
+  Time measure_start = us(100);  ///< stats window (flow starts)
+  Time measure_end = us(800);
+  std::uint64_t seed = 1;
+  Time util_bin = us(10);
+
+  // --- bursty-pattern parameters (Fig 4a) --------------------------------------
+  int incast_fanin = 50;
+  Bytes incast_size = 128 * kKB;
+  Time incast_interval = us(100);
+  int incast_bursts = 6;
+  double shuffle_load = 0.9;  ///< rack-to-rack all-to-all component
+
+  // --- dense-TM parameters (Fig 4c) ---------------------------------------------
+  Bytes dense_flow_size = 1 * kMB;
+
+  // --- failure injection --------------------------------------------------------
+  double loss_rate = 0.0;  ///< random per-packet loss on every port
+
+  // --- per-protocol parameters (topology-derived fields filled at run) ---------
+  core::DcpimConfig dcpim;
+  proto::PhostConfig phost;
+  proto::HomaConfig homa;
+  proto::NdpConfig ndp;
+  proto::HpccConfig hpcc;
+  proto::DctcpConfig dctcp;
+  proto::TcpConfig tcp;
+};
+
+struct ExperimentResult {
+  stats::SlowdownSummary overall;
+  stats::SlowdownSummary short_flows;  ///< size <= 1 BDP
+  std::vector<stats::BucketSummary> buckets;
+  /// Delivered/offered payload inside the measure window (utilization
+  /// metric of Table 1; ~1.0 when the load is sustained).
+  double goodput_ratio = 0;
+  /// Delivered payload in the window relative to the *offered rate*
+  /// (load x senders x host rate). In steady state this sits at ~1.0 when
+  /// the protocol keeps up and collapses below it when it cannot — the
+  /// signal behind the paper's "maximum sustainable load" (Figure 3a).
+  double load_carried_ratio = 0;
+  std::size_t flows_total = 0;
+  std::size_t flows_done = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t trims = 0;
+  std::uint64_t pfc_pauses = 0;
+  Bytes bdp = 0;
+  Time data_rtt = 0;
+  Time control_rtt = 0;
+  /// Delivered-throughput series (fraction of receiver aggregate capacity).
+  std::vector<double> util_series;
+  Time util_bin = us(10);
+
+  double mean_util(std::size_t from_bin, std::size_t to_bin) const;
+};
+
+/// Builds the network, runs the scenario, and gathers metrics.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Highest load in `loads` (ascending) the protocol sustains: goodput ratio
+/// >= threshold within the measurement window. Returns 0 if none.
+double max_sustained_load(ExperimentConfig cfg, const std::vector<double>& loads,
+                          double threshold = 0.9);
+
+/// Size-bucket edges used for the per-flow-size figures, scaled to the BDP.
+std::vector<Bytes> default_bucket_edges(Bytes bdp);
+
+}  // namespace dcpim::harness

@@ -1,0 +1,47 @@
+#include "harness/report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+namespace dcpim::harness {
+
+std::string csv_header() {
+  return "experiment,protocol,workload,load,flows_total,flows_done,"
+         "mean_slowdown,p50_slowdown,p99_slowdown,short_mean,short_p99,"
+         "goodput_ratio,load_carried_ratio,drops,trims,pfc_pauses,"
+         "bdp_bytes,data_rtt_us,control_rtt_us";
+}
+
+std::string to_csv_row(const ReportRow& row) {
+  const ExperimentResult& r = row.result;
+  std::ostringstream os;
+  os << row.experiment << ',' << row.protocol << ',' << row.workload << ','
+     << row.load << ',' << r.flows_total << ',' << r.flows_done << ','
+     << r.overall.mean << ',' << r.overall.p50 << ',' << r.overall.p99 << ','
+     << r.short_flows.mean << ',' << r.short_flows.p99 << ','
+     << r.goodput_ratio << ',' << r.load_carried_ratio << ',' << r.drops
+     << ',' << r.trims << ',' << r.pfc_pauses << ',' << r.bdp << ','
+     << to_us(r.data_rtt) << ',' << to_us(r.control_rtt);
+  return os.str();
+}
+
+bool append_csv(const std::string& dir, const std::vector<ReportRow>& rows) {
+  if (dir.empty() || rows.empty()) return false;
+  const std::string path = dir + "/" + rows.front().experiment + ".csv";
+  struct stat st{};
+  const bool fresh = stat(path.c_str(), &st) != 0;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  if (fresh) out << csv_header() << "\n";
+  for (const auto& row : rows) out << to_csv_row(row) << "\n";
+  return static_cast<bool>(out);
+}
+
+std::string csv_dir_from_env() {
+  const char* dir = std::getenv("DCPIM_BENCH_CSV");
+  return dir != nullptr ? dir : "";
+}
+
+}  // namespace dcpim::harness

@@ -1,0 +1,35 @@
+// Result reporting: CSV export of experiment results so figures can be
+// re-plotted outside the terminal. Bench binaries append to
+// $DCPIM_BENCH_CSV/<experiment>.csv when that directory is set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace dcpim::harness {
+
+/// One labelled result row (a point on a figure).
+struct ReportRow {
+  std::string experiment;  ///< e.g. "fig3a"
+  std::string protocol;
+  std::string workload;
+  double load = 0;
+  ExperimentResult result;
+};
+
+/// CSV header matching to_csv_row().
+std::string csv_header();
+
+/// Flattens a row: experiment,protocol,workload,load,<metrics...>.
+std::string to_csv_row(const ReportRow& row);
+
+/// Appends rows to `<dir>/<experiment>.csv` (with a header when the file is
+/// new). Returns false (quietly) if the directory is unwritable.
+bool append_csv(const std::string& dir, const std::vector<ReportRow>& rows);
+
+/// Directory from $DCPIM_BENCH_CSV, or empty when unset.
+std::string csv_dir_from_env();
+
+}  // namespace dcpim::harness

@@ -1,0 +1,58 @@
+// Network-wide and per-port configuration (Table 1 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+#include "util/units.h"
+
+namespace dcpim::net {
+
+inline constexpr int kNumPriorities = 8;
+
+/// Per-egress-port behaviour knobs. Defaults model a commodity
+/// shared-buffer switch port as in Table 1; protocols flip individual
+/// features (ECN for DCTCP, trimming for NDP, ...).
+struct PortConfig {
+  BitsPerSec rate = 100 * kGbps;
+  Time propagation = ns(200);
+  Bytes buffer_bytes = 500 * kKB;  ///< shared across priorities; <0 = infinite
+
+  /// ECN: mark CE on enqueue when queued bytes >= threshold. <0 disables.
+  Bytes ecn_threshold = -1;
+
+  /// NDP packet trimming: when the *data* queue for a packet's priority
+  /// exceeds trim_queue_cap bytes, the payload is cut and the header is
+  /// forwarded at the control priority. Disabled unless trim_enable.
+  bool trim_enable = false;
+  Bytes trim_queue_cap = 8 * 1500;
+  Bytes trim_header_size = 64;
+
+  /// Aeolus selective dropping: drop *unscheduled* packets arriving when
+  /// the queue exceeds this threshold. <0 disables.
+  Bytes aeolus_threshold = -1;
+
+  /// PFC (used by the HPCC substrate): pause the upstream egress port when
+  /// the bytes buffered from that ingress exceed pause_threshold.
+  bool pfc_enable = false;
+  Bytes pfc_pause_threshold = 100 * kKB;
+  Bytes pfc_resume_threshold = 60 * kKB;
+
+  /// Random loss injection for failure tests (probability per packet).
+  double loss_rate = 0.0;
+};
+
+/// Network-wide constants.
+struct NetConfig {
+  Bytes mtu_payload = 1460;       ///< application bytes per full data packet
+  Bytes header_bytes = 40;        ///< per-packet wire overhead
+  Bytes control_packet_bytes = 64;  ///< wire size of control packets
+  Time switch_latency = ns(450);  ///< per-switch processing delay (Table 1)
+  Time host_latency = ns(500);    ///< end-host ingress (NIC/stack) delay
+  bool packet_spraying = true;    ///< per-packet uniform ECMP; else per-flow
+  std::uint64_t seed = 1;
+
+  Bytes mtu_wire() const { return mtu_payload + header_bytes; }
+};
+
+}  // namespace dcpim::net

@@ -1,0 +1,162 @@
+#include "net/device.h"
+
+#include <cassert>
+#include <utility>
+
+#include "net/network.h"
+#include "util/logging.h"
+
+namespace dcpim::net {
+
+Port::Port(Device& owner, int index, PortConfig cfg)
+    : owner_(owner), net_(owner.network()), index_(index), cfg_(cfg) {}
+
+void Port::connect(Device* peer, Port* reverse) {
+  peer_ = peer;
+  reverse_ = reverse;
+}
+
+Time Port::tx_time(Bytes bytes) const {
+  return serialization_time(bytes, cfg_.rate);
+}
+
+void Port::drop_packet(PacketPtr p) {
+  ++drops;
+  // Release any switch-side ingress accounting (PFC): a dropped packet
+  // never reaches try_transmit's departure hook, and leaking its bytes
+  // would leave the upstream port paused forever.
+  owner_.on_packet_departed(*p);
+  net_.notify_drop(*p, *this);
+}
+
+void Port::enqueue(PacketPtr p) {
+  assert(peer_ != nullptr && "port not connected");
+  if (!link_up_) {
+    drop_packet(std::move(p));
+    return;
+  }
+  if (cfg_.loss_rate > 0.0 && net_.rng().bernoulli(cfg_.loss_rate)) {
+    drop_packet(std::move(p));
+    return;
+  }
+
+  int prio = p->priority;
+  if (!p->control && !p->trimmed) {
+    // Data-plane packet: subject to the shared data buffer and features.
+    const Bytes data_queued = total_qbytes_ - qbytes_[0];
+
+    if (cfg_.aeolus_threshold >= 0 && p->unscheduled &&
+        data_queued + p->size > cfg_.aeolus_threshold) {
+      // Aeolus selective dropping: first-RTT (unscheduled) packets are
+      // dropped early so scheduled traffic keeps the buffer.
+      drop_packet(std::move(p));
+      return;
+    }
+
+    const bool over_trim_cap =
+        cfg_.trim_enable && qbytes_[prio] + p->size > cfg_.trim_queue_cap;
+    const bool over_buffer =
+        cfg_.buffer_bytes >= 0 && data_queued + p->size > cfg_.buffer_bytes;
+
+    if (over_trim_cap || (cfg_.trim_enable && over_buffer)) {
+      // NDP packet trimming: cut the payload, forward the header at the
+      // control priority so the receiver learns of the loss immediately.
+      ++trims;
+      p->size = cfg_.trim_header_size;
+      p->payload = 0;
+      p->trimmed = true;
+      p->priority = 0;
+      prio = 0;
+    } else if (over_buffer) {
+      drop_packet(std::move(p));
+      return;
+    } else if (cfg_.ecn_threshold >= 0 && data_queued >= cfg_.ecn_threshold) {
+      p->ecn_ce = true;
+      ++ecn_marks;
+    }
+  } else {
+    // Control-plane (or already-trimmed) packet: strict priority 0 with its
+    // own byte budget, so data congestion cannot starve the control plane.
+    if (cfg_.buffer_bytes >= 0 && qbytes_[0] + p->size > cfg_.buffer_bytes) {
+      drop_packet(std::move(p));
+      return;
+    }
+    prio = p->priority;  // control is priority 0 by construction
+  }
+
+  qbytes_[prio] += p->size;
+  total_qbytes_ += p->size;
+  queues_[prio].push_back(std::move(p));
+  try_transmit();
+}
+
+void Port::set_paused(bool paused) {
+  if (paused_ == paused) return;
+  paused_ = paused;
+  if (!paused_) try_transmit();
+}
+
+void Port::set_link_up(bool up) {
+  if (link_up_ == up) return;
+  link_up_ = up;
+  if (link_up_) try_transmit();
+}
+
+int Port::next_priority_to_send() const {
+  if (!link_up_) return -1;
+  for (int prio = 0; prio < kNumPriorities; ++prio) {
+    if (queues_[prio].empty()) continue;
+    if (paused_ && prio != 0) return -1;  // PFC pauses all but control
+    return prio;
+  }
+  return -1;
+}
+
+void Port::try_transmit() {
+  if (busy_) return;
+  const int prio = next_priority_to_send();
+  if (prio < 0) return;
+
+  PacketPtr p = std::move(queues_[prio].front());
+  queues_[prio].pop_front();
+  qbytes_[prio] -= p->size;
+  total_qbytes_ -= p->size;
+  owner_.on_packet_departed(*p);
+
+  if (p->collect_int) {
+    // HPCC INT: stamp egress state at dequeue time.
+    p->int_hops.push_back(IntHopRecord{
+        .qlen = total_qbytes_,
+        .tx_bytes = tx_bytes,
+        .rate = cfg_.rate,
+        .timestamp = net_.sim().now(),
+    });
+  }
+
+  busy_ = true;
+  const Time ser = tx_time(p->size);
+  busy_time += ser;
+  net_.sim().schedule_after(ser, [this, pkt = std::move(p)]() mutable {
+    tx_bytes += pkt->size;
+    ++tx_packets;
+    busy_ = false;
+    const Time delay = cfg_.propagation + peer_->ingress_latency();
+    Device* peer = peer_;
+    Port* rev = reverse_;
+    net_.sim().schedule_after(delay, [peer, rev, pp = std::move(pkt)]() mutable {
+      peer->receive(std::move(pp), rev);
+    });
+    try_transmit();
+  });
+}
+
+Device::Device(Network& net, Kind kind, std::string name)
+    : net_(net), kind_(kind), name_(std::move(name)) {}
+
+Port* Device::add_port(const PortConfig& cfg) {
+  ports.push_back(
+      std::make_unique<Port>(*this, static_cast<int>(ports.size()), cfg));
+  return ports.back().get();
+}
+
+}  // namespace dcpim::net

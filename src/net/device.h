@@ -1,0 +1,130 @@
+// Device and Port: the queueing/transmission substrate.
+//
+// A Device (host or switch) owns egress Ports. Each Port models one
+// direction of a link: strict-priority FIFOs with a shared byte budget,
+// store-and-forward serialization at the link rate, propagation delay, and
+// the optional per-port features from PortConfig (ECN, trimming, Aeolus
+// selective dropping, PFC pause, random loss injection for failure tests).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/config.h"
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace dcpim::net {
+
+class Network;
+class Device;
+
+class Port {
+ public:
+  Port(Device& owner, int index, PortConfig cfg);
+
+  /// Wires this port to its peer device; `reverse` is the peer's port that
+  /// sends back over the same link (used for PFC pause signalling).
+  void connect(Device* peer, Port* reverse);
+
+  /// Admits a packet to the egress queue, applying drop/trim/mark features,
+  /// and starts transmission if the line is idle.
+  void enqueue(PacketPtr p);
+
+  /// PFC pause: while paused only control-priority packets are transmitted.
+  void set_paused(bool paused);
+  bool paused() const { return paused_; }
+
+  /// Link failure injection (§2.1: "failures are a norm"): while down the
+  /// port drops everything handed to it; transmission resumes on set_link_up.
+  void set_link_up(bool up);
+  bool link_up() const { return link_up_; }
+
+  Device& owner() const { return owner_; }
+  Device* peer() const { return peer_; }
+  Port* reverse() const { return reverse_; }
+  int index() const { return index_; }
+  const PortConfig& config() const { return cfg_; }
+  PortConfig& mutable_config() { return cfg_; }
+
+  Bytes queued_bytes() const { return total_qbytes_; }
+  Bytes queued_bytes(int priority) const { return qbytes_[priority]; }
+  bool busy() const { return busy_; }
+
+  /// Serialization time of `bytes` on this link.
+  Time tx_time(Bytes bytes) const;
+
+  // --- statistics ---------------------------------------------------------
+  std::uint64_t drops = 0;
+  std::uint64_t trims = 0;
+  std::uint64_t ecn_marks = 0;
+  Bytes tx_bytes = 0;          ///< cumulative bytes fully transmitted
+  std::uint64_t tx_packets = 0;
+  Time busy_time = 0;          ///< cumulative time spent serializing
+
+ private:
+  void try_transmit();
+  /// Drops `p`, releasing switch-side (PFC) accounting and firing the
+  /// network drop observers.
+  void drop_packet(PacketPtr p);
+  /// True if some queue with a transmittable packet is non-empty.
+  int next_priority_to_send() const;
+
+  Device& owner_;
+  Network& net_;
+  int index_;
+  PortConfig cfg_;
+  Device* peer_ = nullptr;
+  Port* reverse_ = nullptr;
+
+  std::array<std::deque<PacketPtr>, kNumPriorities> queues_;
+  std::array<Bytes, kNumPriorities> qbytes_{};
+  Bytes total_qbytes_ = 0;
+  bool busy_ = false;
+  bool paused_ = false;
+  bool link_up_ = true;
+};
+
+class Device {
+ public:
+  enum class Kind { Host, Switch };
+
+  Device(Network& net, Kind kind, std::string name);
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Called when a packet finishes arriving on the link whose local ingress
+  /// identity is `in` (the device's own port facing the sender); `in` is
+  /// nullptr for host-injected packets.
+  virtual void receive(PacketPtr p, Port* in) = 0;
+
+  /// Hook invoked by a Port when a buffered packet starts transmission
+  /// (i.e. leaves this device's buffer). Used for PFC accounting.
+  virtual void on_packet_departed(const Packet& /*p*/) {}
+
+  /// Fixed processing latency applied to packets entering this device.
+  virtual Time ingress_latency() const { return 0; }
+
+  Port* add_port(const PortConfig& cfg);
+
+  Network& network() const { return net_; }
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  int device_id() const { return device_id_; }
+
+  std::vector<std::unique_ptr<Port>> ports;
+
+ private:
+  friend class Network;
+  Network& net_;
+  Kind kind_;
+  std::string name_;
+  int device_id_ = -1;  ///< set by Network::register_device
+};
+
+}  // namespace dcpim::net

@@ -1,0 +1,86 @@
+// Flow records and receiver-side reassembly bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+#include "util/units.h"
+
+namespace dcpim::net {
+
+/// One application flow (message) from src host to dst host.
+struct Flow {
+  std::uint64_t id = 0;
+  int src = -1;
+  int dst = -1;
+  Bytes size = 0;       ///< application bytes to deliver
+  Time start_time = 0;  ///< arrival at the sender
+  Time finish_time = -1;  ///< completion at the receiver; -1 while active
+
+  bool finished() const { return finish_time >= 0; }
+  Time fct() const { return finish_time - start_time; }
+
+  /// Number of MTU-payload-sized data packets for this flow.
+  std::uint32_t packet_count(Bytes mtu_payload) const {
+    return static_cast<std::uint32_t>((size + mtu_payload - 1) / mtu_payload);
+  }
+
+  /// Payload carried by data packet `seq` (last packet may be short).
+  Bytes payload_of(std::uint32_t seq, Bytes mtu_payload) const {
+    const Bytes offset = static_cast<Bytes>(seq) * mtu_payload;
+    const Bytes remaining = size - offset;
+    return remaining < mtu_payload ? remaining : mtu_payload;
+  }
+};
+
+/// Tracks which data packets of a flow the receiver has seen, deduplicating
+/// retransmissions, and detects completion.
+class FlowRxState {
+ public:
+  FlowRxState() = default;
+  FlowRxState(Flow* flow, Bytes mtu_payload)
+      : flow_(flow),
+        mtu_payload_(mtu_payload),
+        seen_(flow->packet_count(mtu_payload), false) {}
+
+  Flow* flow() const { return flow_; }
+
+  /// Records receipt of packet `seq`; returns the number of *new* payload
+  /// bytes (0 for duplicates).
+  Bytes on_data(std::uint32_t seq) {
+    if (seq >= seen_.size() || seen_[seq]) return 0;
+    seen_[seq] = true;
+    ++received_count_;
+    const Bytes got = flow_->payload_of(seq, mtu_payload_);
+    received_bytes_ += got;
+    return got;
+  }
+
+  bool has(std::uint32_t seq) const { return seq < seen_.size() && seen_[seq]; }
+  bool complete() const { return received_count_ == seen_.size(); }
+  Bytes received_bytes() const { return received_bytes_; }
+  std::uint32_t received_count() const {
+    return static_cast<std::uint32_t>(received_count_);
+  }
+  std::uint32_t total_packets() const {
+    return static_cast<std::uint32_t>(seen_.size());
+  }
+
+  /// Lowest seq not yet received (== total_packets() when complete).
+  std::uint32_t first_missing() const {
+    for (std::uint32_t i = 0; i < seen_.size(); ++i) {
+      if (!seen_[i]) return i;
+    }
+    return total_packets();
+  }
+
+ private:
+  Flow* flow_ = nullptr;
+  Bytes mtu_payload_ = 1460;
+  std::vector<bool> seen_;
+  std::size_t received_count_ = 0;
+  Bytes received_bytes_ = 0;
+};
+
+}  // namespace dcpim::net

@@ -1,0 +1,77 @@
+#include "net/host.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace dcpim::net {
+
+Host::Host(Network& net, int host_id, const PortConfig& /*nic_cfg*/)
+    : Device(net, Kind::Host, "host" + std::to_string(host_id)),
+      host_id_(host_id) {
+  // The NIC port itself is created when the topology wires this host to its
+  // switch (Network::connect); nic() refers to ports[0] afterwards.
+  net.register_host(this);
+}
+
+void Host::receive(PacketPtr p, Port* /*in*/) { on_packet(std::move(p)); }
+
+void Host::send(PacketPtr p) { nic()->enqueue(std::move(p)); }
+
+PacketPtr Host::make_data_packet(const Flow& flow, std::uint32_t seq,
+                                 std::uint8_t priority,
+                                 bool unscheduled) const {
+  const auto& cfg = network().config();
+  auto p = std::make_unique<Packet>();
+  p->src = flow.src;
+  p->dst = flow.dst;
+  p->flow_id = flow.id;
+  p->seq = seq;
+  p->payload = flow.payload_of(seq, cfg.mtu_payload);
+  p->size = p->payload + cfg.header_bytes;
+  p->priority = priority;
+  p->unscheduled = unscheduled;
+  p->created_at = network().sim().now();
+  return p;
+}
+
+Bytes Host::accept_data(const Packet& p) {
+  Flow* flow = network().flow(p.flow_id);
+  if (flow == nullptr) {
+    LOG_WARN("host %d received data for unknown flow %llu", host_id_,
+             static_cast<unsigned long long>(p.flow_id));
+    return 0;
+  }
+  FlowRxState& st = rx_state(*flow);
+  const bool was_complete = st.complete();
+  const Bytes fresh = st.on_data(p.seq);
+  if (fresh > 0) {
+    network().total_payload_delivered += fresh;
+    network().notify_payload(fresh, network().sim().now());
+    if (!was_complete && st.complete()) {
+      network().flow_completed(*flow);
+    }
+  }
+  return fresh;
+}
+
+FlowRxState& Host::rx_state(Flow& flow) {
+  auto it = rx_.find(flow.id);
+  if (it == rx_.end()) {
+    it = rx_.emplace(flow.id,
+                     FlowRxState(&flow, network().config().mtu_payload))
+             .first;
+  }
+  return it->second;
+}
+
+FlowRxState* Host::find_rx_state(std::uint64_t flow_id) {
+  auto it = rx_.find(flow_id);
+  return it == rx_.end() ? nullptr : &it->second;
+}
+
+Time Host::mtu_tx_time() const {
+  return nic()->tx_time(network().config().mtu_wire());
+}
+
+}  // namespace dcpim::net

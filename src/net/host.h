@@ -1,0 +1,91 @@
+// Host base class: NIC port plus the shared sender/receiver helpers every
+// protocol builds on (packet factories, receive-side reassembly, completion
+// signalling). A protocol implements on_flow_arrival() and on_packet().
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/device.h"
+#include "net/flow.h"
+#include "net/network.h"
+#include "net/packet.h"
+
+namespace dcpim::net {
+
+class Host : public Device {
+ public:
+  /// Registers the host; its NIC port is the first port wired up by the
+  /// topology builder (Network::connect). `nic_cfg` documents the intended
+  /// access-link configuration for protocol constructors that derive
+  /// parameters from it before the port exists.
+  Host(Network& net, int host_id, const PortConfig& nic_cfg);
+
+  int host_id() const { return host_id_; }
+  Port* nic() const {
+    assert(!ports.empty() && "host not wired to the topology yet");
+    return ports[0].get();
+  }
+
+  /// Device interface: unwraps the packet and forwards to the protocol.
+  void receive(PacketPtr p, Port* in) final;
+
+  Time ingress_latency() const override {
+    return network().config().host_latency;
+  }
+
+  /// New locally-originated flow to transmit.
+  virtual void on_flow_arrival(Flow& flow) = 0;
+
+ protected:
+  /// Protocol packet handler (both sender- and receiver-side packets).
+  virtual void on_packet(PacketPtr p) = 0;
+
+  // --- sender-side helpers ---------------------------------------------------
+  /// Enqueues a packet on the NIC.
+  void send(PacketPtr p);
+
+  /// Builds a data packet for `flow` packet index `seq`.
+  PacketPtr make_data_packet(const Flow& flow, std::uint32_t seq,
+                             std::uint8_t priority, bool unscheduled) const;
+
+  /// Builds a protocol control packet skeleton of type T (derived from
+  /// Packet), addressed from this host to `dst`, at control priority.
+  template <typename T>
+  std::unique_ptr<T> make_control(int dst, int kind) const {
+    auto p = std::make_unique<T>();
+    p->src = host_id_;
+    p->dst = dst;
+    p->size = network().config().control_packet_bytes;
+    p->priority = 0;
+    p->control = true;
+    p->kind = kind;
+    p->created_at = network().sim().now();
+    return p;
+  }
+
+  // --- receiver-side helpers ---------------------------------------------------
+  /// Records receipt of a data packet: dedupes, accounts utilization, and
+  /// signals flow completion. Returns the number of new payload bytes.
+  Bytes accept_data(const Packet& p);
+
+  /// Receiver-side reassembly state for a flow (created on first use).
+  FlowRxState& rx_state(Flow& flow);
+
+ public:
+  /// Receiver-side reassembly state, if any (introspection/debugging).
+  FlowRxState* find_rx_state(std::uint64_t flow_id);
+
+ protected:
+
+  /// MTU transmission time on this host's NIC (full data packet).
+  Time mtu_tx_time() const;
+
+ private:
+  int host_id_;
+  std::unordered_map<std::uint64_t, FlowRxState> rx_;
+};
+
+}  // namespace dcpim::net

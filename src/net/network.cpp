@@ -1,0 +1,85 @@
+#include "net/network.h"
+
+#include <cassert>
+
+#include "net/host.h"
+#include "net/switch.h"
+#include "util/logging.h"
+
+namespace dcpim::net {
+
+Network::Network(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+Network::~Network() = default;
+
+void Network::register_device(std::unique_ptr<Device> dev) {
+  dev->device_id_ = static_cast<int>(devices_.size());
+  devices_.push_back(std::move(dev));
+}
+
+void Network::connect(Device& a, Device& b, const PortConfig& a_to_b,
+                      const PortConfig& b_to_a) {
+  Port* pa = a.add_port(a_to_b);
+  Port* pb = b.add_port(b_to_a);
+  pa->connect(&b, pb);
+  pb->connect(&a, pa);
+}
+
+void Network::register_host(Host* host) {
+  const auto id = static_cast<std::size_t>(host->host_id());
+  if (hosts_.size() <= id) hosts_.resize(id + 1, nullptr);
+  assert(hosts_[id] == nullptr && "duplicate host id");
+  hosts_[id] = host;
+}
+
+Flow* Network::create_flow(int src, int dst, Bytes size, Time start) {
+  assert(src != dst && "self-flows are not modelled");
+  assert(size > 0);
+  auto flow = std::make_unique<Flow>();
+  flow->id = next_flow_id_++;
+  flow->src = src;
+  flow->dst = dst;
+  flow->size = size;
+  flow->start_time = start;
+  Flow* raw = flow.get();
+  flow_index_.emplace(raw->id, raw);
+  flows_.push_back(std::move(flow));
+  sim_.schedule_at(start, [this, raw]() {
+    for (auto& fn : arrival_observers_) fn(*raw);
+    hosts_.at(static_cast<std::size_t>(raw->src))->on_flow_arrival(*raw);
+  });
+  return raw;
+}
+
+Flow* Network::flow(std::uint64_t id) const {
+  auto it = flow_index_.find(id);
+  return it == flow_index_.end() ? nullptr : it->second;
+}
+
+void Network::flow_completed(Flow& f) {
+  assert(!f.finished());
+  f.finish_time = sim_.now();
+  ++completed_flows;
+  LOG_DEBUG("flow %llu (%d->%d, %lld B) done, fct=%.2f us",
+            static_cast<unsigned long long>(f.id), f.src, f.dst,
+            static_cast<long long>(f.size), to_us(f.fct()));
+  for (auto& fn : flow_observers_) fn(f);
+}
+
+std::uint64_t Network::total_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& dev : devices_) {
+    for (const auto& port : dev->ports) n += port->drops;
+  }
+  return n;
+}
+
+std::uint64_t Network::total_trims() const {
+  std::uint64_t n = 0;
+  for (const auto& dev : devices_) {
+    for (const auto& port : dev->ports) n += port->trims;
+  }
+  return n;
+}
+
+}  // namespace dcpim::net

@@ -1,0 +1,126 @@
+// Network: owns the simulator, RNG, devices, hosts and flows.
+//
+// The Network is the composition root of a simulation: a topology builder
+// populates it with switches and protocol hosts, a workload generator
+// schedules flows into it, and observers (stats module) subscribe to flow
+// completion and payload delivery for utilization accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/config.h"
+#include "net/device.h"
+#include "net/flow.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace dcpim::net {
+
+class Host;
+
+class Network {
+ public:
+  explicit Network(NetConfig cfg);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  Rng& rng() { return rng_; }
+  const NetConfig& config() const { return cfg_; }
+
+  /// Constructs and registers a device. T must derive from Device and take
+  /// (Network&, args...) as constructor arguments.
+  template <typename T, typename... Args>
+  T* add_device(Args&&... args) {
+    auto dev = std::make_unique<T>(*this, std::forward<Args>(args)...);
+    T* raw = dev.get();
+    register_device(std::move(dev));
+    return raw;
+  }
+
+  /// Connects two devices with a bidirectional link (one port each way).
+  static void connect(Device& a, Device& b, const PortConfig& a_to_b,
+                      const PortConfig& b_to_a);
+  static void connect(Device& a, Device& b, const PortConfig& both) {
+    connect(a, b, both, both);
+  }
+
+  // --- hosts ---------------------------------------------------------------
+  void register_host(Host* host);  ///< called by Host constructor
+  Host* host(int host_id) const { return hosts_.at(host_id); }
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+
+  // --- flows ----------------------------------------------------------------
+  /// Creates a flow and schedules its arrival at the sender at `start`.
+  Flow* create_flow(int src, int dst, Bytes size, Time start);
+  Flow* flow(std::uint64_t id) const;
+  std::size_t num_flows() const { return flows_.size(); }
+  const std::vector<std::unique_ptr<Flow>>& flows() const { return flows_; }
+
+  /// Receiver-side completion notification (sets finish_time, fires hook).
+  void flow_completed(Flow& f);
+
+  // --- observers -------------------------------------------------------------
+  using FlowObserver = std::function<void(const Flow&)>;
+  using ArrivalObserver = std::function<void(const Flow&)>;
+  using PayloadObserver = std::function<void(Bytes, Time)>;
+  using DropObserver = std::function<void(const Packet&, const Port&)>;
+
+  void add_flow_observer(FlowObserver fn) {
+    flow_observers_.push_back(std::move(fn));
+  }
+  /// Observer fired when a flow arrives at its sender (start time).
+  void add_arrival_observer(ArrivalObserver fn) {
+    arrival_observers_.push_back(std::move(fn));
+  }
+  void add_payload_observer(PayloadObserver fn) {
+    payload_observers_.push_back(std::move(fn));
+  }
+  void add_drop_observer(DropObserver fn) {
+    drop_observers_.push_back(std::move(fn));
+  }
+
+  /// Internal: fired by Host::accept_data for each fresh payload byte batch.
+  void notify_payload(Bytes fresh, Time at) {
+    for (auto& fn : payload_observers_) fn(fresh, at);
+  }
+  /// Internal: fired by ports on any drop.
+  void notify_drop(const Packet& p, const Port& port) {
+    for (auto& fn : drop_observers_) fn(p, port);
+  }
+
+  // --- aggregate statistics ---------------------------------------------------
+  std::uint64_t total_drops() const;
+  std::uint64_t total_trims() const;
+  Bytes total_payload_delivered = 0;
+  std::uint64_t completed_flows = 0;
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+ private:
+  void register_device(std::unique_ptr<Device> dev);
+
+  std::vector<FlowObserver> flow_observers_;
+  std::vector<ArrivalObserver> arrival_observers_;
+  std::vector<PayloadObserver> payload_observers_;
+  std::vector<DropObserver> drop_observers_;
+
+  NetConfig cfg_;
+  sim::Simulator sim_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<Host*> hosts_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::unordered_map<std::uint64_t, Flow*> flow_index_;
+  std::uint64_t next_flow_id_ = 1;
+};
+
+}  // namespace dcpim::net

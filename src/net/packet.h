@@ -1,0 +1,83 @@
+// Packet model shared by every protocol in the simulator.
+//
+// Packet is a small polymorphic base: protocols derive their control packet
+// types from it and dispatch on `kind`. The base carries everything the
+// network layer (ports, switches) needs — wire size, priority, and the
+// per-feature flags used by ECN marking, NDP trimming, Aeolus selective
+// dropping, and HPCC INT telemetry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/time.h"
+#include "util/units.h"
+
+namespace dcpim::net {
+
+class Port;
+
+/// One in-band telemetry record appended per hop (HPCC).
+struct IntHopRecord {
+  Bytes qlen = 0;        ///< egress queue occupancy at dequeue time
+  Bytes tx_bytes = 0;    ///< cumulative bytes transmitted by the egress port
+  BitsPerSec rate = 0;   ///< egress link rate
+  Time timestamp = 0;    ///< dequeue timestamp
+};
+
+struct Packet {
+  // --- addressing ------------------------------------------------------
+  int src = -1;  ///< source host id
+  int dst = -1;  ///< destination host id
+  std::uint64_t flow_id = UINT64_MAX;
+
+  // --- wire properties ---------------------------------------------------
+  Bytes size = 0;        ///< bytes on the wire, headers included
+  Bytes payload = 0;     ///< application payload bytes (0 for control)
+  std::uint8_t priority = 0;  ///< 0 = highest; strict priority at every port
+  bool control = false;  ///< control-plane packet (notifications, tokens, ...)
+
+  // --- data packet identity ---------------------------------------------
+  std::uint32_t seq = 0;  ///< data packet index within the flow
+
+  // --- per-feature flags (network layer) ---------------------------------
+  bool unscheduled = false;  ///< sent without receiver admission (Aeolus drop)
+  bool ecn_ce = false;       ///< ECN congestion-experienced mark
+  bool trimmed = false;      ///< NDP: payload removed in-network
+  std::vector<IntHopRecord> int_hops;  ///< HPCC telemetry (empty otherwise)
+  bool collect_int = false;            ///< switches append INT records if set
+
+  // --- transient network-layer tags ---------------------------------------
+  /// While buffered in a switch: local ingress port index (PFC accounting).
+  int pfc_ingress = -1;
+
+  /// Simulation time the packet was created (set by Host factories; -1 if
+  /// hand-built). Used for latency accounting and debugging.
+  Time created_at = -1;
+
+  // --- protocol dispatch --------------------------------------------------
+  /// Protocol-defined discriminator; each protocol defines its own enum.
+  int kind = 0;
+
+  Packet() = default;
+  virtual ~Packet() = default;
+  Packet(const Packet&) = default;
+  Packet& operator=(const Packet&) = default;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Convenience downcast after checking `kind`. Behaviour is undefined if the
+/// kind does not correspond to T (as with static_cast generally).
+template <typename T>
+T& packet_cast(Packet& p) {
+  return static_cast<T&>(p);
+}
+
+template <typename T>
+const T& packet_cast(const Packet& p) {
+  return static_cast<const T&>(p);
+}
+
+}  // namespace dcpim::net

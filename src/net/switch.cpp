@@ -1,0 +1,80 @@
+#include "net/switch.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace dcpim::net {
+
+Switch::Switch(Network& net, std::string name)
+    : Device(net, Kind::Switch, std::move(name)) {}
+
+Port* Switch::select_egress(const Packet& p) {
+  assert(p.dst >= 0 && static_cast<std::size_t>(p.dst) < next_hops_.size());
+  const auto& cands = next_hops_[static_cast<std::size_t>(p.dst)];
+  assert(!cands.empty() && "no route to destination");
+  std::size_t pick = 0;
+  if (cands.size() > 1) {
+    if (network().config().packet_spraying) {
+      pick = network().rng().uniform_int(cands.size());
+    } else {
+      // Per-flow ECMP: stable hash of the flow id.
+      std::uint64_t h = p.flow_id * 0x9E3779B97F4A7C15ull;
+      h ^= h >> 29;
+      pick = h % cands.size();
+    }
+  }
+  return ports[cands[pick]].get();
+}
+
+void Switch::pfc_account_arrival(Packet& p, Port* in) {
+  if (in == nullptr || !in->config().pfc_enable) return;
+  const auto idx = static_cast<std::size_t>(in->index());
+  if (ingress_bytes_.size() <= idx) {
+    ingress_bytes_.resize(ports.size(), 0);
+    ingress_paused_.resize(ports.size(), false);
+  }
+  p.pfc_ingress = in->index();
+  ingress_bytes_[idx] += p.size;
+  pfc_update(in->index());
+}
+
+void Switch::pfc_update(int ingress_index) {
+  const auto idx = static_cast<std::size_t>(ingress_index);
+  Port* in = ports[idx].get();
+  const auto& cfg = in->config();
+  const bool should_pause = ingress_bytes_[idx] > cfg.pfc_pause_threshold;
+  const bool should_resume = ingress_bytes_[idx] < cfg.pfc_resume_threshold;
+  if (should_pause && !ingress_paused_[idx]) {
+    ingress_paused_[idx] = true;
+    ++pfc_pauses_sent;
+    // The pause frame crosses the link back to the upstream egress port.
+    Port* upstream = in->reverse();
+    network().sim().schedule_after(cfg.propagation,
+                                   [upstream]() { upstream->set_paused(true); });
+  } else if (should_resume && ingress_paused_[idx]) {
+    ingress_paused_[idx] = false;
+    Port* upstream = in->reverse();
+    network().sim().schedule_after(
+        cfg.propagation, [upstream]() { upstream->set_paused(false); });
+  }
+}
+
+void Switch::receive(PacketPtr p, Port* in) {
+  pfc_account_arrival(*p, in);
+  Port* out = select_egress(*p);
+  out->enqueue(std::move(p));
+}
+
+void Switch::on_packet_departed(const Packet& p) {
+  if (p.pfc_ingress < 0) return;
+  const auto idx = static_cast<std::size_t>(p.pfc_ingress);
+  if (idx >= ingress_bytes_.size()) return;
+  ingress_bytes_[idx] -= p.size;
+  // The departing packet keeps its tag only while buffered here; the next
+  // switch re-tags it on arrival.
+  const_cast<Packet&>(p).pfc_ingress = -1;
+  pfc_update(static_cast<int>(idx));
+}
+
+}  // namespace dcpim::net

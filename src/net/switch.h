@@ -1,0 +1,54 @@
+// Output-queued switch with shortest-path ECMP routing and optional PFC.
+//
+// Routing tables are next-hop candidate lists per destination host,
+// computed by the topology builder (BFS over the device graph). With packet
+// spraying enabled a uniform-random candidate is chosen per packet;
+// otherwise a flow hash picks a stable candidate (per-flow ECMP).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/device.h"
+#include "net/network.h"
+
+namespace dcpim::net {
+
+class Switch : public Device {
+ public:
+  Switch(Network& net, std::string name);
+
+  void receive(PacketPtr p, Port* in) override;
+  void on_packet_departed(const Packet& p) override;
+  Time ingress_latency() const override {
+    return network().config().switch_latency;
+  }
+
+  /// next_hops[dst_host] = candidate local egress port indices.
+  void set_next_hops(std::vector<std::vector<std::uint16_t>> table) {
+    next_hops_ = std::move(table);
+  }
+  const std::vector<std::uint16_t>& candidates(int dst_host) const {
+    return next_hops_[static_cast<std::size_t>(dst_host)];
+  }
+
+  Bytes ingress_buffered(int port_index) const {
+    return port_index < static_cast<int>(ingress_bytes_.size())
+               ? ingress_bytes_[static_cast<std::size_t>(port_index)]
+               : 0;
+  }
+
+  std::uint64_t pfc_pauses_sent = 0;
+
+ private:
+  Port* select_egress(const Packet& p);
+  void pfc_account_arrival(Packet& p, Port* in);
+  void pfc_update(int ingress_index);
+
+  std::vector<std::vector<std::uint16_t>> next_hops_;
+  std::vector<Bytes> ingress_bytes_;
+  std::vector<bool> ingress_paused_;
+};
+
+}  // namespace dcpim::net

@@ -1,0 +1,280 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <string>
+
+#include "util/logging.h"
+
+namespace dcpim::net {
+
+namespace {
+
+/// BFS distances (in device-graph hops) from `start` over connected ports.
+std::vector<int> bfs_distances(const Network& net, const Device* start) {
+  std::vector<int> dist(net.devices().size(), -1);
+  std::deque<const Device*> frontier;
+  dist[static_cast<std::size_t>(start->device_id())] = 0;
+  frontier.push_back(start);
+  while (!frontier.empty()) {
+    const Device* dev = frontier.front();
+    frontier.pop_front();
+    const int d = dist[static_cast<std::size_t>(dev->device_id())];
+    for (const auto& port : dev->ports) {
+      const Device* peer = port->peer();
+      if (peer == nullptr) continue;
+      auto& pd = dist[static_cast<std::size_t>(peer->device_id())];
+      if (pd < 0) {
+        pd = d + 1;
+        frontier.push_back(peer);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+void Topology::finalize(Network& net) {
+  net_ = &net;
+  num_hosts_ = net.num_hosts();
+  const auto& devices = net.devices();
+
+  // dist_to_host[h][dev] = hops from dev to host h.
+  std::vector<std::vector<int>> dist_to_host(
+      static_cast<std::size_t>(num_hosts_));
+  for (int h = 0; h < num_hosts_; ++h) {
+    dist_to_host[static_cast<std::size_t>(h)] =
+        bfs_distances(net, net.host(h));
+  }
+
+  // Next-hop candidate tables for every switch.
+  for (const auto& dev : devices) {
+    if (dev->kind() != Device::Kind::Switch) continue;
+    auto* sw = static_cast<Switch*>(dev.get());
+    std::vector<std::vector<std::uint16_t>> table(
+        static_cast<std::size_t>(num_hosts_));
+    for (int h = 0; h < num_hosts_; ++h) {
+      const auto& dist = dist_to_host[static_cast<std::size_t>(h)];
+      const int my_dist = dist[static_cast<std::size_t>(sw->device_id())];
+      auto& cands = table[static_cast<std::size_t>(h)];
+      for (const auto& port : sw->ports) {
+        const Device* peer = port->peer();
+        if (peer == nullptr) continue;
+        if (dist[static_cast<std::size_t>(peer->device_id())] == my_dist - 1) {
+          cands.push_back(static_cast<std::uint16_t>(port->index()));
+        }
+      }
+      assert((my_dist < 0 || !cands.empty()) && "unroutable destination");
+    }
+    sw->set_next_hops(std::move(table));
+  }
+
+  // Per-pair hop-count classes plus a canonical path profile per class.
+  pair_class_.assign(
+      static_cast<std::size_t>(num_hosts_) * static_cast<std::size_t>(num_hosts_),
+      0);
+  const auto& cfg = net.config();
+  for (int s = 0; s < num_hosts_; ++s) {
+    for (int d = 0; d < num_hosts_; ++d) {
+      if (s == d) continue;
+      const auto& dist = dist_to_host[static_cast<std::size_t>(d)];
+      const Device* src_host = net.host(s);
+      const int hops = dist[static_cast<std::size_t>(src_host->device_id())];
+      assert(hops > 0 && hops < 256);
+      pair_class_[static_cast<std::size_t>(s) *
+                      static_cast<std::size_t>(num_hosts_) +
+                  static_cast<std::size_t>(d)] =
+          static_cast<std::uint8_t>(hops);
+      if (class_profiles_.count(hops) != 0) continue;
+
+      // Walk one canonical shortest path, accumulating fixed latency and
+      // per-link rates.
+      PathProfile prof;
+      const Device* cur = src_host;
+      while (cur->device_id() != net.host(d)->device_id()) {
+        const Port* chosen = nullptr;
+        const int cur_dist = dist[static_cast<std::size_t>(cur->device_id())];
+        for (const auto& port : cur->ports) {
+          const Device* peer = port->peer();
+          if (peer != nullptr &&
+              dist[static_cast<std::size_t>(peer->device_id())] ==
+                  cur_dist - 1) {
+            chosen = port.get();
+            break;
+          }
+        }
+        assert(chosen != nullptr);
+        prof.link_rates.push_back(chosen->config().rate);
+        prof.fixed_latency += chosen->config().propagation;
+        prof.fixed_latency += chosen->peer()->ingress_latency();
+        cur = chosen->peer();
+      }
+      prof.bottleneck =
+          *std::min_element(prof.link_rates.begin(), prof.link_rates.end());
+      class_profiles_.emplace(hops, std::move(prof));
+    }
+  }
+
+  // Network-wide extremes (dcPIM sizes its stages on the longest cRTT).
+  host_rate_ = net.host(0)->nic()->config().rate;
+  for (const auto& [hops, prof] : class_profiles_) {
+    Time data_one_way = prof.fixed_latency;
+    Time ctrl_one_way = prof.fixed_latency;
+    for (BitsPerSec rate : prof.link_rates) {
+      data_one_way += serialization_time(cfg.mtu_wire(), rate);
+      ctrl_one_way += serialization_time(cfg.control_packet_bytes, rate);
+    }
+    max_data_rtt_ = std::max(max_data_rtt_, data_one_way + ctrl_one_way);
+    max_control_rtt_ = std::max(max_control_rtt_, 2 * ctrl_one_way);
+  }
+  bdp_bytes_ = bytes_in(max_data_rtt_, host_rate_);
+  LOG_INFO("topology: %d hosts, data RTT %.2f us, cRTT %.2f us, BDP %lld B",
+           num_hosts_, to_us(max_data_rtt_), to_us(max_control_rtt_),
+           static_cast<long long>(bdp_bytes_));
+}
+
+const Topology::PathProfile& Topology::profile(int src, int dst) const {
+  const auto cls = pair_class_[static_cast<std::size_t>(src) *
+                                   static_cast<std::size_t>(num_hosts_) +
+                               static_cast<std::size_t>(dst)];
+  return class_profiles_.at(cls);
+}
+
+Time Topology::one_way_data(int src, int dst) const {
+  const PathProfile& prof = profile(src, dst);
+  Time t = prof.fixed_latency;
+  const Bytes mtu_wire = net_->config().mtu_wire();
+  for (BitsPerSec rate : prof.link_rates) {
+    t += serialization_time(mtu_wire, rate);
+  }
+  return t;
+}
+
+Time Topology::one_way_control(int src, int dst) const {
+  const PathProfile& prof = profile(src, dst);
+  Time t = prof.fixed_latency;
+  const Bytes ctrl = net_->config().control_packet_bytes;
+  for (BitsPerSec rate : prof.link_rates) {
+    t += serialization_time(ctrl, rate);
+  }
+  return t;
+}
+
+Time Topology::oracle_fct(int src, int dst, Bytes size) const {
+  const PathProfile& prof = profile(src, dst);
+  const auto& cfg = net_->config();
+  const Bytes first_payload = std::min(size, cfg.mtu_payload);
+  const Bytes first_wire = first_payload + cfg.header_bytes;
+  const auto npkts =
+      static_cast<Bytes>((size + cfg.mtu_payload - 1) / cfg.mtu_payload);
+  const Bytes total_wire = size + npkts * cfg.header_bytes;
+
+  Time t = prof.fixed_latency;
+  for (BitsPerSec rate : prof.link_rates) {
+    t += serialization_time(first_wire, rate);
+  }
+  t += serialization_time(total_wire - first_wire, prof.bottleneck);
+  return t;
+}
+
+Topology Topology::leaf_spine(Network& net, const LeafSpineParams& params,
+                              const HostFactory& make_host) {
+  Topology topo;
+  std::vector<Switch*> leaves;
+  std::vector<Switch*> spines;
+  leaves.reserve(static_cast<std::size_t>(params.racks));
+  spines.reserve(static_cast<std::size_t>(params.spines));
+  for (int r = 0; r < params.racks; ++r) {
+    leaves.push_back(net.add_device<Switch>("leaf" + std::to_string(r)));
+  }
+  for (int s = 0; s < params.spines; ++s) {
+    spines.push_back(net.add_device<Switch>("spine" + std::to_string(s)));
+  }
+
+  PortConfig host_link;
+  host_link.rate = params.host_rate;
+  host_link.propagation = params.propagation;
+  host_link.buffer_bytes = params.buffer_bytes;
+
+  PortConfig spine_link = host_link;
+  spine_link.rate = params.spine_rate;
+
+  if (params.port_customize) {
+    params.port_customize(host_link);
+    params.port_customize(spine_link);
+  }
+
+  for (int r = 0; r < params.racks; ++r) {
+    for (int h = 0; h < params.hosts_per_rack; ++h) {
+      const int host_id = r * params.hosts_per_rack + h;
+      Host* host = make_host(net, host_id, host_link);
+      Network::connect(*host, *leaves[static_cast<std::size_t>(r)], host_link);
+    }
+    for (Switch* spine : spines) {
+      Network::connect(*leaves[static_cast<std::size_t>(r)], *spine,
+                       spine_link);
+    }
+  }
+  topo.finalize(net);
+  return topo;
+}
+
+Topology Topology::fat_tree(Network& net, const FatTreeParams& params,
+                            const HostFactory& make_host) {
+  Topology topo;
+  const int k = params.k;
+  assert(k % 2 == 0);
+  const int half = k / 2;
+  const int pods = k;
+  const int hosts_per_edge = half;
+
+  PortConfig link;
+  link.rate = params.link_rate;
+  link.propagation = params.propagation;
+  link.buffer_bytes = params.buffer_bytes;
+  if (params.port_customize) params.port_customize(link);
+
+  // Core switches: (k/2)^2.
+  std::vector<Switch*> cores;
+  for (int i = 0; i < half * half; ++i) {
+    cores.push_back(net.add_device<Switch>("core" + std::to_string(i)));
+  }
+
+  int host_id = 0;
+  for (int p = 0; p < pods; ++p) {
+    std::vector<Switch*> edges;
+    std::vector<Switch*> aggs;
+    for (int e = 0; e < half; ++e) {
+      edges.push_back(net.add_device<Switch>("edge" + std::to_string(p) + "_" +
+                                             std::to_string(e)));
+    }
+    for (int a = 0; a < half; ++a) {
+      aggs.push_back(net.add_device<Switch>("agg" + std::to_string(p) + "_" +
+                                            std::to_string(a)));
+    }
+    for (int e = 0; e < half; ++e) {
+      for (int h = 0; h < hosts_per_edge; ++h) {
+        Host* host = make_host(net, host_id++, link);
+        Network::connect(*host, *edges[static_cast<std::size_t>(e)], link);
+      }
+      for (int a = 0; a < half; ++a) {
+        Network::connect(*edges[static_cast<std::size_t>(e)],
+                         *aggs[static_cast<std::size_t>(a)], link);
+      }
+    }
+    // Aggregation a connects to cores [a*half, (a+1)*half).
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        Network::connect(*aggs[static_cast<std::size_t>(a)],
+                         *cores[static_cast<std::size_t>(a * half + c)], link);
+      }
+    }
+  }
+  topo.finalize(net);
+  return topo;
+}
+
+}  // namespace dcpim::net

@@ -1,0 +1,61 @@
+#include "proto/dctcp.h"
+
+#include <algorithm>
+
+namespace dcpim::proto {
+
+DctcpHost::DctcpHost(net::Network& net, int host_id,
+                     const net::PortConfig& nic, const DctcpConfig& cfg)
+    : WindowHost(net, host_id, nic, cfg.window), cfg_(cfg) {}
+
+void DctcpHost::on_ack_event(WFlow& f, const AckPacket& ack) {
+  ++f.window_acks;
+  if (ack.ecn_echo) ++f.window_marks;
+
+  const Time now = network().sim().now();
+  const Time rtt = f.srtt > 0 ? f.srtt : window_config().base_rtt;
+  if (now - f.window_start >= rtt && f.window_acks > 0) {
+    const double frac = static_cast<double>(f.window_marks) /
+                        static_cast<double>(f.window_acks);
+    f.dctcp_alpha = (1.0 - cfg_.g) * f.dctcp_alpha + cfg_.g * frac;
+    if (f.window_marks > 0) {
+      f.cwnd_bytes =
+          std::max(f.cwnd_bytes * (1.0 - f.dctcp_alpha / 2.0),
+                   static_cast<double>(mss()));
+    }
+    f.window_acks = 0;
+    f.window_marks = 0;
+    f.window_start = now;
+  }
+
+  // Standard additive increase (slow start below ssthresh).
+  if (f.cwnd_bytes < f.ssthresh) {
+    f.cwnd_bytes += static_cast<double>(mss());
+  } else {
+    f.cwnd_bytes += static_cast<double>(mss()) * static_cast<double>(mss()) /
+                    f.cwnd_bytes;
+  }
+}
+
+void DctcpHost::on_fast_retransmit(WFlow& f) {
+  f.ssthresh = std::max(f.cwnd_bytes / 2, static_cast<double>(2 * mss()));
+  f.cwnd_bytes = f.ssthresh;
+}
+
+void DctcpHost::on_timeout(WFlow& f) {
+  f.ssthresh = std::max(f.cwnd_bytes / 2, static_cast<double>(2 * mss()));
+  f.cwnd_bytes = static_cast<double>(mss());
+}
+
+net::Topology::HostFactory dctcp_host_factory(const DctcpConfig& cfg) {
+  return [&cfg](net::Network& net, int host_id,
+                const net::PortConfig& nic) -> net::Host* {
+    return net.add_device<DctcpHost>(host_id, nic, cfg);
+  };
+}
+
+void dctcp_port_customize(net::PortConfig& cfg, Bytes threshold) {
+  cfg.ecn_threshold = threshold > 0 ? threshold : cfg.buffer_bytes / 4;
+}
+
+}  // namespace dcpim::proto

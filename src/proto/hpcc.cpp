@@ -1,0 +1,99 @@
+#include "proto/hpcc.h"
+
+#include <algorithm>
+
+namespace dcpim::proto {
+
+HpccHost::HpccHost(net::Network& net, int host_id, const net::PortConfig& nic,
+                   const HpccConfig& cfg)
+    : WindowHost(net, host_id, nic, cfg.window), cfg_(cfg) {}
+
+void HpccHost::on_flow_init(WFlow& f) {
+  f.wc_bytes = f.cwnd_bytes;
+  f.last_update_seq = 0;
+}
+
+double HpccHost::utilization_estimate(WFlow& f, const AckPacket& ack) const {
+  const double t_sec = to_sec(window_config().base_rtt) ;
+  double u = 0.0;
+  const std::size_t hops = std::min(ack.int_echo.size(), f.last_int.size());
+  for (std::size_t j = 0; j < hops; ++j) {
+    const auto& cur = ack.int_echo[j];
+    const auto& prev = f.last_int[j];
+    const double rate_bps = static_cast<double>(cur.rate);
+    if (rate_bps <= 0) continue;
+    double tx_rate_bps = 0;
+    const Time dt = cur.timestamp - prev.timestamp;
+    if (dt > 0 && cur.tx_bytes >= prev.tx_bytes) {
+      tx_rate_bps = static_cast<double>(cur.tx_bytes - prev.tx_bytes) * 8.0 /
+                    to_sec(dt);
+    }
+    const double qlen_term =
+        static_cast<double>(std::min(cur.qlen, prev.qlen)) * 8.0 /
+        (rate_bps * t_sec);
+    u = std::max(u, qlen_term + tx_rate_bps / rate_bps);
+  }
+  // First sample for a hop sequence: fall back to instantaneous queue only.
+  if (f.last_int.size() != ack.int_echo.size()) {
+    for (const auto& hop : ack.int_echo) {
+      if (hop.rate <= 0) continue;
+      u = std::max(u, static_cast<double>(hop.qlen) * 8.0 /
+                          (static_cast<double>(hop.rate) * t_sec));
+    }
+  }
+  return u;
+}
+
+void HpccHost::on_ack_event(WFlow& f, const AckPacket& ack) {
+  if (ack.int_echo.empty()) return;
+  const double u = utilization_estimate(f, ack);
+  f.last_int = ack.int_echo;
+
+  const double wai = static_cast<double>(
+      cfg_.wai_bytes > 0 ? cfg_.wai_bytes : mss() / 2);
+  double w;
+  if (u >= cfg_.eta || f.inc_stage >= cfg_.max_stage) {
+    w = f.wc_bytes / std::max(u / cfg_.eta, 1e-3) + wai;
+  } else {
+    w = f.wc_bytes + wai;
+  }
+  const double cap = 2.0 * static_cast<double>(window_config().bdp_bytes);
+  f.cwnd_bytes = std::clamp(w, static_cast<double>(mss()), cap);
+
+  // Reference-window update once per RTT (tracked via acked seq progress).
+  if (ack.acked_seq >= f.last_update_seq) {
+    f.wc_bytes = f.cwnd_bytes;
+    f.inc_stage = u >= cfg_.eta ? 0 : f.inc_stage + 1;
+    f.last_update_seq = f.next_new_seq;
+  }
+}
+
+void HpccHost::on_fast_retransmit(WFlow& f) {
+  // PFC keeps the fabric lossless in the common case; on the rare loss we
+  // halve the reference window.
+  f.wc_bytes = std::max(f.wc_bytes / 2, static_cast<double>(mss()));
+  f.cwnd_bytes = f.wc_bytes;
+}
+
+void HpccHost::on_timeout(WFlow& f) {
+  f.wc_bytes = static_cast<double>(mss());
+  f.cwnd_bytes = f.wc_bytes;
+  f.inc_stage = 0;
+}
+
+net::Topology::HostFactory hpcc_host_factory(const HpccConfig& cfg) {
+  return [&cfg](net::Network& net, int host_id,
+                const net::PortConfig& nic) -> net::Host* {
+    return net.add_device<HpccHost>(host_id, nic, cfg);
+  };
+}
+
+void hpcc_port_customize(net::PortConfig& cfg) {
+  cfg.pfc_enable = true;
+  // Scale thresholds to the per-port buffer, leaving headroom for one BDP
+  // of in-flight data after the pause propagates.
+  cfg.pfc_pause_threshold = cfg.buffer_bytes / 4;
+  cfg.pfc_resume_threshold = cfg.buffer_bytes / 8;
+}
+
+}  // namespace dcpim::proto

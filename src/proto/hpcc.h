@@ -1,0 +1,46 @@
+// HPCC baseline (Li et al., SIGCOMM'19): window control driven by in-band
+// network telemetry, over a PFC-lossless fabric.
+//
+// Data packets collect per-hop (qlen, txBytes, rate, ts) records; acks echo
+// them and the sender computes the max per-hop utilization
+//   U_j = qlen_j / (B_j * T)  +  txRate_j / B_j
+// and applies the HPCC window update (multiplicative toward eta, with at
+// most `max_stage` additive-increase stages per RTT). Switch ports run PFC
+// (PortConfig::pfc_enable) so drops are replaced by pauses — including the
+// head-of-line blocking the paper's Figure 4(a)/(c) exposes.
+#pragma once
+
+#include "net/topology.h"
+#include "proto/window_transport.h"
+
+namespace dcpim::proto {
+
+struct HpccConfig {
+  WindowConfig window;  ///< set collect_int internally
+  double eta = 0.95;    ///< target utilization
+  int max_stage = 5;    ///< additive-increase stages per RTT
+  Bytes wai_bytes = 0;  ///< additive increase; 0 = mtu/2
+};
+
+class HpccHost : public WindowHost {
+ public:
+  HpccHost(net::Network& net, int host_id, const net::PortConfig& nic,
+           const HpccConfig& cfg);
+
+ protected:
+  void on_flow_init(WFlow& f) override;
+  void on_ack_event(WFlow& f, const AckPacket& ack) override;
+  void on_fast_retransmit(WFlow& f) override;
+  void on_timeout(WFlow& f) override;
+
+ private:
+  double utilization_estimate(WFlow& f, const AckPacket& ack) const;
+  const HpccConfig& cfg_;
+};
+
+net::Topology::HostFactory hpcc_host_factory(const HpccConfig& cfg);
+
+/// Enables PFC + INT on every port (pause thresholds scaled to the buffer).
+void hpcc_port_customize(net::PortConfig& cfg);
+
+}  // namespace dcpim::proto

@@ -1,0 +1,221 @@
+#include "proto/ndp.h"
+
+#include <algorithm>
+
+#include "proto/common.h"
+#include "util/logging.h"
+
+namespace dcpim::proto {
+
+namespace {
+enum NdpKind : int {
+  kNdpData = 0,
+  kNdpPull,
+  kNdpNack,
+  kNdpAck,
+};
+}  // namespace
+
+NdpHost::NdpHost(net::Network& net, int host_id, const net::PortConfig& nic,
+                 const NdpConfig& cfg)
+    : net::Host(net, host_id, nic), cfg_(cfg) {}
+
+void NdpHost::on_flow_arrival(net::Flow& flow) {
+  TxFlow tx;
+  tx.flow = &flow;
+  tx.packets = flow.packet_count(network().config().mtu_payload);
+  tx.last_progress = network().sim().now();
+  auto [it, _] = tx_flows_.emplace(flow.id, std::move(tx));
+  TxFlow& ref = it->second;
+
+  const auto window = static_cast<std::uint32_t>(std::max<Bytes>(
+      1, cfg_.bdp_bytes / network().config().mtu_payload));
+  const std::uint32_t burst = std::min(ref.packets, window);
+  for (std::uint32_t seq = 0; seq < burst; ++seq) {
+    send(make_data_packet(flow, seq, cfg_.data_priority,
+                          /*unscheduled=*/false));
+    ++counters_.initial_window_sent;
+  }
+  ref.next_new_seq = burst;
+  arm_rto(flow.id);
+}
+
+void NdpHost::send_one(TxFlow& tx) {
+  std::uint32_t seq;
+  if (!tx.retx.empty()) {
+    seq = *tx.retx.begin();
+    tx.retx.erase(tx.retx.begin());
+    ++counters_.retransmissions;
+  } else {
+    while (tx.next_new_seq < tx.packets &&
+           tx.acked.count(tx.next_new_seq) != 0) {
+      ++tx.next_new_seq;
+    }
+    if (tx.next_new_seq >= tx.packets) return;  // nothing left to release
+    seq = tx.next_new_seq++;
+  }
+  send(make_data_packet(*tx.flow, seq, cfg_.data_priority,
+                        /*unscheduled=*/false));
+}
+
+void NdpHost::handle_pull(const net::Packet& p) {
+  auto it = tx_flows_.find(p.flow_id);
+  if (it == tx_flows_.end()) return;
+  send_one(it->second);
+}
+
+void NdpHost::handle_nack(const net::Packet& p) {
+  const auto& nack = net::packet_cast<GrantTokenPacket>(p);
+  auto it = tx_flows_.find(p.flow_id);
+  if (it == tx_flows_.end()) return;
+  TxFlow& tx = it->second;
+  if (tx.acked.count(nack.data_seq) == 0) tx.retx.insert(nack.data_seq);
+}
+
+void NdpHost::handle_ack(const net::Packet& p) {
+  const auto& ack = net::packet_cast<GrantTokenPacket>(p);
+  auto it = tx_flows_.find(p.flow_id);
+  if (it == tx_flows_.end()) return;
+  TxFlow& tx = it->second;
+  tx.acked.insert(ack.data_seq);
+  tx.retx.erase(ack.data_seq);
+  tx.last_progress = network().sim().now();
+  if (tx.acked.size() == tx.packets) tx_flows_.erase(it);
+}
+
+void NdpHost::arm_rto(std::uint64_t flow_id) {
+  network().sim().schedule_after(cfg_.effective_rto(), [this, flow_id]() {
+    auto it = tx_flows_.find(flow_id);
+    if (it == tx_flows_.end()) return;
+    TxFlow& tx = it->second;
+    if (tx.rto_count >= cfg_.max_rto_retx) return;
+    if (network().sim().now() - tx.last_progress >= cfg_.effective_rto()) {
+      // Total stall: blindly resend the first unacked packet to restart the
+      // arrival->pull feedback loop.
+      ++tx.rto_count;
+      ++counters_.rto_fires;
+      for (std::uint32_t seq = 0; seq < tx.packets; ++seq) {
+        if (tx.acked.count(seq) == 0) {
+          send(make_data_packet(*tx.flow, seq, cfg_.data_priority,
+                                /*unscheduled=*/false));
+          break;
+        }
+      }
+    }
+    arm_rto(flow_id);
+  });
+}
+
+// ===== receiver side =========================================================
+
+void NdpHost::handle_data_or_header(net::PacketPtr p) {
+  const std::uint64_t id = p->flow_id;
+  const std::uint32_t seq = p->seq;
+  const bool trimmed = p->trimmed;
+
+  net::Flow* flow = network().flow(id);
+  if (flow == nullptr) return;
+  auto it = rx_flows_.find(id);
+  if (it == rx_flows_.end() && !flow->finished()) {
+    RxFlow rx;
+    rx.flow = flow;
+    rx.packets = flow->packet_count(network().config().mtu_payload);
+    it = rx_flows_.emplace(id, rx).first;
+  }
+
+  if (trimmed) {
+    ++counters_.trimmed_seen;
+    auto nack = make_control<GrantTokenPacket>(p->src, kNdpNack);
+    nack->flow_id = id;
+    nack->data_seq = seq;
+    send(std::move(nack));
+    ++counters_.nacks_sent;
+    if (!flow->finished()) enqueue_pull(id, /*urgent=*/true);
+    return;
+  }
+
+  accept_data(*p);
+  auto ack = make_control<GrantTokenPacket>(p->src, kNdpAck);
+  ack->flow_id = id;
+  ack->data_seq = seq;
+  send(std::move(ack));
+
+  if (flow->finished()) {
+    rx_flows_.erase(id);
+  } else {
+    enqueue_pull(id, /*urgent=*/false);
+  }
+}
+
+void NdpHost::enqueue_pull(std::uint64_t flow_id, bool urgent) {
+  if (urgent) {
+    pull_queue_.push_front(flow_id);
+  } else {
+    pull_queue_.push_back(flow_id);
+  }
+  if (!pull_pacer_running_) {
+    pull_pacer_running_ = true;
+    pull_tick();
+  }
+}
+
+void NdpHost::pull_tick() {
+  // Drop pulls for flows that completed in the meantime.
+  while (!pull_queue_.empty()) {
+    const std::uint64_t id = pull_queue_.front();
+    const net::Flow* flow = network().flow(id);
+    if (flow == nullptr || flow->finished()) {
+      pull_queue_.pop_front();
+      continue;
+    }
+    break;
+  }
+  if (pull_queue_.empty()) {
+    pull_pacer_running_ = false;
+    return;
+  }
+  const std::uint64_t id = pull_queue_.front();
+  pull_queue_.pop_front();
+  const net::Flow* flow = network().flow(id);
+  auto pull = make_control<net::Packet>(flow->src, kNdpPull);
+  pull->flow_id = id;
+  send(std::move(pull));
+  ++counters_.pulls_sent;
+  network().sim().schedule_after(mtu_tx_time(), [this]() { pull_tick(); });
+}
+
+// ===== dispatch ==============================================================
+
+void NdpHost::on_packet(net::PacketPtr p) {
+  if (p->kind == kNdpData || p->trimmed) {
+    handle_data_or_header(std::move(p));
+    return;
+  }
+  switch (p->kind) {
+    case kNdpPull:
+      handle_pull(*p);
+      break;
+    case kNdpNack:
+      handle_nack(*p);
+      break;
+    case kNdpAck:
+      handle_ack(*p);
+      break;
+    default:
+      LOG_WARN("ndp host %d: unknown packet kind %d", host_id(), p->kind);
+  }
+}
+
+net::Topology::HostFactory ndp_host_factory(const NdpConfig& cfg) {
+  return [&cfg](net::Network& net, int host_id,
+                const net::PortConfig& nic) -> net::Host* {
+    return net.add_device<NdpHost>(host_id, nic, cfg);
+  };
+}
+
+void ndp_port_customize(net::PortConfig& cfg, Bytes mtu_wire) {
+  cfg.trim_enable = true;
+  cfg.trim_queue_cap = 8 * mtu_wire;  // Table 1: 8-packet data queues
+}
+
+}  // namespace dcpim::proto

@@ -1,0 +1,96 @@
+// NDP baseline (Handley et al., SIGCOMM'17).
+//
+// Shape-faithful model of the re-architected pull-based design the paper
+// compares against (§4.1):
+//  * Senders blast the first BDP blind at line rate.
+//  * Switches run tiny (8-packet) data queues and *trim* overflowing
+//    packets to headers, forwarded at control priority
+//    (PortConfig::trim_enable, set by the topology customization).
+//  * Receivers learn of trimmed packets immediately, NACK them, and pace a
+//    per-receiver pull queue at line rate; each pull releases one packet
+//    (retransmissions first) from the sender.
+//  * A sender-side RTO covers the rare loss of headers/control.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "net/host.h"
+#include "net/topology.h"
+
+namespace dcpim::proto {
+
+struct NdpConfig {
+  Bytes bdp_bytes = 0;   ///< initial blind window (topology-derived)
+  Time control_rtt = 0;  ///< topology-derived
+  std::uint8_t data_priority = 2;
+  /// Sender fallback timer; 0 = 20 control RTTs.
+  Time rto = 0;
+  int max_rto_retx = 100;
+
+  Time effective_rto() const { return rto > 0 ? rto : 20 * control_rtt; }
+};
+
+class NdpHost : public net::Host {
+ public:
+  NdpHost(net::Network& net, int host_id, const net::PortConfig& nic,
+          const NdpConfig& cfg);
+
+  void on_flow_arrival(net::Flow& flow) override;
+
+  struct Counters {
+    std::uint64_t initial_window_sent = 0;
+    std::uint64_t pulls_sent = 0;
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t trimmed_seen = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t rto_fires = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ protected:
+  void on_packet(net::PacketPtr p) override;
+
+ private:
+  struct TxFlow {
+    net::Flow* flow = nullptr;
+    std::uint32_t packets = 0;
+    std::uint32_t next_new_seq = 0;
+    std::set<std::uint32_t> retx;   ///< NACKed seqs awaiting a pull
+    std::set<std::uint32_t> acked;  ///< receiver-confirmed seqs
+    int rto_count = 0;
+    Time last_progress = 0;
+  };
+
+  struct RxFlow {
+    net::Flow* flow = nullptr;
+    std::uint32_t packets = 0;
+  };
+
+  void send_one(TxFlow& tx);  ///< release one packet (retx first)
+  void handle_pull(const net::Packet& p);
+  void handle_nack(const net::Packet& p);
+  void handle_ack(const net::Packet& p);
+  void handle_data_or_header(net::PacketPtr p);
+  void enqueue_pull(std::uint64_t flow_id, bool urgent);
+  void pull_tick();
+  void arm_rto(std::uint64_t flow_id);
+
+  const NdpConfig& cfg_;
+  Counters counters_;
+
+  std::unordered_map<std::uint64_t, TxFlow> tx_flows_;
+  std::unordered_map<std::uint64_t, RxFlow> rx_flows_;
+
+  std::deque<std::uint64_t> pull_queue_;  ///< flow ids awaiting pulls
+  bool pull_pacer_running_ = false;
+};
+
+net::Topology::HostFactory ndp_host_factory(const NdpConfig& cfg);
+
+/// Port customization enabling NDP's trimming queues on every link.
+void ndp_port_customize(net::PortConfig& cfg, Bytes mtu_wire);
+
+}  // namespace dcpim::proto

@@ -1,0 +1,37 @@
+#include "proto/tcp.h"
+
+#include <algorithm>
+
+namespace dcpim::proto {
+
+TcpHost::TcpHost(net::Network& net, int host_id, const net::PortConfig& nic,
+                 const TcpConfig& cfg)
+    : WindowHost(net, host_id, nic, cfg.window), cfg_(cfg) {}
+
+void TcpHost::on_ack_event(WFlow& f, const AckPacket& /*ack*/) {
+  if (f.cwnd_bytes < f.ssthresh) {
+    f.cwnd_bytes += static_cast<double>(mss());  // slow start
+  } else {
+    f.cwnd_bytes += static_cast<double>(mss()) * static_cast<double>(mss()) /
+                    f.cwnd_bytes;  // congestion avoidance
+  }
+}
+
+void TcpHost::on_fast_retransmit(WFlow& f) {
+  f.ssthresh = std::max(f.cwnd_bytes / 2, static_cast<double>(2 * mss()));
+  f.cwnd_bytes = f.ssthresh;
+}
+
+void TcpHost::on_timeout(WFlow& f) {
+  f.ssthresh = std::max(f.cwnd_bytes / 2, static_cast<double>(2 * mss()));
+  f.cwnd_bytes = static_cast<double>(mss());
+}
+
+net::Topology::HostFactory tcp_host_factory(const TcpConfig& cfg) {
+  return [&cfg](net::Network& net, int host_id,
+                const net::PortConfig& nic) -> net::Host* {
+    return net.add_device<TcpHost>(host_id, nic, cfg);
+  };
+}
+
+}  // namespace dcpim::proto

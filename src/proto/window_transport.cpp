@@ -1,0 +1,164 @@
+#include "proto/window_transport.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dcpim::proto {
+
+namespace {
+enum WindowKind : int {
+  kWinData = 0,
+  kWinAck,
+};
+}  // namespace
+
+WindowHost::WindowHost(net::Network& net, int host_id,
+                       const net::PortConfig& nic, const WindowConfig& cfg)
+    : net::Host(net, host_id, nic), cfg_(cfg) {}
+
+void WindowHost::on_flow_arrival(net::Flow& flow) {
+  WFlow f;
+  f.flow = &flow;
+  f.packets = flow.packet_count(network().config().mtu_payload);
+  f.cwnd_bytes = static_cast<double>(cfg_.effective_init_cwnd());
+  f.window_start = network().sim().now();
+  auto [it, _] = flows_.emplace(flow.id, std::move(f));
+  on_flow_init(it->second);
+  try_send(it->second);
+  arm_rto(flow.id);
+}
+
+Time WindowHost::rto(const WFlow& f) const {
+  const Time base = cfg_.effective_min_rto();
+  return std::max(base, 3 * f.srtt);
+}
+
+void WindowHost::try_send(WFlow& f) {
+  const Bytes mtu = mss();
+  while (true) {
+    const Bytes inflight_bytes =
+        static_cast<Bytes>(f.inflight.size()) * mtu;
+    if (static_cast<double>(inflight_bytes + mtu) > f.cwnd_bytes &&
+        !f.inflight.empty()) {
+      return;  // window full (always allow at least one packet out)
+    }
+    std::uint32_t seq;
+    if (!f.retx.empty()) {
+      seq = *f.retx.begin();
+      f.retx.erase(f.retx.begin());
+      ++counters_.retransmissions;
+    } else {
+      while (f.next_new_seq < f.packets &&
+             f.acked.count(f.next_new_seq) != 0) {
+        ++f.next_new_seq;
+      }
+      if (f.next_new_seq >= f.packets) return;
+      seq = f.next_new_seq++;
+    }
+    auto p = make_data_packet(*f.flow, seq, cfg_.data_priority,
+                              /*unscheduled=*/false);
+    p->collect_int = cfg_.collect_int;
+    send(std::move(p));
+    f.inflight[seq] = network().sim().now();
+    ++counters_.data_sent;
+  }
+}
+
+void WindowHost::arm_rto(std::uint64_t flow_id) {
+  network().sim().schedule_after(cfg_.effective_min_rto(), [this, flow_id]() {
+    auto it = flows_.find(flow_id);
+    if (it == flows_.end()) return;
+    WFlow& f = it->second;
+    const Time now = network().sim().now();
+    Time oldest = kTimeInfinity;
+    for (const auto& [seq, at] : f.inflight) oldest = std::min(oldest, at);
+    if (!f.inflight.empty() && now - oldest >= rto(f)) {
+      ++counters_.timeouts;
+      ++f.consecutive_timeouts;
+      // Everything unacked is considered lost.
+      for (const auto& [seq, at] : f.inflight) f.retx.insert(seq);
+      f.inflight.clear();
+      on_timeout(f);
+      try_send(f);
+    }
+    arm_rto(flow_id);
+  });
+}
+
+// ===== receiver side ========================================================
+
+void WindowHost::handle_data(net::PacketPtr p) {
+  const std::uint64_t id = p->flow_id;
+  accept_data(*p);
+  auto ack = make_control<AckPacket>(p->src, kWinAck);
+  ack->flow_id = id;
+  ack->acked_seq = p->seq;
+  const net::FlowRxState* st = find_rx_state(id);
+  ack->cumulative_ack = st != nullptr ? st->first_missing() : 0;
+  ack->ecn_echo = p->ecn_ce;
+  ack->int_echo = std::move(p->int_hops);
+  send(std::move(ack));
+}
+
+void WindowHost::handle_ack(net::PacketPtr p) {
+  auto& ack = net::packet_cast<AckPacket>(*p);
+  auto it = flows_.find(ack.flow_id);
+  if (it == flows_.end()) return;
+  WFlow& f = it->second;
+
+  if (ack.ecn_echo) ++counters_.ecn_echoes;
+
+  // RTT sample.
+  auto in_it = f.inflight.find(ack.acked_seq);
+  if (in_it != f.inflight.end()) {
+    const Time sample = network().sim().now() - in_it->second;
+    f.srtt = f.srtt == 0 ? sample : (7 * f.srtt + sample) / 8;
+    f.inflight.erase(in_it);
+  }
+  f.acked.insert(ack.acked_seq);
+  f.retx.erase(ack.acked_seq);
+  f.consecutive_timeouts = 0;
+
+  // Completion: the receiver's cumulative ack reached the end.
+  if (ack.cumulative_ack >= f.packets) {
+    flows_.erase(it);
+    return;
+  }
+
+  // Duplicate-ack loss inference: cum stuck while later packets arrive.
+  if (ack.cumulative_ack > f.cum_ack) {
+    f.cum_ack = ack.cumulative_ack;
+    f.dupacks = 0;
+    f.fast_retx_seq = UINT32_MAX;
+  } else if (ack.acked_seq > f.cum_ack) {
+    ++f.dupacks;
+    if (f.dupacks >= cfg_.dupack_threshold &&
+        f.fast_retx_seq != f.cum_ack && f.acked.count(f.cum_ack) == 0) {
+      f.fast_retx_seq = f.cum_ack;
+      f.retx.insert(f.cum_ack);
+      f.inflight.erase(f.cum_ack);
+      ++counters_.fast_retransmits;
+      on_fast_retransmit(f);
+    }
+  }
+
+  on_ack_event(f, ack);
+  f.cwnd_bytes = std::max(f.cwnd_bytes, static_cast<double>(mss()));
+  try_send(f);
+}
+
+void WindowHost::on_packet(net::PacketPtr p) {
+  switch (p->kind) {
+    case kWinData:
+      handle_data(std::move(p));
+      break;
+    case kWinAck:
+      handle_ack(std::move(p));
+      break;
+    default:
+      LOG_WARN("window host %d: unknown packet kind %d", host_id(), p->kind);
+  }
+}
+
+}  // namespace dcpim::proto

@@ -1,0 +1,99 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace dcpim::sim {
+
+void Simulator::heap_push(Entry e) {
+  heap_.push_back(std::move(e));
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!heap_[i].before(heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Simulator::Entry Simulator::heap_pop() {
+  Entry top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = i;
+    if (left < n && heap_[left].before(heap_[smallest])) smallest = left;
+    if (right < n && heap_[right].before(heap_[smallest])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+  return top;
+}
+
+EventId Simulator::schedule_at(Time t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  if (t < now_) t = now_;  // degrade gracefully in release builds
+  const EventId id = next_id_++;
+  heap_push(Entry{t, id, std::move(cb)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  if (cancelled_.count(id) != 0) return false;
+  const bool pending =
+      std::any_of(heap_.begin(), heap_.end(),
+                  [id](const Entry& e) { return e.id == id; });
+  if (!pending) return false;  // already executed
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    Entry e = heap_pop();
+    if (!cancelled_.empty() && cancelled_.erase(e.id) > 0) continue;
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(Time until) {
+  stopped_ = false;
+  Entry entry;
+  while (!stopped_ && pop_next(entry)) {
+    if (entry.t > until) {
+      // Put it back; caller may resume later.
+      heap_push(std::move(entry));
+      now_ = until;
+      return;
+    }
+    now_ = entry.t;
+    ++executed_;
+    entry.cb();
+  }
+  if (!stopped_ && until != kTimeInfinity) now_ = until;
+}
+
+std::size_t Simulator::run_steps(std::size_t max_events) {
+  stopped_ = false;
+  std::size_t done = 0;
+  Entry entry;
+  while (!stopped_ && done < max_events && pop_next(entry)) {
+    now_ = entry.t;
+    ++executed_;
+    ++done;
+    entry.cb();
+  }
+  return done;
+}
+
+}  // namespace dcpim::sim

@@ -1,0 +1,131 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dcpim::stats {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+namespace {
+
+SlowdownSummary summarize(std::vector<double> slowdowns) {
+  SlowdownSummary s;
+  s.count = slowdowns.size();
+  if (slowdowns.empty()) return s;
+  double sum = 0;
+  for (double v : slowdowns) {
+    sum += v;
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(slowdowns.size());
+  s.p50 = percentile(slowdowns, 50.0);
+  s.p99 = percentile(slowdowns, 99.0);
+  return s;
+}
+
+}  // namespace
+
+FlowStats::FlowStats(net::Network& net, const net::Topology& topo)
+    : topo_(topo) {
+  net.add_flow_observer([this](const net::Flow& f) {
+    if (f.start_time < window_start_ || f.start_time >= window_end_) return;
+    FlowRecord rec;
+    rec.id = f.id;
+    rec.src = f.src;
+    rec.dst = f.dst;
+    rec.size = f.size;
+    rec.start = f.start_time;
+    rec.fct = f.fct();
+    const Time oracle = topo_.oracle_fct(f.src, f.dst, f.size);
+    rec.slowdown =
+        oracle > 0 ? static_cast<double>(rec.fct) / static_cast<double>(oracle)
+                   : 1.0;
+    records_.push_back(rec);
+  });
+}
+
+SlowdownSummary FlowStats::summary() const { return summary_for_sizes(0, 0); }
+
+SlowdownSummary FlowStats::summary_for_sizes(Bytes lo, Bytes hi) const {
+  std::vector<double> vals;
+  for (const auto& r : records_) {
+    if (r.size < lo) continue;
+    if (hi > 0 && r.size >= hi) continue;
+    vals.push_back(r.slowdown);
+  }
+  return summarize(std::move(vals));
+}
+
+std::vector<BucketSummary> FlowStats::by_buckets(
+    const std::vector<Bytes>& edges) const {
+  assert(!edges.empty());
+  std::vector<BucketSummary> out;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    BucketSummary b;
+    b.lo = edges[i];
+    b.hi = i + 1 < edges.size() ? edges[i + 1] : 0;
+    b.slowdown = summary_for_sizes(b.lo, b.hi);
+    out.push_back(b);
+  }
+  return out;
+}
+
+SlowdownSummary FlowStats::short_flows(Bytes threshold) const {
+  return summary_for_sizes(0, threshold + 1);
+}
+
+UtilizationSeries::UtilizationSeries(net::Network& net, Time bin_width)
+    : bin_width_(bin_width) {
+  assert(bin_width_ > 0);
+  net.add_payload_observer([this](Bytes fresh, Time at) {
+    const auto bin = static_cast<std::size_t>(at / bin_width_);
+    if (bins_.size() <= bin) bins_.resize(bin + 1, 0);
+    bins_[bin] += fresh;
+  });
+}
+
+Bytes UtilizationSeries::bytes_in_bin(std::size_t i) const {
+  return i < bins_.size() ? bins_[i] : 0;
+}
+
+double UtilizationSeries::utilization(std::size_t i,
+                                      double capacity_bps) const {
+  return static_cast<double>(bytes_in_bin(i)) * 8.0 /
+         (capacity_bps * to_sec(bin_width_));
+}
+
+double UtilizationSeries::mean_utilization(std::size_t from, std::size_t to,
+                                           double capacity_bps) const {
+  if (to <= from) return 0.0;
+  double sum = 0;
+  for (std::size_t i = from; i < to; ++i) sum += utilization(i, capacity_bps);
+  return sum / static_cast<double>(to - from);
+}
+
+GoodputMeter::GoodputMeter(net::Network& net) : net_(net) {
+  net.add_payload_observer([this](Bytes fresh, Time at) {
+    if (at >= window_start_ && at < window_end_) delivered_ += fresh;
+  });
+}
+
+Bytes GoodputMeter::offered() const {
+  Bytes total = 0;
+  for (const auto& f : net_.flows()) {
+    if (f->start_time >= window_start_ && f->start_time < window_end_) {
+      total += f->size;
+    }
+  }
+  return total;
+}
+
+}  // namespace dcpim::stats

@@ -1,0 +1,130 @@
+// Evaluation metrics (Table 1 of the paper):
+//  * Slowdown — observed FCT / optimal (unloaded) FCT, overall and bucketed
+//    by flow size as in Figures 3(c)-(e), 5 and 7.
+//  * Utilization — delivered-throughput time series (Figures 4a/4c) and the
+//    achieved/offered ratio used for sustainable-load sweeps (Figure 3a).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/topology.h"
+#include "util/time.h"
+
+namespace dcpim::stats {
+
+/// Per-completed-flow measurement.
+struct FlowRecord {
+  std::uint64_t id = 0;
+  int src = -1;
+  int dst = -1;
+  Bytes size = 0;
+  Time start = 0;
+  Time fct = 0;
+  double slowdown = 0;
+};
+
+/// Aggregate summary of a set of slowdowns.
+struct SlowdownSummary {
+  std::size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Per-size-bucket summary (Figures 3c-e).
+struct BucketSummary {
+  Bytes lo = 0;  ///< inclusive
+  Bytes hi = 0;  ///< exclusive (0 = open-ended)
+  SlowdownSummary slowdown;
+};
+
+/// p in [0,100]; nearest-rank percentile. Empty input -> 0.
+double percentile(std::vector<double> values, double p);
+
+/// Subscribes to flow completions and computes slowdowns against the
+/// topology's oracle FCT. Only flows *starting* inside the measurement
+/// window are recorded (warmup/cooldown exclusion).
+class FlowStats {
+ public:
+  FlowStats(net::Network& net, const net::Topology& topo);
+
+  void set_window(Time start, Time end) {
+    window_start_ = start;
+    window_end_ = end;
+  }
+
+  const std::vector<FlowRecord>& records() const { return records_; }
+
+  SlowdownSummary summary() const;
+  /// Summary restricted to flows with lo <= size < hi (hi==0: unbounded).
+  SlowdownSummary summary_for_sizes(Bytes lo, Bytes hi) const;
+  /// Buckets defined by edges [e0,e1), [e1,e2), ..., [ek, inf).
+  std::vector<BucketSummary> by_buckets(const std::vector<Bytes>& edges) const;
+
+  /// Mean slowdown for flows <= threshold ("short flows").
+  SlowdownSummary short_flows(Bytes threshold) const;
+
+ private:
+  const net::Topology& topo_;
+  Time window_start_ = 0;
+  Time window_end_ = kTimeInfinity;
+  std::vector<FlowRecord> records_;
+};
+
+/// Bins delivered payload bytes into fixed-width intervals; utilization is
+/// reported relative to a caller-supplied capacity (e.g. the aggregate
+/// receiver bandwidth of the experiment).
+class UtilizationSeries {
+ public:
+  UtilizationSeries(net::Network& net, Time bin_width);
+
+  Time bin_width() const { return bin_width_; }
+  /// Delivered payload bytes in bin i (0 if past the end).
+  Bytes bytes_in_bin(std::size_t i) const;
+  std::size_t num_bins() const { return bins_.size(); }
+
+  /// Fraction of `capacity_bps` delivered during bin i.
+  double utilization(std::size_t i, double capacity_bps) const;
+
+  /// Mean utilization over [from, to) bins.
+  double mean_utilization(std::size_t from, std::size_t to,
+                          double capacity_bps) const;
+
+ private:
+  Time bin_width_;
+  std::vector<Bytes> bins_;
+};
+
+/// Tracks offered (arrived) vs delivered payload inside a window — the
+/// paper's "utilization: ratio of achieved throughput and offered load".
+class GoodputMeter {
+ public:
+  explicit GoodputMeter(net::Network& net);
+  void set_window(Time start, Time end) {
+    window_start_ = start;
+    window_end_ = end;
+  }
+  /// Offered payload bytes: sizes of flows arriving inside the window
+  /// (computed from the network's flow table).
+  Bytes offered() const;
+  /// Delivered payload bytes inside the window (any flow).
+  Bytes delivered() const { return delivered_; }
+  double ratio() const {
+    const Bytes off = offered();
+    return off > 0 ? static_cast<double>(delivered_) / static_cast<double>(off)
+                   : 0.0;
+  }
+
+ private:
+  const net::Network& net_;
+  Time window_start_ = 0;
+  Time window_end_ = kTimeInfinity;
+  Bytes delivered_ = 0;
+};
+
+}  // namespace dcpim::stats

@@ -1,0 +1,88 @@
+#include "stats/trace.h"
+
+#include <ostream>
+
+#include "net/host.h"
+
+namespace dcpim::stats {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::FlowArrived: return "FlowArrived";
+    case TraceEventKind::FlowCompleted: return "FlowCompleted";
+    case TraceEventKind::PacketDropped: return "PacketDropped";
+    case TraceEventKind::PayloadDelivered: return "PayloadDelivered";
+    case TraceEventKind::Custom: return "Custom";
+  }
+  return "?";
+}
+
+Tracer::Tracer(net::Network& net, Options options)
+    : net_(net), options_(options) {
+  net_.add_arrival_observer([this](const net::Flow& f) {
+    if (!accepts(f.id)) return;
+    events_.push_back(TraceEvent{net_.sim().now(),
+                                 TraceEventKind::FlowArrived, f.id, f.src,
+                                 f.size, ""});
+  });
+  net_.add_flow_observer([this](const net::Flow& f) {
+    if (!accepts(f.id)) return;
+    events_.push_back(TraceEvent{net_.sim().now(),
+                                 TraceEventKind::FlowCompleted, f.id, f.dst,
+                                 f.size, ""});
+  });
+  net_.add_drop_observer([this](const net::Packet& p, const net::Port& port) {
+    ++drop_count_;
+    if (!accepts(p.flow_id)) return;
+    events_.push_back(TraceEvent{
+        net_.sim().now(), TraceEventKind::PacketDropped, p.flow_id,
+        port.owner().kind() == net::Device::Kind::Host
+            ? static_cast<const net::Host&>(port.owner()).host_id()
+            : -1,
+        p.size,
+        "at " + port.owner().name() + " prio " +
+            std::to_string(static_cast<int>(p.priority)) +
+            (p.unscheduled ? " unsched" : "")});
+  });
+  if (options_.record_deliveries) {
+    net_.add_payload_observer([this](Bytes fresh, Time at) {
+      if (events_.size() >= options_.max_events) return;
+      events_.push_back(TraceEvent{at, TraceEventKind::PayloadDelivered, 0,
+                                   -1, fresh, ""});
+    });
+  }
+}
+
+void Tracer::record(TraceEventKind kind, std::uint64_t flow_id, int host,
+                    Bytes bytes, std::string label) {
+  if (!accepts(flow_id)) return;
+  events_.push_back(TraceEvent{net_.sim().now(), kind, flow_id, host, bytes,
+                               std::move(label)});
+}
+
+std::vector<TraceEvent> Tracer::flow_timeline(std::uint64_t flow_id) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.flow_id == flow_id) out.push_back(e);
+  }
+  return out;
+}
+
+void Tracer::dump(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << to_us(e.at) << "us  " << to_string(e.kind) << "  flow=" << e.flow_id
+       << " host=" << e.host << " bytes=" << e.bytes;
+    if (!e.label.empty()) os << "  " << e.label;
+    os << "\n";
+  }
+}
+
+void Tracer::dump_csv(std::ostream& os) const {
+  os << "at_ps,kind,flow,host,bytes,label\n";
+  for (const auto& e : events_) {
+    os << e.at << "," << to_string(e.kind) << "," << e.flow_id << ","
+       << e.host << "," << e.bytes << ",\"" << e.label << "\"\n";
+  }
+}
+
+}  // namespace dcpim::stats

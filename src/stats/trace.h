@@ -1,0 +1,81 @@
+// Event tracing: structured observability for debugging protocols and for
+// producing per-flow timelines (the simulator equivalent of a pcap).
+//
+// A Tracer subscribes to network-level events (flow lifecycle, drops,
+// payload delivery) and can be fed protocol-level events by hosts. Events
+// can be filtered by flow and dumped as a human-readable timeline or CSV.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "util/time.h"
+
+namespace dcpim::stats {
+
+enum class TraceEventKind {
+  FlowArrived,
+  FlowCompleted,
+  PacketDropped,
+  PayloadDelivered,
+  Custom,  ///< protocol-defined (label carries the meaning)
+};
+
+const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  Time at = 0;
+  TraceEventKind kind = TraceEventKind::Custom;
+  std::uint64_t flow_id = 0;  ///< 0 when not flow-related
+  int host = -1;              ///< host involved, -1 if n/a
+  Bytes bytes = 0;            ///< payload size, flow size, ... per kind
+  std::string label;          ///< free-form detail
+};
+
+class Tracer {
+ public:
+  struct Options {
+    /// Only record events for this flow id (0 = all flows).
+    std::uint64_t flow_filter = 0;
+    /// Stop recording beyond this many events (safety valve).
+    std::size_t max_events = 1'000'000;
+    /// Record per-payload-delivery events (high volume).
+    bool record_deliveries = false;
+  };
+
+  explicit Tracer(net::Network& net) : Tracer(net, Options()) {}
+  Tracer(net::Network& net, Options options);
+
+  /// Protocol hook: hosts may record custom events through the network's
+  /// tracer (e.g. "token issued", "matched 3 channels").
+  void record(TraceEventKind kind, std::uint64_t flow_id, int host,
+              Bytes bytes, std::string label);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t dropped_packets() const { return drop_count_; }
+
+  /// Events touching one flow, in time order.
+  std::vector<TraceEvent> flow_timeline(std::uint64_t flow_id) const;
+
+  /// Human-readable dump ("12.34us  FlowArrived  flow=7 host=3 ...").
+  void dump(std::ostream& os) const;
+  /// Machine-readable CSV: at_ps,kind,flow,host,bytes,label.
+  void dump_csv(std::ostream& os) const;
+
+ private:
+  bool accepts(std::uint64_t flow_id) const {
+    return (options_.flow_filter == 0 || options_.flow_filter == flow_id) &&
+           events_.size() < options_.max_events;
+  }
+
+  net::Network& net_;
+  Options options_;
+  std::vector<TraceEvent> events_;
+  std::size_t drop_count_ = 0;
+};
+
+}  // namespace dcpim::stats

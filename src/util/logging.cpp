@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdlib>
+
+namespace dcpim {
+namespace {
+
+LogLevel g_level = [] {
+  if (const char* env = std::getenv("DCPIM_LOG")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::Warn;
+}();
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+namespace detail {
+
+void vlog(LogLevel level, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] ", level_name(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace dcpim

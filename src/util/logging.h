@@ -1,0 +1,46 @@
+// Minimal leveled logging for the simulator.
+//
+// Logging is compiled in but off by default (level = Warn); benches and
+// tests raise it via set_log_level() or the DCPIM_LOG environment variable
+// (trace|debug|info|warn|error|off). Hot-path callers should guard verbose
+// logs with log_enabled() to skip argument formatting entirely.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace dcpim {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "trace" / "debug" / ... (case-insensitive); returns Warn on junk.
+LogLevel parse_log_level(const std::string& name);
+
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+}  // namespace detail
+
+#define DCPIM_LOG(level, ...)                          \
+  do {                                                 \
+    if (::dcpim::log_enabled(level)) {                 \
+      ::dcpim::detail::vlog(level, __VA_ARGS__);       \
+    }                                                  \
+  } while (0)
+
+#define LOG_TRACE(...) DCPIM_LOG(::dcpim::LogLevel::Trace, __VA_ARGS__)
+#define LOG_DEBUG(...) DCPIM_LOG(::dcpim::LogLevel::Debug, __VA_ARGS__)
+#define LOG_INFO(...) DCPIM_LOG(::dcpim::LogLevel::Info, __VA_ARGS__)
+#define LOG_WARN(...) DCPIM_LOG(::dcpim::LogLevel::Warn, __VA_ARGS__)
+#define LOG_ERROR(...) DCPIM_LOG(::dcpim::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace dcpim

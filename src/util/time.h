@@ -1,0 +1,50 @@
+// Time representation for the dcPIM simulator.
+//
+// All simulation timestamps and durations are int64_t picoseconds. At the
+// link rates the paper evaluates (10/100/400 Gbps) one byte serializes in an
+// integral number of picoseconds (e.g. exactly 80 ps at 100 Gbps), so every
+// serialization time is exact and simulations are bit-for-bit deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace dcpim {
+
+/// Simulation time / duration, in picoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1'000;
+inline constexpr Time kMicrosecond = 1'000'000;
+inline constexpr Time kMillisecond = 1'000'000'000;
+inline constexpr Time kSecond = 1'000'000'000'000;
+
+/// Largest representable time; used as "run forever" sentinel.
+inline constexpr Time kTimeInfinity = INT64_MAX;
+
+constexpr Time ps(double v) { return static_cast<Time>(v); }
+constexpr Time ns(double v) { return static_cast<Time>(v * kNanosecond); }
+constexpr Time us(double v) { return static_cast<Time>(v * kMicrosecond); }
+constexpr Time ms(double v) { return static_cast<Time>(v * kMillisecond); }
+
+constexpr double to_ns(Time t) { return static_cast<double>(t) / kNanosecond; }
+constexpr double to_us(Time t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / kSecond; }
+
+/// Serialization delay of `bytes` on a link of `bits_per_sec`.
+/// Exact when the byte time divides evenly (all rates used here).
+constexpr Time serialization_time(std::int64_t bytes, std::int64_t bits_per_sec) {
+  // bytes * 8 bits * 1e12 ps/s / rate. Multiply first in 128-bit to avoid
+  // overflow for multi-megabyte messages.
+  return static_cast<Time>((static_cast<__int128>(bytes) * 8 * kSecond) /
+                           bits_per_sec);
+}
+
+/// Bytes transmittable in `t` at `bits_per_sec` (floor).
+constexpr std::int64_t bytes_in(Time t, std::int64_t bits_per_sec) {
+  return static_cast<std::int64_t>(
+      (static_cast<__int128>(t) * bits_per_sec) / (8 * kSecond));
+}
+
+}  // namespace dcpim

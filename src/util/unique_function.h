@@ -1,0 +1,59 @@
+// Move-only type-erased callable (std::move_only_function arrives in C++23).
+//
+// Simulator events frequently capture std::unique_ptr<Packet>, which makes
+// the lambdas move-only and thus incompatible with std::function. This is a
+// minimal replacement supporting exactly what the event queue needs:
+// construction from any callable, move, and invocation.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace dcpim {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  R operator()(Args... args) {
+    return impl_->invoke(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R invoke(Args&&... args) = 0;
+  };
+
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    R invoke(Args&&... args) override {
+      return fn(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace dcpim

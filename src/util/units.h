@@ -1,0 +1,20 @@
+// Bandwidth and size unit helpers shared across the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace dcpim {
+
+using Bytes = std::int64_t;
+using BitsPerSec = std::int64_t;
+
+inline constexpr BitsPerSec kGbps = 1'000'000'000;
+
+constexpr BitsPerSec gbps(double v) {
+  return static_cast<BitsPerSec>(v * static_cast<double>(kGbps));
+}
+
+inline constexpr Bytes kKB = 1'000;
+inline constexpr Bytes kMB = 1'000'000;
+
+}  // namespace dcpim

@@ -1,0 +1,142 @@
+#include "workload/cdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcpim::workload {
+
+EmpiricalCdf::EmpiricalCdf(std::string name, std::vector<Point> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  assert(points_.size() >= 1);
+  assert(std::abs(points_.back().cdf - 1.0) < 1e-9);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].cdf >= points_[i - 1].cdf);
+    assert(points_[i].bytes >= points_[i - 1].bytes);
+  }
+  // Mean: each segment contributes mass * average size over the segment.
+  double mean = points_.front().bytes * points_.front().cdf;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double mass = points_[i].cdf - points_[i - 1].cdf;
+    mean += mass * 0.5 * (points_[i].bytes + points_[i - 1].bytes);
+  }
+  mean_ = mean;
+}
+
+Bytes EmpiricalCdf::quantile(double u) const {
+  assert(u >= 0.0 && u < 1.0 + 1e-12);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), u,
+      [](const Point& p, double val) { return p.cdf < val; });
+  if (it == points_.begin()) {
+    return static_cast<Bytes>(std::max(1.0, it->bytes));
+  }
+  if (it == points_.end()) {
+    return static_cast<Bytes>(std::max(1.0, points_.back().bytes));
+  }
+  const Point& lo = *(it - 1);
+  const Point& hi = *it;
+  double bytes = hi.bytes;
+  if (hi.cdf > lo.cdf) {
+    const double frac = (u - lo.cdf) / (hi.cdf - lo.cdf);
+    bytes = lo.bytes + frac * (hi.bytes - lo.bytes);
+  }
+  return static_cast<Bytes>(std::max(1.0, bytes));
+}
+
+double EmpiricalCdf::cdf_at(double bytes) const {
+  if (bytes <= points_.front().bytes) {
+    return points_.front().cdf * bytes / std::max(1.0, points_.front().bytes);
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (bytes <= points_[i].bytes) {
+      const Point& lo = points_[i - 1];
+      const Point& hi = points_[i];
+      if (hi.bytes == lo.bytes) return hi.cdf;
+      const double frac = (bytes - lo.bytes) / (hi.bytes - lo.bytes);
+      return lo.cdf + frac * (hi.cdf - lo.cdf);
+    }
+  }
+  return 1.0;
+}
+
+EmpiricalCdf fixed_size_cdf(Bytes size) {
+  return EmpiricalCdf("fixed" + std::to_string(size),
+                      {{static_cast<double>(size), 1.0}});
+}
+
+// Standard literature CDFs (documented substitution, DESIGN.md §1): the
+// shapes below reproduce the published distributions used by pFabric, pHost
+// and Homa evaluations.
+
+const EmpiricalCdf& imc10() {
+  // IMC10 [Benson et al. 2010] as used by pHost: dominated by flows under
+  // ~10 KB with a light tail into the tens of MB.
+  static const EmpiricalCdf cdf(
+      "imc10", {
+                   {100, 0.00},
+                   {463, 0.10},
+                   {1000, 0.40},
+                   {2000, 0.55},
+                   {5012, 0.70},
+                   {10000, 0.80},
+                   {31623, 0.90},
+                   {100000, 0.95},
+                   {1000000, 0.98},
+                   {10000000, 1.00},
+               });
+  return cdf;
+}
+
+const EmpiricalCdf& web_search() {
+  // DCTCP web-search workload [Alizadeh et al. 2010].
+  static const EmpiricalCdf cdf(
+      "websearch", {
+                       {1000, 0.00},
+                       {6000, 0.10},
+                       {10000, 0.15},
+                       {20000, 0.20},
+                       {30000, 0.30},
+                       {50000, 0.40},
+                       {80000, 0.53},
+                       {200000, 0.60},
+                       {1000000, 0.70},
+                       {2000000, 0.80},
+                       {5000000, 0.90},
+                       {10000000, 0.97},
+                       {30000000, 1.00},
+                   });
+  return cdf;
+}
+
+const EmpiricalCdf& data_mining() {
+  // VL2 data-mining workload [Greenberg et al. 2009]: 80% of flows are tiny
+  // but nearly all bytes live in multi-MB/GB flows.
+  static const EmpiricalCdf cdf(
+      "datamining", {
+                        {100, 0.00},
+                        {180, 0.10},
+                        {250, 0.20},
+                        {560, 0.30},
+                        {900, 0.40},
+                        {1100, 0.50},
+                        {1870, 0.60},
+                        {3160, 0.70},
+                        {10000, 0.80},
+                        {400000, 0.90},
+                        {3160000, 0.95},
+                        {100000000, 0.98},
+                        {1000000000, 1.00},
+                    });
+  return cdf;
+}
+
+const EmpiricalCdf& workload_by_name(const std::string& name) {
+  if (name == "imc10") return imc10();
+  if (name == "websearch") return web_search();
+  if (name == "datamining") return data_mining();
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+}  // namespace dcpim::workload

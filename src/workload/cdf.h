@@ -1,0 +1,60 @@
+// Empirical flow-size distributions.
+//
+// Workloads are piecewise-linear CDFs over flow size in bytes, matching how
+// the pFabric/pHost/Homa simulators (and the dcPIM paper's Table 1
+// workloads) specify them. Sampling interpolates within segments; the mean
+// is integrated analytically so load -> Poisson-rate conversion is exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace dcpim::workload {
+
+class EmpiricalCdf {
+ public:
+  struct Point {
+    double bytes;
+    double cdf;  ///< P(size <= bytes), nondecreasing, last == 1.0
+  };
+
+  EmpiricalCdf(std::string name, std::vector<Point> points);
+
+  /// Inverse-CDF sample (>= 1 byte).
+  Bytes sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+  /// Size at quantile u in [0, 1).
+  Bytes quantile(double u) const;
+
+  /// Mean flow size in bytes.
+  double mean_bytes() const { return mean_; }
+
+  /// Fraction of flows with size <= `bytes` (linear interpolation).
+  double cdf_at(double bytes) const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+  double mean_ = 0;
+};
+
+/// Degenerate distribution: every flow has exactly `size` bytes (used by the
+/// paper's BDP+1 worst-case microbenchmark and the dense-TM experiment).
+EmpiricalCdf fixed_size_cdf(Bytes size);
+
+/// Table 1 workloads (standard literature CDFs; see DESIGN.md).
+const EmpiricalCdf& imc10();        ///< IMC10 [Benson et al.], tiny-flow heavy
+const EmpiricalCdf& web_search();   ///< DCTCP websearch
+const EmpiricalCdf& data_mining();  ///< VL2 datamining, heavy tailed
+
+/// Lookup by name ("imc10" | "websearch" | "datamining"); throws on junk.
+const EmpiricalCdf& workload_by_name(const std::string& name);
+
+}  // namespace dcpim::workload

@@ -1,0 +1,227 @@
+// dcPIM edge cases and parameterized protocol sweeps.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/dcpim_host.h"
+#include "net/topology.h"
+#include "workload/generator.h"
+
+namespace dcpim::core {
+namespace {
+
+struct Fixture {
+  explicit Fixture(net::LeafSpineParams params = small_topo(),
+                   DcpimConfig base = DcpimConfig{},
+                   net::NetConfig ncfg = net::NetConfig{})
+      : cfg(base), net(std::make_unique<net::Network>(ncfg)) {
+    topo = std::make_unique<net::Topology>(
+        net::Topology::leaf_spine(*net, params, dcpim_host_factory(cfg)));
+    cfg.control_rtt = topo->max_control_rtt();
+    cfg.bdp_bytes = topo->bdp_bytes();
+  }
+  static net::LeafSpineParams small_topo() {
+    net::LeafSpineParams p;
+    p.racks = 2;
+    p.hosts_per_rack = 4;
+    p.spines = 2;
+    return p;
+  }
+  DcpimHost* host(int i) { return static_cast<DcpimHost*>(net->host(i)); }
+
+  DcpimConfig cfg;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<net::Topology> topo;
+};
+
+TEST(DcpimEdgeTest, OneByteFlow) {
+  Fixture f;
+  net::Flow* flow = f.net->create_flow(0, 7, 1, 0);
+  f.net->sim().run(ms(1));
+  EXPECT_TRUE(flow->finished());
+}
+
+TEST(DcpimEdgeTest, FlowExactlyAtShortThreshold) {
+  Fixture f;
+  // size == threshold is still "short" (<=, §3.5).
+  net::Flow* flow = f.net->create_flow(0, 7, f.cfg.effective_short_threshold(), 0);
+  f.net->sim().run(ms(2));
+  ASSERT_TRUE(flow->finished());
+  EXPECT_GT(f.host(0)->counters().short_data_sent, 0u);
+  EXPECT_EQ(f.host(7)->counters().tokens_sent, 0u);
+}
+
+TEST(DcpimEdgeTest, FlowOneByteOverThresholdIsMatched) {
+  Fixture f;
+  net::Flow* flow =
+      f.net->create_flow(0, 7, f.cfg.effective_short_threshold() + 1, 0);
+  f.net->sim().run(ms(3));
+  ASSERT_TRUE(flow->finished());
+  EXPECT_EQ(f.host(0)->counters().short_data_sent, 0u);
+  EXPECT_GT(f.host(7)->counters().tokens_sent, 0u);
+}
+
+TEST(DcpimEdgeTest, IntraRackFlowCompletes) {
+  Fixture f;
+  net::Flow* flow = f.net->create_flow(0, 1, 500'000, 0);  // same leaf
+  f.net->sim().run(ms(3));
+  EXPECT_TRUE(flow->finished());
+}
+
+TEST(DcpimEdgeTest, ManyConcurrentFlowsBetweenSamePair) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i) {
+    f.net->create_flow(0, 7, 200'000, us(i));
+  }
+  f.net->sim().run(ms(10));
+  EXPECT_EQ(f.net->completed_flows, 10u);
+}
+
+TEST(DcpimEdgeTest, BidirectionalTraffic) {
+  Fixture f;
+  f.net->create_flow(0, 7, 400'000, 0);
+  f.net->create_flow(7, 0, 400'000, 0);
+  f.net->sim().run(ms(5));
+  EXPECT_EQ(f.net->completed_flows, 2u);
+}
+
+TEST(DcpimEdgeTest, MultiMegabyteFlowSustainsHighRate) {
+  Fixture f;
+  const Bytes size = 5 * kMB;
+  net::Flow* flow = f.net->create_flow(0, 7, size, 0);
+  f.net->sim().run(ms(20));
+  ASSERT_TRUE(flow->finished());
+  // Alone in the network a bulk flow must get close to line rate: the k=4
+  // channels go entirely to it.
+  const Time oracle = f.topo->oracle_fct(0, 7, size);
+  EXPECT_LT(static_cast<double>(flow->fct()),
+            1.35 * static_cast<double>(oracle));
+}
+
+TEST(DcpimEdgeTest, LongFlowPriorityLevelsSpreadByRemaining) {
+  DcpimConfig base;
+  base.long_flow_priorities = 4;
+  Fixture f(Fixture::small_topo(), base);
+  f.net->create_flow(0, 7, 2 * kMB, 0);
+  f.net->create_flow(1, 7, 200'000, 0);
+  f.net->sim().run(ms(10));
+  EXPECT_EQ(f.net->completed_flows, 2u);
+}
+
+TEST(DcpimEdgeTest, ZeroLoadIdleNetworkStaysQuiet) {
+  Fixture f;
+  f.net->sim().run(ms(1));
+  // Matching machinery runs but produces no control traffic without demand.
+  for (int h = 0; h < f.net->num_hosts(); ++h) {
+    EXPECT_EQ(f.host(h)->counters().requests_sent, 0u);
+    EXPECT_EQ(f.host(h)->counters().grants_sent, 0u);
+  }
+}
+
+TEST(DcpimEdgeTest, HeavyControlLossStillCompletes) {
+  net::LeafSpineParams p = Fixture::small_topo();
+  p.port_customize = [](net::PortConfig& pc) { pc.loss_rate = 0.05; };
+  Fixture f(p);
+  f.net->create_flow(0, 7, 3 * f.cfg.bdp_bytes, 0);
+  f.net->create_flow(1, 6, 8'000, 0);
+  f.net->sim().run(ms(80));
+  EXPECT_EQ(f.net->completed_flows, 2u);
+  // Retransmission machinery must actually have fired somewhere.
+  std::uint64_t retx = 0;
+  for (int h = 0; h < f.net->num_hosts(); ++h) {
+    retx += f.host(h)->counters().notify_retx +
+            f.host(h)->counters().finish_retx +
+            f.host(h)->counters().readmitted_seqs +
+            f.host(h)->counters().short_flows_rescued;
+  }
+  EXPECT_GT(retx, 0u);
+}
+
+TEST(DcpimEdgeTest, SevereLossTokenAccountingStaysBounded) {
+  // 30% loss everywhere: accepts get lost (over-commitment, §3.5), tokens
+  // get lost, data gets lost. The flow must still complete, and any stale
+  // tokens discarded by the sender pacer must stay a small fraction of the
+  // tokens issued (no hoarding, no runaway).
+  net::LeafSpineParams p = Fixture::small_topo();
+  p.port_customize = [](net::PortConfig& pc) { pc.loss_rate = 0.3; };
+  Fixture f(p);
+  net::Flow* flow = f.net->create_flow(0, 7, 5 * f.cfg.bdp_bytes, 0);
+  f.net->sim().run(ms(200));
+  EXPECT_TRUE(flow->finished());
+  std::uint64_t expired = 0, tokens = 0;
+  for (int h = 0; h < f.net->num_hosts(); ++h) {
+    expired += f.host(h)->counters().tokens_expired;
+    tokens += f.host(h)->counters().tokens_sent;
+  }
+  EXPECT_GT(tokens, 0u);
+  EXPECT_LT(expired, tokens);
+}
+
+TEST(DcpimEdgeTest, CountersAreConsistent) {
+  Fixture f;
+  workload::PoissonPatternConfig pc;
+  pc.cdf = &workload::imc10();
+  pc.load = 0.5;
+  pc.stop = us(300);
+  workload::PoissonGenerator gen(*f.net, f.topo->host_rate(), pc);
+  gen.start();
+  f.net->sim().run(ms(5));
+  std::uint64_t tokens = 0, data = 0, short_data = 0;
+  for (int h = 0; h < f.net->num_hosts(); ++h) {
+    tokens += f.host(h)->counters().tokens_sent;
+    data += f.host(h)->counters().data_sent;
+    short_data += f.host(h)->counters().short_data_sent;
+  }
+  // Every matched data packet was admitted by a token; short-flow packets
+  // were not. (A few tokens may expire unused.)
+  EXPECT_LE(data - short_data, tokens);
+  EXPECT_GE(data, short_data);
+}
+
+// ---- parameter grid: every (r, k) combination must deliver ---------------
+
+class DcpimParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(DcpimParamTest, MixedTrafficCompletes) {
+  const auto [rounds, channels, pipelined] = GetParam();
+  DcpimConfig base;
+  base.rounds = rounds;
+  base.channels = channels;
+  base.pipeline_phases = pipelined;
+  Fixture f(Fixture::small_topo(), base);
+  workload::PoissonPatternConfig pc;
+  pc.cdf = &workload::web_search();
+  pc.load = 0.4;
+  pc.stop = us(200);
+  workload::PoissonGenerator gen(*f.net, f.topo->host_rate(), pc);
+  gen.start();
+  f.net->sim().run(ms(20));
+  EXPECT_GT(f.net->num_flows(), 0u);
+  EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DcpimParamTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 6),
+                                            ::testing::Values(1, 2, 4, 8),
+                                            ::testing::Bool()));
+
+// ---- beta sweep: any slack >= 1 must work --------------------------------
+
+class DcpimBetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DcpimBetaTest, LongFlowCompletes) {
+  DcpimConfig base;
+  base.beta = GetParam();
+  Fixture f(Fixture::small_topo(), base);
+  net::Flow* flow = f.net->create_flow(0, 7, 4 * f.cfg.bdp_bytes, 0);
+  f.net->sim().run(ms(10));
+  EXPECT_TRUE(flow->finished());
+}
+
+INSTANTIATE_TEST_SUITE_P(Slack, DcpimBetaTest,
+                         ::testing::Values(1.0, 1.1, 1.3, 2.0, 3.0));
+
+}  // namespace
+}  // namespace dcpim::core

@@ -1,0 +1,148 @@
+// Link-failure injection tests: §2.1 "failures and oversubscription are a
+// norm in datacenter networks" — protocols must recover when links flap.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/dcpim_host.h"
+#include "net/switch.h"
+#include "net/topology.h"
+#include "proto/ndp.h"
+#include "proto/tcp.h"
+
+namespace dcpim {
+namespace {
+
+net::LeafSpineParams small_topo() {
+  net::LeafSpineParams p;
+  p.racks = 2;
+  p.hosts_per_rack = 4;
+  p.spines = 2;
+  return p;
+}
+
+/// First leaf->spine port found (an ECMP member packets get sprayed onto).
+net::Port* first_uplink(net::Network& net) {
+  for (const auto& dev : net.devices()) {
+    if (dev->kind() != net::Device::Kind::Switch) continue;
+    if (dev->name().rfind("leaf", 0) != 0) continue;
+    for (const auto& port : dev->ports) {
+      if (port->peer()->kind() == net::Device::Kind::Switch) {
+        return port.get();
+      }
+    }
+  }
+  return nullptr;
+}
+
+TEST(LinkFailureTest, PortDropsWhileDownAndResumes) {
+  net::NetConfig ncfg;
+  net::Network net(ncfg);
+  core::DcpimConfig cfg;
+  auto topo = net::Topology::leaf_spine(net, small_topo(),
+                                        core::dcpim_host_factory(cfg));
+  cfg.control_rtt = topo.max_control_rtt();
+  cfg.bdp_bytes = topo.bdp_bytes();
+
+  net::Port* uplink = first_uplink(net);
+  ASSERT_NE(uplink, nullptr);
+  EXPECT_TRUE(uplink->link_up());
+  uplink->set_link_up(false);
+  EXPECT_FALSE(uplink->link_up());
+  uplink->set_link_up(true);
+  EXPECT_TRUE(uplink->link_up());
+}
+
+TEST(LinkFailureTest, DcpimSurvivesSpineLinkFlap) {
+  net::NetConfig ncfg;
+  net::Network net(ncfg);
+  core::DcpimConfig cfg;
+  auto topo = net::Topology::leaf_spine(net, small_topo(),
+                                        core::dcpim_host_factory(cfg));
+  cfg.control_rtt = topo.max_control_rtt();
+  cfg.bdp_bytes = topo.bdp_bytes();
+
+  // Inter-rack flows that span the flapping uplink (packet spraying puts
+  // roughly half their packets on it while it is down).
+  for (int i = 0; i < 4; ++i) {
+    net.create_flow(i, 4 + i, 4 * topo.bdp_bytes(), us(i));
+  }
+  net.create_flow(0, 5, 8'000, us(2));  // short flow during the outage
+
+  net::Port* uplink = first_uplink(net);
+  ASSERT_NE(uplink, nullptr);
+  net.sim().schedule_at(us(5), [uplink]() { uplink->set_link_up(false); });
+  net.sim().schedule_at(us(120), [uplink]() { uplink->set_link_up(true); });
+
+  net.sim().run(ms(60));
+  EXPECT_EQ(net.completed_flows, net.num_flows());
+  EXPECT_GT(net.total_drops(), 0u);  // the outage really dropped packets
+}
+
+TEST(LinkFailureTest, NdpSurvivesSpineLinkFlap) {
+  net::NetConfig ncfg;
+  net::Network net(ncfg);
+  proto::NdpConfig cfg;
+  net::LeafSpineParams p = small_topo();
+  const Bytes mtu_wire = ncfg.mtu_wire();
+  p.port_customize = [mtu_wire](net::PortConfig& pc) {
+    proto::ndp_port_customize(pc, mtu_wire);
+  };
+  auto topo =
+      net::Topology::leaf_spine(net, p, proto::ndp_host_factory(cfg));
+  cfg.bdp_bytes = topo.bdp_bytes();
+  cfg.control_rtt = topo.max_control_rtt();
+
+  for (int i = 0; i < 4; ++i) {
+    net.create_flow(i, 4 + i, 200'000, us(i));
+  }
+  net::Port* uplink = first_uplink(net);
+  ASSERT_NE(uplink, nullptr);
+  net.sim().schedule_at(us(5), [uplink]() { uplink->set_link_up(false); });
+  net.sim().schedule_at(us(150), [uplink]() { uplink->set_link_up(true); });
+  net.sim().run(ms(100));
+  EXPECT_EQ(net.completed_flows, net.num_flows());
+}
+
+TEST(LinkFailureTest, TcpSurvivesAccessLinkFlap) {
+  net::NetConfig ncfg;
+  ncfg.packet_spraying = false;
+  net::Network net(ncfg);
+  proto::TcpConfig cfg;
+  auto topo = net::Topology::leaf_spine(net, small_topo(),
+                                        proto::tcp_host_factory(cfg));
+  cfg.window.bdp_bytes = topo.bdp_bytes();
+  cfg.window.base_rtt = topo.max_data_rtt();
+
+  net.create_flow(0, 7, 150'000, 0);
+  // Flap the sender's own NIC: a total blackout only RTO recovers from.
+  net::Port* nic = net.host(0)->nic();
+  net.sim().schedule_at(us(10), [nic]() { nic->set_link_up(false); });
+  net.sim().schedule_at(us(200), [nic]() { nic->set_link_up(true); });
+  net.sim().run(ms(200));
+  EXPECT_EQ(net.completed_flows, 1u);
+}
+
+TEST(LinkFailureTest, ControlRetransmissionCoversNotificationLoss) {
+  // Down the sender NIC exactly when a flow arrives: its notification dies;
+  // dcPIM's control retransmission must re-establish it after the repair.
+  net::NetConfig ncfg;
+  net::Network net(ncfg);
+  core::DcpimConfig cfg;
+  auto topo = net::Topology::leaf_spine(net, small_topo(),
+                                        core::dcpim_host_factory(cfg));
+  cfg.control_rtt = topo.max_control_rtt();
+  cfg.bdp_bytes = topo.bdp_bytes();
+
+  net::Port* nic = net.host(0)->nic();
+  net.sim().schedule_at(us(1) - 1, [nic]() { nic->set_link_up(false); });
+  net.create_flow(0, 5, 3 * topo.bdp_bytes(), us(1));
+  net.sim().schedule_at(us(40), [nic]() { nic->set_link_up(true); });
+  net.sim().run(ms(60));
+  EXPECT_EQ(net.completed_flows, 1u);
+  auto* sender = static_cast<core::DcpimHost*>(net.host(0));
+  EXPECT_GT(sender->counters().notify_retx, 0u);
+}
+
+}  // namespace
+}  // namespace dcpim

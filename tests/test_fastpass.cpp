@@ -1,0 +1,143 @@
+// Tests for the Fastpass-style centralized baseline and its comparison
+// against dcPIM on short-flow latency (the §5 related-work claim).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/dcpim_host.h"
+#include "net/topology.h"
+#include "proto/fastpass.h"
+#include "workload/generator.h"
+
+namespace dcpim::proto {
+namespace {
+
+net::LeafSpineParams small_topo() {
+  net::LeafSpineParams p;
+  p.racks = 2;
+  p.hosts_per_rack = 4;
+  p.spines = 2;
+  return p;
+}
+
+struct FastpassFixture {
+  explicit FastpassFixture(net::LeafSpineParams p = small_topo())
+      : net(std::make_unique<net::Network>(net::NetConfig{})),
+        arbiter(std::make_unique<FastpassArbiter>(*net, cfg)) {
+    topo = std::make_unique<net::Topology>(net::Topology::leaf_spine(
+        *net, p, fastpass_host_factory(cfg, *arbiter)));
+    cfg.control_rtt = topo->max_control_rtt();
+  }
+  FastpassConfig cfg;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<FastpassArbiter> arbiter;
+  std::unique_ptr<net::Topology> topo;
+  FastpassHost* host(int i) {
+    return static_cast<FastpassHost*>(net->host(i));
+  }
+};
+
+TEST(FastpassTest, SingleFlowCompletes) {
+  FastpassFixture f;
+  net::Flow* flow = f.net->create_flow(0, 7, 300'000, 0);
+  f.net->sim().run(ms(5));
+  ASSERT_TRUE(flow->finished());
+  EXPECT_GT(f.arbiter->slots_allocated(), 0u);
+  EXPECT_GE(f.host(0)->counters().data_sent,
+            flow->packet_count(1460));
+}
+
+TEST(FastpassTest, ShortFlowPaysTheArbiterRoundTrip) {
+  // The design's documented cost: even a one-packet flow waits for the
+  // request->allocation round trip before its first byte moves (§5:
+  // "at least 2x away from optimal").
+  FastpassFixture f;
+  net::Flow* flow = f.net->create_flow(0, 7, 1'000, 0);
+  f.net->sim().run(ms(2));
+  ASSERT_TRUE(flow->finished());
+  const Time oracle = f.topo->oracle_fct(0, 7, 1'000);
+  EXPECT_GE(flow->fct(), oracle + f.cfg.control_rtt);
+  EXPECT_GE(static_cast<double>(flow->fct()),
+            1.8 * static_cast<double>(oracle));
+}
+
+TEST(FastpassTest, DcpimBeatsFastpassOnShortFlows) {
+  // Same 1KB RPC, same fabric: dcPIM's bypass path wins by design.
+  Time fastpass_fct, dcpim_fct;
+  {
+    FastpassFixture f;
+    net::Flow* flow = f.net->create_flow(0, 7, 1'000, 0);
+    f.net->sim().run(ms(2));
+    fastpass_fct = flow->fct();
+  }
+  {
+    core::DcpimConfig dcfg;
+    auto net = std::make_unique<net::Network>(net::NetConfig{});
+    auto topo = std::make_unique<net::Topology>(net::Topology::leaf_spine(
+        *net, small_topo(), core::dcpim_host_factory(dcfg)));
+    dcfg.control_rtt = topo->max_control_rtt();
+    dcfg.bdp_bytes = topo->bdp_bytes();
+    net::Flow* flow = net->create_flow(0, 7, 1'000, 0);
+    net->sim().run(ms(2));
+    dcpim_fct = flow->fct();
+  }
+  EXPECT_LT(2 * dcpim_fct, fastpass_fct);
+}
+
+TEST(FastpassTest, IncastIsCollisionFreeAtTheDownlink) {
+  // The arbiter's whole point: one sender per receiver per timeslot, so an
+  // incast produces (near) zero drops even with small buffers.
+  net::LeafSpineParams p;
+  p.racks = 4;
+  p.hosts_per_rack = 8;
+  p.spines = 2;
+  p.buffer_bytes = 100 * kKB;
+  FastpassFixture f(p);
+  std::vector<int> senders;
+  for (int i = 1; i <= 20; ++i) senders.push_back(i);
+  workload::schedule_incast(*f.net, 0, senders, 100'000, 0);
+  f.net->sim().run(ms(30));
+  EXPECT_EQ(f.net->completed_flows, 20u);
+  EXPECT_EQ(f.net->total_drops(), 0u);
+}
+
+TEST(FastpassTest, ArbitersMatchingIsOneToOnePerSlot) {
+  FastpassFixture f;
+  // Two flows from the same sender: slots must alternate, both complete.
+  f.net->create_flow(0, 6, 150'000, 0);
+  f.net->create_flow(0, 7, 150'000, 0);
+  f.net->sim().run(ms(5));
+  EXPECT_EQ(f.net->completed_flows, 2u);
+}
+
+TEST(FastpassTest, RecoversFromRandomLoss) {
+  net::LeafSpineParams p = small_topo();
+  p.port_customize = [](net::PortConfig& pc) { pc.loss_rate = 0.02; };
+  FastpassFixture f(p);
+  for (int i = 0; i < 4; ++i) {
+    f.net->create_flow(i, 7 - i, 150'000, us(i));
+  }
+  f.net->sim().run(ms(100));
+  EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
+  std::uint64_t rereq = 0;
+  for (int h = 0; h < f.net->num_hosts(); ++h) {
+    rereq += f.host(h)->counters().rerequests;
+  }
+  EXPECT_GT(rereq, 0u);
+}
+
+TEST(FastpassTest, AllToAllTrafficCompletes) {
+  FastpassFixture f;
+  workload::PoissonPatternConfig pc;
+  pc.cdf = &workload::imc10();
+  pc.load = 0.4;
+  pc.stop = us(200);
+  workload::PoissonGenerator gen(*f.net, f.topo->host_rate(), pc);
+  gen.start();
+  f.net->sim().run(ms(20));
+  EXPECT_GT(f.net->num_flows(), 0u);
+  EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
+}
+
+}  // namespace
+}  // namespace dcpim::proto

@@ -1,0 +1,83 @@
+// Tests for the iSLIP comparison (§5): round-robin pointers converge well
+// on uniform demand but herd when pointers are synchronized — the reason
+// the paper roots dcPIM in PIM's randomization instead.
+#include <gtest/gtest.h>
+
+#include "matching/pim.h"
+#include "util/rng.h"
+
+namespace dcpim::matching {
+namespace {
+
+TEST(IslipTest, ProducesValidMatching) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = BipartiteGraph::random(64, 5.0, rng);
+    auto result = run_islip(g, 8);
+    EXPECT_TRUE(result.is_valid_matching(g));
+  }
+}
+
+TEST(IslipTest, ConvergesToMaximal) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = BipartiteGraph::random(48, 4.0, rng);
+    auto result = run_islip(g, 48);
+    EXPECT_TRUE(result.is_maximal(g));
+  }
+}
+
+TEST(IslipTest, DeterministicAcrossRuns) {
+  Rng rng(9);
+  auto g = BipartiteGraph::random(48, 4.0, rng);
+  auto a = run_islip(g, 6);
+  auto b = run_islip(g, 6);
+  EXPECT_EQ(a.match_of_sender, b.match_of_sender);
+}
+
+TEST(IslipTest, PerfectOnDiagonal) {
+  BipartiteGraph g(16);
+  for (int i = 0; i < 16; ++i) g.add_edge(i, i);
+  auto result = run_islip(g, 1);
+  EXPECT_EQ(result.size(), 16);
+}
+
+TEST(IslipTest, SynchronizedPointersHerdOnDenseDemand) {
+  // Fresh pointers (all zero) + complete demand: every sender grants
+  // receiver 0 in round 1 — matching size 1, where PIM's randomization gets
+  // ~(1 - 1/e) * n. This is the workload-assumption fragility §5 cites.
+  const int n = 32;
+  auto g = BipartiteGraph::complete(n);
+  auto islip = run_islip(g, 1);
+  EXPECT_EQ(islip.size_after_round[0], 1);
+
+  Rng rng(11);
+  auto pim = run_pim(g, 1, rng);
+  EXPECT_GT(pim.size_after_round[0], n / 4);
+}
+
+TEST(IslipTest, DesynchronizesOverRounds) {
+  // The pointer-update rule fixes the herding over subsequent rounds.
+  const int n = 32;
+  auto g = BipartiteGraph::complete(n);
+  auto result = run_islip(g, n);
+  EXPECT_EQ(result.size(), n);  // eventually perfect on complete demand
+  // But the early rounds grow only linearly (one new match per round at
+  // the start), unlike PIM's geometric convergence.
+  EXPECT_LE(result.size_after_round[2], 6);
+}
+
+TEST(IslipTest, UniformRandomDemandComparableToPim) {
+  Rng rng(13);
+  double islip_sum = 0, pim_sum = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto g = BipartiteGraph::random(64, 4.0, rng);
+    islip_sum += run_islip(g, 4).size();
+    pim_sum += run_pim(g, 4, rng).size();
+  }
+  // Sparse random demand rarely synchronizes pointers: within ~15% of PIM.
+  EXPECT_GT(islip_sum, 0.85 * pim_sum);
+}
+
+}  // namespace
+}  // namespace dcpim::matching

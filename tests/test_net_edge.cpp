@@ -1,0 +1,302 @@
+// Network-substrate edge cases: spraying fairness, control-plane latency
+// under data congestion, PFC hysteresis, trimming/ECN boundaries, and
+// topology property sweeps.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/host.h"
+#include "net/network.h"
+#include "net/switch.h"
+#include "net/topology.h"
+
+namespace dcpim::net {
+namespace {
+
+class SinkHost : public Host {
+ public:
+  using Host::Host;
+  void on_flow_arrival(Flow&) override {}
+  std::vector<PacketPtr> received;
+  std::vector<Time> arrival_times;
+
+  PacketPtr make_raw(int dst, Bytes size, std::uint8_t prio, bool control) {
+    auto p = std::make_unique<Packet>();
+    p->src = host_id();
+    p->dst = dst;
+    p->size = size;
+    p->payload = control ? 0 : std::max<Bytes>(0, size - 40);
+    p->priority = prio;
+    p->control = control;
+    p->created_at = network().sim().now();
+    return p;
+  }
+  void inject(PacketPtr p) { send(std::move(p)); }
+
+ protected:
+  void on_packet(PacketPtr p) override {
+    arrival_times.push_back(network().sim().now());
+    received.push_back(std::move(p));
+  }
+};
+
+class BlastHost : public Host {
+ public:
+  using Host::Host;
+  void on_flow_arrival(Flow& flow) override {
+    const auto n = flow.packet_count(network().config().mtu_payload);
+    for (std::uint32_t seq = 0; seq < n; ++seq) {
+      send(make_data_packet(flow, seq, 2, false));
+    }
+  }
+
+ protected:
+  void on_packet(PacketPtr p) override { accept_data(*p); }
+};
+
+template <typename HostT>
+Topology::HostFactory factory_of() {
+  return [](Network& net, int id, const PortConfig& nic) -> Host* {
+    return net.add_device<HostT>(id, nic);
+  };
+}
+
+TEST(SprayingTest, UplinkLoadIsBalanced) {
+  NetConfig ncfg;
+  ncfg.packet_spraying = true;
+  Network net(ncfg);
+  LeafSpineParams p;
+  p.racks = 2;
+  p.hosts_per_rack = 1;
+  p.spines = 4;
+  auto topo = Topology::leaf_spine(net, p, factory_of<BlastHost>());
+  (void)topo;
+  net.create_flow(0, 1, 3'000'000, 0);  // ~2000 packets
+  net.sim().run();
+  std::vector<std::uint64_t> counts;
+  for (const auto& dev : net.devices()) {
+    if (dev->name() != "leaf0") continue;
+    for (const auto& port : dev->ports) {
+      if (port->peer()->kind() == Device::Kind::Switch) {
+        counts.push_back(port->tx_packets);
+      }
+    }
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / static_cast<double>(total), 0.25,
+                0.05);
+  }
+}
+
+TEST(ControlPlaneTest, ControlLatencyUnaffectedByDataCongestion) {
+  // Saturate the path with low-priority data, then time a control packet:
+  // strict priority must keep its latency near unloaded.
+  NetConfig ncfg;
+  Network net(ncfg);
+  LeafSpineParams p;
+  p.racks = 2;
+  p.hosts_per_rack = 2;
+  p.spines = 1;
+  auto topo = Topology::leaf_spine(net, p, factory_of<SinkHost>());
+  auto* a = static_cast<SinkHost*>(net.host(0));
+  auto* b = static_cast<SinkHost*>(net.host(3));
+  for (int i = 0; i < 200; ++i) a->inject(a->make_raw(3, 1540, 3, false));
+  a->inject(a->make_raw(3, 64, 0, true));
+  net.sim().run();
+  Time control_arrival = -1;
+  for (std::size_t i = 0; i < b->received.size(); ++i) {
+    if (b->received[i]->control) control_arrival = b->arrival_times[i];
+  }
+  ASSERT_GE(control_arrival, 0);
+  // One full data packet may already be serializing on each of the four
+  // links along the path (strict priority is non-preemptive).
+  const Time budget = topo.one_way_control(0, 3) + 4 * us(0.12) + us(0.05);
+  EXPECT_LE(control_arrival, budget);
+}
+
+TEST(PfcTest, HysteresisAvoidsPauseFlapping) {
+  PortConfig link;
+  link.rate = 100 * kGbps;
+  link.propagation = ns(200);
+  link.pfc_enable = true;
+  link.pfc_pause_threshold = 10 * 1540;
+  link.pfc_resume_threshold = 3 * 1540;
+  NetConfig ncfg;
+  Network net(ncfg);
+  auto* a = net.add_device<SinkHost>(0, link);
+  auto* b = net.add_device<SinkHost>(1, link);
+  auto* sw = net.add_device<Switch>("sw");
+  Network::connect(*a, *sw, link);
+  PortConfig slow = link;
+  slow.rate = 10 * kGbps;
+  Network::connect(*b, *sw, link, slow);
+  sw->set_next_hops({{0}, {1}});
+  for (int i = 0; i < 100; ++i) a->inject(a->make_raw(1, 1540, 2, false));
+  net.sim().run();
+  EXPECT_EQ(b->received.size(), 100u);
+  // With a wide hysteresis band, pauses happen but far fewer than packets.
+  EXPECT_GT(sw->pfc_pauses_sent, 0u);
+  EXPECT_LT(sw->pfc_pauses_sent, 30u);
+}
+
+TEST(TrimTest, ControlPacketsAreNeverTrimmed) {
+  PortConfig link;
+  link.rate = 100 * kGbps;
+  link.propagation = ns(200);
+  link.trim_enable = true;
+  link.trim_queue_cap = 1540;  // trims almost everything
+  NetConfig ncfg;
+  Network net(ncfg);
+  auto* a = net.add_device<SinkHost>(0, link);
+  auto* b = net.add_device<SinkHost>(1, link);
+  auto* sw = net.add_device<Switch>("sw");
+  Network::connect(*a, *sw, link);
+  Network::connect(*b, *sw, link);
+  sw->set_next_hops({{0}, {1}});
+  for (int i = 0; i < 10; ++i) a->inject(a->make_raw(1, 1540, 2, false));
+  for (int i = 0; i < 10; ++i) a->inject(a->make_raw(1, 64, 0, true));
+  net.sim().run();
+  for (const auto& pkt : b->received) {
+    if (pkt->control) EXPECT_FALSE(pkt->trimmed);
+  }
+}
+
+TEST(EcnTest, BelowThresholdNoMarks) {
+  PortConfig link;
+  link.rate = 100 * kGbps;
+  link.propagation = ns(200);
+  link.ecn_threshold = 1'000'000;  // effectively never
+  NetConfig ncfg;
+  Network net(ncfg);
+  auto* a = net.add_device<SinkHost>(0, link);
+  auto* b = net.add_device<SinkHost>(1, link);
+  auto* sw = net.add_device<Switch>("sw");
+  Network::connect(*a, *sw, link);
+  Network::connect(*b, *sw, link);
+  sw->set_next_hops({{0}, {1}});
+  for (int i = 0; i < 50; ++i) a->inject(a->make_raw(1, 1540, 2, false));
+  net.sim().run();
+  for (const auto& pkt : b->received) EXPECT_FALSE(pkt->ecn_ce);
+}
+
+TEST(IntTest, CollectIntStampsEveryHop) {
+  NetConfig ncfg;
+  Network net(ncfg);
+  LeafSpineParams p;
+  p.racks = 2;
+  p.hosts_per_rack = 1;
+  p.spines = 1;
+  auto topo = Topology::leaf_spine(net, p, factory_of<SinkHost>());
+  (void)topo;
+  auto* a = static_cast<SinkHost*>(net.host(0));
+  auto* b = static_cast<SinkHost*>(net.host(1));
+  auto pkt = a->make_raw(1, 1540, 2, false);
+  pkt->collect_int = true;
+  a->inject(std::move(pkt));
+  net.sim().run();
+  ASSERT_EQ(b->received.size(), 1u);
+  // host NIC + leaf0 + spine + leaf1 = 4 egress stamps.
+  EXPECT_EQ(b->received[0]->int_hops.size(), 4u);
+  for (const auto& hop : b->received[0]->int_hops) {
+    EXPECT_GT(hop.rate, 0);
+    EXPECT_GE(hop.timestamp, 0);
+  }
+}
+
+TEST(PfcTest, DroppedPacketsReleaseIngressAccounting) {
+  // Regression: a packet counted by PFC ingress accounting and then dropped
+  // at a full egress queue must still release its bytes — otherwise the
+  // upstream port stays paused forever (deadlock under incast bursts).
+  PortConfig link;
+  link.rate = 100 * kGbps;
+  link.propagation = ns(200);
+  link.buffer_bytes = 5 * 1540;  // tiny egress: drops guaranteed
+  link.pfc_enable = true;
+  link.pfc_pause_threshold = 8 * 1540;
+  link.pfc_resume_threshold = 3 * 1540;
+  NetConfig ncfg;
+  Network net(ncfg);
+  auto* a = net.add_device<SinkHost>(0, link);
+  auto* b = net.add_device<SinkHost>(1, link);
+  auto* sw = net.add_device<Switch>("sw");
+  PortConfig host_side = link;
+  host_side.buffer_bytes = 500 * kKB;  // host NICs never drop here
+  Network::connect(*a, *sw, host_side, link);
+  PortConfig slow = link;
+  slow.rate = 5 * kGbps;  // switch->b is the bottleneck
+  Network::connect(*b, *sw, host_side, slow);
+  sw->set_next_hops({{0}, {1}});
+  // Burst far beyond the egress buffer: drops + pauses happen.
+  for (int i = 0; i < 200; ++i) a->inject(a->make_raw(1, 1540, 2, false));
+  net.sim().run(ms(5));
+  EXPECT_GT(net.total_drops(), 0u);
+  // After the dust settles the upstream must be unpaused and the switch's
+  // ingress accounting drained.
+  EXPECT_FALSE(a->nic()->paused());
+  for (const auto& port : sw->ports) {
+    EXPECT_EQ(sw->ingress_buffered(port->index()), 0);
+  }
+  // And traffic flows again.
+  const std::size_t before = b->received.size();
+  a->inject(a->make_raw(1, 1540, 2, false));
+  net.sim().run(ms(6));
+  EXPECT_GT(b->received.size(), before);
+}
+
+// ---- FatTree property sweep ------------------------------------------------
+
+class FatTreeParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeParamTest, ShapeRoutingAndOracle) {
+  const int k = GetParam();
+  NetConfig ncfg;
+  Network net(ncfg);
+  FatTreeParams p;
+  p.k = k;
+  auto topo = Topology::fat_tree(net, p, factory_of<BlastHost>());
+  EXPECT_EQ(topo.num_hosts(), k * k * k / 4);
+  // Cross-pod flow completes at ~oracle.
+  const int last = topo.num_hosts() - 1;
+  Flow* flow = net.create_flow(0, last, 146'000, 0);
+  net.sim().run();
+  ASSERT_TRUE(flow->finished());
+  const Time oracle = topo.oracle_fct(0, last, 146'000);
+  EXPECT_GE(flow->fct(), oracle);
+  EXPECT_LT(static_cast<double>(flow->fct()),
+            1.05 * static_cast<double>(oracle));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeParamTest, ::testing::Values(4, 6, 8));
+
+// ---- oracle consistency across pair classes --------------------------------
+
+TEST(OracleTest, LoneFlowMatchesOracleForEveryPairClass) {
+  NetConfig ncfg;
+  Network net(ncfg);
+  LeafSpineParams p;
+  p.racks = 3;
+  p.hosts_per_rack = 2;
+  p.spines = 2;
+  auto topo = Topology::leaf_spine(net, p, factory_of<BlastHost>());
+  // One intra-rack pair and one inter-rack pair, run sequentially.
+  struct Case {
+    int src, dst;
+  };
+  for (const Case c : {Case{0, 1}, Case{0, 5}}) {
+    Flow* flow = net.create_flow(c.src, c.dst, 100'000,
+                                 net.sim().now() + us(1));
+    net.sim().run();
+    ASSERT_TRUE(flow->finished());
+    const Time oracle = topo.oracle_fct(c.src, c.dst, 100'000);
+    EXPECT_GE(flow->fct(), oracle);
+    EXPECT_LT(static_cast<double>(flow->fct()),
+              1.05 * static_cast<double>(oracle))
+        << c.src << "->" << c.dst;
+  }
+}
+
+}  // namespace
+}  // namespace dcpim::net

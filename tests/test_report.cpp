@@ -1,0 +1,69 @@
+// Tests for CSV result reporting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/report.h"
+
+namespace dcpim::harness {
+namespace {
+
+ReportRow sample_row() {
+  ReportRow row;
+  row.experiment = "figX";
+  row.protocol = "dcPIM";
+  row.workload = "imc10";
+  row.load = 0.6;
+  row.result.flows_total = 10;
+  row.result.flows_done = 10;
+  row.result.overall.mean = 1.5;
+  row.result.overall.p50 = 1.2;
+  row.result.overall.p99 = 4.5;
+  row.result.short_flows.mean = 1.02;
+  row.result.short_flows.p99 = 1.2;
+  row.result.goodput_ratio = 0.9;
+  row.result.load_carried_ratio = 0.95;
+  row.result.bdp = 70'000;
+  row.result.data_rtt = us(5.6);
+  row.result.control_rtt = us(5.3);
+  return row;
+}
+
+TEST(ReportTest, RowMatchesHeaderArity) {
+  const std::string header = csv_header();
+  const std::string row = to_csv_row(sample_row());
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(header), count(row));
+}
+
+TEST(ReportTest, RowContainsKeyFields) {
+  const std::string row = to_csv_row(sample_row());
+  EXPECT_NE(row.find("figX,dcPIM,imc10,0.6"), std::string::npos);
+  EXPECT_NE(row.find("1.02"), std::string::npos);
+}
+
+TEST(ReportTest, AppendCreatesFileWithHeaderOnce) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/figX.csv";
+  std::remove(path.c_str());
+  ASSERT_TRUE(append_csv(dir, {sample_row()}));
+  ASSERT_TRUE(append_csv(dir, {sample_row()}));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string contents = ss.str();
+  // One header + two data rows.
+  EXPECT_EQ(std::count(contents.begin(), contents.end(), '\n'), 3);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, EmptyDirIsNoop) {
+  EXPECT_FALSE(append_csv("", {sample_row()}));
+}
+
+}  // namespace
+}  // namespace dcpim::harness

@@ -1,0 +1,141 @@
+// Unit tests: time arithmetic, RNG determinism/distributions, UniqueFunction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+#include "util/unique_function.h"
+#include "util/units.h"
+
+namespace dcpim {
+namespace {
+
+TEST(TimeTest, UnitConversionsRoundTrip) {
+  EXPECT_EQ(ns(1), 1000);
+  EXPECT_EQ(us(1), 1'000'000);
+  EXPECT_EQ(ms(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_us(us(5.5)), 5.5);
+  EXPECT_DOUBLE_EQ(to_ns(ns(123)), 123.0);
+  EXPECT_DOUBLE_EQ(to_ms(ms(2)), 2.0);
+}
+
+TEST(TimeTest, SerializationExactAt100G) {
+  // One byte at 100 Gbps is exactly 80 ps.
+  EXPECT_EQ(serialization_time(1, 100 * kGbps), 80);
+  EXPECT_EQ(serialization_time(1500, 100 * kGbps), 120'000);  // 120 ns
+  EXPECT_EQ(serialization_time(1500, 400 * kGbps), 30'000);
+  EXPECT_EQ(serialization_time(64, 10 * kGbps), 51'200);
+}
+
+TEST(TimeTest, SerializationNoOverflowForLargeMessages) {
+  // 1 GB at 10 Gbps = 0.8 s; must not overflow int64 picoseconds.
+  const Time t = serialization_time(1'000'000'000, 10 * kGbps);
+  EXPECT_EQ(t, 800 * kMillisecond);
+}
+
+TEST(TimeTest, BytesInInvertsSerialization) {
+  const Time rtt = us(5);
+  const Bytes bdp = bytes_in(rtt, 100 * kGbps);
+  EXPECT_EQ(bdp, 62'500);
+  EXPECT_LE(serialization_time(bdp, 100 * kGbps), rtt);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, UniformIntOfOneIsZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.uniform_range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.15);
+}
+
+TEST(RngTest, BernoulliFraction) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+TEST(UniqueFunctionTest, InvokesCallable) {
+  UniqueFunction<int(int)> f = [](int x) { return x * 2; };
+  EXPECT_EQ(f(21), 42);
+}
+
+TEST(UniqueFunctionTest, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(5);
+  UniqueFunction<int()> f = [q = std::move(p)]() { return *q; };
+  EXPECT_EQ(f(), 5);
+}
+
+TEST(UniqueFunctionTest, MoveTransfersOwnership) {
+  UniqueFunction<int()> f = []() { return 1; };
+  UniqueFunction<int()> g = std::move(f);
+  EXPECT_TRUE(static_cast<bool>(g));
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(g(), 1);
+}
+
+TEST(UniqueFunctionTest, DefaultConstructedIsEmpty) {
+  UniqueFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+}  // namespace
+}  // namespace dcpim
