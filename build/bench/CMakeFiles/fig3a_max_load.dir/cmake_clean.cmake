@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_max_load.dir/fig3a_max_load.cpp.o"
+  "CMakeFiles/fig3a_max_load.dir/fig3a_max_load.cpp.o.d"
+  "fig3a_max_load"
+  "fig3a_max_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_max_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

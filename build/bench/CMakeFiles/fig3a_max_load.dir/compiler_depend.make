@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3a_max_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_mean_slowdown.dir/fig3b_mean_slowdown.cpp.o"
+  "CMakeFiles/fig3b_mean_slowdown.dir/fig3b_mean_slowdown.cpp.o.d"
+  "fig3b_mean_slowdown"
+  "fig3b_mean_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_mean_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3b_mean_slowdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3cde_slowdown_by_size.dir/fig3cde_slowdown_by_size.cpp.o"
+  "CMakeFiles/fig3cde_slowdown_by_size.dir/fig3cde_slowdown_by_size.cpp.o.d"
+  "fig3cde_slowdown_by_size"
+  "fig3cde_slowdown_by_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3cde_slowdown_by_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

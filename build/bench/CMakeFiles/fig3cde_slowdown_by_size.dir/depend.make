@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3cde_slowdown_by_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_bursty.dir/fig4a_bursty.cpp.o"
+  "CMakeFiles/fig4a_bursty.dir/fig4a_bursty.cpp.o.d"
+  "fig4a_bursty"
+  "fig4a_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_worstcase.dir/fig4b_worstcase.cpp.o"
+  "CMakeFiles/fig4b_worstcase.dir/fig4b_worstcase.cpp.o.d"
+  "fig4b_worstcase"
+  "fig4b_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

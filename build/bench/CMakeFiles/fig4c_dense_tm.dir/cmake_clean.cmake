@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_dense_tm.dir/fig4c_dense_tm.cpp.o"
+  "CMakeFiles/fig4c_dense_tm.dir/fig4c_dense_tm.cpp.o.d"
+  "fig4c_dense_tm"
+  "fig4c_dense_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_dense_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4c_dense_tm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5ab_oversubscribed.dir/fig5ab_oversubscribed.cpp.o"
+  "CMakeFiles/fig5ab_oversubscribed.dir/fig5ab_oversubscribed.cpp.o.d"
+  "fig5ab_oversubscribed"
+  "fig5ab_oversubscribed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5ab_oversubscribed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5ab_oversubscribed.
+# This may be replaced when dependencies are built.

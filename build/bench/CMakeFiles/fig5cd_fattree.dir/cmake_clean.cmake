@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5cd_fattree.dir/fig5cd_fattree.cpp.o"
+  "CMakeFiles/fig5cd_fattree.dir/fig5cd_fattree.cpp.o.d"
+  "fig5cd_fattree"
+  "fig5cd_fattree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5cd_fattree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5cd_fattree.
+# This may be replaced when dependencies are built.

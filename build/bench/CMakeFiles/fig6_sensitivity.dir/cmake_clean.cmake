@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sensitivity.dir/fig6_sensitivity.cpp.o"
+  "CMakeFiles/fig6_sensitivity.dir/fig6_sensitivity.cpp.o.d"
+  "fig6_sensitivity"
+  "fig6_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_testbed.dir/fig7_testbed.cpp.o"
+  "CMakeFiles/fig7_testbed.dir/fig7_testbed.cpp.o.d"
+  "fig7_testbed"
+  "fig7_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_sweep.dir/incast_sweep.cpp.o"
+  "CMakeFiles/incast_sweep.dir/incast_sweep.cpp.o.d"
+  "incast_sweep"
+  "incast_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

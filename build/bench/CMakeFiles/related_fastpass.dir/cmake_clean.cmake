@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_fastpass.dir/related_fastpass.cpp.o"
+  "CMakeFiles/related_fastpass.dir/related_fastpass.cpp.o.d"
+  "related_fastpass"
+  "related_fastpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_fastpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

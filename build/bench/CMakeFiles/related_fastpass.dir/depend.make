@@ -1,0 +1,2 @@
+# Empty dependencies file for related_fastpass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_matching.dir/theorem1_matching.cpp.o"
+  "CMakeFiles/theorem1_matching.dir/theorem1_matching.cpp.o.d"
+  "theorem1_matching"
+  "theorem1_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_rescue.dir/incast_rescue.cpp.o"
+  "CMakeFiles/incast_rescue.dir/incast_rescue.cpp.o.d"
+  "incast_rescue"
+  "incast_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

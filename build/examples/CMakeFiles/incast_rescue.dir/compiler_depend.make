@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for incast_rescue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_shuffle.dir/mapreduce_shuffle.cpp.o"
+  "CMakeFiles/mapreduce_shuffle.dir/mapreduce_shuffle.cpp.o.d"
+  "mapreduce_shuffle"
+  "mapreduce_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

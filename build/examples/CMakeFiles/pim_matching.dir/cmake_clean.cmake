@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_matching.dir/pim_matching.cpp.o"
+  "CMakeFiles/pim_matching.dir/pim_matching.cpp.o.d"
+  "pim_matching"
+  "pim_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

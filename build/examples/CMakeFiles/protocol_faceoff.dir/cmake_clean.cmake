@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_faceoff.dir/protocol_faceoff.cpp.o"
+  "CMakeFiles/protocol_faceoff.dir/protocol_faceoff.cpp.o.d"
+  "protocol_faceoff"
+  "protocol_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpim_core.dir/dcpim_host.cpp.o"
+  "CMakeFiles/dcpim_core.dir/dcpim_host.cpp.o.d"
+  "libdcpim_core.a"
+  "libdcpim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

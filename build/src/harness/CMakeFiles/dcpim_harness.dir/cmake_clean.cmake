@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpim_harness.dir/experiment.cpp.o"
+  "CMakeFiles/dcpim_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/dcpim_harness.dir/report.cpp.o"
+  "CMakeFiles/dcpim_harness.dir/report.cpp.o.d"
+  "libdcpim_harness.a"
+  "libdcpim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpim_matching.dir/pim.cpp.o"
+  "CMakeFiles/dcpim_matching.dir/pim.cpp.o.d"
+  "libdcpim_matching.a"
+  "libdcpim_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpim_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

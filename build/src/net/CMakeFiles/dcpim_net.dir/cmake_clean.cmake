@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpim_net.dir/device.cpp.o"
+  "CMakeFiles/dcpim_net.dir/device.cpp.o.d"
+  "CMakeFiles/dcpim_net.dir/host.cpp.o"
+  "CMakeFiles/dcpim_net.dir/host.cpp.o.d"
+  "CMakeFiles/dcpim_net.dir/network.cpp.o"
+  "CMakeFiles/dcpim_net.dir/network.cpp.o.d"
+  "CMakeFiles/dcpim_net.dir/switch.cpp.o"
+  "CMakeFiles/dcpim_net.dir/switch.cpp.o.d"
+  "CMakeFiles/dcpim_net.dir/topology.cpp.o"
+  "CMakeFiles/dcpim_net.dir/topology.cpp.o.d"
+  "libdcpim_net.a"
+  "libdcpim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/dctcp.cpp" "src/proto/CMakeFiles/dcpim_proto.dir/dctcp.cpp.o" "gcc" "src/proto/CMakeFiles/dcpim_proto.dir/dctcp.cpp.o.d"
+  "/root/repo/src/proto/fastpass.cpp" "src/proto/CMakeFiles/dcpim_proto.dir/fastpass.cpp.o" "gcc" "src/proto/CMakeFiles/dcpim_proto.dir/fastpass.cpp.o.d"
+  "/root/repo/src/proto/homa.cpp" "src/proto/CMakeFiles/dcpim_proto.dir/homa.cpp.o" "gcc" "src/proto/CMakeFiles/dcpim_proto.dir/homa.cpp.o.d"
+  "/root/repo/src/proto/hpcc.cpp" "src/proto/CMakeFiles/dcpim_proto.dir/hpcc.cpp.o" "gcc" "src/proto/CMakeFiles/dcpim_proto.dir/hpcc.cpp.o.d"
+  "/root/repo/src/proto/ndp.cpp" "src/proto/CMakeFiles/dcpim_proto.dir/ndp.cpp.o" "gcc" "src/proto/CMakeFiles/dcpim_proto.dir/ndp.cpp.o.d"
+  "/root/repo/src/proto/phost.cpp" "src/proto/CMakeFiles/dcpim_proto.dir/phost.cpp.o" "gcc" "src/proto/CMakeFiles/dcpim_proto.dir/phost.cpp.o.d"
+  "/root/repo/src/proto/tcp.cpp" "src/proto/CMakeFiles/dcpim_proto.dir/tcp.cpp.o" "gcc" "src/proto/CMakeFiles/dcpim_proto.dir/tcp.cpp.o.d"
+  "/root/repo/src/proto/window_transport.cpp" "src/proto/CMakeFiles/dcpim_proto.dir/window_transport.cpp.o" "gcc" "src/proto/CMakeFiles/dcpim_proto.dir/window_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dcpim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcpim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcpim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpim_proto.dir/dctcp.cpp.o"
+  "CMakeFiles/dcpim_proto.dir/dctcp.cpp.o.d"
+  "CMakeFiles/dcpim_proto.dir/fastpass.cpp.o"
+  "CMakeFiles/dcpim_proto.dir/fastpass.cpp.o.d"
+  "CMakeFiles/dcpim_proto.dir/homa.cpp.o"
+  "CMakeFiles/dcpim_proto.dir/homa.cpp.o.d"
+  "CMakeFiles/dcpim_proto.dir/hpcc.cpp.o"
+  "CMakeFiles/dcpim_proto.dir/hpcc.cpp.o.d"
+  "CMakeFiles/dcpim_proto.dir/ndp.cpp.o"
+  "CMakeFiles/dcpim_proto.dir/ndp.cpp.o.d"
+  "CMakeFiles/dcpim_proto.dir/phost.cpp.o"
+  "CMakeFiles/dcpim_proto.dir/phost.cpp.o.d"
+  "CMakeFiles/dcpim_proto.dir/tcp.cpp.o"
+  "CMakeFiles/dcpim_proto.dir/tcp.cpp.o.d"
+  "CMakeFiles/dcpim_proto.dir/window_transport.cpp.o"
+  "CMakeFiles/dcpim_proto.dir/window_transport.cpp.o.d"
+  "libdcpim_proto.a"
+  "libdcpim_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpim_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dcpim_sim.dir/simulator.cpp.o.d"
+  "libdcpim_sim.a"
+  "libdcpim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpim_stats.dir/metrics.cpp.o"
+  "CMakeFiles/dcpim_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/dcpim_stats.dir/trace.cpp.o"
+  "CMakeFiles/dcpim_stats.dir/trace.cpp.o.d"
+  "libdcpim_stats.a"
+  "libdcpim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

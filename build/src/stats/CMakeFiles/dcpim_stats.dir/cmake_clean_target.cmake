@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcpim_stats.a"
+)

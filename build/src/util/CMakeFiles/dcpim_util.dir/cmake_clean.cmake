@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpim_util.dir/logging.cpp.o"
+  "CMakeFiles/dcpim_util.dir/logging.cpp.o.d"
+  "libdcpim_util.a"
+  "libdcpim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcpim_workload.dir/cdf.cpp.o"
+  "CMakeFiles/dcpim_workload.dir/cdf.cpp.o.d"
+  "CMakeFiles/dcpim_workload.dir/generator.cpp.o"
+  "CMakeFiles/dcpim_workload.dir/generator.cpp.o.d"
+  "libdcpim_workload.a"
+  "libdcpim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcpim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dcpim_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcpim.dir/test_dcpim.cpp.o"
+  "CMakeFiles/test_dcpim.dir/test_dcpim.cpp.o.d"
+  "test_dcpim"
+  "test_dcpim.pdb"
+  "test_dcpim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcpim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

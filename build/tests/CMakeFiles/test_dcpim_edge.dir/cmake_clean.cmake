@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcpim_edge.dir/test_dcpim_edge.cpp.o"
+  "CMakeFiles/test_dcpim_edge.dir/test_dcpim_edge.cpp.o.d"
+  "test_dcpim_edge"
+  "test_dcpim_edge.pdb"
+  "test_dcpim_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcpim_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastpass.dir/test_fastpass.cpp.o"
+  "CMakeFiles/test_fastpass.dir/test_fastpass.cpp.o.d"
+  "test_fastpass"
+  "test_fastpass.pdb"
+  "test_fastpass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

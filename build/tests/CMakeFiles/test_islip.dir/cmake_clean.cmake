@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_islip.dir/test_islip.cpp.o"
+  "CMakeFiles/test_islip.dir/test_islip.cpp.o.d"
+  "test_islip"
+  "test_islip.pdb"
+  "test_islip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_islip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_edge.dir/test_net_edge.cpp.o"
+  "CMakeFiles/test_net_edge.dir/test_net_edge.cpp.o.d"
+  "test_net_edge"
+  "test_net_edge.pdb"
+  "test_net_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phost.dir/test_phost.cpp.o"
+  "CMakeFiles/test_phost.dir/test_phost.cpp.o.d"
+  "test_phost"
+  "test_phost.pdb"
+  "test_phost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_phost.
+# This may be replaced when dependencies are built.

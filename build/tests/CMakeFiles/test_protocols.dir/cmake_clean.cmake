@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocols.dir/test_protocols.cpp.o"
+  "CMakeFiles/test_protocols.dir/test_protocols.cpp.o.d"
+  "test_protocols"
+  "test_protocols.pdb"
+  "test_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/test_trace.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dcpim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcpim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/dcpim_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/dcpim_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dcpim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dcpim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcpim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcpim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcpim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_transport.dir/test_window_transport.cpp.o"
+  "CMakeFiles/test_window_transport.dir/test_window_transport.cpp.o.d"
+  "test_window_transport"
+  "test_window_transport.pdb"
+  "test_window_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
