@@ -2,7 +2,7 @@
 // plus the ablation and robustness knobs DESIGN.md calls out.
 #pragma once
 
-#include <cassert>
+#include "util/check.h"
 #include <cstdint>
 
 #include "util/time.h"
@@ -71,12 +71,12 @@ struct DcpimConfig {
   }
 
   void validate() const {
-    assert(rounds >= 1);
-    assert(channels >= 1);
-    assert(beta >= 1.0);
-    assert(control_rtt > 0);
-    assert(bdp_bytes > 0);
-    assert(long_flow_priorities >= 1);
+    DCPIM_CHECK_GE(rounds, 1, "dcPIM needs at least one matching round");
+    DCPIM_CHECK_GE(channels, 1, "dcPIM needs at least one channel");
+    DCPIM_CHECK_GE(beta, 1.0, "stage slack below 1 breaks stage alignment");
+    DCPIM_CHECK_GT(control_rtt, 0, "control RTT not filled from topology");
+    DCPIM_CHECK_GT(bdp_bytes, 0, "BDP not filled from topology");
+    DCPIM_CHECK_GE(long_flow_priorities, 1, "need a data priority level");
   }
 };
 

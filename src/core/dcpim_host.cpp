@@ -1,7 +1,7 @@
 #include "core/dcpim_host.h"
 
 #include <algorithm>
-#include <cassert>
+#include "util/check.h"
 #include <limits>
 
 #include "util/logging.h"
@@ -51,7 +51,8 @@ std::size_t DcpimHost::total_window_packets() const {
 }
 
 void DcpimHost::forget_outstanding(RxFlow& rx) {
-  assert(outstanding_total_ >= rx.outstanding.size());
+  DCPIM_CHECK_GE(outstanding_total_, rx.outstanding.size(),
+                 "receiver outstanding-token accounting drifted");
   outstanding_total_ -= rx.outstanding.size();
   rx.outstanding.clear();
 }
@@ -97,7 +98,7 @@ void DcpimHost::on_flow_arrival(net::Flow& flow) {
   tx.sent.assign(tx.packets, false);
   tx.is_short = flow.size <= cfg_.effective_short_threshold();
   auto [it, inserted] = tx_flows_.emplace(flow.id, std::move(tx));
-  assert(inserted);
+  DCPIM_CHECK(inserted, "duplicate flow arrival at sender");
   TxFlow& ref = it->second;
 
   send_notification(ref, /*retransmit=*/false);
@@ -265,6 +266,7 @@ bool DcpimHost::token_expired(const TokenPacket& tok) const {
 }
 
 void DcpimHost::handle_token(const TokenPacket& tok) {
+  ++counters_.tokens_received;
   if (token_expired(tok)) {
     ++counters_.tokens_expired;
     return;
@@ -778,6 +780,76 @@ int DcpimHost::receiver_matched_peers(std::uint64_t epoch) const {
   return it == recv_epochs_.end()
              ? 0
              : static_cast<int>(it->second.matches.size());
+}
+
+// ===== invariant audit hooks ================================================
+
+void DcpimHost::audit_token_accounting(std::vector<std::string>& out) const {
+  const std::string who = "host " + std::to_string(host_id());
+  // Token clocking (§3.2): scheduled (matched-phase) data is admitted one
+  // packet per token, so a sender can never have sent more token-clocked
+  // packets than tokens it heard about.
+  const std::uint64_t scheduled =
+      counters_.data_sent - counters_.short_data_sent;
+  if (scheduled > counters_.tokens_received) {
+    out.push_back(who + " sent " + std::to_string(scheduled) +
+                  " token-clocked data packets but received only " +
+                  std::to_string(counters_.tokens_received) + " tokens");
+  }
+  // Receiver-side ledger: the aggregate outstanding-token count must equal
+  // the sum of the per-flow maps it caches.
+  std::size_t per_flow_outstanding = 0;
+  const std::uint32_t window_cap = window_packets(cfg_.channels);
+  for (const auto& [id, rx] : rx_flows_) {
+    per_flow_outstanding += rx.outstanding.size();
+    if (rx.outstanding.size() > window_cap) {
+      out.push_back(who + " flow " + std::to_string(id) + " has " +
+                    std::to_string(rx.outstanding.size()) +
+                    " outstanding tokens, above the " +
+                    std::to_string(window_cap) + "-packet window");
+    }
+  }
+  if (per_flow_outstanding != outstanding_total_) {
+    out.push_back(who + " outstanding-token total " +
+                  std::to_string(outstanding_total_) +
+                  " != per-flow sum " +
+                  std::to_string(per_flow_outstanding));
+  }
+}
+
+void DcpimHost::audit_matching(std::vector<std::string>& out) const {
+  const std::string who = "host " + std::to_string(host_id());
+  for (const auto& [epoch, st] : send_epochs_) {
+    if (st.matched_channels < 0 || st.matched_channels > cfg_.channels) {
+      out.push_back(who + " (sender) epoch " + std::to_string(epoch) +
+                    " matched " + std::to_string(st.matched_channels) +
+                    " channels, outside [0, " +
+                    std::to_string(cfg_.channels) + "]");
+    }
+  }
+  for (const auto& [epoch, st] : recv_epochs_) {
+    if (st.matched_channels < 0 || st.matched_channels > cfg_.channels) {
+      out.push_back(who + " (receiver) epoch " + std::to_string(epoch) +
+                    " matched " + std::to_string(st.matched_channels) +
+                    " channels, outside [0, " +
+                    std::to_string(cfg_.channels) + "]");
+    }
+    int accepted_sum = 0;
+    for (const auto& [sender, channels] : st.matches) {
+      if (channels < 1 || channels > cfg_.channels) {
+        out.push_back(who + " (receiver) epoch " + std::to_string(epoch) +
+                      " matched sender " + std::to_string(sender) + " on " +
+                      std::to_string(channels) + " channels");
+      }
+      accepted_sum += channels;
+    }
+    if (accepted_sum != st.matched_channels) {
+      out.push_back(who + " (receiver) epoch " + std::to_string(epoch) +
+                    " per-sender matches sum to " +
+                    std::to_string(accepted_sum) + " but total says " +
+                    std::to_string(st.matched_channels));
+    }
+  }
 }
 
 net::Topology::HostFactory dcpim_host_factory(const DcpimConfig& cfg) {

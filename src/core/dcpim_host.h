@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +37,7 @@ class DcpimHost : public net::Host {
     std::uint64_t grants_sent = 0;
     std::uint64_t accepts_sent = 0;
     std::uint64_t tokens_sent = 0;
+    std::uint64_t tokens_received = 0;  ///< tokens arriving at this sender
     std::uint64_t tokens_expired = 0;  ///< stale tokens discarded by sender
     std::uint64_t pacer_skips_window = 0;  ///< tick found all windows full
     std::uint64_t pacer_skips_no_work = 0;  ///< tick found nothing to admit
@@ -59,6 +61,15 @@ class DcpimHost : public net::Host {
   int receiver_matched_channels(std::uint64_t epoch) const;
   /// Distinct senders matched (receiver role) in epoch m.
   int receiver_matched_peers(std::uint64_t epoch) const;
+
+  // --- invariant audit hooks (sim::Auditor probes; see harness/audit_probes)
+  /// Token clocking (§3.2): every token-clocked data packet this host sent
+  /// must be backed by a token it received; appends violations to `out`.
+  void audit_token_accounting(std::vector<std::string>& out) const;
+  /// Matching validity (Theorem 1 precondition, generalized to k channels,
+  /// §3.4): per live epoch, no role holds more than k matched channels and
+  /// the receiver's per-sender match table is consistent with its total.
+  void audit_matching(std::vector<std::string>& out) const;
 
  protected:
   void on_packet(net::PacketPtr p) override;

@@ -1,0 +1,153 @@
+#include "harness/audit_probes.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/dcpim_host.h"
+#include "net/device.h"
+#include "net/host.h"
+
+namespace dcpim::harness {
+
+namespace {
+
+/// Per-flow payload ledger filled by the inject/drop observers. In-flight
+/// and duplicate bytes cannot be observed directly, so the probe checks the
+/// conservation law through inequalities that hold at every instant:
+///
+///   delivered(f) <= size(f)                     (dedup correctness)
+///   finished(f)  => delivered(f) == size(f)     (completion correctness)
+///   delivered(f) + dropped(f) <= injected(f)    (no bytes out of thin air;
+///                                                slack = in-flight + dup +
+///                                                trimmed payload)
+struct FlowLedger {
+  struct Entry {
+    Bytes injected = 0;  ///< payload bytes handed to the sender NIC
+    Bytes dropped = 0;   ///< payload bytes lost at any port
+  };
+  std::unordered_map<std::uint64_t, Entry> flows;
+};
+
+Bytes delivered_bytes(net::Network& net, const net::Flow& f) {
+  net::Host* dst = net.host(f.dst);
+  net::FlowRxState* rx = dst->find_rx_state(f.id);
+  return rx == nullptr ? 0 : rx->received_bytes();
+}
+
+void check_flow_conservation(net::Network& net, const FlowLedger& ledger,
+                             sim::Auditor::Context& ctx) {
+  Bytes delivered_sum = 0;
+  for (const auto& f : net.flows()) {
+    const Bytes delivered = delivered_bytes(net, *f);
+    delivered_sum += delivered;
+    const std::string tag = "flow " + std::to_string(f->id);
+    if (delivered > f->size) {
+      ctx.fail(tag + " delivered " + std::to_string(delivered) +
+               " B, more than its size " + std::to_string(f->size) + " B");
+    }
+    if (f->finished() && delivered != f->size) {
+      ctx.fail(tag + " finished with " + std::to_string(delivered) + "/" +
+               std::to_string(f->size) + " B delivered");
+    }
+    auto it = ledger.flows.find(f->id);
+    const FlowLedger::Entry entry =
+        it == ledger.flows.end() ? FlowLedger::Entry{} : it->second;
+    if (delivered + entry.dropped > entry.injected) {
+      ctx.fail(tag + " accounts " + std::to_string(delivered) +
+               " B delivered + " + std::to_string(entry.dropped) +
+               " B dropped against only " + std::to_string(entry.injected) +
+               " B injected");
+    }
+  }
+  if (delivered_sum != net.total_payload_delivered) {
+    ctx.fail("per-flow delivered sum " + std::to_string(delivered_sum) +
+             " B != network total " +
+             std::to_string(net.total_payload_delivered) + " B");
+  }
+}
+
+void check_queue_occupancy(net::Network& net, sim::Auditor::Context& ctx) {
+  for (const auto& dev : net.devices()) {
+    for (const auto& port : dev->ports) {
+      const std::string tag = dev->name() + " port " +
+                              std::to_string(port->index());
+      Bytes prio_sum = 0;
+      for (int prio = 0; prio < net::kNumPriorities; ++prio) {
+        const Bytes q = port->queued_bytes(prio);
+        if (q < 0) {
+          ctx.fail(tag + " priority " + std::to_string(prio) +
+                   " holds negative bytes: " + std::to_string(q));
+        }
+        prio_sum += q;
+      }
+      if (prio_sum != port->queued_bytes()) {
+        ctx.fail(tag + " per-priority bytes sum to " +
+                 std::to_string(prio_sum) + " but total says " +
+                 std::to_string(port->queued_bytes()));
+      }
+      const net::PortConfig& cfg = port->config();
+      if (cfg.buffer_bytes < 0) continue;
+      const Bytes data_queued = port->queued_bytes() - port->queued_bytes(0);
+      if (data_queued > cfg.buffer_bytes) {
+        ctx.fail(tag + " data queues hold " + std::to_string(data_queued) +
+                 " B, above the " + std::to_string(cfg.buffer_bytes) +
+                 " B buffer");
+      }
+      // Trimming bypasses the control budget by design (headers of trimmed
+      // data land on priority 0 unconditionally), so the control bound only
+      // applies on non-trimming ports.
+      if (!cfg.trim_enable && port->queued_bytes(0) > cfg.buffer_bytes) {
+        ctx.fail(tag + " control queue holds " +
+                 std::to_string(port->queued_bytes(0)) + " B, above the " +
+                 std::to_string(cfg.buffer_bytes) + " B buffer");
+      }
+    }
+  }
+}
+
+template <typename Fn>
+void for_each_dcpim_host(net::Network& net, Fn&& fn) {
+  for (int h = 0; h < net.num_hosts(); ++h) {
+    if (auto* host = dynamic_cast<core::DcpimHost*>(net.host(h))) {
+      fn(*host);
+    }
+  }
+}
+
+}  // namespace
+
+void install_standard_probes(sim::Auditor& auditor, net::Network& net) {
+  auto ledger = std::make_shared<FlowLedger>();
+  net.add_inject_observer([ledger](const net::Packet& p) {
+    if (p.payload > 0) ledger->flows[p.flow_id].injected += p.payload;
+  });
+  net.add_drop_observer([ledger](const net::Packet& p, const net::Port&) {
+    if (p.payload > 0) ledger->flows[p.flow_id].dropped += p.payload;
+  });
+
+  auditor.add_probe("flow-byte-conservation",
+                    [&net, ledger](sim::Auditor::Context& ctx) {
+                      check_flow_conservation(net, *ledger, ctx);
+                    });
+  auditor.add_probe("queue-occupancy", [&net](sim::Auditor::Context& ctx) {
+    check_queue_occupancy(net, ctx);
+  });
+  auditor.add_probe("dcpim-token-accounting",
+                    [&net](sim::Auditor::Context& ctx) {
+                      std::vector<std::string> violations;
+                      for_each_dcpim_host(net, [&](core::DcpimHost& host) {
+                        host.audit_token_accounting(violations);
+                      });
+                      for (auto& v : violations) ctx.fail(std::move(v));
+                    });
+  auditor.add_probe("dcpim-matching", [&net](sim::Auditor::Context& ctx) {
+    std::vector<std::string> violations;
+    for_each_dcpim_host(net, [&](core::DcpimHost& host) {
+      host.audit_matching(violations);
+    });
+    for (auto& v : violations) ctx.fail(std::move(v));
+  });
+}
+
+}  // namespace dcpim::harness

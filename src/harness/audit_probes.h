@@ -1,0 +1,28 @@
+// Standard invariant probes for the simulation auditor (ISSUE: invariant
+// layer). The generic engine lives in sim/audit.h; this header wires the
+// concrete, whole-system probes over the network and protocol layers:
+//
+//   flow-byte-conservation   injected payload = delivered + dropped + in-flight
+//                            (checked as the safe inequalities; see .cpp)
+//   queue-occupancy          per-port priority queues sum consistently and
+//                            respect the configured buffer budgets
+//   dcpim-token-accounting   token-clocked data never outruns granted tokens
+//   dcpim-matching           per-epoch matches within the k-channel bound
+//                            (Theorem 1 precondition)
+//
+// The dcPIM probes are no-ops on non-dcPIM hosts, so the full set can be
+// installed for any protocol under test.
+#pragma once
+
+#include "net/network.h"
+#include "sim/audit.h"
+
+namespace dcpim::harness {
+
+/// Installs the standard probe set on `auditor`, subscribing the byte-ledger
+/// observers on `net`. Call before the simulation runs (the conservation
+/// ledger must see every injected packet); `net` must outlive `auditor`
+/// sweeps.
+void install_standard_probes(sim::Auditor& auditor, net::Network& net);
+
+}  // namespace dcpim::harness

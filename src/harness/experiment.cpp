@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "core/dcpim_host.h"
+#include "harness/audit_probes.h"
 #include "net/topology.h"
+#include "sim/audit.h"
 #include "util/logging.h"
 #include "workload/cdf.h"
 #include "workload/generator.h"
@@ -276,6 +278,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   std::vector<std::unique_ptr<workload::PoissonGenerator>> gens;
   drive_pattern(rt, gens);
 
+  std::unique_ptr<sim::Auditor> auditor;
+  if (cfg.audit) {
+    sim::Auditor::Options opts;
+    opts.period = cfg.audit_period;
+    auditor = std::make_unique<sim::Auditor>(opts);
+    install_standard_probes(*auditor, *rt.net);
+    auditor->attach(rt.net->sim());
+  }
+
   rt.net->sim().run(cfg.horizon);
 
   ExperimentResult res;
@@ -319,6 +330,18 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.util_series.resize(util.num_bins());
   for (std::size_t i = 0; i < util.num_bins(); ++i) {
     res.util_series[i] = util.utilization(i, capacity_bps);
+  }
+  if (auditor) {
+    // Final end-of-run sweep: catches invariants that only settle once the
+    // event queue drains (e.g. completion correctness for every flow).
+    auditor->sweep(rt.net->sim().now());
+    res.audit = auditor->summary();
+    if (!res.audit.clean()) {
+      LOG_WARN("audit: %llu invariant violation(s); first: [%s] %s",
+               static_cast<unsigned long long>(res.audit.violations_total),
+               res.audit.violations.front().probe.c_str(),
+               res.audit.violations.front().message.c_str());
+    }
   }
   return res;
 }

@@ -9,6 +9,7 @@
 
 #include "core/dcpim_config.h"
 #include "proto/dctcp.h"
+#include "sim/audit.h"
 #include "proto/homa.h"
 #include "proto/hpcc.h"
 #include "proto/ndp.h"
@@ -74,6 +75,13 @@ struct ExperimentConfig {
   // --- failure injection --------------------------------------------------------
   double loss_rate = 0.0;  ///< random per-packet loss on every port
 
+  // --- invariant auditing ---------------------------------------------------
+  /// When set, the standard invariant probes (see harness/audit_probes.h)
+  /// sweep the simulation every `audit_period` plus once at the end; the
+  /// result lands in ExperimentResult::audit.
+  bool audit = false;
+  Time audit_period = us(10);
+
   // --- per-protocol parameters (topology-derived fields filled at run) ---------
   core::DcpimConfig dcpim;
   proto::PhostConfig phost;
@@ -107,6 +115,8 @@ struct ExperimentResult {
   /// Delivered-throughput series (fraction of receiver aggregate capacity).
   std::vector<double> util_series;
   Time util_bin = us(10);
+  /// Invariant audit outcome (enabled == false unless cfg.audit was set).
+  sim::AuditSummary audit;
 
   double mean_util(std::size_t from_bin, std::size_t to_bin) const;
 };

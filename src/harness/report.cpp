@@ -11,7 +11,29 @@ std::string csv_header() {
   return "experiment,protocol,workload,load,flows_total,flows_done,"
          "mean_slowdown,p50_slowdown,p99_slowdown,short_mean,short_p99,"
          "goodput_ratio,load_carried_ratio,drops,trims,pfc_pauses,"
-         "bdp_bytes,data_rtt_us,control_rtt_us";
+         "bdp_bytes,data_rtt_us,control_rtt_us,audit_checks,audit_violations";
+}
+
+std::string format_audit_summary(const sim::AuditSummary& audit) {
+  if (!audit.enabled) return "audit: disabled";
+  std::ostringstream os;
+  os << "audit: " << (audit.clean() ? "clean" : "VIOLATIONS") << " ("
+     << audit.sweeps << " sweeps, " << audit.checks << " checks, "
+     << audit.violations_total << " violations)\n";
+  for (const auto& probe : audit.probes) {
+    os << "  probe " << probe.name << ": " << probe.checks << " checks, "
+       << probe.violations << " violations\n";
+  }
+  if (!audit.violations.empty()) {
+    const std::size_t recorded = audit.violations.size();
+    os << "  first " << recorded << " of " << audit.violations_total
+       << " violation(s):\n";
+    for (const auto& v : audit.violations) {
+      os << "    [" << to_us(v.at) << " us] " << v.probe << ": " << v.message
+         << "\n";
+    }
+  }
+  return os.str();
 }
 
 std::string to_csv_row(const ReportRow& row) {
@@ -23,7 +45,8 @@ std::string to_csv_row(const ReportRow& row) {
      << r.short_flows.mean << ',' << r.short_flows.p99 << ','
      << r.goodput_ratio << ',' << r.load_carried_ratio << ',' << r.drops
      << ',' << r.trims << ',' << r.pfc_pauses << ',' << r.bdp << ','
-     << to_us(r.data_rtt) << ',' << to_us(r.control_rtt);
+     << to_us(r.data_rtt) << ',' << to_us(r.control_rtt) << ','
+     << r.audit.checks << ',' << r.audit.violations_total;
   return os.str();
 }
 

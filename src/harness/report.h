@@ -22,6 +22,11 @@ struct ReportRow {
 /// CSV header matching to_csv_row().
 std::string csv_header();
 
+/// Multi-line human-readable audit report: per-probe check/violation counts
+/// plus the first recorded violations. Returns "audit: disabled" when the
+/// experiment ran without auditing.
+std::string format_audit_summary(const sim::AuditSummary& audit);
+
 /// Flattens a row: experiment,protocol,workload,load,<metrics...>.
 std::string to_csv_row(const ReportRow& row);
 

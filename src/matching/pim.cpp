@@ -1,7 +1,7 @@
 #include "matching/pim.h"
 
 #include <algorithm>
-#include <cassert>
+#include "util/check.h"
 #include <cmath>
 #include <deque>
 #include <functional>
@@ -13,11 +13,12 @@ BipartiteGraph::BipartiteGraph(int n)
     : n_(n),
       sender_adj_(static_cast<std::size_t>(n)),
       receiver_adj_(static_cast<std::size_t>(n)) {
-  assert(n > 0);
+  DCPIM_CHECK_GT(n, 0, "bipartite graph needs nodes");
 }
 
 void BipartiteGraph::add_edge(int sender, int receiver) {
-  assert(sender >= 0 && sender < n_ && receiver >= 0 && receiver < n_);
+  DCPIM_DCHECK(sender >= 0 && sender < n_ && receiver >= 0 && receiver < n_,
+               "edge endpoints out of range");
   if (has_edge(sender, receiver)) return;
   sender_adj_[static_cast<std::size_t>(sender)].push_back(receiver);
   receiver_adj_[static_cast<std::size_t>(receiver)].push_back(sender);

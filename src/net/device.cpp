@@ -1,6 +1,6 @@
 #include "net/device.h"
 
-#include <cassert>
+#include "util/check.h"
 #include <utility>
 
 #include "net/network.h"
@@ -30,7 +30,7 @@ void Port::drop_packet(PacketPtr p) {
 }
 
 void Port::enqueue(PacketPtr p) {
-  assert(peer_ != nullptr && "port not connected");
+  DCPIM_CHECK(peer_ != nullptr, "port not connected");
   if (!link_up_) {
     drop_packet(std::move(p));
     return;

@@ -16,7 +16,10 @@ Host::Host(Network& net, int host_id, const PortConfig& /*nic_cfg*/)
 
 void Host::receive(PacketPtr p, Port* /*in*/) { on_packet(std::move(p)); }
 
-void Host::send(PacketPtr p) { nic()->enqueue(std::move(p)); }
+void Host::send(PacketPtr p) {
+  network().notify_injected(*p);
+  nic()->enqueue(std::move(p));
+}
 
 PacketPtr Host::make_data_packet(const Flow& flow, std::uint32_t seq,
                                  std::uint8_t priority,

@@ -3,7 +3,7 @@
 // signalling). A protocol implements on_flow_arrival() and on_packet().
 #pragma once
 
-#include <cassert>
+#include "util/check.h"
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -25,7 +25,7 @@ class Host : public Device {
 
   int host_id() const { return host_id_; }
   Port* nic() const {
-    assert(!ports.empty() && "host not wired to the topology yet");
+    DCPIM_CHECK(!ports.empty(), "host not wired to the topology yet");
     return ports[0].get();
   }
 

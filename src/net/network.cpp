@@ -1,6 +1,6 @@
 #include "net/network.h"
 
-#include <cassert>
+#include "util/check.h"
 
 #include "net/host.h"
 #include "net/switch.h"
@@ -28,13 +28,13 @@ void Network::connect(Device& a, Device& b, const PortConfig& a_to_b,
 void Network::register_host(Host* host) {
   const auto id = static_cast<std::size_t>(host->host_id());
   if (hosts_.size() <= id) hosts_.resize(id + 1, nullptr);
-  assert(hosts_[id] == nullptr && "duplicate host id");
+  DCPIM_CHECK(hosts_[id] == nullptr, "duplicate host id");
   hosts_[id] = host;
 }
 
 Flow* Network::create_flow(int src, int dst, Bytes size, Time start) {
-  assert(src != dst && "self-flows are not modelled");
-  assert(size > 0);
+  DCPIM_CHECK_NE(src, dst, "self-flows are not modelled");
+  DCPIM_CHECK_GT(size, 0, "flows must carry payload");
   auto flow = std::make_unique<Flow>();
   flow->id = next_flow_id_++;
   flow->src = src;
@@ -57,7 +57,7 @@ Flow* Network::flow(std::uint64_t id) const {
 }
 
 void Network::flow_completed(Flow& f) {
-  assert(!f.finished());
+  DCPIM_CHECK(!f.finished(), "flow completed twice");
   f.finish_time = sim_.now();
   ++completed_flows;
   LOG_DEBUG("flow %llu (%d->%d, %lld B) done, fct=%.2f us",

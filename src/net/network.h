@@ -71,6 +71,7 @@ class Network {
   using ArrivalObserver = std::function<void(const Flow&)>;
   using PayloadObserver = std::function<void(Bytes, Time)>;
   using DropObserver = std::function<void(const Packet&, const Port&)>;
+  using InjectObserver = std::function<void(const Packet&)>;
 
   void add_flow_observer(FlowObserver fn) {
     flow_observers_.push_back(std::move(fn));
@@ -85,6 +86,11 @@ class Network {
   void add_drop_observer(DropObserver fn) {
     drop_observers_.push_back(std::move(fn));
   }
+  /// Observer fired when a host injects a packet into its NIC (before any
+  /// queueing). Used by the audit layer for byte-conservation ledgers.
+  void add_inject_observer(InjectObserver fn) {
+    inject_observers_.push_back(std::move(fn));
+  }
 
   /// Internal: fired by Host::accept_data for each fresh payload byte batch.
   void notify_payload(Bytes fresh, Time at) {
@@ -93,6 +99,10 @@ class Network {
   /// Internal: fired by ports on any drop.
   void notify_drop(const Packet& p, const Port& port) {
     for (auto& fn : drop_observers_) fn(p, port);
+  }
+  /// Internal: fired by Host::send for every injected packet.
+  void notify_injected(const Packet& p) {
+    for (auto& fn : inject_observers_) fn(p);
   }
 
   // --- aggregate statistics ---------------------------------------------------
@@ -112,6 +122,7 @@ class Network {
   std::vector<ArrivalObserver> arrival_observers_;
   std::vector<PayloadObserver> payload_observers_;
   std::vector<DropObserver> drop_observers_;
+  std::vector<InjectObserver> inject_observers_;
 
   NetConfig cfg_;
   sim::Simulator sim_;

@@ -1,6 +1,6 @@
 #include "net/switch.h"
 
-#include <cassert>
+#include "util/check.h"
 
 #include "util/logging.h"
 
@@ -10,9 +10,10 @@ Switch::Switch(Network& net, std::string name)
     : Device(net, Kind::Switch, std::move(name)) {}
 
 Port* Switch::select_egress(const Packet& p) {
-  assert(p.dst >= 0 && static_cast<std::size_t>(p.dst) < next_hops_.size());
+  DCPIM_CHECK(p.dst >= 0 && static_cast<std::size_t>(p.dst) < next_hops_.size(),
+              "packet destination outside routing table");
   const auto& cands = next_hops_[static_cast<std::size_t>(p.dst)];
-  assert(!cands.empty() && "no route to destination");
+  DCPIM_CHECK(!cands.empty(), "no route to destination");
   std::size_t pick = 0;
   if (cands.size() > 1) {
     if (network().config().packet_spraying) {

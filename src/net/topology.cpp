@@ -1,7 +1,7 @@
 #include "net/topology.h"
 
 #include <algorithm>
-#include <cassert>
+#include "util/check.h"
 #include <deque>
 #include <limits>
 #include <string>
@@ -67,7 +67,7 @@ void Topology::finalize(Network& net) {
           cands.push_back(static_cast<std::uint16_t>(port->index()));
         }
       }
-      assert((my_dist < 0 || !cands.empty()) && "unroutable destination");
+      DCPIM_CHECK(my_dist < 0 || !cands.empty(), "unroutable destination");
     }
     sw->set_next_hops(std::move(table));
   }
@@ -83,7 +83,7 @@ void Topology::finalize(Network& net) {
       const auto& dist = dist_to_host[static_cast<std::size_t>(d)];
       const Device* src_host = net.host(s);
       const int hops = dist[static_cast<std::size_t>(src_host->device_id())];
-      assert(hops > 0 && hops < 256);
+      DCPIM_CHECK(hops > 0 && hops < 256, "host pair has no path");
       pair_class_[static_cast<std::size_t>(s) *
                       static_cast<std::size_t>(num_hosts_) +
                   static_cast<std::size_t>(d)] =
@@ -106,7 +106,7 @@ void Topology::finalize(Network& net) {
             break;
           }
         }
-        assert(chosen != nullptr);
+        DCPIM_CHECK(chosen != nullptr, "shortest-path walk lost the gradient");
         prof.link_rates.push_back(chosen->config().rate);
         prof.fixed_latency += chosen->config().propagation;
         prof.fixed_latency += chosen->peer()->ingress_latency();
@@ -226,7 +226,7 @@ Topology Topology::fat_tree(Network& net, const FatTreeParams& params,
                             const HostFactory& make_host) {
   Topology topo;
   const int k = params.k;
-  assert(k % 2 == 0);
+  DCPIM_CHECK_EQ(k % 2, 0, "fat-tree arity must be even");
   const int half = k / 2;
   const int pods = k;
   const int hosts_per_edge = half;

@@ -1,11 +1,21 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace dcpim::sim {
+
+namespace {
+
+/// Adapter so DCPIM_CHECK failures anywhere in the stack can report the
+/// simulated time at which the invariant broke (see util/check.h).
+std::int64_t sim_now_for_checks(const void* ctx) {
+  return static_cast<const Simulator*>(ctx)->now();
+}
+
+}  // namespace
 
 void Simulator::heap_push(Entry e) {
   heap_.push_back(std::move(e));
@@ -38,7 +48,7 @@ Simulator::Entry Simulator::heap_pop() {
 }
 
 EventId Simulator::schedule_at(Time t, Callback cb) {
-  assert(t >= now_ && "cannot schedule into the past");
+  DCPIM_DCHECK_GE(t, now_, "cannot schedule into the past");
   if (t < now_) t = now_;  // degrade gracefully in release builds
   const EventId id = next_id_++;
   heap_push(Entry{t, id, std::move(cb)});
@@ -67,6 +77,7 @@ bool Simulator::pop_next(Entry& out) {
 }
 
 void Simulator::run(Time until) {
+  check_detail::ScopedSimTimeSource time_source(this, &sim_now_for_checks);
   stopped_ = false;
   Entry entry;
   while (!stopped_ && pop_next(entry)) {
@@ -76,6 +87,10 @@ void Simulator::run(Time until) {
       now_ = until;
       return;
     }
+    // Event-time monotonicity: a pop that travels backwards in time means
+    // the heap ordering (or a callback that mutated an entry) is corrupt —
+    // every downstream latency/FCT number would be garbage.
+    DCPIM_CHECK_GE(entry.t, now_, "event queue is not time-ordered");
     now_ = entry.t;
     ++executed_;
     entry.cb();
@@ -84,10 +99,12 @@ void Simulator::run(Time until) {
 }
 
 std::size_t Simulator::run_steps(std::size_t max_events) {
+  check_detail::ScopedSimTimeSource time_source(this, &sim_now_for_checks);
   stopped_ = false;
   std::size_t done = 0;
   Entry entry;
   while (!stopped_ && done < max_events && pop_next(entry)) {
+    DCPIM_CHECK_GE(entry.t, now_, "event queue is not time-ordered");
     now_ = entry.t;
     ++executed_;
     ++done;

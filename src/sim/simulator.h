@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.h"
 #include "util/time.h"
 #include "util/unique_function.h"
 
@@ -63,7 +64,15 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
 
   /// Number of events currently pending (excluding cancelled ones).
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending() const {
+    // Every id in cancelled_ is backed by exactly one live heap entry
+    // (cancel() verifies presence and refuses double-cancellation); if that
+    // bookkeeping ever drifts, the subtraction below underflows to a huge
+    // value. Catch the drift at the source instead.
+    DCPIM_DCHECK_LE(cancelled_.size(), heap_.size(),
+                    "cancelled tombstones exceed heap entries");
+    return heap_.size() - cancelled_.size();
+  }
 
  private:
   struct Entry {

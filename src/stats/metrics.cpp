@@ -1,7 +1,7 @@
 #include "stats/metrics.h"
 
 #include <algorithm>
-#include <cassert>
+#include "util/check.h"
 #include <cmath>
 
 namespace dcpim::stats {
@@ -68,7 +68,7 @@ SlowdownSummary FlowStats::summary_for_sizes(Bytes lo, Bytes hi) const {
 
 std::vector<BucketSummary> FlowStats::by_buckets(
     const std::vector<Bytes>& edges) const {
-  assert(!edges.empty());
+  DCPIM_CHECK(!edges.empty(), "bucket edges must be non-empty");
   std::vector<BucketSummary> out;
   for (std::size_t i = 0; i < edges.size(); ++i) {
     BucketSummary b;
@@ -86,7 +86,7 @@ SlowdownSummary FlowStats::short_flows(Bytes threshold) const {
 
 UtilizationSeries::UtilizationSeries(net::Network& net, Time bin_width)
     : bin_width_(bin_width) {
-  assert(bin_width_ > 0);
+  DCPIM_CHECK_GT(bin_width_, 0, "utilization bin width must be positive");
   net.add_payload_observer([this](Bytes fresh, Time at) {
     const auto bin = static_cast<std::size_t>(at / bin_width_);
     if (bins_.size() <= bin) bins_.resize(bin + 1, 0);

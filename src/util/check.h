@@ -1,0 +1,135 @@
+// Always-on invariant checks for the simulator.
+//
+// The default build type is RelWithDebInfo, which defines NDEBUG and turns
+// every plain assert() into a no-op — so the build that tier-1 tests and
+// the bench/fig* paper reproductions actually use would check nothing.
+// DCPIM_CHECK closes that gap: it is active in *all* build types and, on
+// failure, prints the expression, an optional message, the values involved
+// (for the _OP forms), the current simulation time when a simulator is
+// running, and the source location, then aborts. Protocol accounting bugs
+// abort the run instead of silently skewing Figure 3-7 reproductions.
+//
+// Tiers:
+//   DCPIM_CHECK(cond, msg)        always on; use for correctness invariants
+//   DCPIM_CHECK_EQ/NE/LT/LE/GT/GE always on; prints both operand values
+//   DCPIM_DCHECK(cond, msg)       debug builds only; use on hot paths where
+//                                 the predicate itself is too costly, or
+//                                 where release builds degrade gracefully
+//   DCPIM_DCHECK_LE/... etc.      debug-only _OP forms
+//
+// Cost: a DCPIM_CHECK is one predictable branch; the failure path (message
+// formatting, stream includes) is in a separate cold, noinline function so
+// the hot path stays lean.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace dcpim {
+
+namespace check_detail {
+
+/// Current simulation time source for failure messages. The running
+/// Simulator registers itself (see sim::Simulator::run) so that any check
+/// failure anywhere in the stack reports *when* in simulated time the
+/// invariant broke — usually the most useful debugging fact.
+using SimTimeFn = std::int64_t (*)(const void*);
+
+struct SimTimeSource {
+  const void* ctx = nullptr;
+  SimTimeFn fn = nullptr;
+};
+
+SimTimeSource& sim_time_source();
+
+/// RAII registration of a sim-time provider (nests safely).
+class ScopedSimTimeSource {
+ public:
+  ScopedSimTimeSource(const void* ctx, SimTimeFn fn)
+      : saved_(sim_time_source()) {
+    sim_time_source() = SimTimeSource{ctx, fn};
+  }
+  ~ScopedSimTimeSource() { sim_time_source() = saved_; }
+  ScopedSimTimeSource(const ScopedSimTimeSource&) = delete;
+  ScopedSimTimeSource& operator=(const ScopedSimTimeSource&) = delete;
+
+ private:
+  SimTimeSource saved_;
+};
+
+/// Cold path: prints "CHECK failed: <expr> (<values>): <msg> at sim time
+/// <t> (<file>:<line>)" to stderr and aborts.
+[[noreturn]] void check_fail(const char* expr, const char* msg,
+                             const char* values, const char* file, int line);
+
+/// Formats "lhs vs rhs" for the _OP macros. Out of line of the hot path;
+/// only ever called when the check already failed.
+template <typename A, typename B>
+std::string format_operands(const A& a, const B& b) {
+  std::ostringstream os;
+  os << a << " vs " << b;
+  return os.str();
+}
+
+}  // namespace check_detail
+
+#define DCPIM_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::dcpim::check_detail::check_fail(#cond, (msg), nullptr, __FILE__,    \
+                                        __LINE__);                          \
+    }                                                                       \
+  } while (0)
+
+#define DCPIM_CHECK_OP_IMPL(op, a, b, msg)                                  \
+  do {                                                                      \
+    const auto& dcpim_check_a_ = (a);                                       \
+    const auto& dcpim_check_b_ = (b);                                       \
+    if (!(dcpim_check_a_ op dcpim_check_b_)) [[unlikely]] {                 \
+      ::dcpim::check_detail::check_fail(                                    \
+          #a " " #op " " #b, (msg),                                         \
+          ::dcpim::check_detail::format_operands(dcpim_check_a_,            \
+                                                 dcpim_check_b_)            \
+              .c_str(),                                                     \
+          __FILE__, __LINE__);                                              \
+    }                                                                       \
+  } while (0)
+
+#define DCPIM_CHECK_EQ(a, b, msg) DCPIM_CHECK_OP_IMPL(==, a, b, msg)
+#define DCPIM_CHECK_NE(a, b, msg) DCPIM_CHECK_OP_IMPL(!=, a, b, msg)
+#define DCPIM_CHECK_LT(a, b, msg) DCPIM_CHECK_OP_IMPL(<, a, b, msg)
+#define DCPIM_CHECK_LE(a, b, msg) DCPIM_CHECK_OP_IMPL(<=, a, b, msg)
+#define DCPIM_CHECK_GT(a, b, msg) DCPIM_CHECK_OP_IMPL(>, a, b, msg)
+#define DCPIM_CHECK_GE(a, b, msg) DCPIM_CHECK_OP_IMPL(>=, a, b, msg)
+
+// Debug-only tier: compiled to nothing under NDEBUG (the condition is not
+// evaluated), but still parsed, so it cannot bit-rot.
+#ifndef NDEBUG
+#define DCPIM_DCHECK(cond, msg) DCPIM_CHECK(cond, msg)
+#define DCPIM_DCHECK_EQ(a, b, msg) DCPIM_CHECK_EQ(a, b, msg)
+#define DCPIM_DCHECK_NE(a, b, msg) DCPIM_CHECK_NE(a, b, msg)
+#define DCPIM_DCHECK_LT(a, b, msg) DCPIM_CHECK_LT(a, b, msg)
+#define DCPIM_DCHECK_LE(a, b, msg) DCPIM_CHECK_LE(a, b, msg)
+#define DCPIM_DCHECK_GT(a, b, msg) DCPIM_CHECK_GT(a, b, msg)
+#define DCPIM_DCHECK_GE(a, b, msg) DCPIM_CHECK_GE(a, b, msg)
+#else
+#define DCPIM_DCHECK(cond, msg) \
+  do {                          \
+    if (false && (cond)) {      \
+    }                           \
+  } while (0)
+#define DCPIM_DCHECK_OP_OFF(a, b)     \
+  do {                                \
+    if (false && ((a), (b), false)) { \
+    }                                 \
+  } while (0)
+#define DCPIM_DCHECK_EQ(a, b, msg) DCPIM_DCHECK_OP_OFF(a, b)
+#define DCPIM_DCHECK_NE(a, b, msg) DCPIM_DCHECK_OP_OFF(a, b)
+#define DCPIM_DCHECK_LT(a, b, msg) DCPIM_DCHECK_OP_OFF(a, b)
+#define DCPIM_DCHECK_LE(a, b, msg) DCPIM_DCHECK_OP_OFF(a, b)
+#define DCPIM_DCHECK_GT(a, b, msg) DCPIM_DCHECK_OP_OFF(a, b)
+#define DCPIM_DCHECK_GE(a, b, msg) DCPIM_DCHECK_OP_OFF(a, b)
+#endif
+
+}  // namespace dcpim

@@ -1,7 +1,7 @@
 #include "workload/cdf.h"
 
 #include <algorithm>
-#include <cassert>
+#include "util/check.h"
 #include <cmath>
 #include <stdexcept>
 
@@ -9,11 +9,14 @@ namespace dcpim::workload {
 
 EmpiricalCdf::EmpiricalCdf(std::string name, std::vector<Point> points)
     : name_(std::move(name)), points_(std::move(points)) {
-  assert(points_.size() >= 1);
-  assert(std::abs(points_.back().cdf - 1.0) < 1e-9);
+  DCPIM_CHECK_GE(points_.size(), 1u, "CDF needs at least one point");
+  DCPIM_CHECK(std::abs(points_.back().cdf - 1.0) < 1e-9,
+              "CDF must end at probability 1");
   for (std::size_t i = 1; i < points_.size(); ++i) {
-    assert(points_[i].cdf >= points_[i - 1].cdf);
-    assert(points_[i].bytes >= points_[i - 1].bytes);
+    DCPIM_CHECK_GE(points_[i].cdf, points_[i - 1].cdf,
+                   "CDF probabilities must be non-decreasing");
+    DCPIM_CHECK_GE(points_[i].bytes, points_[i - 1].bytes,
+                   "CDF sizes must be non-decreasing");
   }
   // Mean: each segment contributes mass * average size over the segment.
   double mean = points_.front().bytes * points_.front().cdf;
@@ -25,7 +28,7 @@ EmpiricalCdf::EmpiricalCdf(std::string name, std::vector<Point> points)
 }
 
 Bytes EmpiricalCdf::quantile(double u) const {
-  assert(u >= 0.0 && u < 1.0 + 1e-12);
+  DCPIM_DCHECK(u >= 0.0 && u < 1.0 + 1e-12, "quantile argument outside [0,1]");
   const auto it = std::lower_bound(
       points_.begin(), points_.end(), u,
       [](const Point& p, double val) { return p.cdf < val; });

@@ -1,6 +1,6 @@
 #include "workload/generator.h"
 
-#include <cassert>
+#include "util/check.h"
 #include <numeric>
 
 #include "util/logging.h"
@@ -10,8 +10,8 @@ namespace dcpim::workload {
 PoissonGenerator::PoissonGenerator(net::Network& net, BitsPerSec access_rate,
                                    PoissonPatternConfig cfg)
     : net_(net), cfg_(std::move(cfg)) {
-  assert(cfg_.cdf != nullptr);
-  assert(cfg_.load > 0);
+  DCPIM_CHECK(cfg_.cdf != nullptr, "generator needs a size CDF");
+  DCPIM_CHECK_GT(cfg_.load, 0, "offered load must be positive");
   if (cfg_.senders.empty()) cfg_.senders = all_hosts(net);
   if (cfg_.receivers.empty()) cfg_.receivers = all_hosts(net);
   // load = (mean_size * 8) / (interarrival * rate)  =>  interarrival.
@@ -19,7 +19,7 @@ PoissonGenerator::PoissonGenerator(net::Network& net, BitsPerSec access_rate,
       cfg_.load * static_cast<double>(access_rate) / 8.0;
   const double seconds = cfg_.cdf->mean_bytes() / bytes_per_sec;
   mean_interarrival_ = static_cast<Time>(seconds * kSecond);
-  assert(mean_interarrival_ > 0);
+  DCPIM_CHECK_GT(mean_interarrival_, 0, "interarrival rounded to zero");
 }
 
 void PoissonGenerator::start() {

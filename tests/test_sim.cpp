@@ -135,5 +135,31 @@ TEST(SimulatorTest, CountsExecutedAndPending) {
   EXPECT_EQ(sim.pending(), 0u);
 }
 
+TEST(SimulatorTest, PendingStaysConsistentUnderRepeatedCancel) {
+  // Regression: a rejected cancel (double-cancel or cancel-after-run) must
+  // not leave a tombstone behind, or pending() = heap - tombstones would
+  // underflow once the heap drains.
+  Simulator sim;
+  const EventId id = sim.schedule_at(us(1), []() {});
+  sim.schedule_at(us(2), []() {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+
+  // Cancelling an already-executed id is refused and changes nothing.
+  const EventId ran = sim.schedule_at(us(3), []() {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(ran));
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.schedule_at(us(4), []() {});
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace dcpim::sim
