@@ -17,8 +17,22 @@
 
 namespace dcpim::bench {
 
-inline Time scaled(Time t) {
-  return static_cast<Time>(static_cast<double>(t) * dcpim::bench_scale());
+inline Time scaled(Time t) { return t * dcpim::bench_scale(); }
+
+/// Process-wide bench flags, set once by parse_common_flags() in main().
+inline bool& audit_flag() {
+  static bool enabled = false;
+  return enabled;
+}
+
+/// Parses the flags every figure binary shares. Currently:
+///   --audit   attach the invariant auditor (sim/audit.h) to every
+///             experiment the binary runs and print its summary.
+/// Unknown arguments are left alone for the binary to interpret.
+inline void parse_common_flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--audit") audit_flag() = true;
+  }
 }
 
 /// The four protocols of the paper's simulation figures.
@@ -33,20 +47,21 @@ inline harness::ExperimentConfig default_setup(harness::Protocol p) {
   cfg.protocol = p;
   cfg.workload = "imc10";
   cfg.load = 0.6;
-  cfg.gen_stop = scaled(ms(1.2));
-  cfg.measure_start = scaled(us(300));
-  cfg.measure_end = scaled(ms(1.2));
-  cfg.horizon = scaled(ms(3));
+  cfg.gen_stop = TimePoint(scaled(ms(1.2)));
+  cfg.measure_start = TimePoint(scaled(us(300)));
+  cfg.measure_end = TimePoint(scaled(ms(1.2)));
+  cfg.horizon = TimePoint(scaled(ms(3)));
+  cfg.audit = audit_flag();
   return cfg;
 }
 
 /// Steady-state timing for utilization/sustained-load measurements: the
 /// generator runs to the horizon and the window covers the second half.
 inline void steady_state_timing(harness::ExperimentConfig& cfg, Time horizon) {
-  cfg.gen_stop = scaled(horizon);
-  cfg.horizon = scaled(horizon);
-  cfg.measure_start = scaled(horizon / 2);
-  cfg.measure_end = scaled(horizon);
+  cfg.gen_stop = TimePoint(scaled(horizon));
+  cfg.horizon = TimePoint(scaled(horizon));
+  cfg.measure_start = TimePoint(scaled(horizon / 2));
+  cfg.measure_end = TimePoint(scaled(horizon));
 }
 
 inline void print_header(const char* title, const char* paper_note) {
@@ -66,16 +81,16 @@ inline void print_slowdown_row(const char* name,
 inline std::string bucket_label(Bytes lo, Bytes hi) {
   auto human = [](Bytes b) {
     char buf[32];
-    if (b >= 1'000'000) {
-      std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(b) / 1e6);
+    if (b >= kMB) {
+      std::snprintf(buf, sizeof(buf), "%.1fM", to_mb(b));
     } else {
       std::snprintf(buf, sizeof(buf), "%lldK",
-                    static_cast<long long>(b / 1000));
+                    static_cast<long long>(b / kKB));
     }
     return std::string(buf);
   };
-  if (lo == 0) return "<" + human(hi);
-  if (hi == 0) return ">" + human(lo);
+  if (lo == Bytes{}) return "<" + human(hi);
+  if (hi == Bytes{}) return ">" + human(lo);
   return human(lo) + "-" + human(hi);
 }
 
@@ -93,6 +108,12 @@ inline void maybe_csv(const std::string& experiment,
   row.load = load;
   row.result = result;
   harness::append_csv(dir, {row});
+}
+
+/// Prints the audit verdict under a result row when --audit is active.
+inline void maybe_print_audit(const harness::ExperimentResult& result) {
+  if (!result.audit.enabled) return;
+  std::printf("    %s\n", harness::format_audit_summary(result.audit).c_str());
 }
 
 }  // namespace dcpim::bench

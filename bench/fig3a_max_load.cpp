@@ -16,7 +16,8 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("Figure 3(a): maximum sustainable load (IMC10)",
                       "dcPIM 0.84, Homa Aeolus next best, NDP/HPCC lower; "
                       "(WebSearch also 0.84, DataMining 0.7)");
@@ -43,6 +44,7 @@ int main() {
       results.push_back(run_experiment(cfg));
       const ExperimentResult& res = results.back();
       bench::maybe_csv("fig3a", p, cfg.workload, load, res);
+      bench::maybe_print_audit(res);
       if (baseline == 0) baseline = res.load_carried_ratio;
       const double norm =
           baseline > 0 ? res.load_carried_ratio / baseline : 0.0;

@@ -9,7 +9,8 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Figure 3(b): mean slowdown across all flows, load 0.6",
       "dcPIM/HomaAeolus lowest overall mean; NDP worst; slowdown >= 1");
@@ -29,6 +30,7 @@ int main() {
       const ExperimentResult res = run_experiment(cfg);
       bench::maybe_csv("fig3b", p, w, cfg.load, res);
       std::printf(" %12.2f", res.overall.mean);
+      bench::maybe_print_audit(res);
       std::fflush(stdout);
     }
     std::printf("\n");

@@ -12,7 +12,8 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Figures 3(c)-(e): slowdown by flow size, load 0.6",
       "short flows: dcPIM mean 1.03-1.04 / p99 1.09-1.16; HomaAeolus "
@@ -52,6 +53,7 @@ int main() {
         }
       }
       std::printf("\n");
+      bench::maybe_print_audit(res);
       std::fflush(stdout);
     }
     std::printf("\n");

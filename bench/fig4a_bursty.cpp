@@ -14,7 +14,8 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Figure 4(a): bursty microbenchmark (shuffle + periodic 50:1 incast)",
       "dcPIM holds high utilization through bursts; HPCC collapses via "
@@ -24,7 +25,7 @@ int main() {
   std::printf("  utilization of the 16 receiver downlinks per 50us bin:\n");
   std::printf("  %-12s", "protocol");
   const Time bin = us(50);
-  for (Time t = 0; t < horizon; t += bin) {
+  for (Time t{}; t < horizon; t += bin) {
     std::printf(" %5.0f", to_us(t));
   }
   std::printf("  (us)\n");
@@ -33,21 +34,21 @@ int main() {
     ExperimentConfig cfg;
     cfg.protocol = p;
     cfg.pattern = Pattern::Bursty;
-    cfg.dense_flow_size = 4 * kMB;  // shuffle partitions (sustained load)
+    cfg.dense_flow_size = kMB * 4;  // shuffle partitions (sustained load)
     cfg.incast_fanin = 50;
-    cfg.incast_size = 128 * kKB;
+    cfg.incast_size = kKB * 128;
     cfg.incast_interval = us(100);
     cfg.incast_bursts = 6;
-    cfg.gen_stop = horizon;
-    cfg.measure_start = 0;
-    cfg.measure_end = horizon;
-    cfg.horizon = horizon;
+    cfg.gen_stop = TimePoint(horizon);
+    cfg.measure_start = TimePoint{};
+    cfg.measure_end = TimePoint(horizon);
+    cfg.horizon = TimePoint(horizon);
     cfg.util_bin = bin;
+    cfg.audit = bench::audit_flag();
     const ExperimentResult res = run_experiment(cfg);
 
     std::printf("  %-12s", to_string(p));
-    for (std::size_t i = 0; i * bin < static_cast<std::size_t>(horizon);
-         ++i) {
+    for (std::size_t i = 0; bin * i < horizon; ++i) {
       const double u =
           i < res.util_series.size() ? res.util_series[i] : 0.0;
       std::printf(" %5.2f", u);
@@ -56,6 +57,7 @@ int main() {
                 res.mean_util(2, res.util_series.size()),
                 static_cast<unsigned long long>(res.pfc_pauses),
                 static_cast<unsigned long long>(res.drops));
+    bench::maybe_print_audit(res);
     std::fflush(stdout);
   }
   return 0;

@@ -12,7 +12,8 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Figure 4(b): worst case, all flows of size BDP+1, load 0.6",
       "HPCC beats dcPIM on mean and slightly on tail here; NDP/HomaAeolus "
@@ -21,10 +22,11 @@ int main() {
   std::printf("  %-12s %8s %8s %8s\n", "protocol", "mean", "p99", "carried");
   for (Protocol p : bench::figure_protocols()) {
     ExperimentConfig cfg = bench::default_setup(p);
-    cfg.fixed_size = -1;  // BDP+1 sentinel
+    cfg.fixed_size = Bytes{-1};  // BDP+1 sentinel
     const ExperimentResult res = run_experiment(cfg);
     std::printf("  %-12s %8.2f %8.2f %8.3f\n", to_string(p),
                 res.overall.mean, res.overall.p99, res.load_carried_ratio);
+    bench::maybe_print_audit(res);
     std::fflush(stdout);
   }
   return 0;

@@ -13,7 +13,8 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Figure 4(c): dense 144x143 traffic matrix, utilization over time",
       "dcPIM ~93.5%% steady utilization; theoretical floor 32.9%%; "
@@ -23,23 +24,23 @@ int main() {
   const Time bin = us(50);
   std::printf("  utilization per 50us bin (all 144 downlinks):\n");
   std::printf("  %-12s", "protocol");
-  for (Time t = 0; t < horizon; t += bin) std::printf(" %5.0f", to_us(t));
+  for (Time t{}; t < horizon; t += bin) std::printf(" %5.0f", to_us(t));
   std::printf("  (us)\n");
 
   for (Protocol p : bench::figure_protocols()) {
     ExperimentConfig cfg;
     cfg.protocol = p;
     cfg.pattern = Pattern::DenseTM;
-    cfg.dense_flow_size = 1 * kMB;
-    cfg.gen_stop = 0;
-    cfg.measure_start = 0;
-    cfg.measure_end = horizon;
-    cfg.horizon = horizon;
+    cfg.dense_flow_size = kMB;
+    cfg.gen_stop = TimePoint{};
+    cfg.measure_start = TimePoint{};
+    cfg.measure_end = TimePoint(horizon);
+    cfg.horizon = TimePoint(horizon);
     cfg.util_bin = bin;
+    cfg.audit = bench::audit_flag();
     const ExperimentResult res = run_experiment(cfg);
     std::printf("  %-12s", to_string(p));
-    for (std::size_t i = 0; i * bin < static_cast<std::size_t>(horizon);
-         ++i) {
+    for (std::size_t i = 0; bin * i < horizon; ++i) {
       std::printf(" %5.2f",
                   i < res.util_series.size() ? res.util_series[i] : 0.0);
     }
@@ -47,6 +48,7 @@ int main() {
                 res.mean_util(4, res.util_series.size()),
                 static_cast<unsigned long long>(res.pfc_pauses),
                 static_cast<unsigned long long>(res.trims));
+    bench::maybe_print_audit(res);
     std::fflush(stdout);
   }
   std::printf(

@@ -8,7 +8,8 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Figure 5(a,b): 2:1 oversubscribed topology, load 0.5",
       "same trends as Fig 3: dcPIM near-optimal short-flow latency, high "
@@ -30,6 +31,7 @@ int main() {
                   to_string(p), res.overall.mean, res.overall.p99,
                   res.short_flows.mean, res.short_flows.p99,
                   res.load_carried_ratio);
+      bench::maybe_print_audit(res);
       std::fflush(stdout);
     }
     std::printf("\n");

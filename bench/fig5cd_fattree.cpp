@@ -10,7 +10,8 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   const int k = bench_scale() >= 2.0 ? 16 : 8;
   bench::print_header(
       "Figure 5(c,d): FatTree, load 0.6",
@@ -30,16 +31,17 @@ int main() {
       cfg.topo = TopoKind::FatTree;
       cfg.fat_tree_k = k;
       cfg.workload = workload;
-      cfg.gen_stop = bench::scaled(us(700));
-      cfg.measure_start = bench::scaled(us(200));
-      cfg.measure_end = bench::scaled(us(700));
-      cfg.horizon = bench::scaled(ms(2));
+      cfg.gen_stop = TimePoint(bench::scaled(us(700)));
+      cfg.measure_start = TimePoint(bench::scaled(us(200)));
+      cfg.measure_end = TimePoint(bench::scaled(us(700)));
+      cfg.horizon = TimePoint(bench::scaled(ms(2)));
       const ExperimentResult res = run_experiment(cfg);
       bench::maybe_csv("fig5cd", p, workload, cfg.load, res);
       std::printf("  %-12s %10.2f %10.2f | %12.2f %12.2f | %8.3f\n",
                   to_string(p), res.overall.mean, res.overall.p99,
                   res.short_flows.mean, res.short_flows.p99,
                   res.load_carried_ratio);
+      bench::maybe_print_audit(res);
       std::fflush(stdout);
     }
     std::printf("\n");

@@ -27,12 +27,14 @@ void run_row(const char* label, const ExperimentConfig& cfg) {
   std::printf("  %-14s carried=%6.3f  mean=%6.2f  p99=%7.2f  short p99=%6.2f\n",
               label, res.load_carried_ratio, res.overall.mean,
               res.overall.p99, res.short_flows.p99);
+  bench::maybe_print_audit(res);
   std::fflush(stdout);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Figure 6: dcPIM sensitivity to r, k, beta (load 0.54)",
       "r=1->2 biggest gain (18-24% load); k=2-4 sweet spot; beta "

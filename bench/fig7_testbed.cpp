@@ -12,7 +12,8 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Figure 7: 32-server testbed (10G), dcPIM vs DCTCP vs TCP, load 0.5",
       "dcPIM short flows 21-43x better mean / 34-76x better p99; long "
@@ -28,10 +29,11 @@ int main() {
     cfg.workload = "imc10";
     cfg.load = 0.5;
     // 10G links are 10x slower: stretch all horizons accordingly.
-    cfg.gen_stop = bench::scaled(ms(8));
-    cfg.measure_start = bench::scaled(ms(2));
-    cfg.measure_end = bench::scaled(ms(8));
-    cfg.horizon = bench::scaled(ms(30));
+    cfg.gen_stop = TimePoint(bench::scaled(ms(8)));
+    cfg.measure_start = TimePoint(bench::scaled(ms(2)));
+    cfg.measure_end = TimePoint(bench::scaled(ms(8)));
+    cfg.horizon = TimePoint(bench::scaled(ms(30)));
+    cfg.audit = bench::audit_flag();
     const ExperimentResult res = run_experiment(cfg);
     if (!header_done) {
       std::printf("  %-12s %6s", "protocol", "");
@@ -58,6 +60,7 @@ int main() {
       }
     }
     std::printf("\n");
+    bench::maybe_print_audit(res);
     std::fflush(stdout);
   }
   return 0;

@@ -15,7 +15,8 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Incast-degree sweep: 64KB incast flows into one receiver",
       "every protocol must complete all flows with bounded tails; dcPIM "
@@ -36,16 +37,17 @@ int main() {
       ExperimentConfig cfg = bench::default_setup(p);
       cfg.pattern = Pattern::Incast;
       cfg.incast_fanin = fanin;
-      cfg.incast_size = 64 * kKB;
-      cfg.measure_start = 0;
-      cfg.measure_end = us(1);
-      cfg.horizon = bench::scaled(ms(30));
+      cfg.incast_size = kKB * 64;
+      cfg.measure_start = TimePoint{};
+      cfg.measure_end = TimePoint(us(1));
+      cfg.horizon = TimePoint(bench::scaled(ms(30)));
       const ExperimentResult res = run_experiment(cfg);
       if (res.flows_done < res.flows_total) {
         std::printf(" %7s", "stuck");
       } else {
         std::printf(" %7.1f", res.overall.p99);
       }
+      bench::maybe_print_audit(res);
       std::fflush(stdout);
     }
     std::printf("\n");

@@ -20,7 +20,7 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
     sim::Simulator sim;
     std::uint64_t sink = 0;
     for (std::size_t i = 0; i < batch; ++i) {
-      sim.schedule_at(static_cast<Time>((i * 7919) % batch),
+      sim.schedule_at(TimePoint{static_cast<std::int64_t>((i * 7919) % batch)},
                       [&sink]() { ++sink; });
     }
     sim.run();
@@ -35,9 +35,9 @@ void BM_EventQueueSelfPerpetuating(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
     std::function<void()> tick = [&]() {
-      if (sim.now() < us(100)) sim.schedule_after(ns(10), [&]() { tick(); });
+      if (sim.now() < TimePoint(us(100))) sim.schedule_after(ns(10), [&]() { tick(); });
     };
-    sim.schedule_at(0, [&]() { tick(); });
+    sim.schedule_at(TimePoint{}, [&]() { tick(); });
     sim.run();
     benchmark::DoNotOptimize(sim.events_executed());
   }

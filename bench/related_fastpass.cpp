@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "harness/audit_probes.h"
+#include "sim/audit.h"
 #include "core/dcpim_host.h"
 #include "net/topology.h"
 #include "proto/fastpass.h"
@@ -40,14 +42,27 @@ RunResult run_with(SetupFn setup) {
   auto holder = setup(*network, params);  // keeps configs/arbiter alive
   auto& topo = *holder->topo;
 
+  std::unique_ptr<sim::Auditor> auditor;
+  if (bench::audit_flag()) {
+    auditor = std::make_unique<sim::Auditor>();
+    harness::install_standard_probes(*auditor, *network);
+    auditor->attach(network->sim());
+  }
+
   stats::FlowStats stats(*network, topo);
   workload::PoissonPatternConfig pc;
   pc.cdf = &workload::imc10();
   pc.load = 0.5;
-  pc.stop = bench::scaled(us(400));
+  pc.stop = TimePoint(bench::scaled(us(400)));
   workload::PoissonGenerator gen(*network, topo.host_rate(), pc);
   gen.start();
-  network->sim().run(bench::scaled(ms(10)));
+  network->sim().run(TimePoint(bench::scaled(ms(10))));
+
+  if (auditor) {
+    auditor->sweep(network->sim().now());
+    std::printf("    %s\n",
+                harness::format_audit_summary(auditor->summary()).c_str());
+  }
 
   RunResult r;
   r.short_flows = stats.short_flows(topo.bdp_bytes());
@@ -64,7 +79,8 @@ struct Holder {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Related work (§5): dcPIM vs Fastpass-style centralized vs pHost",
       "Fastpass short-flow latency >= 2x optimal (arbiter round trip); "

@@ -25,7 +25,7 @@ int main() {
   params.racks = 4;
   params.hosts_per_rack = 12;
   params.spines = 2;
-  params.buffer_bytes = 100 * kKB;  // small buffers: drops will happen
+  params.buffer_bytes = kKB * 100;  // small buffers: drops will happen
   auto topo = net::Topology::leaf_spine(network, params,
                                         core::dcpim_host_factory(dcpim));
   dcpim.control_rtt = topo.max_control_rtt();
@@ -34,16 +34,16 @@ int main() {
   // 40 senders each fire one 60KB flow (short: < 1 BDP) at receiver 0.
   std::vector<int> senders;
   for (int h = 1; h <= 40; ++h) senders.push_back(h);
-  const Bytes flow_size = 60 * kKB;
-  workload::schedule_incast(network, 0, senders, flow_size, 0);
+  const Bytes flow_size = kKB * 60;
+  workload::schedule_incast(network, 0, senders, flow_size, TimePoint{});
   std::printf("offered: 40 x %lld KB incast into host 0 (aggregate %.1f MB "
               "against a %lld KB switch buffer)\n",
-              static_cast<long long>(flow_size / 1000), 40 * 60e3 / 1e6,
-              static_cast<long long>(params.buffer_bytes / 1000));
+              static_cast<long long>(flow_size / kKB), 40 * 60e3 / 1e6,
+              static_cast<long long>(params.buffer_bytes / kKB));
 
-  network.sim().run(ms(30));
+  network.sim().run(TimePoint(ms(30)));
 
-  Time last = 0;
+  TimePoint last{};
   std::size_t done = 0;
   for (const auto& flow : network.flows()) {
     if (flow->finished()) {

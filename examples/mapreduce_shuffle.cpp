@@ -34,24 +34,24 @@ int main() {
   std::vector<int> mappers, reducers;
   for (int h = 0; h < 16; ++h) mappers.push_back(h);
   for (int h = 16; h < 32; ++h) reducers.push_back(h);
-  workload::schedule_dense_tm(network, mappers, reducers, 2 * kMB, 0);
+  workload::schedule_dense_tm(network, mappers, reducers, kMB * 2, TimePoint{});
 
   // The RPC service: hosts in other racks send 4KB queries to the reducers
   // throughout the shuffle.
   std::vector<int> rpc_clients;
   for (int h = 32; h < 144; ++h) rpc_clients.push_back(h);
   workload::PoissonPatternConfig rpc;
-  static const auto rpc_cdf = workload::fixed_size_cdf(4 * kKB);
+  static const auto rpc_cdf = workload::fixed_size_cdf(kKB * 4);
   rpc.cdf = &rpc_cdf;
   rpc.load = 0.05;  // light but latency-critical
   rpc.senders = rpc_clients;
   rpc.receivers = reducers;
-  rpc.stop = ms(1);
+  rpc.stop = TimePoint(ms(1));
   workload::PoissonGenerator rpc_gen(network, topo.host_rate(), rpc);
   rpc_gen.start();
 
   stats::UtilizationSeries util(network, us(100));
-  network.sim().run(ms(6));
+  network.sim().run(TimePoint(ms(6)));
 
   // Shuffle health: bytes delivered to the reducers over the first ms.
   const double reducer_capacity = 16.0 * 100e9;
@@ -62,8 +62,8 @@ int main() {
   std::printf("\n");
 
   // RPC latency: the short-flow fast path must be unaffected.
-  const auto rpcs = stats.summary_for_sizes(0, 8 * kKB);
-  const auto shuffle = stats.summary_for_sizes(1 * kMB, 0);
+  const auto rpcs = stats.summary_for_sizes(Bytes{}, kKB * 8);
+  const auto shuffle = stats.summary_for_sizes(kMB, Bytes{});
   std::printf("\nRPC (4KB) slowdown:    mean %.2f  p99 %.2f  (n=%zu)\n",
               rpcs.mean, rpcs.p99, rpcs.count);
   std::printf("shuffle (2MB) slowdown: mean %.2f  p99 %.2f  (n=%zu)\n",

@@ -31,10 +31,10 @@ int main(int argc, char** argv) {
     cfg.protocol = p;
     cfg.workload = workload;
     cfg.load = load;
-    cfg.gen_stop = us(500);
-    cfg.measure_start = us(100);
-    cfg.measure_end = us(500);
-    cfg.horizon = ms(3);
+    cfg.gen_stop = TimePoint(us(500));
+    cfg.measure_start = TimePoint(us(100));
+    cfg.measure_end = TimePoint(us(500));
+    cfg.horizon = TimePoint(ms(3));
     const ExperimentResult res = run_experiment(cfg);
     std::printf("%-12s %10.2f %10.2f | %11.2f %11.2f | %8.3f %7llu\n",
                 to_string(p), res.overall.mean, res.overall.p99,

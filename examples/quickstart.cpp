@@ -36,24 +36,24 @@ int main() {
               "BDP %lld B, dcPIM epoch %.2f us\n",
               topology.num_hosts(), to_us(topology.max_data_rtt()),
               to_us(topology.max_control_rtt()),
-              static_cast<long long>(topology.bdp_bytes()),
+              static_cast<long long>(topology.bdp_bytes().raw()),
               to_us(dcpim.epoch_length()));
 
   // 4. Metrics: slowdown (FCT / unloaded-optimal FCT) and utilization.
   stats::FlowStats stats(network, topology);
-  stats.set_window(us(100), us(600));
+  stats.set_window(TimePoint(us(100)), TimePoint(us(600)));
 
   // 5. Workload: Poisson all-to-all at 0.6 load, Web Search flow sizes.
   workload::PoissonPatternConfig pattern;
   pattern.cdf = &workload::web_search();
   pattern.load = 0.6;
-  pattern.stop = us(600);
+  pattern.stop = TimePoint(us(600));
   workload::PoissonGenerator generator(network, topology.host_rate(),
                                        pattern);
   generator.start();
 
   // 6. Run: generate for 600 us, then let the tail drain.
-  network.sim().run(ms(5));
+  network.sim().run(TimePoint(ms(5)));
 
   const auto all = stats.summary();
   const auto short_flows = stats.short_flows(topology.bdp_bytes());

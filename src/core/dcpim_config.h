@@ -17,13 +17,13 @@ struct DcpimConfig {
   double beta = 1.3;  ///< slack on cRTT/2 per stage (§3.3)
 
   // --- environment-derived (filled from the topology) ----------------------
-  Time control_rtt = 0;  ///< longest unloaded control RTT in the fabric
-  Bytes bdp_bytes = 0;   ///< 1 BDP at the access link
+  Time control_rtt{};  ///< longest unloaded control RTT in the fabric
+  Bytes bdp_bytes{};   ///< 1 BDP at the access link
 
-  /// Flows <= threshold bypass matching (default: 1 BDP). 0 = use BDP.
-  Bytes short_flow_threshold = 0;
-  /// Per-flow token window (default: 1 BDP). 0 = use BDP.
-  Bytes token_window_bytes = 0;
+  /// Flows <= threshold bypass matching (default: 1 BDP). Zero = use BDP.
+  Bytes short_flow_threshold{};
+  /// Per-flow token window (default: 1 BDP). Zero = use BDP.
+  Bytes token_window_bytes{};
 
   // --- optimizations & ablations -----------------------------------------
   bool fct_optimizing_first_round = true;  ///< §3.5 smallest-flow round 1
@@ -35,7 +35,7 @@ struct DcpimConfig {
   bool pipeline_phases = true;  ///< §3.3; false = sequential (ablation)
   /// Max uniform per-host clock offset (async robustness, §3.5). The offset
   /// is drawn once per host in [0, clock_jitter].
-  Time clock_jitter = 0;
+  Time clock_jitter{};
   /// Long-flow data priority levels (>=1). With 1, all matched data uses
   /// priority 2; more levels map smaller-remaining flows to higher priority.
   int long_flow_priorities = 1;
@@ -48,34 +48,30 @@ struct DcpimConfig {
   double token_pacing_headroom = 0.04;
 
   // --- recovery timers ------------------------------------------------------
-  /// Notification / finish control retransmission interval; 0 = control RTT.
-  Time control_retx_timeout = 0;
+  /// Notification / finish control retransmission interval; zero = cRTT.
+  Time control_retx_timeout{};
   int max_control_retx = 50;
 
   // --- derived quantities ---------------------------------------------------
-  Time stage_length() const {
-    return static_cast<Time>(beta * static_cast<double>(control_rtt) / 2.0);
-  }
+  Time stage_length() const { return control_rtt * (beta / 2.0); }
   /// Matching-phase length == data-phase length (pipelined, §3.3).
-  Time epoch_length() const {
-    return (2 * static_cast<Time>(rounds) + 1) * stage_length();
-  }
+  Time epoch_length() const { return stage_length() * (2 * rounds + 1); }
   Bytes effective_short_threshold() const {
-    return short_flow_threshold > 0 ? short_flow_threshold : bdp_bytes;
+    return short_flow_threshold > Bytes{} ? short_flow_threshold : bdp_bytes;
   }
   Bytes effective_token_window() const {
-    return token_window_bytes > 0 ? token_window_bytes : bdp_bytes;
+    return token_window_bytes > Bytes{} ? token_window_bytes : bdp_bytes;
   }
   Time effective_control_retx() const {
-    return control_retx_timeout > 0 ? control_retx_timeout : control_rtt;
+    return control_retx_timeout > Time{} ? control_retx_timeout : control_rtt;
   }
 
   void validate() const {
     DCPIM_CHECK_GE(rounds, 1, "dcPIM needs at least one matching round");
     DCPIM_CHECK_GE(channels, 1, "dcPIM needs at least one channel");
     DCPIM_CHECK_GE(beta, 1.0, "stage slack below 1 breaks stage alignment");
-    DCPIM_CHECK_GT(control_rtt, 0, "control RTT not filled from topology");
-    DCPIM_CHECK_GT(bdp_bytes, 0, "BDP not filled from topology");
+    DCPIM_CHECK_GT(control_rtt, Time{}, "control RTT not filled from topology");
+    DCPIM_CHECK_GT(bdp_bytes, Bytes{}, "BDP not filled from topology");
     DCPIM_CHECK_GE(long_flow_priorities, 1, "need a data priority level");
   }
 };

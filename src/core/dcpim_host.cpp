@@ -11,19 +11,25 @@ namespace dcpim::core {
 namespace {
 constexpr std::uint8_t kShortFlowPriority = 1;
 constexpr std::uint8_t kLongFlowBasePriority = 2;
+
+std::uint32_t seq_count(const net::Flow& flow, Bytes mtu_payload) {
+  // unit-raw: data seq numbers are raw uint32 indices on the wire
+  return static_cast<std::uint32_t>(flow.packet_count(mtu_payload).raw());
+}
 }  // namespace
 
 DcpimHost::DcpimHost(net::Network& net, int host_id,
                      const net::PortConfig& nic, const DcpimConfig& cfg)
     : net::Host(net, host_id, nic), cfg_(cfg) {
-  if (cfg_.clock_jitter > 0) {
-    jitter_ = static_cast<Time>(network().rng().uniform_int(
-        static_cast<std::uint64_t>(cfg_.clock_jitter) + 1));
+  if (cfg_.clock_jitter > Time{}) {
+    jitter_ = Time{static_cast<std::int64_t>(network().rng().uniform_int(
+        // unit-raw: the rng draws over a raw inclusive picosecond range
+        static_cast<std::uint64_t>(cfg_.clock_jitter.raw()) + 1))};
   }
   // First matching phase begins at local time 0 (+ jitter). The config's
   // topology-derived fields are read lazily at event time, so the owner may
   // fill them in after construction but before the simulation starts.
-  network().sim().schedule_at(jitter_, [this]() { epoch_tick(0); });
+  network().sim().schedule_at(TimePoint(jitter_), [this]() { epoch_tick(0); });
 }
 
 // ===== clock ================================================================
@@ -32,11 +38,11 @@ Time DcpimHost::period() const {
   return cfg_.pipeline_phases ? cfg_.epoch_length() : 2 * cfg_.epoch_length();
 }
 
-Time DcpimHost::matching_start(std::uint64_t m) const {
-  return jitter_ + static_cast<Time>(m) * period();
+TimePoint DcpimHost::matching_start(std::uint64_t m) const {
+  return TimePoint(jitter_ + period() * m);
 }
 
-Time DcpimHost::data_phase_start(std::uint64_t m) const {
+TimePoint DcpimHost::data_phase_start(std::uint64_t m) const {
   return matching_start(m) + cfg_.epoch_length();
 }
 
@@ -47,7 +53,7 @@ Bytes DcpimHost::channel_bytes_per_phase() const {
 std::size_t DcpimHost::total_window_packets() const {
   const Bytes mtu = network().config().mtu_payload;
   return static_cast<std::size_t>(
-      std::max<Bytes>(1, cfg_.effective_token_window() / mtu));
+      std::max<std::int64_t>(1, cfg_.effective_token_window() / mtu));
 }
 
 void DcpimHost::forget_outstanding(RxFlow& rx) {
@@ -58,16 +64,19 @@ void DcpimHost::forget_outstanding(RxFlow& rx) {
 }
 
 std::uint32_t DcpimHost::window_packets(int channels) const {
-  const Bytes window = cfg_.effective_token_window() *
-                       static_cast<Bytes>(channels) /
-                       static_cast<Bytes>(cfg_.channels);
+  const Bytes window =
+      cfg_.effective_token_window() * channels / cfg_.channels;
   const Bytes mtu = network().config().mtu_payload;
-  return static_cast<std::uint32_t>(std::max<Bytes>(1, window / mtu));
+  return static_cast<std::uint32_t>(std::max<std::int64_t>(1, window / mtu));
 }
 
 void DcpimHost::epoch_tick(std::uint64_t m) {
   cfg_.validate();
   gc_epochs(m);
+
+  // Epoch boundaries are the natural instants for event-driven invariant
+  // checks: matching state for epoch m-1 is final, m's is untouched.
+  if (epoch_audit_hook_) epoch_audit_hook_(m);
 
   ReceiverEpochState& st = receiver_epoch(m);
   snapshot_demand(st);
@@ -78,7 +87,7 @@ void DcpimHost::epoch_tick(std::uint64_t m) {
   run_request_stage(m, 1);
   for (int round = 2; round <= cfg_.rounds; ++round) {
     network().sim().schedule_at(
-        matching_start(m) + 2 * static_cast<Time>(round - 1) * S,
+        matching_start(m) + S * (2 * (round - 1)),
         [this, m, round]() { run_request_stage(m, round); });
   }
 
@@ -94,7 +103,7 @@ void DcpimHost::epoch_tick(std::uint64_t m) {
 void DcpimHost::on_flow_arrival(net::Flow& flow) {
   TxFlow tx;
   tx.flow = &flow;
-  tx.packets = flow.packet_count(network().config().mtu_payload);
+  tx.packets = seq_count(flow, network().config().mtu_payload);
   tx.sent.assign(tx.packets, false);
   tx.is_short = flow.size <= cfg_.effective_short_threshold();
   auto [it, inserted] = tx_flows_.emplace(flow.id, std::move(tx));
@@ -108,8 +117,9 @@ void DcpimHost::on_flow_arrival(net::Flow& flow) {
     // Short latency-sensitive flows bypass matching entirely (§3.2): every
     // packet goes out immediately at the second-highest priority.
     for (std::uint32_t seq = 0; seq < ref.packets; ++seq) {
-      send(make_data_packet(flow, seq, kShortFlowPriority,
-                            /*unscheduled=*/true));
+      send(make_data_packet(flow, {.seq = seq,
+                                  .priority = kShortFlowPriority,
+                                  .unscheduled = true}));
       ref.sent[seq] = true;
       ++ref.sent_count;
       ++counters_.short_data_sent;
@@ -188,7 +198,7 @@ void DcpimHost::handle_request(const RequestPacket& req) {
   // epoch.
   int round = req.round;
   auto grant_time = [&](int r) {
-    return matching_start(req.epoch) + (2 * static_cast<Time>(r - 1) + 1) * S;
+    return matching_start(req.epoch) + S * (2 * (r - 1) + 1);
   };
   while (round <= cfg_.rounds && network().sim().now() > grant_time(round)) {
     ++round;
@@ -261,7 +271,8 @@ void DcpimHost::handle_accept(const AcceptPacket& acc) {
 bool DcpimHost::token_expired(const TokenPacket& tok) const {
   // Stale-token discard (§3.2): tokens die at the end of their data phase
   // plus a cRTT/2 grace period.
-  const Time phase_end = data_phase_start(tok.phase) + cfg_.epoch_length();
+  const TimePoint phase_end =
+      data_phase_start(tok.phase) + cfg_.epoch_length();
   return network().sim().now() > phase_end + cfg_.control_rtt / 2;
 }
 
@@ -271,9 +282,8 @@ void DcpimHost::handle_token(const TokenPacket& tok) {
     ++counters_.tokens_expired;
     return;
   }
-  if (tok.created_at >= 0) {
-    counters_.token_oneway_ps +=
-        static_cast<std::uint64_t>(network().sim().now() - tok.created_at);
+  if (tok.created_at != kTimeUnset) {
+    counters_.token_oneway_time += network().sim().now() - tok.created_at;
     ++counters_.token_oneway_count;
   }
   token_queue_.push_back(tok);
@@ -307,8 +317,8 @@ void DcpimHost::transmit_for_token(const TokenPacket& tok) {
   if (it == tx_flows_.end()) return;
   TxFlow& tx = it->second;
   if (tok.data_seq >= tx.packets) return;
-  send(make_data_packet(*tx.flow, tok.data_seq, tok.data_priority,
-                        /*unscheduled=*/false));
+  send(make_data_packet(
+      *tx.flow, {.seq = tok.data_seq, .priority = tok.data_priority}));
   ++counters_.data_sent;
   if (!tx.sent[tok.data_seq]) {
     tx.sent[tok.data_seq] = true;
@@ -331,7 +341,7 @@ void DcpimHost::handle_notification(const NotificationPacket& note) {
 
   RxFlow rx;
   rx.flow = flow;
-  rx.packets = flow->packet_count(network().config().mtu_payload);
+  rx.packets = seq_count(*flow, network().config().mtu_payload);
   rx.needs_matching = flow->size > cfg_.effective_short_threshold();
   rx_flows_.emplace(note.flow_id, std::move(rx));
 
@@ -341,8 +351,7 @@ void DcpimHost::handle_notification(const NotificationPacket& note) {
     // Short flow: data is already en route unscheduled. If it does not
     // complete in time (drops under extreme incast), rescue it through the
     // matching phase (§3.2).
-    const Time expected =
-        nic()->tx_time(flow->size) + 4 * cfg_.control_rtt;
+    const Time expected = nic()->tx_time(flow->size) + cfg_.control_rtt * 4;
     const std::uint64_t id = note.flow_id;
     network().sim().schedule_after(expected,
                                    [this, id]() { check_short_flow(id); });
@@ -386,9 +395,8 @@ void DcpimHost::handle_finish(const FinishPacket& fin) {
 void DcpimHost::handle_data(net::PacketPtr p) {
   const std::uint64_t id = p->flow_id;
   const std::uint32_t seq = p->seq;
-  if (p->created_at >= 0 && !p->unscheduled) {
-    counters_.data_oneway_ps +=
-        static_cast<std::uint64_t>(network().sim().now() - p->created_at);
+  if (p->created_at != kTimeUnset && !p->unscheduled) {
+    counters_.data_oneway_time += network().sim().now() - p->created_at;
     ++counters_.data_oneway_count;
   }
   accept_data(*p);
@@ -401,7 +409,7 @@ void DcpimHost::handle_data(net::PacketPtr p) {
     if (flow == nullptr) return;
     RxFlow rx;
     rx.flow = flow;
-    rx.packets = flow->packet_count(network().config().mtu_payload);
+    rx.packets = seq_count(*flow, network().config().mtu_payload);
     rx.needs_matching = flow->size > cfg_.effective_short_threshold();
     it = rx_flows_.emplace(id, std::move(rx)).first;
     if (it->second.needs_matching) {
@@ -410,8 +418,7 @@ void DcpimHost::handle_data(net::PacketPtr p) {
   }
   RxFlow& rx = it->second;
   if (auto out_it = rx.outstanding.find(seq); out_it != rx.outstanding.end()) {
-    counters_.token_loop_ps += static_cast<std::uint64_t>(
-        network().sim().now() - out_it->second);
+    counters_.token_loop_time += network().sim().now() - out_it->second;
     ++counters_.token_loop_count;
     rx.outstanding.erase(out_it);
     --outstanding_total_;
@@ -427,7 +434,8 @@ void DcpimHost::handle_data(net::PacketPtr p) {
   // packet received.
   for (ActiveMatch& match : active_matches_) {
     if (match.sender != sender || match.skipped_ticks == 0) continue;
-    const Time phase_end = data_phase_start(active_phase_) + cfg_.epoch_length();
+    const TimePoint phase_end =
+        data_phase_start(active_phase_) + cfg_.epoch_length();
     if (network().sim().now() < phase_end && issue_token(match)) {
       --match.skipped_ticks;
     }
@@ -438,7 +446,7 @@ void DcpimHost::handle_data(net::PacketPtr p) {
 Bytes DcpimHost::flow_remaining(const RxFlow& rx) const {
   const net::FlowRxState* st =
       const_cast<DcpimHost*>(this)->find_rx_state(rx.flow->id);
-  const Bytes received = st != nullptr ? st->received_bytes() : 0;
+  const Bytes received = st != nullptr ? st->received_bytes() : Bytes{};
   return rx.flow->size - received;
 }
 
@@ -450,11 +458,11 @@ void DcpimHost::snapshot_demand(ReceiverEpochState& st) {
       return it == rx_flows_.end() || it->second.flow->finished() ||
              !it->second.needs_matching;
     });
-    Bytes pending = 0;
-    Bytes min_rem = std::numeric_limits<Bytes>::max();
+    Bytes pending{};
+    Bytes min_rem = Bytes::max();
     for (std::uint64_t id : ids) {
       const Bytes rem = flow_remaining(rx_flows_.at(id));
-      if (rem <= 0) continue;
+      if (rem <= Bytes{}) continue;
       if (cfg_.flow_size_aware) {
         pending += rem;
         min_rem = std::min(min_rem, rem);
@@ -464,7 +472,7 @@ void DcpimHost::snapshot_demand(ReceiverEpochState& st) {
         pending += channel_bytes_per_phase();
       }
     }
-    if (pending > 0) {
+    if (pending > Bytes{}) {
       st.demand[sender] = pending;
       st.min_remaining[sender] = min_rem;
     }
@@ -477,9 +485,9 @@ void DcpimHost::run_request_stage(std::uint64_t m, int round) {
   if (spare <= 0) return;
   const Bytes per_channel = channel_bytes_per_phase();
   for (const auto& [sender, pending] : st.demand) {
-    if (pending <= 0) continue;
-    const int wanted = static_cast<int>(
-        std::min<Bytes>(spare, (pending + per_channel - 1) / per_channel));
+    if (pending <= Bytes{}) continue;
+    const int wanted = static_cast<int>(std::min<std::int64_t>(
+        spare, (pending + per_channel - Bytes{1}) / per_channel));
     if (wanted <= 0) continue;
     auto req = make_control<RequestPacket>(sender, kRequest);
     req->epoch = m;
@@ -498,7 +506,7 @@ void DcpimHost::handle_grant(const GrantPacket& grant) {
   // the next accept stage of the epoch instead of being lost.
   int round = grant.round;
   auto accept_time = [&](int r) {
-    return matching_start(grant.epoch) + 2 * static_cast<Time>(r) * S;
+    return matching_start(grant.epoch) + S * (2 * r);
   };
   while (round <= cfg_.rounds && network().sim().now() > accept_time(round)) {
     ++round;
@@ -548,9 +556,10 @@ void DcpimHost::run_accept_stage(std::uint64_t m, int round) {
     grants.pop_back();
 
     auto demand_it = st.demand.find(grant.src);
-    if (demand_it == st.demand.end() || demand_it->second <= 0) continue;
-    const int demand_channels = static_cast<int>(std::min<Bytes>(
-        cfg_.channels, (demand_it->second + per_channel - 1) / per_channel));
+    if (demand_it == st.demand.end() || demand_it->second <= Bytes{}) continue;
+    const int demand_channels = static_cast<int>(std::min<std::int64_t>(
+        cfg_.channels,
+        (demand_it->second + per_channel - Bytes{1}) / per_channel));
     const int take =
         std::min({spare, grant.channels_granted, demand_channels});
     if (take <= 0) continue;
@@ -567,8 +576,7 @@ void DcpimHost::run_accept_stage(std::uint64_t m, int round) {
     spare -= take;
     // §3.4: account for the bytes the accepted channels will carry.
     demand_it->second =
-        std::max<Bytes>(0, demand_it->second -
-                               static_cast<Bytes>(take) * per_channel);
+        std::max(Bytes{}, demand_it->second - per_channel * take);
   }
 }
 
@@ -581,7 +589,7 @@ void DcpimHost::start_data_phase(std::uint64_t m) {
   if (it == recv_epochs_.end() || it->second.matches.empty()) return;
 
   const Time token_timeout = cfg_.epoch_length() + cfg_.control_rtt;
-  const Time now = network().sim().now();
+  const TimePoint now = network().sim().now();
   for (const auto& [sender, channels] : it->second.matches) {
     // Requeue timed-out tokens for this sender's flows: their data was
     // lost (or the phase expired), so they must be re-admitted (§3.2).
@@ -612,7 +620,7 @@ void DcpimHost::start_data_phase(std::uint64_t m) {
 
 void DcpimHost::token_tick(std::uint64_t phase, std::size_t match_idx) {
   if (phase != active_phase_ || match_idx >= active_matches_.size()) return;
-  const Time phase_end = data_phase_start(phase) + cfg_.epoch_length();
+  const TimePoint phase_end = data_phase_start(phase) + cfg_.epoch_length();
   if (network().sim().now() >= phase_end) return;
 
   ActiveMatch& match = active_matches_[match_idx];
@@ -621,10 +629,8 @@ void DcpimHost::token_tick(std::uint64_t phase, std::size_t match_idx) {
   // c of the receiver's k channels are devoted to this sender: pace tokens
   // at c/k of the access rate (§3.4), with a small headroom (see
   // DcpimConfig::token_pacing_headroom).
-  const Time interval = static_cast<Time>(
-      static_cast<double>(mtu_tx_time() * static_cast<Time>(cfg_.channels) /
-                          static_cast<Time>(match.channels)) *
-      (1.0 + cfg_.token_pacing_headroom));
+  const Time interval = mtu_tx_time() * cfg_.channels / match.channels *
+                        (1.0 + cfg_.token_pacing_headroom);
   network().sim().schedule_after(
       interval, [this, phase, match_idx]() { token_tick(phase, match_idx); });
 }
@@ -637,7 +643,7 @@ bool DcpimHost::issue_token(ActiveMatch& match) {
   }
 
   RxFlow* best = nullptr;
-  Bytes best_rem = std::numeric_limits<Bytes>::max();
+  Bytes best_rem = Bytes::max();
   const std::uint32_t window = window_packets(match.channels);
   bool saw_window_full = false;
   for (std::uint64_t id : ids_it->second) {
@@ -655,7 +661,7 @@ bool DcpimHost::issue_token(ActiveMatch& match) {
     // SRPT among this sender's flows when sizes are known; first
     // eligible flow (FIFO by notification order) otherwise.
     const Bytes rem =
-        cfg_.flow_size_aware ? flow_remaining(rx) : best_rem - 1;
+        cfg_.flow_size_aware ? flow_remaining(rx) : best_rem - Bytes{1};
     if (rem < best_rem) {
       best_rem = rem;
       best = &rx;
@@ -698,7 +704,7 @@ bool DcpimHost::issue_token(ActiveMatch& match) {
 std::uint8_t DcpimHost::data_priority_for(Bytes remaining) const {
   if (cfg_.long_flow_priorities <= 1) return kLongFlowBasePriority;
   // Map remaining size to levels 2..(2+levels-1) on a geometric BDP scale.
-  Bytes threshold = 2 * cfg_.bdp_bytes;
+  Bytes threshold = cfg_.bdp_bytes * 2;
   int level = 0;
   while (level < cfg_.long_flow_priorities - 1 && remaining > threshold) {
     threshold *= 4;

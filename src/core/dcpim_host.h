@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,11 +42,11 @@ class DcpimHost : public net::Host {
     std::uint64_t tokens_expired = 0;  ///< stale tokens discarded by sender
     std::uint64_t pacer_skips_window = 0;  ///< tick found all windows full
     std::uint64_t pacer_skips_no_work = 0;  ///< tick found nothing to admit
-    std::uint64_t token_loop_ps = 0;   ///< sum of token->data round times
+    Time token_loop_time{};   ///< sum of token->data round times
     std::uint64_t token_loop_count = 0;
-    std::uint64_t token_oneway_ps = 0;  ///< token network latency sum
+    Time token_oneway_time{};  ///< token network latency sum
     std::uint64_t token_oneway_count = 0;
-    std::uint64_t data_oneway_ps = 0;  ///< data network latency sum
+    Time data_oneway_time{};  ///< data network latency sum
     std::uint64_t data_oneway_count = 0;
     std::uint64_t data_sent = 0;
     std::uint64_t short_data_sent = 0;
@@ -70,6 +71,14 @@ class DcpimHost : public net::Host {
   /// §3.4): per live epoch, no role holds more than k matched channels and
   /// the receiver's per-sender match table is consistent with its total.
   void audit_matching(std::vector<std::string>& out) const;
+  /// Event-driven audit hook, fired once per epoch rollover (after stale
+  /// epoch state is garbage-collected, before the new matching phase is
+  /// scheduled). Installed by harness/audit_probes.cpp against a
+  /// sim::Auditor::add_event_probe slot; empty when auditing is off.
+  using EpochAuditHook = std::function<void(std::uint64_t epoch)>;
+  void set_epoch_audit_hook(EpochAuditHook hook) {
+    epoch_audit_hook_ = std::move(hook);
+  }
 
  protected:
   void on_packet(net::PacketPtr p) override;
@@ -77,8 +86,8 @@ class DcpimHost : public net::Host {
  private:
   // === clock =================================================================
   Time period() const;  ///< epoch period P (E pipelined, 2E sequential)
-  Time matching_start(std::uint64_t m) const;
-  Time data_phase_start(std::uint64_t m) const;
+  TimePoint matching_start(std::uint64_t m) const;
+  TimePoint data_phase_start(std::uint64_t m) const;
   Bytes channel_bytes_per_phase() const;
   std::uint32_t window_packets(int channels) const;
 
@@ -125,7 +134,7 @@ class DcpimHost : public net::Host {
     std::uint32_t packets = 0;
     std::uint32_t next_new_seq = 0;  ///< next never-admitted seq
     std::deque<std::uint32_t> readmit;  ///< lost-token seqs to re-admit
-    std::unordered_map<std::uint32_t, Time> outstanding;  ///< token->sent time
+    std::unordered_map<std::uint32_t, TimePoint> outstanding;  ///< token->sent instant
     bool needs_matching = false;  ///< long flow, or rescued short flow
     bool rescue_scheduled = false;
   };
@@ -169,8 +178,9 @@ class DcpimHost : public net::Host {
   /// fields (control_rtt, bdp_bytes) are filled in by the owner after the
   /// topology is built but before the simulation starts.
   const DcpimConfig& cfg_;
-  Time jitter_ = 0;
+  Time jitter_{};
   Counters counters_;
+  EpochAuditHook epoch_audit_hook_;
 
   std::unordered_map<std::uint64_t, TxFlow> tx_flows_;
   /// Sender-side queue of unused tokens, drained at one packet per MTU

@@ -24,7 +24,7 @@ enum PacketKind : int {
 };
 
 struct NotificationPacket : net::Packet {
-  Bytes flow_size = 0;
+  Bytes flow_size{};
   bool is_retransmit = false;
 };
 
@@ -42,14 +42,14 @@ struct RequestPacket : net::Packet {
   int channels_wanted = 0;
   /// Smallest remaining flow size this receiver has from the sender —
   /// the FCT-optimizing round's sort key (§3.5).
-  Bytes min_remaining_bytes = 0;
+  Bytes min_remaining_bytes{};
 };
 
 struct GrantPacket : net::Packet {
   std::uint64_t epoch = 0;
   int round = 0;
   int channels_granted = 0;
-  Bytes min_remaining_bytes = 0;
+  Bytes min_remaining_bytes{};
 };
 
 struct AcceptPacket : net::Packet {

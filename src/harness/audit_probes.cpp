@@ -7,6 +7,7 @@
 #include "core/dcpim_host.h"
 #include "net/device.h"
 #include "net/host.h"
+#include "net/switch.h"
 
 namespace dcpim::harness {
 
@@ -23,8 +24,8 @@ namespace {
 ///                                                trimmed payload)
 struct FlowLedger {
   struct Entry {
-    Bytes injected = 0;  ///< payload bytes handed to the sender NIC
-    Bytes dropped = 0;   ///< payload bytes lost at any port
+    Bytes injected{};  ///< payload bytes handed to the sender NIC
+    Bytes dropped{};   ///< payload bytes lost at any port
   };
   std::unordered_map<std::uint64_t, Entry> flows;
 };
@@ -32,38 +33,37 @@ struct FlowLedger {
 Bytes delivered_bytes(net::Network& net, const net::Flow& f) {
   net::Host* dst = net.host(f.dst);
   net::FlowRxState* rx = dst->find_rx_state(f.id);
-  return rx == nullptr ? 0 : rx->received_bytes();
+  return rx == nullptr ? Bytes{} : rx->received_bytes();
 }
 
 void check_flow_conservation(net::Network& net, const FlowLedger& ledger,
                              sim::Auditor::Context& ctx) {
-  Bytes delivered_sum = 0;
+  Bytes delivered_sum{};
   for (const auto& f : net.flows()) {
     const Bytes delivered = delivered_bytes(net, *f);
     delivered_sum += delivered;
     const std::string tag = "flow " + std::to_string(f->id);
     if (delivered > f->size) {
-      ctx.fail(tag + " delivered " + std::to_string(delivered) +
-               " B, more than its size " + std::to_string(f->size) + " B");
+      ctx.fail(tag + " delivered " + to_string(delivered) +
+               ", more than its size " + to_string(f->size));
     }
     if (f->finished() && delivered != f->size) {
-      ctx.fail(tag + " finished with " + std::to_string(delivered) + "/" +
-               std::to_string(f->size) + " B delivered");
+      ctx.fail(tag + " finished with " + to_string(delivered) + " of " +
+               to_string(f->size) + " delivered");
     }
     auto it = ledger.flows.find(f->id);
     const FlowLedger::Entry entry =
         it == ledger.flows.end() ? FlowLedger::Entry{} : it->second;
     if (delivered + entry.dropped > entry.injected) {
-      ctx.fail(tag + " accounts " + std::to_string(delivered) +
-               " B delivered + " + std::to_string(entry.dropped) +
-               " B dropped against only " + std::to_string(entry.injected) +
-               " B injected");
+      ctx.fail(tag + " accounts " + to_string(delivered) + " delivered + " +
+               to_string(entry.dropped) + " dropped against only " +
+               to_string(entry.injected) + " injected");
     }
   }
   if (delivered_sum != net.total_payload_delivered) {
-    ctx.fail("per-flow delivered sum " + std::to_string(delivered_sum) +
-             " B != network total " +
-             std::to_string(net.total_payload_delivered) + " B");
+    ctx.fail("per-flow delivered sum " + to_string(delivered_sum) +
+             " != network total " +
+             to_string(net.total_payload_delivered));
   }
 }
 
@@ -72,36 +72,82 @@ void check_queue_occupancy(net::Network& net, sim::Auditor::Context& ctx) {
     for (const auto& port : dev->ports) {
       const std::string tag = dev->name() + " port " +
                               std::to_string(port->index());
-      Bytes prio_sum = 0;
+      Bytes prio_sum{};
       for (int prio = 0; prio < net::kNumPriorities; ++prio) {
         const Bytes q = port->queued_bytes(prio);
-        if (q < 0) {
+        if (q < Bytes{}) {
           ctx.fail(tag + " priority " + std::to_string(prio) +
-                   " holds negative bytes: " + std::to_string(q));
+                   " holds negative bytes: " + to_string(q));
         }
         prio_sum += q;
       }
       if (prio_sum != port->queued_bytes()) {
-        ctx.fail(tag + " per-priority bytes sum to " +
-                 std::to_string(prio_sum) + " but total says " +
-                 std::to_string(port->queued_bytes()));
+        ctx.fail(tag + " per-priority bytes sum to " + to_string(prio_sum) +
+                 " but total says " + to_string(port->queued_bytes()));
       }
       const net::PortConfig& cfg = port->config();
-      if (cfg.buffer_bytes < 0) continue;
+      if (cfg.buffer_bytes < Bytes{}) continue;
       const Bytes data_queued = port->queued_bytes() - port->queued_bytes(0);
       if (data_queued > cfg.buffer_bytes) {
-        ctx.fail(tag + " data queues hold " + std::to_string(data_queued) +
-                 " B, above the " + std::to_string(cfg.buffer_bytes) +
-                 " B buffer");
+        ctx.fail(tag + " data queues hold " + to_string(data_queued) +
+                 ", above the " + to_string(cfg.buffer_bytes) + " buffer");
       }
       // Trimming bypasses the control budget by design (headers of trimmed
       // data land on priority 0 unconditionally), so the control bound only
       // applies on non-trimming ports.
       if (!cfg.trim_enable && port->queued_bytes(0) > cfg.buffer_bytes) {
         ctx.fail(tag + " control queue holds " +
-                 std::to_string(port->queued_bytes(0)) + " B, above the " +
-                 std::to_string(cfg.buffer_bytes) + " B buffer");
+                 to_string(port->queued_bytes(0)) + ", above the " +
+                 to_string(cfg.buffer_bytes) + " buffer");
       }
+    }
+  }
+}
+
+/// PFC pause-ledger invariants (per switch, per PFC-tracked ingress slot):
+/// the byte ledger never goes negative, the pause flag sits on the correct
+/// side of the pause/resume hysteresis band (pfc_update() runs synchronously
+/// with every ledger change, so this holds at any instant between events),
+/// and every ledgered byte is still buffered on some egress queue of the
+/// same switch. Trimming rewrites packet sizes after ingress accounting, so
+/// the occupancy bound is skipped on switches with any trim-enabled port
+/// (no supported config combines PFC with trimming).
+void check_pfc_pause_ledger(net::Network& net, sim::Auditor::Context& ctx) {
+  for (const auto& dev : net.devices()) {
+    auto* sw = dynamic_cast<net::Switch*>(dev.get());
+    if (sw == nullptr) continue;
+    Bytes ledger_sum{};
+    Bytes queued_sum{};
+    bool any_pfc = false;
+    bool any_trim = false;
+    for (const auto& port : sw->ports) {
+      queued_sum += port->queued_bytes();
+      any_pfc = any_pfc || port->config().pfc_enable;
+      any_trim = any_trim || port->config().trim_enable;
+      if (!port->config().pfc_enable) continue;
+      const std::string tag =
+          sw->name() + " ingress " + std::to_string(port->index());
+      const Bytes buffered = sw->ingress_buffered(port->index());
+      ledger_sum += buffered;
+      if (buffered < Bytes{}) {
+        ctx.fail(tag + " PFC ledger went negative: " + to_string(buffered));
+      }
+      const net::PortConfig& cfg = port->config();
+      if (sw->ingress_paused(port->index())) {
+        if (buffered < cfg.pfc_resume_threshold) {
+          ctx.fail(tag + " still paused at " + to_string(buffered) +
+                   ", below the resume threshold " +
+                   to_string(cfg.pfc_resume_threshold));
+        }
+      } else if (buffered > cfg.pfc_pause_threshold) {
+        ctx.fail(tag + " not paused at " + to_string(buffered) +
+                 ", above the pause threshold " +
+                 to_string(cfg.pfc_pause_threshold));
+      }
+    }
+    if (any_pfc && !any_trim && ledger_sum > queued_sum) {
+      ctx.fail(sw->name() + " PFC ledgers account " + to_string(ledger_sum) +
+               " but egress queues hold only " + to_string(queued_sum));
     }
   }
 }
@@ -120,10 +166,10 @@ void for_each_dcpim_host(net::Network& net, Fn&& fn) {
 void install_standard_probes(sim::Auditor& auditor, net::Network& net) {
   auto ledger = std::make_shared<FlowLedger>();
   net.add_inject_observer([ledger](const net::Packet& p) {
-    if (p.payload > 0) ledger->flows[p.flow_id].injected += p.payload;
+    if (p.payload > Bytes{}) ledger->flows[p.flow_id].injected += p.payload;
   });
   net.add_drop_observer([ledger](const net::Packet& p, const net::Port&) {
-    if (p.payload > 0) ledger->flows[p.flow_id].dropped += p.payload;
+    if (p.payload > Bytes{}) ledger->flows[p.flow_id].dropped += p.payload;
   });
 
   auditor.add_probe("flow-byte-conservation",
@@ -147,6 +193,30 @@ void install_standard_probes(sim::Auditor& auditor, net::Network& net) {
       host.audit_matching(violations);
     });
     for (auto& v : violations) ctx.fail(std::move(v));
+  });
+  auditor.add_probe("pfc-pause-ledger", [&net](sim::Auditor::Context& ctx) {
+    check_pfc_pause_ledger(net, ctx);
+  });
+
+  // Event-driven lane (add_event_probe: no sweep fn): every DcpimHost
+  // re-runs its token/matching checks at its own epoch rollover, so a
+  // violation confined to one epoch is caught even if the periodic sweep
+  // never lands inside it.
+  const std::size_t epoch_probe =
+      auditor.add_event_probe("dcpim-epoch-rollover");
+  for_each_dcpim_host(net, [&](core::DcpimHost& host) {
+    host.set_epoch_audit_hook(
+        [&auditor, &net, &host, epoch_probe](std::uint64_t epoch) {
+          std::vector<std::string> violations;
+          host.audit_token_accounting(violations);
+          host.audit_matching(violations);
+          auditor.count_check(epoch_probe);
+          for (auto& v : violations) {
+            auditor.report(epoch_probe, net.sim().now(),
+                           "epoch " + std::to_string(epoch) +
+                               " rollover: " + std::move(v));
+          }
+        });
   });
 }
 

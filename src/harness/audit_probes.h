@@ -9,6 +9,12 @@
 //   dcpim-token-accounting   token-clocked data never outruns granted tokens
 //   dcpim-matching           per-epoch matches within the k-channel bound
 //                            (Theorem 1 precondition)
+//   pfc-pause-ledger         per-ingress PFC byte ledgers are non-negative,
+//                            consistent with the pause/resume hysteresis
+//                            band, and covered by the egress queues
+//   dcpim-epoch-rollover     event-driven (Auditor::add_event_probe): each
+//                            DcpimHost re-runs the token/matching checks at
+//                            its own epoch boundary, between sweeps
 //
 // The dcPIM probes are no-ops on non-dcPIM hosts, so the full set can be
 // installed for any protocol under test.

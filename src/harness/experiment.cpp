@@ -38,7 +38,7 @@ double ExperimentResult::mean_util(std::size_t from_bin,
 }
 
 std::vector<Bytes> default_bucket_edges(Bytes bdp) {
-  return {0, bdp / 4, bdp, 4 * bdp, 16 * bdp, 64 * bdp};
+  return {Bytes{}, bdp / 4, bdp, bdp * 4, bdp * 16, bdp * 64};
 }
 
 namespace {
@@ -187,9 +187,9 @@ void drive_pattern(Runtime& rt, std::vector<std::unique_ptr<workload::PoissonGen
 
   const workload::EmpiricalCdf* cdf = nullptr;
   static thread_local std::unique_ptr<workload::EmpiricalCdf> fixed_holder;
-  if (exp.fixed_size != 0) {
-    const Bytes size = exp.fixed_size > 0 ? exp.fixed_size
-                                          : topo.bdp_bytes() + 1;  // Fig 4b
+  if (exp.fixed_size != Bytes{}) {
+    const Bytes size = exp.fixed_size > Bytes{} ? exp.fixed_size
+                                                : topo.bdp_bytes() + Bytes{1};  // Fig 4b
     fixed_holder =
         std::make_unique<workload::EmpiricalCdf>(workload::fixed_size_cdf(size));
     cdf = fixed_holder.get();
@@ -218,7 +218,7 @@ void drive_pattern(Runtime& rt, std::vector<std::unique_ptr<workload::PoissonGen
         receivers.push_back(exp.hosts_per_rack + h);
       }
       workload::schedule_dense_tm(net, senders, receivers,
-                                  exp.dense_flow_size, 0);
+                                  exp.dense_flow_size, TimePoint{});
       // ... plus a 50:1 incast from other racks every 100 us (first 600 us).
       std::vector<int> incasters;
       for (int h = 2 * exp.hosts_per_rack;
@@ -230,14 +230,14 @@ void drive_pattern(Runtime& rt, std::vector<std::unique_ptr<workload::PoissonGen
       for (int b = 0; b < exp.incast_bursts; ++b) {
         workload::schedule_incast(net, receivers[0], incasters,
                                   exp.incast_size,
-                                  static_cast<Time>(b) * exp.incast_interval);
+                                  TimePoint(exp.incast_interval * b));
       }
       break;
     }
     case Pattern::DenseTM: {
       workload::schedule_dense_tm(net, workload::all_hosts(net),
                                   workload::all_hosts(net),
-                                  exp.dense_flow_size, 0);
+                                  exp.dense_flow_size, TimePoint{});
       break;
     }
     case Pattern::Incast: {
@@ -248,7 +248,7 @@ void drive_pattern(Runtime& rt, std::vector<std::unique_ptr<workload::PoissonGen
            ++h) {
         senders.push_back(h);
       }
-      workload::schedule_incast(net, 0, senders, exp.incast_size, 0);
+      workload::schedule_incast(net, 0, senders, exp.incast_size, TimePoint{});
       break;
     }
   }
@@ -299,11 +299,13 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.goodput_ratio = goodput.ratio();
   {
     const double window_sec = to_sec(cfg.measure_end - cfg.measure_start);
+    // unit-raw: offered-rate algebra mixes rate, load fraction and seconds.
     const double offered_rate_bytes =
-        cfg.load * static_cast<double>(rt.topo->host_rate()) / 8.0 *
+        cfg.load * static_cast<double>(rt.topo->host_rate().raw()) / 8.0 *
         rt.net->num_hosts();
     if (window_sec > 0 && offered_rate_bytes > 0) {
-      res.load_carried_ratio = static_cast<double>(goodput.delivered()) /
+      // unit-raw: goodput ratio against the double-valued offered rate
+      res.load_carried_ratio = static_cast<double>(goodput.delivered().raw()) /
                                (offered_rate_bytes * window_sec);
     }
   }
@@ -318,13 +320,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
   // Utilization relative to the aggregate receiver capacity involved in the
   // pattern (all hosts for all-to-all / dense; one rack for bursty).
+  // unit-raw: utilization denominators are double-valued aggregate bps.
   double capacity_bps =
-      static_cast<double>(rt.topo->host_rate()) * rt.net->num_hosts();
+      static_cast<double>(rt.topo->host_rate().raw()) * rt.net->num_hosts();
   if (cfg.pattern == Pattern::Bursty) {
     capacity_bps =
-        static_cast<double>(rt.topo->host_rate()) * cfg.hosts_per_rack;
+        static_cast<double>(rt.topo->host_rate().raw()) * cfg.hosts_per_rack;
   } else if (cfg.pattern == Pattern::Incast) {
-    capacity_bps = static_cast<double>(rt.topo->host_rate());
+    capacity_bps = static_cast<double>(rt.topo->host_rate().raw());
   }
   res.util_bin = cfg.util_bin;
   res.util_series.resize(util.num_bins());

@@ -51,26 +51,26 @@ struct ExperimentConfig {
   // --- workload -----------------------------------------------------------
   std::string workload = "imc10";  ///< imc10 | websearch | datamining
   /// >0: every flow this size; -1: every flow BDP+1 (Fig 4b worst case).
-  Bytes fixed_size = 0;
+  Bytes fixed_size{};
   double load = 0.6;
 
   // --- timing -----------------------------------------------------------------
-  Time gen_stop = us(800);       ///< arrivals stop here
-  Time horizon = ms(3);          ///< simulation end (drain tail)
-  Time measure_start = us(100);  ///< stats window (flow starts)
-  Time measure_end = us(800);
+  TimePoint gen_stop{us(800)};       ///< arrivals stop here
+  TimePoint horizon{ms(3)};          ///< simulation end (drain tail)
+  TimePoint measure_start{us(100)};  ///< stats window (flow starts)
+  TimePoint measure_end{us(800)};
   std::uint64_t seed = 1;
   Time util_bin = us(10);
 
   // --- bursty-pattern parameters (Fig 4a) --------------------------------------
   int incast_fanin = 50;
-  Bytes incast_size = 128 * kKB;
+  Bytes incast_size = kKB * 128;
   Time incast_interval = us(100);
   int incast_bursts = 6;
   double shuffle_load = 0.9;  ///< rack-to-rack all-to-all component
 
   // --- dense-TM parameters (Fig 4c) ---------------------------------------------
-  Bytes dense_flow_size = 1 * kMB;
+  Bytes dense_flow_size = kMB;
 
   // --- failure injection --------------------------------------------------------
   double loss_rate = 0.0;  ///< random per-packet loss on every port
@@ -109,9 +109,9 @@ struct ExperimentResult {
   std::uint64_t drops = 0;
   std::uint64_t trims = 0;
   std::uint64_t pfc_pauses = 0;
-  Bytes bdp = 0;
-  Time data_rtt = 0;
-  Time control_rtt = 0;
+  Bytes bdp{};
+  Time data_rtt{};
+  Time control_rtt{};
   /// Delivered-throughput series (fraction of receiver aggregate capacity).
   std::vector<double> util_series;
   Time util_bin = us(10);

@@ -19,18 +19,18 @@ struct PortConfig {
   Bytes buffer_bytes = 500 * kKB;  ///< shared across priorities; <0 = infinite
 
   /// ECN: mark CE on enqueue when queued bytes >= threshold. <0 disables.
-  Bytes ecn_threshold = -1;
+  Bytes ecn_threshold{-1};
 
   /// NDP packet trimming: when the *data* queue for a packet's priority
   /// exceeds trim_queue_cap bytes, the payload is cut and the header is
   /// forwarded at the control priority. Disabled unless trim_enable.
   bool trim_enable = false;
-  Bytes trim_queue_cap = 8 * 1500;
-  Bytes trim_header_size = 64;
+  Bytes trim_queue_cap{8 * 1500};
+  Bytes trim_header_size{64};
 
   /// Aeolus selective dropping: drop *unscheduled* packets arriving when
   /// the queue exceeds this threshold. <0 disables.
-  Bytes aeolus_threshold = -1;
+  Bytes aeolus_threshold{-1};
 
   /// PFC (used by the HPCC substrate): pause the upstream egress port when
   /// the bytes buffered from that ingress exceed pause_threshold.
@@ -44,9 +44,9 @@ struct PortConfig {
 
 /// Network-wide constants.
 struct NetConfig {
-  Bytes mtu_payload = 1460;       ///< application bytes per full data packet
-  Bytes header_bytes = 40;        ///< per-packet wire overhead
-  Bytes control_packet_bytes = 64;  ///< wire size of control packets
+  Bytes mtu_payload{1460};        ///< application bytes per full data packet
+  Bytes header_bytes{40};         ///< per-packet wire overhead
+  Bytes control_packet_bytes{64};  ///< wire size of control packets
   Time switch_latency = ns(450);  ///< per-switch processing delay (Table 1)
   Time host_latency = ns(500);    ///< end-host ingress (NIC/stack) delay
   bool packet_spraying = true;    ///< per-packet uniform ECMP; else per-flow

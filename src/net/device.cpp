@@ -45,7 +45,7 @@ void Port::enqueue(PacketPtr p) {
     // Data-plane packet: subject to the shared data buffer and features.
     const Bytes data_queued = total_qbytes_ - qbytes_[0];
 
-    if (cfg_.aeolus_threshold >= 0 && p->unscheduled &&
+    if (cfg_.aeolus_threshold >= Bytes{} && p->unscheduled &&
         data_queued + p->size > cfg_.aeolus_threshold) {
       // Aeolus selective dropping: first-RTT (unscheduled) packets are
       // dropped early so scheduled traffic keeps the buffer.
@@ -56,28 +56,28 @@ void Port::enqueue(PacketPtr p) {
     const bool over_trim_cap =
         cfg_.trim_enable && qbytes_[prio] + p->size > cfg_.trim_queue_cap;
     const bool over_buffer =
-        cfg_.buffer_bytes >= 0 && data_queued + p->size > cfg_.buffer_bytes;
+        cfg_.buffer_bytes >= Bytes{} && data_queued + p->size > cfg_.buffer_bytes;
 
     if (over_trim_cap || (cfg_.trim_enable && over_buffer)) {
       // NDP packet trimming: cut the payload, forward the header at the
       // control priority so the receiver learns of the loss immediately.
       ++trims;
       p->size = cfg_.trim_header_size;
-      p->payload = 0;
+      p->payload = Bytes{};
       p->trimmed = true;
       p->priority = 0;
       prio = 0;
     } else if (over_buffer) {
       drop_packet(std::move(p));
       return;
-    } else if (cfg_.ecn_threshold >= 0 && data_queued >= cfg_.ecn_threshold) {
+    } else if (cfg_.ecn_threshold >= Bytes{} && data_queued >= cfg_.ecn_threshold) {
       p->ecn_ce = true;
       ++ecn_marks;
     }
   } else {
     // Control-plane (or already-trimmed) packet: strict priority 0 with its
     // own byte budget, so data congestion cannot starve the control plane.
-    if (cfg_.buffer_bytes >= 0 && qbytes_[0] + p->size > cfg_.buffer_bytes) {
+    if (cfg_.buffer_bytes >= Bytes{} && qbytes_[0] + p->size > cfg_.buffer_bytes) {
       drop_packet(std::move(p));
       return;
     }

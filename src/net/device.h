@@ -62,9 +62,9 @@ class Port {
   std::uint64_t drops = 0;
   std::uint64_t trims = 0;
   std::uint64_t ecn_marks = 0;
-  Bytes tx_bytes = 0;          ///< cumulative bytes fully transmitted
-  std::uint64_t tx_packets = 0;
-  Time busy_time = 0;          ///< cumulative time spent serializing
+  Bytes tx_bytes{};            ///< cumulative bytes fully transmitted
+  PacketCount tx_packets{};
+  Time busy_time{};            ///< cumulative time spent serializing
 
  private:
   void try_transmit();
@@ -83,7 +83,7 @@ class Port {
 
   std::array<std::deque<PacketPtr>, kNumPriorities> queues_;
   std::array<Bytes, kNumPriorities> qbytes_{};
-  Bytes total_qbytes_ = 0;
+  Bytes total_qbytes_{};
   bool busy_ = false;
   bool paused_ = false;
   bool link_up_ = true;
@@ -108,7 +108,7 @@ class Device {
   virtual void on_packet_departed(const Packet& /*p*/) {}
 
   /// Fixed processing latency applied to packets entering this device.
-  virtual Time ingress_latency() const { return 0; }
+  virtual Time ingress_latency() const { return Time{}; }
 
   Port* add_port(const PortConfig& cfg);
 

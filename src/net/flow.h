@@ -14,21 +14,21 @@ struct Flow {
   std::uint64_t id = 0;
   int src = -1;
   int dst = -1;
-  Bytes size = 0;       ///< application bytes to deliver
-  Time start_time = 0;  ///< arrival at the sender
-  Time finish_time = -1;  ///< completion at the receiver; -1 while active
+  Bytes size{};           ///< application bytes to deliver
+  TimePoint start_time{};  ///< arrival at the sender
+  TimePoint finish_time = kTimeUnset;  ///< completion; kTimeUnset while active
 
-  bool finished() const { return finish_time >= 0; }
+  bool finished() const { return finish_time != kTimeUnset; }
   Time fct() const { return finish_time - start_time; }
 
   /// Number of MTU-payload-sized data packets for this flow.
-  std::uint32_t packet_count(Bytes mtu_payload) const {
-    return static_cast<std::uint32_t>((size + mtu_payload - 1) / mtu_payload);
+  PacketCount packet_count(Bytes mtu_payload) const {
+    return PacketCount{(size + mtu_payload - Bytes{1}) / mtu_payload};
   }
 
   /// Payload carried by data packet `seq` (last packet may be short).
   Bytes payload_of(std::uint32_t seq, Bytes mtu_payload) const {
-    const Bytes offset = static_cast<Bytes>(seq) * mtu_payload;
+    const Bytes offset = mtu_payload * seq;
     const Bytes remaining = size - offset;
     return remaining < mtu_payload ? remaining : mtu_payload;
   }
@@ -42,14 +42,16 @@ class FlowRxState {
   FlowRxState(Flow* flow, Bytes mtu_payload)
       : flow_(flow),
         mtu_payload_(mtu_payload),
-        seen_(flow->packet_count(mtu_payload), false) {}
+        // unit-raw: vector sizing takes a bare count
+        seen_(static_cast<std::size_t>(flow->packet_count(mtu_payload).raw()),
+              false) {}
 
   Flow* flow() const { return flow_; }
 
   /// Records receipt of packet `seq`; returns the number of *new* payload
   /// bytes (0 for duplicates).
   Bytes on_data(std::uint32_t seq) {
-    if (seq >= seen_.size() || seen_[seq]) return 0;
+    if (seq >= seen_.size() || seen_[seq]) return Bytes{};
     seen_[seq] = true;
     ++received_count_;
     const Bytes got = flow_->payload_of(seq, mtu_payload_);
@@ -77,10 +79,10 @@ class FlowRxState {
 
  private:
   Flow* flow_ = nullptr;
-  Bytes mtu_payload_ = 1460;
+  Bytes mtu_payload_{1460};
   std::vector<bool> seen_;
   std::size_t received_count_ = 0;
-  Bytes received_bytes_ = 0;
+  Bytes received_bytes_{};
 };
 
 }  // namespace dcpim::net

@@ -1,7 +1,5 @@
 #include "net/host.h"
 
-#include <cassert>
-
 #include "util/logging.h"
 
 namespace dcpim::net {
@@ -21,19 +19,17 @@ void Host::send(PacketPtr p) {
   nic()->enqueue(std::move(p));
 }
 
-PacketPtr Host::make_data_packet(const Flow& flow, std::uint32_t seq,
-                                 std::uint8_t priority,
-                                 bool unscheduled) const {
+PacketPtr Host::make_data_packet(const Flow& flow, DataPacketSpec spec) const {
   const auto& cfg = network().config();
   auto p = std::make_unique<Packet>();
   p->src = flow.src;
   p->dst = flow.dst;
   p->flow_id = flow.id;
-  p->seq = seq;
-  p->payload = flow.payload_of(seq, cfg.mtu_payload);
+  p->seq = spec.seq;
+  p->payload = flow.payload_of(spec.seq, cfg.mtu_payload);
   p->size = p->payload + cfg.header_bytes;
-  p->priority = priority;
-  p->unscheduled = unscheduled;
+  p->priority = spec.priority;
+  p->unscheduled = spec.unscheduled;
   p->created_at = network().sim().now();
   return p;
 }
@@ -43,12 +39,12 @@ Bytes Host::accept_data(const Packet& p) {
   if (flow == nullptr) {
     LOG_WARN("host %d received data for unknown flow %llu", host_id_,
              static_cast<unsigned long long>(p.flow_id));
-    return 0;
+    return Bytes{};
   }
   FlowRxState& st = rx_state(*flow);
   const bool was_complete = st.complete();
   const Bytes fresh = st.on_data(p.seq);
-  if (fresh > 0) {
+  if (fresh > Bytes{}) {
     network().total_payload_delivered += fresh;
     network().notify_payload(fresh, network().sim().now());
     if (!was_complete && st.complete()) {

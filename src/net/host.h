@@ -6,6 +6,7 @@
 #include "util/check.h"
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <unordered_map>
 
 #include "net/device.h"
@@ -47,14 +48,26 @@ class Host : public Device {
   /// Enqueues a packet on the NIC.
   void send(PacketPtr p);
 
-  /// Builds a data packet for `flow` packet index `seq`.
-  PacketPtr make_data_packet(const Flow& flow, std::uint32_t seq,
-                             std::uint8_t priority, bool unscheduled) const;
+  /// Field-named argument pack for make_data_packet. Designated initializers
+  /// at the call site keep the seq/priority/unscheduled triple from being
+  /// silently swapped (bugprone-easily-swappable-parameters).
+  struct DataPacketSpec {
+    std::uint32_t seq = 0;      ///< data packet index within the flow
+    std::uint8_t priority = 0;  ///< strict-priority queue at every port
+    bool unscheduled = false;   ///< sent without receiver admission
+  };
+
+  /// Builds a data packet for `flow` packet index `spec.seq`.
+  PacketPtr make_data_packet(const Flow& flow, DataPacketSpec spec) const;
 
   /// Builds a protocol control packet skeleton of type T (derived from
   /// Packet), addressed from this host to `dst`, at control priority.
-  template <typename T>
-  std::unique_ptr<T> make_control(int dst, int kind) const {
+  /// `kind` must be the protocol's packet-kind enumerator: keeping it an
+  /// enum (not int) means dst and kind cannot be transposed.
+  template <typename T, typename KindT>
+  std::unique_ptr<T> make_control(int dst, KindT kind) const {
+    static_assert(std::is_enum_v<KindT>,
+                  "pass the protocol's packet-kind enumerator, not a raw int");
     auto p = std::make_unique<T>();
     p->src = host_id_;
     p->dst = dst;

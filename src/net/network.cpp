@@ -32,9 +32,9 @@ void Network::register_host(Host* host) {
   hosts_[id] = host;
 }
 
-Flow* Network::create_flow(int src, int dst, Bytes size, Time start) {
+Flow* Network::create_flow(int src, int dst, Bytes size, TimePoint start) {
   DCPIM_CHECK_NE(src, dst, "self-flows are not modelled");
-  DCPIM_CHECK_GT(size, 0, "flows must carry payload");
+  DCPIM_CHECK_GT(size, Bytes{}, "flows must carry payload");
   auto flow = std::make_unique<Flow>();
   flow->id = next_flow_id_++;
   flow->src = src;
@@ -62,7 +62,8 @@ void Network::flow_completed(Flow& f) {
   ++completed_flows;
   LOG_DEBUG("flow %llu (%d->%d, %lld B) done, fct=%.2f us",
             static_cast<unsigned long long>(f.id), f.src, f.dst,
-            static_cast<long long>(f.size), to_us(f.fct()));
+            // unit-raw: printf interop
+            static_cast<long long>(f.size.raw()), to_us(f.fct()));
   for (auto& fn : flow_observers_) fn(f);
 }
 

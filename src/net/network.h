@@ -58,7 +58,7 @@ class Network {
 
   // --- flows ----------------------------------------------------------------
   /// Creates a flow and schedules its arrival at the sender at `start`.
-  Flow* create_flow(int src, int dst, Bytes size, Time start);
+  Flow* create_flow(int src, int dst, Bytes size, TimePoint start);
   Flow* flow(std::uint64_t id) const;
   std::size_t num_flows() const { return flows_.size(); }
   const std::vector<std::unique_ptr<Flow>>& flows() const { return flows_; }
@@ -69,7 +69,7 @@ class Network {
   // --- observers -------------------------------------------------------------
   using FlowObserver = std::function<void(const Flow&)>;
   using ArrivalObserver = std::function<void(const Flow&)>;
-  using PayloadObserver = std::function<void(Bytes, Time)>;
+  using PayloadObserver = std::function<void(Bytes, TimePoint)>;
   using DropObserver = std::function<void(const Packet&, const Port&)>;
   using InjectObserver = std::function<void(const Packet&)>;
 
@@ -93,7 +93,7 @@ class Network {
   }
 
   /// Internal: fired by Host::accept_data for each fresh payload byte batch.
-  void notify_payload(Bytes fresh, Time at) {
+  void notify_payload(Bytes fresh, TimePoint at) {
     for (auto& fn : payload_observers_) fn(fresh, at);
   }
   /// Internal: fired by ports on any drop.
@@ -108,7 +108,7 @@ class Network {
   // --- aggregate statistics ---------------------------------------------------
   std::uint64_t total_drops() const;
   std::uint64_t total_trims() const;
-  Bytes total_payload_delivered = 0;
+  Bytes total_payload_delivered{};
   std::uint64_t completed_flows = 0;
 
   const std::vector<std::unique_ptr<Device>>& devices() const {

@@ -20,10 +20,10 @@ class Port;
 
 /// One in-band telemetry record appended per hop (HPCC).
 struct IntHopRecord {
-  Bytes qlen = 0;        ///< egress queue occupancy at dequeue time
-  Bytes tx_bytes = 0;    ///< cumulative bytes transmitted by the egress port
-  BitsPerSec rate = 0;   ///< egress link rate
-  Time timestamp = 0;    ///< dequeue timestamp
+  Bytes qlen{};         ///< egress queue occupancy at dequeue time
+  Bytes tx_bytes{};     ///< cumulative bytes transmitted by the egress port
+  BitsPerSec rate{};    ///< egress link rate
+  TimePoint timestamp{};  ///< dequeue timestamp
 };
 
 struct Packet {
@@ -33,8 +33,8 @@ struct Packet {
   std::uint64_t flow_id = UINT64_MAX;
 
   // --- wire properties ---------------------------------------------------
-  Bytes size = 0;        ///< bytes on the wire, headers included
-  Bytes payload = 0;     ///< application payload bytes (0 for control)
+  Bytes size{};          ///< bytes on the wire, headers included
+  Bytes payload{};       ///< application payload bytes (0 for control)
   std::uint8_t priority = 0;  ///< 0 = highest; strict priority at every port
   bool control = false;  ///< control-plane packet (notifications, tokens, ...)
 
@@ -52,9 +52,9 @@ struct Packet {
   /// While buffered in a switch: local ingress port index (PFC accounting).
   int pfc_ingress = -1;
 
-  /// Simulation time the packet was created (set by Host factories; -1 if
-  /// hand-built). Used for latency accounting and debugging.
-  Time created_at = -1;
+  /// Simulation time the packet was created (set by Host factories;
+  /// kTimeUnset if hand-built). Used for latency accounting and debugging.
+  TimePoint created_at = kTimeUnset;
 
   // --- protocol dispatch --------------------------------------------------
   /// Protocol-defined discriminator; each protocol defines its own enum.

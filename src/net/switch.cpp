@@ -32,7 +32,7 @@ void Switch::pfc_account_arrival(Packet& p, Port* in) {
   if (in == nullptr || !in->config().pfc_enable) return;
   const auto idx = static_cast<std::size_t>(in->index());
   if (ingress_bytes_.size() <= idx) {
-    ingress_bytes_.resize(ports.size(), 0);
+    ingress_bytes_.resize(ports.size(), Bytes{});
     ingress_paused_.resize(ports.size(), false);
   }
   p.pfc_ingress = in->index();

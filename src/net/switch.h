@@ -36,7 +36,14 @@ class Switch : public Device {
   Bytes ingress_buffered(int port_index) const {
     return port_index < static_cast<int>(ingress_bytes_.size())
                ? ingress_bytes_[static_cast<std::size_t>(port_index)]
-               : 0;
+               : Bytes{};
+  }
+
+  /// Whether this switch has asked the upstream peer of `port_index` to
+  /// pause (the PFC ledger side; the peer's paused() lags by propagation).
+  bool ingress_paused(int port_index) const {
+    return port_index < static_cast<int>(ingress_paused_.size()) &&
+           ingress_paused_[static_cast<std::size_t>(port_index)];
   }
 
   std::uint64_t pfc_pauses_sent = 0;

@@ -133,7 +133,8 @@ void Topology::finalize(Network& net) {
   bdp_bytes_ = bytes_in(max_data_rtt_, host_rate_);
   LOG_INFO("topology: %d hosts, data RTT %.2f us, cRTT %.2f us, BDP %lld B",
            num_hosts_, to_us(max_data_rtt_), to_us(max_control_rtt_),
-           static_cast<long long>(bdp_bytes_));
+           // unit-raw: printf interop
+           static_cast<long long>(bdp_bytes_.raw()));
 }
 
 const Topology::PathProfile& Topology::profile(int src, int dst) const {
@@ -168,9 +169,8 @@ Time Topology::oracle_fct(int src, int dst, Bytes size) const {
   const auto& cfg = net_->config();
   const Bytes first_payload = std::min(size, cfg.mtu_payload);
   const Bytes first_wire = first_payload + cfg.header_bytes;
-  const auto npkts =
-      static_cast<Bytes>((size + cfg.mtu_payload - 1) / cfg.mtu_payload);
-  const Bytes total_wire = size + npkts * cfg.header_bytes;
+  const std::int64_t npkts = (size + cfg.mtu_payload - Bytes{1}) / cfg.mtu_payload;
+  const Bytes total_wire = size + cfg.header_bytes * npkts;
 
   Time t = prof.fixed_latency;
   for (BitsPerSec rate : prof.link_rates) {

@@ -87,9 +87,9 @@ class Topology {
 
  private:
   struct PathProfile {
-    Time fixed_latency = 0;  ///< propagation + switch/host processing
+    Time fixed_latency{};  ///< propagation + switch/host processing
     std::vector<BitsPerSec> link_rates;  ///< along the canonical path
-    BitsPerSec bottleneck = 0;
+    BitsPerSec bottleneck{};
   };
 
   /// Computes routing tables and per-hop-count path profiles.
@@ -98,10 +98,10 @@ class Topology {
 
   Network* net_ = nullptr;
   int num_hosts_ = 0;
-  BitsPerSec host_rate_ = 0;
-  Time max_data_rtt_ = 0;
-  Time max_control_rtt_ = 0;
-  Bytes bdp_bytes_ = 0;
+  BitsPerSec host_rate_{};
+  Time max_data_rtt_{};
+  Time max_control_rtt_{};
+  Bytes bdp_bytes_{};
   std::vector<std::uint8_t> pair_class_;  ///< hop count per (src,dst)
   std::map<int, PathProfile> class_profiles_;
 };

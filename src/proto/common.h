@@ -10,7 +10,7 @@ namespace dcpim::proto {
 
 /// Flow announcement (RTS) carrying the flow size.
 struct SizedNotifyPacket : net::Packet {
-  Bytes flow_size = 0;
+  Bytes flow_size{};
 };
 
 /// Receiver-driven per-packet admission (Homa grant, NDP pull).

@@ -12,16 +12,18 @@ void DctcpHost::on_ack_event(WFlow& f, const AckPacket& ack) {
   ++f.window_acks;
   if (ack.ecn_echo) ++f.window_marks;
 
-  const Time now = network().sim().now();
-  const Time rtt = f.srtt > 0 ? f.srtt : window_config().base_rtt;
+  const TimePoint now = network().sim().now();
+  const Time rtt = f.srtt > Time{} ? f.srtt : window_config().base_rtt;
   if (now - f.window_start >= rtt && f.window_acks > 0) {
     const double frac = static_cast<double>(f.window_marks) /
                         static_cast<double>(f.window_acks);
     f.dctcp_alpha = (1.0 - cfg_.g) * f.dctcp_alpha + cfg_.g * frac;
     if (f.window_marks > 0) {
+      // unit-raw: the congestion window evolves multiplicatively, in
+      // doubles
       f.cwnd_bytes =
           std::max(f.cwnd_bytes * (1.0 - f.dctcp_alpha / 2.0),
-                   static_cast<double>(mss()));
+                   static_cast<double>(mss().raw()));
     }
     f.window_acks = 0;
     f.window_marks = 0;
@@ -29,22 +31,27 @@ void DctcpHost::on_ack_event(WFlow& f, const AckPacket& ack) {
   }
 
   // Standard additive increase (slow start below ssthresh).
+  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  const double mss_bytes = static_cast<double>(mss().raw());
   if (f.cwnd_bytes < f.ssthresh) {
-    f.cwnd_bytes += static_cast<double>(mss());
+    f.cwnd_bytes += mss_bytes;
   } else {
-    f.cwnd_bytes += static_cast<double>(mss()) * static_cast<double>(mss()) /
-                    f.cwnd_bytes;
+    f.cwnd_bytes += mss_bytes * mss_bytes / f.cwnd_bytes;
   }
 }
 
 void DctcpHost::on_fast_retransmit(WFlow& f) {
-  f.ssthresh = std::max(f.cwnd_bytes / 2, static_cast<double>(2 * mss()));
+  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  f.ssthresh =
+      std::max(f.cwnd_bytes / 2, static_cast<double>((mss() * 2).raw()));
   f.cwnd_bytes = f.ssthresh;
 }
 
 void DctcpHost::on_timeout(WFlow& f) {
-  f.ssthresh = std::max(f.cwnd_bytes / 2, static_cast<double>(2 * mss()));
-  f.cwnd_bytes = static_cast<double>(mss());
+  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  f.ssthresh =
+      std::max(f.cwnd_bytes / 2, static_cast<double>((mss() * 2).raw()));
+  f.cwnd_bytes = static_cast<double>(mss().raw());
 }
 
 net::Topology::HostFactory dctcp_host_factory(const DctcpConfig& cfg) {
@@ -55,7 +62,7 @@ net::Topology::HostFactory dctcp_host_factory(const DctcpConfig& cfg) {
 }
 
 void dctcp_port_customize(net::PortConfig& cfg, Bytes threshold) {
-  cfg.ecn_threshold = threshold > 0 ? threshold : cfg.buffer_bytes / 4;
+  cfg.ecn_threshold = threshold > Bytes{} ? threshold : cfg.buffer_bytes / 4;
 }
 
 }  // namespace dcpim::proto

@@ -13,7 +13,7 @@ struct DctcpConfig {
   WindowConfig window;
   double g = 1.0 / 16.0;  ///< EWMA gain for alpha
   /// Switch ECN marking threshold; applied by dctcp_port_customize.
-  Bytes ecn_threshold_bytes = 0;  ///< 0 = ~1/4 of the port buffer
+  Bytes ecn_threshold_bytes{};  ///< zero = ~1/4 of the port buffer
 };
 
 class DctcpHost : public WindowHost {

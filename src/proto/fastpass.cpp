@@ -80,7 +80,7 @@ void FastpassArbiter::tick() {
   }
 
   const Time slot =
-      cfg_.timeslot > 0
+      cfg_.timeslot > Time{}
           ? cfg_.timeslot
           : serialization_time(net_.config().mtu_wire(),
                                net_.host(0)->nic()->config().rate);
@@ -99,7 +99,9 @@ FastpassHost::FastpassHost(net::Network& net, int host_id,
 void FastpassHost::on_flow_arrival(net::Flow& flow) {
   TxFlow tx;
   tx.flow = &flow;
-  tx.packets = flow.packet_count(network().config().mtu_payload);
+  tx.packets = static_cast<std::uint32_t>(
+      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      flow.packet_count(network().config().mtu_payload).raw());
   tx_flows_.emplace(flow.id, tx);
   // Every packet — even a single-packet RPC — must be scheduled first: the
   // request reaches the arbiter half a control RTT from now.
@@ -129,8 +131,8 @@ void FastpassHost::on_allocation(std::uint64_t flow_id) {
   } else {
     return;  // nothing left (e.g. re-requested slots raced a completion)
   }
-  send(make_data_packet(*tx.flow, seq, cfg_.data_priority,
-                        /*unscheduled=*/false));
+  send(make_data_packet(*tx.flow,
+                        {.seq = seq, .priority = cfg_.data_priority}));
   ++counters_.data_sent;
 }
 

@@ -24,14 +24,14 @@
 namespace dcpim::proto {
 
 struct FastpassConfig {
-  Time control_rtt = 0;  ///< host <-> arbiter round trip (topology cRTT)
-  Time timeslot = 0;     ///< 0 = one MTU transmission time at the host rate
+  Time control_rtt{};  ///< host <-> arbiter round trip (topology cRTT)
+  Time timeslot{};     ///< zero = one MTU transmission time at the host rate
   std::uint8_t data_priority = 2;
-  /// Receiver-side loss timeout; 0 = 10 control RTTs.
-  Time loss_timeout = 0;
+  /// Receiver-side loss timeout; zero = 10 control RTTs.
+  Time loss_timeout{};
 
   Time effective_loss_timeout() const {
-    return loss_timeout > 0 ? loss_timeout : 10 * control_rtt;
+    return loss_timeout > Time{} ? loss_timeout : control_rtt * 10;
   }
 };
 

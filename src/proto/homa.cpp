@@ -39,12 +39,12 @@ std::uint8_t HomaHost::unsched_priority_for(Bytes size) const {
   const Bytes bdp = cfg_.bdp_bytes;
   if (size <= bdp / 8) return 1;
   if (size <= bdp / 2) return 2;
-  if (size <= 2 * bdp) return 3;
+  if (size <= bdp * 2) return 3;
   return 4;
 }
 
 std::uint32_t HomaHost::window_packets() const {
-  return static_cast<std::uint32_t>(std::max<Bytes>(
+  return static_cast<std::uint32_t>(std::max<std::int64_t>(
       1, cfg_.bdp_bytes / network().config().mtu_payload));
 }
 
@@ -53,7 +53,9 @@ std::uint32_t HomaHost::window_packets() const {
 void HomaHost::on_flow_arrival(net::Flow& flow) {
   TxFlow tx;
   tx.flow = &flow;
-  tx.packets = flow.packet_count(network().config().mtu_payload);
+  tx.packets = static_cast<std::uint32_t>(
+      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      flow.packet_count(network().config().mtu_payload).raw());
   tx.unsched_packets = std::min<std::uint32_t>(tx.packets, window_packets());
   tx_flows_.emplace(flow.id, tx);
 
@@ -64,7 +66,7 @@ void HomaHost::on_flow_arrival(net::Flow& flow) {
 
   const std::uint8_t prio = unsched_priority_for(flow.size);
   for (std::uint32_t seq = 0; seq < tx.unsched_packets; ++seq) {
-    send(make_data_packet(flow, seq, prio, /*unscheduled=*/true));
+    send(make_data_packet(flow, {.seq = seq, .priority = prio, .unscheduled = true}));
     ++counters_.unsched_sent;
   }
 
@@ -106,8 +108,8 @@ void HomaHost::sender_pacer_tick() {
       continue;
     }
     grant_queue_.pop_front();
-    send(make_data_packet(*it->second.flow, g.seq, g.priority,
-                          /*unscheduled=*/false));
+    send(make_data_packet(*it->second.flow,
+                          {.seq = g.seq, .priority = g.priority}));
     ++counters_.sched_sent;
     network().sim().schedule_after(mtu_tx_time(),
                                    [this]() { sender_pacer_tick(); });
@@ -126,7 +128,9 @@ HomaHost::RxFlow* HomaHost::ensure_rx_flow(std::uint64_t flow_id) {
 
   RxFlow rx;
   rx.flow = flow;
-  rx.packets = flow->packet_count(network().config().mtu_payload);
+  rx.packets = static_cast<std::uint32_t>(
+      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      flow->packet_count(network().config().mtu_payload).raw());
   rx.unsched_packets = std::min<std::uint32_t>(rx.packets, window_packets());
   rx.next_new_seq = rx.unsched_packets;
   it = rx_flows_.emplace(flow_id, std::move(rx)).first;
@@ -193,14 +197,14 @@ void HomaHost::resend_check(std::uint64_t flow_id) {
   if (rx.flow->finished()) return;
 
   const net::FlowRxState* st = find_rx_state(flow_id);
-  const Bytes received = st != nullptr ? st->received_bytes() : 0;
+  const Bytes received = st != nullptr ? st->received_bytes() : Bytes{};
   if (received == rx.last_progress_bytes &&
       rx.resends < cfg_.max_resends) {
     // No progress for a full resend interval: re-admit everything missing
     // that is not already queued.
     ++rx.resends;
     ++counters_.resend_requests;
-    const Time now = network().sim().now();
+    const TimePoint now = network().sim().now();
     std::vector<std::uint32_t> stale;
     for (const auto& [seq, at] : rx.outstanding) {
       if (now - at > cfg_.effective_resend()) stale.push_back(seq);
@@ -241,7 +245,7 @@ void HomaHost::recompute_active() {
     auto it = rx_flows_.find(id);
     if (it == rx_flows_.end() || it->second.flow->finished()) continue;
     const net::FlowRxState* st = find_rx_state(id);
-    const Bytes received = st != nullptr ? st->received_bytes() : 0;
+    const Bytes received = st != nullptr ? st->received_bytes() : Bytes{};
     order.emplace_back(it->second.flow->size - received, tie_break(id), id);
   }
   std::sort(order.begin(), order.end());

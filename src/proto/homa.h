@@ -30,8 +30,8 @@ namespace dcpim::proto {
 
 struct HomaConfig {
   // Topology-derived (filled after build, before the simulation starts).
-  Bytes bdp_bytes = 0;    ///< RTT-bytes: unscheduled allowance & grant window
-  Time control_rtt = 0;
+  Bytes bdp_bytes{};    ///< RTT-bytes: unscheduled allowance & grant window
+  Time control_rtt{};
 
   int overcommit = 2;  ///< scheduled flows granted concurrently per receiver
   /// Unscheduled priority cutoffs by flow size; level i is used when
@@ -41,12 +41,12 @@ struct HomaConfig {
   std::uint8_t scheduled_priority = 5;
 
   bool aeolus = false;  ///< probe-based first-RTT loss recovery
-  /// Plain-Homa resend timer (receiver-side); 0 = 20 control RTTs.
-  Time resend_interval = 0;
+  /// Plain-Homa resend timer (receiver-side); zero = 20 control RTTs.
+  Time resend_interval{};
   int max_resends = 100;
 
   Time effective_resend() const {
-    return resend_interval > 0 ? resend_interval : 20 * control_rtt;
+    return resend_interval > Time{} ? resend_interval : control_rtt * 20;
   }
 };
 
@@ -83,9 +83,9 @@ class HomaHost : public net::Host {
     std::uint32_t unsched_packets = 0;
     std::uint32_t next_new_seq = 0;  ///< next never-granted scheduled seq
     std::set<std::uint32_t> readmit;  ///< lost seqs to re-grant (ordered)
-    std::unordered_map<std::uint32_t, Time> outstanding;  ///< grant->time
+    std::unordered_map<std::uint32_t, TimePoint> outstanding;  ///< grant instant
     bool pacer_running = false;
-    Bytes last_progress_bytes = 0;
+    Bytes last_progress_bytes{};
     int resends = 0;
   };
 

@@ -20,25 +20,30 @@ double HpccHost::utilization_estimate(WFlow& f, const AckPacket& ack) const {
   for (std::size_t j = 0; j < hops; ++j) {
     const auto& cur = ack.int_echo[j];
     const auto& prev = f.last_int[j];
-    const double rate_bps = static_cast<double>(cur.rate);
+    // unit-raw: the HPCC utilization estimator (eq. 2) is double-valued
+    const double rate_bps = static_cast<double>(cur.rate.raw());
     if (rate_bps <= 0) continue;
     double tx_rate_bps = 0;
     const Time dt = cur.timestamp - prev.timestamp;
-    if (dt > 0 && cur.tx_bytes >= prev.tx_bytes) {
-      tx_rate_bps = static_cast<double>(cur.tx_bytes - prev.tx_bytes) * 8.0 /
-                    to_sec(dt);
+    if (dt > Time{} && cur.tx_bytes >= prev.tx_bytes) {
+      tx_rate_bps =
+          // unit-raw: double-valued telemetry rate estimate
+          static_cast<double>((cur.tx_bytes - prev.tx_bytes).raw()) * 8.0 /
+          to_sec(dt);
     }
     const double qlen_term =
-        static_cast<double>(std::min(cur.qlen, prev.qlen)) * 8.0 /
+        // unit-raw: double-valued telemetry queue term
+        static_cast<double>(std::min(cur.qlen, prev.qlen).raw()) * 8.0 /
         (rate_bps * t_sec);
     u = std::max(u, qlen_term + tx_rate_bps / rate_bps);
   }
   // First sample for a hop sequence: fall back to instantaneous queue only.
   if (f.last_int.size() != ack.int_echo.size()) {
     for (const auto& hop : ack.int_echo) {
-      if (hop.rate <= 0) continue;
-      u = std::max(u, static_cast<double>(hop.qlen) * 8.0 /
-                          (static_cast<double>(hop.rate) * t_sec));
+      if (hop.rate <= BitsPerSec{}) continue;
+      // unit-raw: double-valued telemetry queue term
+      u = std::max(u, static_cast<double>(hop.qlen.raw()) * 8.0 /
+                          (static_cast<double>(hop.rate.raw()) * t_sec));
     }
   }
   return u;
@@ -50,15 +55,17 @@ void HpccHost::on_ack_event(WFlow& f, const AckPacket& ack) {
   f.last_int = ack.int_echo;
 
   const double wai = static_cast<double>(
-      cfg_.wai_bytes > 0 ? cfg_.wai_bytes : mss() / 2);
+      // unit-raw: additive-increase feeds the double-valued window update
+      (cfg_.wai_bytes > Bytes{} ? cfg_.wai_bytes : mss() / 2).raw());
   double w;
   if (u >= cfg_.eta || f.inc_stage >= cfg_.max_stage) {
     w = f.wc_bytes / std::max(u / cfg_.eta, 1e-3) + wai;
   } else {
     w = f.wc_bytes + wai;
   }
-  const double cap = 2.0 * static_cast<double>(window_config().bdp_bytes);
-  f.cwnd_bytes = std::clamp(w, static_cast<double>(mss()), cap);
+  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  const double cap = 2.0 * static_cast<double>(window_config().bdp_bytes.raw());
+  f.cwnd_bytes = std::clamp(w, static_cast<double>(mss().raw()), cap);
 
   // Reference-window update once per RTT (tracked via acked seq progress).
   if (ack.acked_seq >= f.last_update_seq) {
@@ -71,12 +78,14 @@ void HpccHost::on_ack_event(WFlow& f, const AckPacket& ack) {
 void HpccHost::on_fast_retransmit(WFlow& f) {
   // PFC keeps the fabric lossless in the common case; on the rare loss we
   // halve the reference window.
-  f.wc_bytes = std::max(f.wc_bytes / 2, static_cast<double>(mss()));
+  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  f.wc_bytes = std::max(f.wc_bytes / 2, static_cast<double>(mss().raw()));
   f.cwnd_bytes = f.wc_bytes;
 }
 
 void HpccHost::on_timeout(WFlow& f) {
-  f.wc_bytes = static_cast<double>(mss());
+  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  f.wc_bytes = static_cast<double>(mss().raw());
   f.cwnd_bytes = f.wc_bytes;
   f.inc_stage = 0;
 }

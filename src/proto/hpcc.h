@@ -19,7 +19,7 @@ struct HpccConfig {
   WindowConfig window;  ///< set collect_int internally
   double eta = 0.95;    ///< target utilization
   int max_stage = 5;    ///< additive-increase stages per RTT
-  Bytes wai_bytes = 0;  ///< additive increase; 0 = mtu/2
+  Bytes wai_bytes{};  ///< additive increase; zero = mtu/2
 };
 
 class HpccHost : public WindowHost {

@@ -23,17 +23,19 @@ NdpHost::NdpHost(net::Network& net, int host_id, const net::PortConfig& nic,
 void NdpHost::on_flow_arrival(net::Flow& flow) {
   TxFlow tx;
   tx.flow = &flow;
-  tx.packets = flow.packet_count(network().config().mtu_payload);
+  tx.packets = static_cast<std::uint32_t>(
+      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      flow.packet_count(network().config().mtu_payload).raw());
   tx.last_progress = network().sim().now();
   auto [it, _] = tx_flows_.emplace(flow.id, std::move(tx));
   TxFlow& ref = it->second;
 
-  const auto window = static_cast<std::uint32_t>(std::max<Bytes>(
+  const auto window = static_cast<std::uint32_t>(std::max<std::int64_t>(
       1, cfg_.bdp_bytes / network().config().mtu_payload));
   const std::uint32_t burst = std::min(ref.packets, window);
   for (std::uint32_t seq = 0; seq < burst; ++seq) {
-    send(make_data_packet(flow, seq, cfg_.data_priority,
-                          /*unscheduled=*/false));
+    send(make_data_packet(flow,
+                          {.seq = seq, .priority = cfg_.data_priority}));
     ++counters_.initial_window_sent;
   }
   ref.next_new_seq = burst;
@@ -54,8 +56,8 @@ void NdpHost::send_one(TxFlow& tx) {
     if (tx.next_new_seq >= tx.packets) return;  // nothing left to release
     seq = tx.next_new_seq++;
   }
-  send(make_data_packet(*tx.flow, seq, cfg_.data_priority,
-                        /*unscheduled=*/false));
+  send(make_data_packet(*tx.flow,
+                        {.seq = seq, .priority = cfg_.data_priority}));
 }
 
 void NdpHost::handle_pull(const net::Packet& p) {
@@ -96,8 +98,8 @@ void NdpHost::arm_rto(std::uint64_t flow_id) {
       ++counters_.rto_fires;
       for (std::uint32_t seq = 0; seq < tx.packets; ++seq) {
         if (tx.acked.count(seq) == 0) {
-          send(make_data_packet(*tx.flow, seq, cfg_.data_priority,
-                                /*unscheduled=*/false));
+          send(make_data_packet(
+              *tx.flow, {.seq = seq, .priority = cfg_.data_priority}));
           break;
         }
       }
@@ -119,7 +121,9 @@ void NdpHost::handle_data_or_header(net::PacketPtr p) {
   if (it == rx_flows_.end() && !flow->finished()) {
     RxFlow rx;
     rx.flow = flow;
-    rx.packets = flow->packet_count(network().config().mtu_payload);
+    rx.packets = static_cast<std::uint32_t>(
+        // unit-raw: data seq numbers are raw uint32 indices on the wire
+        flow->packet_count(network().config().mtu_payload).raw());
     it = rx_flows_.emplace(id, rx).first;
   }
 
@@ -215,7 +219,7 @@ net::Topology::HostFactory ndp_host_factory(const NdpConfig& cfg) {
 
 void ndp_port_customize(net::PortConfig& cfg, Bytes mtu_wire) {
   cfg.trim_enable = true;
-  cfg.trim_queue_cap = 8 * mtu_wire;  // Table 1: 8-packet data queues
+  cfg.trim_queue_cap = mtu_wire * 8;  // Table 1: 8-packet data queues
 }
 
 }  // namespace dcpim::proto

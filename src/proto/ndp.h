@@ -23,14 +23,16 @@
 namespace dcpim::proto {
 
 struct NdpConfig {
-  Bytes bdp_bytes = 0;   ///< initial blind window (topology-derived)
-  Time control_rtt = 0;  ///< topology-derived
+  Bytes bdp_bytes{};   ///< initial blind window (topology-derived)
+  Time control_rtt{};  ///< topology-derived
   std::uint8_t data_priority = 2;
-  /// Sender fallback timer; 0 = 20 control RTTs.
-  Time rto = 0;
+  /// Sender fallback timer; zero = 20 control RTTs.
+  Time rto{};
   int max_rto_retx = 100;
 
-  Time effective_rto() const { return rto > 0 ? rto : 20 * control_rtt; }
+  Time effective_rto() const {
+    return rto > Time{} ? rto : control_rtt * 20;
+  }
 };
 
 class NdpHost : public net::Host {
@@ -61,7 +63,7 @@ class NdpHost : public net::Host {
     std::set<std::uint32_t> retx;   ///< NACKed seqs awaiting a pull
     std::set<std::uint32_t> acked;  ///< receiver-confirmed seqs
     int rto_count = 0;
-    Time last_progress = 0;
+    TimePoint last_progress{};
   };
 
   struct RxFlow {

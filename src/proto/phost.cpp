@@ -25,7 +25,9 @@ PhostHost::PhostHost(net::Network& net, int host_id,
 void PhostHost::on_flow_arrival(net::Flow& flow) {
   TxFlow tx;
   tx.flow = &flow;
-  tx.packets = flow.packet_count(network().config().mtu_payload);
+  tx.packets = static_cast<std::uint32_t>(
+      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      flow.packet_count(network().config().mtu_payload).raw());
   tx_flows_.emplace(flow.id, tx);
 
   auto rts = make_control<SizedNotifyPacket>(flow.dst, kPhostRts);
@@ -36,14 +38,16 @@ void PhostHost::on_flow_arrival(net::Flow& flow) {
   arm_rts_retry(flow.id, 0);
 
   // Free tokens: the first BDP is transmitted immediately, unscheduled.
-  const auto free_pkts = static_cast<std::uint32_t>(std::max<Bytes>(
+  const auto free_pkts = static_cast<std::uint32_t>(std::max<std::int64_t>(
       1, cfg_.bdp_bytes / network().config().mtu_payload));
   const std::uint32_t burst = std::min(tx.packets, free_pkts);
   const bool is_short = flow.size <= cfg_.bdp_bytes;
   for (std::uint32_t seq = 0; seq < burst; ++seq) {
-    send(make_data_packet(flow, seq,
-                          is_short ? cfg_.short_priority : cfg_.long_priority,
-                          /*unscheduled=*/true));
+    send(make_data_packet(
+        flow, {.seq = seq,
+               .priority =
+                   is_short ? cfg_.short_priority : cfg_.long_priority,
+               .unscheduled = true}));
     ++counters_.free_tokens_spent;
     ++counters_.data_sent;
   }
@@ -55,7 +59,7 @@ void PhostHost::arm_rts_retry(std::uint64_t flow_id, int attempt) {
   // coarse timer until the flow finishes.
   if (attempt >= 50) return;
   network().sim().schedule_after(
-      4 * cfg_.effective_token_timeout(), [this, flow_id, attempt]() {
+      cfg_.effective_token_timeout() * 4, [this, flow_id, attempt]() {
         auto it = tx_flows_.find(flow_id);
         if (it == tx_flows_.end() || it->second.flow->finished()) return;
         auto rts = make_control<SizedNotifyPacket>(it->second.flow->dst,
@@ -91,8 +95,8 @@ void PhostHost::sender_pacer_tick() {
       continue;
     }
     token_queue_.pop_front();
-    send(make_data_packet(*it->second.flow, t.seq, t.priority,
-                          /*unscheduled=*/false));
+    send(make_data_packet(*it->second.flow,
+                          {.seq = t.seq, .priority = t.priority}));
     ++counters_.data_sent;
     network().sim().schedule_after(mtu_tx_time(),
                                    [this]() { sender_pacer_tick(); });
@@ -110,9 +114,11 @@ PhostHost::RxFlow* PhostHost::ensure_rx(std::uint64_t flow_id) {
   if (flow == nullptr || flow->finished()) return nullptr;
   RxFlow rx;
   rx.flow = flow;
-  rx.packets = flow->packet_count(network().config().mtu_payload);
+  rx.packets = static_cast<std::uint32_t>(
+      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      flow->packet_count(network().config().mtu_payload).raw());
   rx.free_packets = std::min<std::uint32_t>(
-      rx.packets, static_cast<std::uint32_t>(std::max<Bytes>(
+      rx.packets, static_cast<std::uint32_t>(std::max<std::int64_t>(
                       1, cfg_.bdp_bytes / network().config().mtu_payload)));
   rx.next_new_seq = rx.free_packets;
   rx.created_at = network().sim().now();
@@ -140,7 +146,7 @@ void PhostHost::handle_data(net::PacketPtr p) {
 }
 
 void PhostHost::expire_stale(RxFlow& rx) {
-  const Time now = network().sim().now();
+  const TimePoint now = network().sim().now();
   // Unscheduled (free-token) packets that never arrived are re-granted like
   // any other loss once the initial burst has clearly landed or died.
   if (!rx.free_burst_checked &&
@@ -173,11 +179,11 @@ void PhostHost::expire_stale(RxFlow& rx) {
 }
 
 PhostHost::RxFlow* PhostHost::pick_flow() {
-  const Time now = network().sim().now();
+  const TimePoint now = network().sim().now();
   RxFlow* best = nullptr;
-  Bytes best_rem = std::numeric_limits<Bytes>::max();
+  Bytes best_rem = Bytes::max();
   bool best_downgraded = true;
-  const auto window = static_cast<std::size_t>(std::max<Bytes>(
+  const auto window = static_cast<std::size_t>(std::max<std::int64_t>(
       1, cfg_.bdp_bytes / network().config().mtu_payload));
   for (auto& [id, rx] : rx_flows_) {
     if (rx.flow->finished()) continue;
@@ -186,7 +192,7 @@ PhostHost::RxFlow* PhostHost::pick_flow() {
     if (rx.readmit.empty() && rx.next_new_seq >= rx.packets) continue;
     const net::FlowRxState* st = find_rx_state(id);
     const Bytes rem =
-        rx.flow->size - (st != nullptr ? st->received_bytes() : 0);
+        rx.flow->size - (st != nullptr ? st->received_bytes() : Bytes{});
     const bool downgraded = rx.downgraded_until > now;
     // Non-downgraded flows always beat downgraded ones; SRPT within class.
     if (best == nullptr || (best_downgraded && !downgraded) ||

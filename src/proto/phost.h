@@ -27,18 +27,18 @@
 namespace dcpim::proto {
 
 struct PhostConfig {
-  Bytes bdp_bytes = 0;   ///< free-token allowance & per-flow window
-  Time control_rtt = 0;
+  Bytes bdp_bytes{};   ///< free-token allowance & per-flow window
+  Time control_rtt{};
   std::uint8_t short_priority = 1;
   std::uint8_t long_priority = 2;
-  /// Token unused-expiry at the receiver; 0 = 3 control RTTs.
-  Time token_timeout = 0;
+  /// Token unused-expiry at the receiver; zero = 3 control RTTs.
+  Time token_timeout{};
   /// Receiver gives up on a sender after this many consecutive expired
   /// tokens and deprioritizes the flow for one timeout period.
   int max_expired_before_downgrade = 8;
 
   Time effective_token_timeout() const {
-    return token_timeout > 0 ? token_timeout : 3 * control_rtt;
+    return token_timeout > Time{} ? token_timeout : control_rtt * 3;
   }
 };
 
@@ -74,10 +74,10 @@ class PhostHost : public net::Host {
     std::uint32_t free_packets = 0;   ///< sent unscheduled by the sender
     std::uint32_t next_new_seq = 0;
     std::set<std::uint32_t> readmit;  ///< timed-out grants to re-issue
-    std::unordered_map<std::uint32_t, Time> outstanding;
+    std::unordered_map<std::uint32_t, TimePoint> outstanding;
     int consecutive_expired = 0;
-    Time downgraded_until = 0;
-    Time created_at = 0;
+    TimePoint downgraded_until{};
+    TimePoint created_at{};
     bool free_burst_checked = false;  ///< lost unscheduled seqs swept once
   };
 

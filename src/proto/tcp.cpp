@@ -9,22 +9,27 @@ TcpHost::TcpHost(net::Network& net, int host_id, const net::PortConfig& nic,
     : WindowHost(net, host_id, nic, cfg.window), cfg_(cfg) {}
 
 void TcpHost::on_ack_event(WFlow& f, const AckPacket& /*ack*/) {
+  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  const double mss_bytes = static_cast<double>(mss().raw());
   if (f.cwnd_bytes < f.ssthresh) {
-    f.cwnd_bytes += static_cast<double>(mss());  // slow start
+    f.cwnd_bytes += mss_bytes;  // slow start
   } else {
-    f.cwnd_bytes += static_cast<double>(mss()) * static_cast<double>(mss()) /
-                    f.cwnd_bytes;  // congestion avoidance
+    f.cwnd_bytes += mss_bytes * mss_bytes / f.cwnd_bytes;  // cong. avoidance
   }
 }
 
 void TcpHost::on_fast_retransmit(WFlow& f) {
-  f.ssthresh = std::max(f.cwnd_bytes / 2, static_cast<double>(2 * mss()));
+  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  f.ssthresh =
+      std::max(f.cwnd_bytes / 2, static_cast<double>((mss() * 2).raw()));
   f.cwnd_bytes = f.ssthresh;
 }
 
 void TcpHost::on_timeout(WFlow& f) {
-  f.ssthresh = std::max(f.cwnd_bytes / 2, static_cast<double>(2 * mss()));
-  f.cwnd_bytes = static_cast<double>(mss());
+  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  f.ssthresh =
+      std::max(f.cwnd_bytes / 2, static_cast<double>((mss() * 2).raw()));
+  f.cwnd_bytes = static_cast<double>(mss().raw());
 }
 
 net::Topology::HostFactory tcp_host_factory(const TcpConfig& cfg) {

@@ -20,8 +20,11 @@ WindowHost::WindowHost(net::Network& net, int host_id,
 void WindowHost::on_flow_arrival(net::Flow& flow) {
   WFlow f;
   f.flow = &flow;
-  f.packets = flow.packet_count(network().config().mtu_payload);
-  f.cwnd_bytes = static_cast<double>(cfg_.effective_init_cwnd());
+  f.packets = static_cast<std::uint32_t>(
+      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      flow.packet_count(network().config().mtu_payload).raw());
+  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  f.cwnd_bytes = static_cast<double>(cfg_.effective_init_cwnd().raw());
   f.window_start = network().sim().now();
   auto [it, _] = flows_.emplace(flow.id, std::move(f));
   on_flow_init(it->second);
@@ -31,15 +34,15 @@ void WindowHost::on_flow_arrival(net::Flow& flow) {
 
 Time WindowHost::rto(const WFlow& f) const {
   const Time base = cfg_.effective_min_rto();
-  return std::max(base, 3 * f.srtt);
+  return std::max(base, f.srtt * 3);
 }
 
 void WindowHost::try_send(WFlow& f) {
   const Bytes mtu = mss();
   while (true) {
-    const Bytes inflight_bytes =
-        static_cast<Bytes>(f.inflight.size()) * mtu;
-    if (static_cast<double>(inflight_bytes + mtu) > f.cwnd_bytes &&
+    const Bytes inflight_bytes = mtu * f.inflight.size();
+    // unit-raw: compared against the double-valued congestion window
+    if (static_cast<double>((inflight_bytes + mtu).raw()) > f.cwnd_bytes &&
         !f.inflight.empty()) {
       return;  // window full (always allow at least one packet out)
     }
@@ -56,8 +59,8 @@ void WindowHost::try_send(WFlow& f) {
       if (f.next_new_seq >= f.packets) return;
       seq = f.next_new_seq++;
     }
-    auto p = make_data_packet(*f.flow, seq, cfg_.data_priority,
-                              /*unscheduled=*/false);
+    auto p = make_data_packet(*f.flow,
+                              {.seq = seq, .priority = cfg_.data_priority});
     p->collect_int = cfg_.collect_int;
     send(std::move(p));
     f.inflight[seq] = network().sim().now();
@@ -70,8 +73,8 @@ void WindowHost::arm_rto(std::uint64_t flow_id) {
     auto it = flows_.find(flow_id);
     if (it == flows_.end()) return;
     WFlow& f = it->second;
-    const Time now = network().sim().now();
-    Time oldest = kTimeInfinity;
+    const TimePoint now = network().sim().now();
+    TimePoint oldest = kTimePointInfinity;
     for (const auto& [seq, at] : f.inflight) oldest = std::min(oldest, at);
     if (!f.inflight.empty() && now - oldest >= rto(f)) {
       ++counters_.timeouts;
@@ -113,7 +116,7 @@ void WindowHost::handle_ack(net::PacketPtr p) {
   auto in_it = f.inflight.find(ack.acked_seq);
   if (in_it != f.inflight.end()) {
     const Time sample = network().sim().now() - in_it->second;
-    f.srtt = f.srtt == 0 ? sample : (7 * f.srtt + sample) / 8;
+    f.srtt = f.srtt == Time{} ? sample : (f.srtt * 7 + sample) / 8;
     f.inflight.erase(in_it);
   }
   f.acked.insert(ack.acked_seq);
@@ -144,7 +147,8 @@ void WindowHost::handle_ack(net::PacketPtr p) {
   }
 
   on_ack_event(f, ack);
-  f.cwnd_bytes = std::max(f.cwnd_bytes, static_cast<double>(mss()));
+  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  f.cwnd_bytes = std::max(f.cwnd_bytes, static_cast<double>(mss().raw()));
   try_send(f);
 }
 

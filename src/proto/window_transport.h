@@ -19,19 +19,19 @@
 namespace dcpim::proto {
 
 struct WindowConfig {
-  Bytes init_cwnd = 0;   ///< initial window; 0 = 1 BDP
-  Bytes bdp_bytes = 0;   ///< topology-derived
-  Time base_rtt = 0;     ///< topology-derived unloaded data RTT
-  Time min_rto = 0;      ///< 0 = 20x base_rtt
+  Bytes init_cwnd{};   ///< initial window; zero = 1 BDP
+  Bytes bdp_bytes{};   ///< topology-derived
+  Time base_rtt{};     ///< topology-derived unloaded data RTT
+  Time min_rto{};      ///< zero = 20x base_rtt
   std::uint8_t data_priority = 2;
   bool collect_int = false;  ///< HPCC: gather per-hop telemetry
   int dupack_threshold = 3;
 
   Time effective_min_rto() const {
-    return min_rto > 0 ? min_rto : 20 * base_rtt;
+    return min_rto > Time{} ? min_rto : base_rtt * 20;
   }
   Bytes effective_init_cwnd() const {
-    return init_cwnd > 0 ? init_cwnd : bdp_bytes;
+    return init_cwnd > Bytes{} ? init_cwnd : bdp_bytes;
   }
 };
 
@@ -59,12 +59,12 @@ class WindowHost : public net::Host {
     double ssthresh = 1e18;
     std::uint32_t next_new_seq = 0;
     std::set<std::uint32_t> retx;
-    std::unordered_map<std::uint32_t, Time> inflight;
+    std::unordered_map<std::uint32_t, TimePoint> inflight;
     std::set<std::uint32_t> acked;
     std::uint32_t cum_ack = 0;
     int dupacks = 0;
     std::uint32_t fast_retx_seq = UINT32_MAX;  ///< once per loss episode
-    Time srtt = 0;
+    Time srtt{};
     int consecutive_timeouts = 0;
 
     // --- subclass scratch space ------------------------------------------
@@ -77,8 +77,8 @@ class WindowHost : public net::Host {
     double dctcp_alpha = 0;
     std::uint32_t window_acks = 0;
     std::uint32_t window_marks = 0;
-    Time window_start = 0;
-    Time last_cut = 0;
+    TimePoint window_start{};
+    TimePoint last_cut{};
   };
 
   /// Congestion response to a (non-duplicate) ack.
@@ -88,7 +88,7 @@ class WindowHost : public net::Host {
   /// Retransmission timeout fired.
   virtual void on_timeout(WFlow& f) = 0;
   /// Subclass hook run when the flow's state is created.
-  virtual void on_flow_init(WFlow& f) {}
+  virtual void on_flow_init(WFlow& /*f*/) {}
 
   void try_send(WFlow& f);
   Bytes mss() const { return network().config().mtu_payload; }

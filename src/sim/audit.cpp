@@ -12,7 +12,7 @@ void Auditor::Context::fail(std::string message) {
 }
 
 Auditor::Auditor(Options options) : options_(options) {
-  DCPIM_CHECK_GT(options_.period, 0, "audit period must be positive");
+  DCPIM_CHECK_GT(options_.period, Time{}, "audit period must be positive");
   // Probe 0 is always the clock-monotonicity watchdog: the simulator's
   // always-on DCPIM_CHECK guards each pop, but a corrupted `now_` between
   // sweeps (e.g. a callback writing through a stale pointer) is only
@@ -20,8 +20,7 @@ Auditor::Auditor(Options options) : options_(options) {
   add_probe("event-time-monotonic", [this](Context& ctx) {
     if (saw_tick_ && ctx.now() < last_seen_now_) {
       ctx.fail("simulation clock moved backwards: " +
-               std::to_string(last_seen_now_) + " -> " +
-               std::to_string(ctx.now()) + " ps");
+               to_string(last_seen_now_) + " -> " + to_string(ctx.now()));
     }
     last_seen_now_ = ctx.now();
     saw_tick_ = true;
@@ -40,12 +39,12 @@ std::size_t Auditor::add_event_probe(std::string name) {
   return add_probe(std::move(name), ProbeFn());
 }
 
-void Auditor::report(std::size_t id, Time at, std::string message) {
+void Auditor::report(std::size_t id, TimePoint at, std::string message) {
   ++probes_[id].stat.checks;
   record(id, at, std::move(message));
 }
 
-void Auditor::record(std::size_t probe, Time at, std::string message) {
+void Auditor::record(std::size_t probe, TimePoint at, std::string message) {
   ++probes_[probe].stat.violations;
   ++violations_total_;
   LOG_WARN("audit violation [%s] at %.3f us: %s",
@@ -69,7 +68,7 @@ void Auditor::tick(Simulator& sim) {
   }
 }
 
-void Auditor::sweep(Time now) {
+void Auditor::sweep(TimePoint now) {
   ++sweeps_;
   for (std::size_t i = 0; i < probes_.size(); ++i) {
     if (!probes_[i].fn) continue;

@@ -27,7 +27,7 @@ namespace dcpim::sim {
 
 /// One recorded invariant violation.
 struct AuditViolation {
-  Time at = 0;
+  TimePoint at{};
   std::string probe;
   std::string message;
 };
@@ -61,17 +61,17 @@ class Auditor {
   /// Handed to each probe during a sweep.
   class Context {
    public:
-    Time now() const { return now_; }
+    TimePoint now() const { return now_; }
     /// Records a violation of the probe currently being evaluated.
     void fail(std::string message);
 
    private:
     friend class Auditor;
-    Context(Auditor& auditor, std::size_t probe, Time now)
+    Context(Auditor& auditor, std::size_t probe, TimePoint now)
         : auditor_(auditor), probe_(probe), now_(now) {}
     Auditor& auditor_;
     std::size_t probe_;
-    Time now_;
+    TimePoint now_;
   };
 
   using ProbeFn = UniqueFunction<void(Context&)>;
@@ -89,7 +89,7 @@ class Auditor {
   std::size_t add_event_probe(std::string name);
 
   /// Records a violation against probe `id` from outside a sweep.
-  void report(std::size_t id, Time at, std::string message);
+  void report(std::size_t id, TimePoint at, std::string message);
   /// Counts a passed event-driven check against probe `id`.
   void count_check(std::size_t id) { ++probes_[id].stat.checks; }
 
@@ -100,7 +100,7 @@ class Auditor {
 
   /// Evaluates every sweep probe once at time `now` (attach() calls this
   /// on each tick; callers invoke it directly for a final end-of-run pass).
-  void sweep(Time now);
+  void sweep(TimePoint now);
 
   std::size_t num_probes() const { return probes_.size(); }
   std::uint64_t violations_total() const { return violations_total_; }
@@ -115,14 +115,14 @@ class Auditor {
   };
 
   void tick(Simulator& sim);
-  void record(std::size_t probe, Time at, std::string message);
+  void record(std::size_t probe, TimePoint at, std::string message);
 
   Options options_;
   std::vector<Probe> probes_;
   std::vector<AuditViolation> violations_;
   std::uint64_t violations_total_ = 0;
   std::uint64_t sweeps_ = 0;
-  Time last_seen_now_ = 0;
+  TimePoint last_seen_now_{};
   bool saw_tick_ = false;
 };
 

@@ -12,7 +12,8 @@ namespace {
 /// Adapter so DCPIM_CHECK failures anywhere in the stack can report the
 /// simulated time at which the invariant broke (see util/check.h).
 std::int64_t sim_now_for_checks(const void* ctx) {
-  return static_cast<const Simulator*>(ctx)->now();
+  // unit-raw: check.h's failure-message hook is unit-agnostic by design
+  return static_cast<const Simulator*>(ctx)->now().raw();
 }
 
 }  // namespace
@@ -47,7 +48,7 @@ Simulator::Entry Simulator::heap_pop() {
   return top;
 }
 
-EventId Simulator::schedule_at(Time t, Callback cb) {
+EventId Simulator::schedule_at(TimePoint t, Callback cb) {
   DCPIM_DCHECK_GE(t, now_, "cannot schedule into the past");
   if (t < now_) t = now_;  // degrade gracefully in release builds
   const EventId id = next_id_++;
@@ -76,7 +77,7 @@ bool Simulator::pop_next(Entry& out) {
   return false;
 }
 
-void Simulator::run(Time until) {
+void Simulator::run(TimePoint until) {
   check_detail::ScopedSimTimeSource time_source(this, &sim_now_for_checks);
   stopped_ = false;
   Entry entry;
@@ -95,7 +96,7 @@ void Simulator::run(Time until) {
     ++executed_;
     entry.cb();
   }
-  if (!stopped_ && until != kTimeInfinity) now_ = until;
+  if (!stopped_ && until != kTimePointInfinity) now_ = until;
 }
 
 std::size_t Simulator::run_steps(std::size_t max_events) {

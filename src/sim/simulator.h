@@ -35,10 +35,10 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulation time.
-  Time now() const { return now_; }
+  TimePoint now() const { return now_; }
 
   /// Schedules `cb` at absolute time `t` (must be >= now()).
-  EventId schedule_at(Time t, Callback cb);
+  EventId schedule_at(TimePoint t, Callback cb);
 
   /// Schedules `cb` `delay` after now().
   EventId schedule_after(Time delay, Callback cb) {
@@ -52,7 +52,7 @@ class Simulator {
 
   /// Runs events until the queue drains, `until` is passed, or stop().
   /// Events scheduled exactly at `until` still execute.
-  void run(Time until = kTimeInfinity);
+  void run(TimePoint until = kTimePointInfinity);
 
   /// Executes at most `max_events` pending events; returns count executed.
   std::size_t run_steps(std::size_t max_events);
@@ -76,7 +76,7 @@ class Simulator {
 
  private:
   struct Entry {
-    Time t = 0;
+    TimePoint t{};
     EventId id = kInvalidEvent;
     Callback cb;
     bool before(const Entry& o) const {
@@ -90,7 +90,7 @@ class Simulator {
   /// Pops the next live (non-cancelled) event into `out`.
   bool pop_next(Entry& out);
 
-  Time now_ = 0;
+  TimePoint now_{};
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;

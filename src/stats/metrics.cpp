@@ -47,20 +47,20 @@ FlowStats::FlowStats(net::Network& net, const net::Topology& topo)
     rec.start = f.start_time;
     rec.fct = f.fct();
     const Time oracle = topo_.oracle_fct(f.src, f.dst, f.size);
-    rec.slowdown =
-        oracle > 0 ? static_cast<double>(rec.fct) / static_cast<double>(oracle)
-                   : 1.0;
+    rec.slowdown = oracle > Time{} ? fratio(rec.fct, oracle) : 1.0;
     records_.push_back(rec);
   });
 }
 
-SlowdownSummary FlowStats::summary() const { return summary_for_sizes(0, 0); }
+SlowdownSummary FlowStats::summary() const {
+  return summary_for_sizes(Bytes{}, Bytes{});
+}
 
 SlowdownSummary FlowStats::summary_for_sizes(Bytes lo, Bytes hi) const {
   std::vector<double> vals;
   for (const auto& r : records_) {
     if (r.size < lo) continue;
-    if (hi > 0 && r.size >= hi) continue;
+    if (hi > Bytes{} && r.size >= hi) continue;
     vals.push_back(r.slowdown);
   }
   return summarize(std::move(vals));
@@ -73,7 +73,7 @@ std::vector<BucketSummary> FlowStats::by_buckets(
   for (std::size_t i = 0; i < edges.size(); ++i) {
     BucketSummary b;
     b.lo = edges[i];
-    b.hi = i + 1 < edges.size() ? edges[i + 1] : 0;
+    b.hi = i + 1 < edges.size() ? edges[i + 1] : Bytes{};
     b.slowdown = summary_for_sizes(b.lo, b.hi);
     out.push_back(b);
   }
@@ -81,26 +81,27 @@ std::vector<BucketSummary> FlowStats::by_buckets(
 }
 
 SlowdownSummary FlowStats::short_flows(Bytes threshold) const {
-  return summary_for_sizes(0, threshold + 1);
+  return summary_for_sizes(Bytes{}, threshold + Bytes{1});
 }
 
 UtilizationSeries::UtilizationSeries(net::Network& net, Time bin_width)
     : bin_width_(bin_width) {
-  DCPIM_CHECK_GT(bin_width_, 0, "utilization bin width must be positive");
-  net.add_payload_observer([this](Bytes fresh, Time at) {
-    const auto bin = static_cast<std::size_t>(at / bin_width_);
-    if (bins_.size() <= bin) bins_.resize(bin + 1, 0);
+  DCPIM_CHECK_GT(bin_width_, Time{}, "utilization bin width must be positive");
+  net.add_payload_observer([this](Bytes fresh, TimePoint at) {
+    const auto bin = static_cast<std::size_t>(at.since_start() / bin_width_);
+    if (bins_.size() <= bin) bins_.resize(bin + 1, Bytes{});
     bins_[bin] += fresh;
   });
 }
 
 Bytes UtilizationSeries::bytes_in_bin(std::size_t i) const {
-  return i < bins_.size() ? bins_[i] : 0;
+  return i < bins_.size() ? bins_[i] : Bytes{};
 }
 
 double UtilizationSeries::utilization(std::size_t i,
                                       double capacity_bps) const {
-  return static_cast<double>(bytes_in_bin(i)) * 8.0 /
+  // unit-raw: utilization is a double-valued fraction of caller capacity
+  return static_cast<double>(bytes_in_bin(i).raw()) * 8.0 /
          (capacity_bps * to_sec(bin_width_));
 }
 
@@ -113,13 +114,13 @@ double UtilizationSeries::mean_utilization(std::size_t from, std::size_t to,
 }
 
 GoodputMeter::GoodputMeter(net::Network& net) : net_(net) {
-  net.add_payload_observer([this](Bytes fresh, Time at) {
+  net.add_payload_observer([this](Bytes fresh, TimePoint at) {
     if (at >= window_start_ && at < window_end_) delivered_ += fresh;
   });
 }
 
 Bytes GoodputMeter::offered() const {
-  Bytes total = 0;
+  Bytes total{};
   for (const auto& f : net_.flows()) {
     if (f->start_time >= window_start_ && f->start_time < window_end_) {
       total += f->size;

@@ -21,9 +21,9 @@ struct FlowRecord {
   std::uint64_t id = 0;
   int src = -1;
   int dst = -1;
-  Bytes size = 0;
-  Time start = 0;
-  Time fct = 0;
+  Bytes size{};
+  TimePoint start{};
+  Time fct{};
   double slowdown = 0;
 };
 
@@ -38,8 +38,8 @@ struct SlowdownSummary {
 
 /// Per-size-bucket summary (Figures 3c-e).
 struct BucketSummary {
-  Bytes lo = 0;  ///< inclusive
-  Bytes hi = 0;  ///< exclusive (0 = open-ended)
+  Bytes lo{};  ///< inclusive
+  Bytes hi{};  ///< exclusive (zero = open-ended)
   SlowdownSummary slowdown;
 };
 
@@ -53,7 +53,7 @@ class FlowStats {
  public:
   FlowStats(net::Network& net, const net::Topology& topo);
 
-  void set_window(Time start, Time end) {
+  void set_window(TimePoint start, TimePoint end) {
     window_start_ = start;
     window_end_ = end;
   }
@@ -71,8 +71,8 @@ class FlowStats {
 
  private:
   const net::Topology& topo_;
-  Time window_start_ = 0;
-  Time window_end_ = kTimeInfinity;
+  TimePoint window_start_{};
+  TimePoint window_end_ = kTimePointInfinity;
   std::vector<FlowRecord> records_;
 };
 
@@ -105,7 +105,7 @@ class UtilizationSeries {
 class GoodputMeter {
  public:
   explicit GoodputMeter(net::Network& net);
-  void set_window(Time start, Time end) {
+  void set_window(TimePoint start, TimePoint end) {
     window_start_ = start;
     window_end_ = end;
   }
@@ -116,15 +116,14 @@ class GoodputMeter {
   Bytes delivered() const { return delivered_; }
   double ratio() const {
     const Bytes off = offered();
-    return off > 0 ? static_cast<double>(delivered_) / static_cast<double>(off)
-                   : 0.0;
+    return off > Bytes{} ? fratio(delivered_, off) : 0.0;
   }
 
  private:
   const net::Network& net_;
-  Time window_start_ = 0;
-  Time window_end_ = kTimeInfinity;
-  Bytes delivered_ = 0;
+  TimePoint window_start_{};
+  TimePoint window_end_ = kTimePointInfinity;
+  Bytes delivered_{};
 };
 
 }  // namespace dcpim::stats

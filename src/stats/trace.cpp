@@ -45,7 +45,7 @@ Tracer::Tracer(net::Network& net, Options options)
             (p.unscheduled ? " unsched" : "")});
   });
   if (options_.record_deliveries) {
-    net_.add_payload_observer([this](Bytes fresh, Time at) {
+    net_.add_payload_observer([this](Bytes fresh, TimePoint at) {
       if (events_.size() >= options_.max_events) return;
       events_.push_back(TraceEvent{at, TraceEventKind::PayloadDelivered, 0,
                                    -1, fresh, ""});
@@ -80,8 +80,9 @@ void Tracer::dump(std::ostream& os) const {
 void Tracer::dump_csv(std::ostream& os) const {
   os << "at_ps,kind,flow,host,bytes,label\n";
   for (const auto& e : events_) {
-    os << e.at << "," << to_string(e.kind) << "," << e.flow_id << ","
-       << e.host << "," << e.bytes << ",\"" << e.label << "\"\n";
+    // unit-raw: CSV columns are raw numbers; units live in the header row
+    os << e.at.raw() << "," << to_string(e.kind) << "," << e.flow_id << ","
+       << e.host << "," << e.bytes.raw() << ",\"" << e.label << "\"\n";
   }
 }
 

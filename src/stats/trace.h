@@ -28,11 +28,11 @@ enum class TraceEventKind {
 const char* to_string(TraceEventKind kind);
 
 struct TraceEvent {
-  Time at = 0;
+  TimePoint at{};
   TraceEventKind kind = TraceEventKind::Custom;
   std::uint64_t flow_id = 0;  ///< 0 when not flow-related
   int host = -1;              ///< host involved, -1 if n/a
-  Bytes bytes = 0;            ///< payload size, flow size, ... per kind
+  Bytes bytes{};              ///< payload size, flow size, ... per kind
   std::string label;          ///< free-form detail
 };
 

@@ -119,10 +119,10 @@ std::string format_operands(const A& a, const B& b) {
     if (false && (cond)) {      \
     }                           \
   } while (0)
-#define DCPIM_DCHECK_OP_OFF(a, b)     \
-  do {                                \
-    if (false && ((a), (b), false)) { \
-    }                                 \
+#define DCPIM_DCHECK_OP_OFF(a, b)                   \
+  do {                                              \
+    if (false && ((void)(a), (void)(b), false)) {   \
+    }                                               \
   } while (0)
 #define DCPIM_DCHECK_EQ(a, b, msg) DCPIM_DCHECK_OP_OFF(a, b)
 #define DCPIM_DCHECK_NE(a, b, msg) DCPIM_DCHECK_OP_OFF(a, b)

@@ -1,0 +1,208 @@
+// Compile-time unit safety: CRTP strong integer types.
+//
+// The simulator's correctness rests on exact integer arithmetic over
+// picoseconds, bytes and bits/sec. Bare int64_t aliases let a timestamp be
+// added to a byte count — or (bytes, rate) arguments be swapped — without a
+// diagnostic. The two CRTP bases below make each unit a distinct type:
+//
+//   StrongOrdinal<D, Rep>  storage + explicit construction + same-type
+//                          comparison; no arithmetic. Used for ordinal
+//                          quantities like TimePoint, where "a + a" is
+//                          meaningless.
+//   StrongInt<D, Rep>      StrongOrdinal plus closed arithmetic: same-type
+//                          add/sub, scalar multiply/divide, same-type
+//                          division (a dimensionless ratio) and modulo.
+//                          Used for Time, Bytes, BitsPerSec, PacketCount.
+//
+// Cross-unit arithmetic is a compile error: operators between different
+// derived types are explicitly deleted (the `strong_int_detail::deleted`
+// overloads), so `Time + Bytes` fails with "use of deleted function" rather
+// than an overload-resolution maze.
+//
+// Escape hatch: `raw()` exposes the underlying representation. Project
+// policy (enforced by tools/lint_dcpim.py) is that every raw() call in src/
+// carries a `// unit-raw:` comment justifying why typed arithmetic cannot
+// express the operation.
+//
+// Everything here is constexpr and the types are standard-layout wrappers
+// of their representation (static_asserts below), so the layer is
+// zero-overhead: codegen for `a + b` is identical to the raw integers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+namespace dcpim {
+
+template <typename Derived, typename Rep = std::int64_t>
+class StrongOrdinal {
+  static_assert(std::is_integral_v<Rep>,
+                "strong types wrap integral representations only");
+
+ public:
+  using rep = Rep;
+
+  constexpr StrongOrdinal() = default;
+  constexpr explicit StrongOrdinal(Rep v) : v_(v) {}
+
+  /// Underlying representation. Use sparingly; in src/ every call site
+  /// must justify itself with a `// unit-raw:` comment (see
+  /// tools/lint_dcpim.py).
+  [[nodiscard]] constexpr Rep raw() const { return v_; }
+
+  static constexpr Derived min() {
+    return Derived{std::numeric_limits<Rep>::min()};
+  }
+  static constexpr Derived max() {
+    return Derived{std::numeric_limits<Rep>::max()};
+  }
+
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.v_ == b.v_;
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.v_ <=> b.v_;
+  }
+
+  /// Streams the raw value plus the unit suffix (for check-failure
+  /// messages and traces): `80 ps`, `1460 B`.
+  friend std::ostream& operator<<(std::ostream& os, Derived d) {
+    return os << d.v_ << ' ' << Derived::unit_suffix();
+  }
+  friend std::string to_string(Derived d) {
+    return std::to_string(d.v_) + ' ' + Derived::unit_suffix();
+  }
+
+ protected:
+  Rep v_{};
+};
+
+namespace strong_int_detail {
+/// Matches any two *distinct* strong types; selected only when no exact
+/// same-type operator exists, turning cross-unit arithmetic into a clear
+/// "use of deleted function" diagnostic.
+template <typename A, typename B>
+concept DistinctStrong =
+    !std::is_same_v<A, B> &&
+    std::is_base_of_v<StrongOrdinal<A, typename A::rep>, A> &&
+    std::is_base_of_v<StrongOrdinal<B, typename B::rep>, B>;
+}  // namespace strong_int_detail
+
+template <typename A, typename B>
+  requires strong_int_detail::DistinctStrong<A, B>
+void operator+(A, B) = delete;  // cross-unit addition is meaningless
+template <typename A, typename B>
+  requires strong_int_detail::DistinctStrong<A, B>
+void operator-(A, B) = delete;  // cross-unit subtraction is meaningless
+template <typename A, typename B>
+  requires strong_int_detail::DistinctStrong<A, B>
+void operator*(A, B) = delete;  // no product units in this codebase
+template <typename A, typename B>
+  requires strong_int_detail::DistinctStrong<A, B>
+void operator/(A, B) = delete;  // use serialization_time()/bytes_in()
+template <typename A, typename B>
+  requires strong_int_detail::DistinctStrong<A, B>
+void operator==(A, B) = delete;  // cross-unit comparison is meaningless
+template <typename A, typename B>
+  requires strong_int_detail::DistinctStrong<A, B>
+void operator<=>(A, B) = delete;  // cross-unit ordering is meaningless
+
+template <typename Derived, typename Rep = std::int64_t>
+class StrongInt : public StrongOrdinal<Derived, Rep> {
+  using Base = StrongOrdinal<Derived, Rep>;
+
+ public:
+  using Base::Base;
+
+  static constexpr Derived zero() { return Derived{}; }
+
+  // --- closed (same-unit) arithmetic -------------------------------------
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{static_cast<Rep>(a.v_ + b.v_)};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{static_cast<Rep>(a.v_ - b.v_)};
+  }
+  constexpr Derived operator-() const {
+    return Derived{static_cast<Rep>(-this->v_)};
+  }
+  constexpr Derived& operator+=(Derived o) {
+    this->v_ = static_cast<Rep>(this->v_ + o.v_);
+    return self();
+  }
+  constexpr Derived& operator-=(Derived o) {
+    this->v_ = static_cast<Rep>(this->v_ - o.v_);
+    return self();
+  }
+  constexpr Derived& operator++() {
+    ++this->v_;
+    return self();
+  }
+  constexpr Derived& operator--() {
+    --this->v_;
+    return self();
+  }
+
+  // --- scaling by dimensionless factors ----------------------------------
+  // Integral scale factors are exact; floating factors round toward zero
+  // (matching the pre-strong-type `static_cast<int64_t>(v * f)` idiom).
+  template <typename S>
+    requires std::is_integral_v<S>
+  friend constexpr Derived operator*(Derived a, S s) {
+    return Derived{static_cast<Rep>(a.v_ * static_cast<Rep>(s))};
+  }
+  template <typename S>
+    requires std::is_integral_v<S>
+  friend constexpr Derived operator*(S s, Derived a) {
+    return a * s;
+  }
+  template <typename S>
+    requires std::is_floating_point_v<S>
+  friend constexpr Derived operator*(Derived a, S s) {
+    return Derived{static_cast<Rep>(static_cast<S>(a.v_) * s)};
+  }
+  template <typename S>
+    requires std::is_floating_point_v<S>
+  friend constexpr Derived operator*(S s, Derived a) {
+    return a * s;
+  }
+  template <typename S>
+    requires std::is_integral_v<S>
+  friend constexpr Derived operator/(Derived a, S s) {
+    return Derived{static_cast<Rep>(a.v_ / static_cast<Rep>(s))};
+  }
+  template <typename S>
+    requires std::is_floating_point_v<S>
+  friend constexpr Derived operator/(Derived a, S s) {
+    return Derived{static_cast<Rep>(static_cast<S>(a.v_) / s)};
+  }
+  template <typename S>
+    requires std::is_integral_v<S>
+  constexpr Derived& operator*=(S s) {
+    this->v_ = static_cast<Rep>(this->v_ * static_cast<Rep>(s));
+    return self();
+  }
+
+  // --- same-unit ratios ---------------------------------------------------
+  /// Dimensionless quotient (floor division, like the raw integers).
+  friend constexpr Rep operator/(Derived a, Derived b) { return a.v_ / b.v_; }
+  friend constexpr Derived operator%(Derived a, Derived b) {
+    return Derived{static_cast<Rep>(a.v_ % b.v_)};
+  }
+
+ private:
+  constexpr Derived& self() { return static_cast<Derived&>(*this); }
+};
+
+/// Exact floating quotient of two same-unit quantities (slowdowns,
+/// utilization fractions).
+template <typename D, typename R>
+constexpr double fratio(StrongInt<D, R> a, StrongInt<D, R> b) {
+  // unit-raw: same-unit quotient; the units cancel by construction
+  return static_cast<double>(a.raw()) / static_cast<double>(b.raw());
+}
+
+}  // namespace dcpim

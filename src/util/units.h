@@ -1,20 +1,48 @@
-// Bandwidth and size unit helpers shared across the simulator.
+// Bandwidth, size and packet-count units shared across the simulator.
+//
+// Bytes, BitsPerSec and PacketCount are distinct strong integer types (see
+// util/strong_int.h): adding bytes to a rate, or passing one where the
+// other is expected, is a compile error. Construct values through the
+// constants/factories below (`500 * kKB`, `gbps(100)`) or explicitly
+// (`Bytes{1460}`); there is no implicit conversion from raw integers.
 #pragma once
 
 #include <cstdint>
 
+#include "util/strong_int.h"
+
 namespace dcpim {
 
-using Bytes = std::int64_t;
-using BitsPerSec = std::int64_t;
+/// Data size in bytes.
+class Bytes : public StrongInt<Bytes> {
+ public:
+  using StrongInt<Bytes>::StrongInt;
+  static constexpr const char* unit_suffix() { return "B"; }
+};
 
-inline constexpr BitsPerSec kGbps = 1'000'000'000;
+/// Link / transmission rate in bits per second.
+class BitsPerSec : public StrongInt<BitsPerSec> {
+ public:
+  using StrongInt<BitsPerSec>::StrongInt;
+  static constexpr const char* unit_suffix() { return "bps"; }
+};
 
-constexpr BitsPerSec gbps(double v) {
-  return static_cast<BitsPerSec>(v * static_cast<double>(kGbps));
-}
+/// Count of (data) packets: window sizes, per-flow packet totals.
+class PacketCount : public StrongInt<PacketCount> {
+ public:
+  using StrongInt<PacketCount>::StrongInt;
+  static constexpr const char* unit_suffix() { return "pkt"; }
+};
 
-inline constexpr Bytes kKB = 1'000;
-inline constexpr Bytes kMB = 1'000'000;
+inline constexpr BitsPerSec kGbps{1'000'000'000};
+
+constexpr BitsPerSec gbps(double v) { return kGbps * v; }
+
+inline constexpr Bytes kKB{1'000};
+inline constexpr Bytes kMB{1'000'000};
+
+// unit-raw: the to_* helpers are the sanctioned double conversion boundary.
+constexpr double to_kb(Bytes b) { return static_cast<double>(b.raw()) / 1e3; }
+constexpr double to_mb(Bytes b) { return static_cast<double>(b.raw()) / 1e6; }
 
 }  // namespace dcpim

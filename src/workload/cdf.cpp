@@ -3,6 +3,7 @@
 #include <algorithm>
 #include "util/check.h"
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace dcpim::workload {
@@ -33,10 +34,10 @@ Bytes EmpiricalCdf::quantile(double u) const {
       points_.begin(), points_.end(), u,
       [](const Point& p, double val) { return p.cdf < val; });
   if (it == points_.begin()) {
-    return static_cast<Bytes>(std::max(1.0, it->bytes));
+    return Bytes{static_cast<std::int64_t>(std::max(1.0, it->bytes))};
   }
   if (it == points_.end()) {
-    return static_cast<Bytes>(std::max(1.0, points_.back().bytes));
+    return Bytes{static_cast<std::int64_t>(std::max(1.0, points_.back().bytes))};
   }
   const Point& lo = *(it - 1);
   const Point& hi = *it;
@@ -45,7 +46,7 @@ Bytes EmpiricalCdf::quantile(double u) const {
     const double frac = (u - lo.cdf) / (hi.cdf - lo.cdf);
     bytes = lo.bytes + frac * (hi.bytes - lo.bytes);
   }
-  return static_cast<Bytes>(std::max(1.0, bytes));
+  return Bytes{static_cast<std::int64_t>(std::max(1.0, bytes))};
 }
 
 double EmpiricalCdf::cdf_at(double bytes) const {
@@ -65,8 +66,9 @@ double EmpiricalCdf::cdf_at(double bytes) const {
 }
 
 EmpiricalCdf fixed_size_cdf(Bytes size) {
-  return EmpiricalCdf("fixed" + std::to_string(size),
-                      {{static_cast<double>(size), 1.0}});
+  return EmpiricalCdf("fixed" + to_string(size),
+                      // unit-raw: CDF points are double-valued by contract
+                      {{static_cast<double>(size.raw()), 1.0}});
 }
 
 // Standard literature CDFs (documented substitution, DESIGN.md §1): the

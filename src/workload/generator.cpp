@@ -16,24 +16,27 @@ PoissonGenerator::PoissonGenerator(net::Network& net, BitsPerSec access_rate,
   if (cfg_.receivers.empty()) cfg_.receivers = all_hosts(net);
   // load = (mean_size * 8) / (interarrival * rate)  =>  interarrival.
   const double bytes_per_sec =
-      cfg_.load * static_cast<double>(access_rate) / 8.0;
+      // unit-raw: load math is double-valued; the rate enters as a scalar
+      cfg_.load * static_cast<double>(access_rate.raw()) / 8.0;
   const double seconds = cfg_.cdf->mean_bytes() / bytes_per_sec;
-  mean_interarrival_ = static_cast<Time>(seconds * kSecond);
-  DCPIM_CHECK_GT(mean_interarrival_, 0, "interarrival rounded to zero");
+  mean_interarrival_ = kSecond * seconds;
+  DCPIM_CHECK_GT(mean_interarrival_, Time{}, "interarrival rounded to zero");
 }
 
 void PoissonGenerator::start() {
   for (std::size_t i = 0; i < cfg_.senders.size(); ++i) {
     // First arrival after an exponential delay (memoryless start).
-    const Time delay = static_cast<Time>(
-        net_.rng().exponential(static_cast<double>(mean_interarrival_)));
+    const Time delay =
+        // unit-raw: exponential() draws a double-valued mean
+        ps(net_.rng().exponential(static_cast<double>(mean_interarrival_.raw())));
     net_.sim().schedule_at(cfg_.start + delay, [this, i]() { arrival(i); });
   }
 }
 
 void PoissonGenerator::schedule_next(std::size_t sender_idx) {
-  const Time delay = static_cast<Time>(
-      net_.rng().exponential(static_cast<double>(mean_interarrival_)));
+  const Time delay =
+      // unit-raw: exponential() draws a double-valued mean
+      ps(net_.rng().exponential(static_cast<double>(mean_interarrival_.raw())));
   net_.sim().schedule_after(delay,
                             [this, sender_idx]() { arrival(sender_idx); });
 }
@@ -58,7 +61,7 @@ void PoissonGenerator::arrival(std::size_t sender_idx) {
 
 void schedule_incast(net::Network& net, int receiver,
                      const std::vector<int>& senders, Bytes flow_size,
-                     Time at) {
+                     TimePoint at) {
   for (int s : senders) {
     if (s == receiver) continue;
     net.create_flow(s, receiver, flow_size, at);
@@ -67,7 +70,7 @@ void schedule_incast(net::Network& net, int receiver,
 
 void schedule_dense_tm(net::Network& net, const std::vector<int>& senders,
                        const std::vector<int>& receivers, Bytes flow_size,
-                       Time at) {
+                       TimePoint at) {
   for (int s : senders) {
     for (int r : receivers) {
       if (s == r) continue;

@@ -20,8 +20,8 @@ struct PoissonPatternConfig {
   double load = 0.6;        ///< offered load on sender access links (payload)
   std::vector<int> senders;   ///< empty = all hosts
   std::vector<int> receivers;  ///< empty = all hosts
-  Time start = 0;
-  Time stop = kTimeInfinity;  ///< no arrivals after this time
+  TimePoint start{};
+  TimePoint stop = kTimePointInfinity;  ///< no arrivals after this instant
   std::uint64_t max_flows = UINT64_MAX;
 };
 
@@ -47,7 +47,7 @@ class PoissonGenerator {
 
   net::Network& net_;
   PoissonPatternConfig cfg_;
-  Time mean_interarrival_ = 0;
+  Time mean_interarrival_{};
   std::uint64_t flows_created_ = 0;
 };
 
@@ -55,13 +55,13 @@ class PoissonGenerator {
 /// `receiver` at time `at`.
 void schedule_incast(net::Network& net, int receiver,
                      const std::vector<int>& senders, Bytes flow_size,
-                     Time at);
+                     TimePoint at);
 
 /// Schedules the dense traffic matrix: one `flow_size` flow from every
 /// sender to every receiver (skipping self-pairs) at time `at`.
 void schedule_dense_tm(net::Network& net, const std::vector<int>& senders,
                        const std::vector<int>& receivers, Bytes flow_size,
-                       Time at);
+                       TimePoint at);
 
 /// All host ids [0, n).
 std::vector<int> all_hosts(const net::Network& net);

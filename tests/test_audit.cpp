@@ -17,8 +17,8 @@ TEST(AuditorTest, SweepCountsChecksPerProbe) {
   sim::Auditor auditor;
   int calls = 0;
   auditor.add_probe("counting", [&calls](sim::Auditor::Context&) { ++calls; });
-  auditor.sweep(us(1));
-  auditor.sweep(us(2));
+  auditor.sweep(TimePoint(us(1)));
+  auditor.sweep(TimePoint(us(2)));
   EXPECT_EQ(calls, 2);
   const sim::AuditSummary s = auditor.summary();
   EXPECT_TRUE(s.clean());
@@ -32,11 +32,11 @@ TEST(AuditorTest, FailRecordsStructuredViolation) {
   auditor.add_probe("broken", [](sim::Auditor::Context& ctx) {
     ctx.fail("the invariant broke");
   });
-  auditor.sweep(us(3));
+  auditor.sweep(TimePoint(us(3)));
   const sim::AuditSummary s = auditor.summary();
   EXPECT_FALSE(s.clean());
   ASSERT_EQ(s.violations.size(), 1u);
-  EXPECT_EQ(s.violations[0].at, us(3));
+  EXPECT_EQ(s.violations[0].at, TimePoint(us(3)));
   EXPECT_EQ(s.violations[0].probe, "broken");
   EXPECT_EQ(s.violations[0].message, "the invariant broke");
 }
@@ -48,7 +48,7 @@ TEST(AuditorTest, ViolationRecordingIsCappedButCounted) {
   auditor.add_probe("noisy", [](sim::Auditor::Context& ctx) {
     for (int i = 0; i < 5; ++i) ctx.fail("violation " + std::to_string(i));
   });
-  auditor.sweep(0);
+  auditor.sweep(TimePoint{});
   const sim::AuditSummary s = auditor.summary();
   EXPECT_EQ(s.violations_total, 5u);
   EXPECT_EQ(s.violations.size(), 2u);
@@ -56,8 +56,8 @@ TEST(AuditorTest, ViolationRecordingIsCappedButCounted) {
 
 TEST(AuditorTest, BuiltinProbeCatchesNonMonotonicSweeps) {
   sim::Auditor auditor;
-  auditor.sweep(us(5));
-  auditor.sweep(us(4));  // time went backwards
+  auditor.sweep(TimePoint(us(5)));
+  auditor.sweep(TimePoint(us(4)));  // time went backwards
   EXPECT_FALSE(auditor.summary().clean());
 }
 
@@ -65,7 +65,7 @@ TEST(AuditorTest, AttachedTickDoesNotKeepSimulationAlive) {
   sim::Simulator sim;
   sim::Auditor auditor;
   auditor.attach(sim);
-  sim.schedule_at(us(25), []() {});
+  sim.schedule_at(TimePoint(us(25)), []() {});
   sim.run();  // must drain, not tick forever
   EXPECT_EQ(sim.pending(), 0u);
   EXPECT_GE(auditor.summary().sweeps, 1u);
@@ -85,10 +85,10 @@ ExperimentConfig audited_small(harness::Protocol p) {
   cfg.spines = 2;
   cfg.workload = "imc10";
   cfg.load = 0.5;
-  cfg.gen_stop = us(200);
-  cfg.measure_start = us(20);
-  cfg.measure_end = us(200);
-  cfg.horizon = ms(5);
+  cfg.gen_stop = TimePoint(us(200));
+  cfg.measure_start = TimePoint(us(20));
+  cfg.measure_end = TimePoint(us(200));
+  cfg.horizon = TimePoint(ms(5));
   cfg.audit = true;
   return cfg;
 }
@@ -100,13 +100,15 @@ TEST(AuditedExperimentTest, DcpimRunIsClean) {
   EXPECT_GT(res.audit.checks, 0u);
   EXPECT_TRUE(res.audit.clean())
       << harness::format_audit_summary(res.audit);
-  // All four standard probes plus the built-in monotonicity probe ran.
-  EXPECT_EQ(res.audit.probes.size(), 5u);
+  // All six standard probes plus the built-in monotonicity probe ran.
+  EXPECT_EQ(res.audit.probes.size(), 7u);
   const std::string report = harness::format_audit_summary(res.audit);
   EXPECT_NE(report.find("flow-byte-conservation"), std::string::npos);
   EXPECT_NE(report.find("queue-occupancy"), std::string::npos);
   EXPECT_NE(report.find("dcpim-token-accounting"), std::string::npos);
   EXPECT_NE(report.find("dcpim-matching"), std::string::npos);
+  EXPECT_NE(report.find("pfc-pause-ledger"), std::string::npos);
+  EXPECT_NE(report.find("dcpim-epoch-rollover"), std::string::npos);
   EXPECT_NE(report.find("clean"), std::string::npos);
 }
 

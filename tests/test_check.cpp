@@ -34,7 +34,7 @@ TEST(CheckDeathTest, OpVariantPrintsOperands) {
 
 TEST(CheckDeathTest, FailureReportsSimTimeWhenRunning) {
   sim::Simulator sim;
-  sim.schedule_at(us(42), []() { DCPIM_CHECK(false, "inside event"); });
+  sim.schedule_at(TimePoint(us(42)), []() { DCPIM_CHECK(false, "inside event"); });
   EXPECT_DEATH(sim.run(), "sim time 42000000 ps");
 }
 
@@ -42,7 +42,7 @@ TEST(CheckDeathTest, NetworkInvariantFiresOnBadFlow) {
   // A concrete migrated assert: zero-size flows violate the model and must
   // abort even in release builds instead of corrupting packet math.
   net::Network net{net::NetConfig{}};
-  EXPECT_DEATH(net.create_flow(0, 1, /*size=*/0, /*start=*/0),
+  EXPECT_DEATH(net.create_flow(0, 1, /*size=*/Bytes{}, /*start=*/TimePoint{}),
                "flows must carry payload");
 }
 

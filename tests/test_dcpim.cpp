@@ -43,12 +43,11 @@ struct Fixture {
 
 TEST(DcpimTest, ShortFlowBypassesMatchingAtNearOracleLatency) {
   Fixture f;
-  net::Flow* flow = f.net->create_flow(0, 7, 20'000, us(1));  // << 1 BDP
-  f.net->sim().run(ms(1));
+  net::Flow* flow = f.net->create_flow(0, 7, Bytes{20'000}, TimePoint(us(1)));  // << 1 BDP
+  f.net->sim().run(TimePoint(ms(1)));
   ASSERT_TRUE(flow->finished());
-  const Time oracle = f.topo->oracle_fct(0, 7, 20'000);
-  EXPECT_LT(static_cast<double>(flow->fct()),
-            1.1 * static_cast<double>(oracle));
+  const Time oracle = f.topo->oracle_fct(0, 7, Bytes{20'000});
+  EXPECT_LT(fratio(flow->fct(), oracle), 1.1);
   // Sent unscheduled: no tokens involved.
   EXPECT_GT(f.host(0)->counters().short_data_sent, 0u);
   EXPECT_EQ(f.host(7)->counters().tokens_sent, 0u);
@@ -56,13 +55,14 @@ TEST(DcpimTest, ShortFlowBypassesMatchingAtNearOracleLatency) {
 
 TEST(DcpimTest, LongFlowIsAdmittedThroughMatchingAndTokens) {
   Fixture f;
-  const Bytes size = 5 * f.cfg.bdp_bytes;
-  net::Flow* flow = f.net->create_flow(0, 7, size, us(1));
-  f.net->sim().run(ms(3));
+  const Bytes size = f.cfg.bdp_bytes * 5;
+  net::Flow* flow = f.net->create_flow(0, 7, size, TimePoint(us(1)));
+  f.net->sim().run(TimePoint(ms(3)));
   ASSERT_TRUE(flow->finished());
   const auto& rx = f.host(7)->counters();
   const auto& tx = f.host(0)->counters();
-  const auto packets = flow->packet_count(1460);
+  const auto packets =
+      static_cast<std::uint64_t>(flow->packet_count(Bytes{1460}).raw());
   EXPECT_GE(rx.tokens_sent, packets);  // every data packet was admitted
   EXPECT_GE(rx.requests_sent, 1u);
   EXPECT_GE(tx.grants_sent, 1u);
@@ -72,9 +72,9 @@ TEST(DcpimTest, LongFlowIsAdmittedThroughMatchingAndTokens) {
 
 TEST(DcpimTest, LongFlowWaitsForMatchingPhase) {
   Fixture f;
-  const Bytes size = 5 * f.cfg.bdp_bytes;
-  net::Flow* flow = f.net->create_flow(0, 7, size, us(1));
-  f.net->sim().run(ms(3));
+  const Bytes size = f.cfg.bdp_bytes * 5;
+  net::Flow* flow = f.net->create_flow(0, 7, size, TimePoint(us(1)));
+  f.net->sim().run(TimePoint(ms(3)));
   ASSERT_TRUE(flow->finished());
   // A matched flow cannot beat one epoch of matching delay.
   EXPECT_GT(flow->fct(), f.cfg.epoch_length());
@@ -82,9 +82,9 @@ TEST(DcpimTest, LongFlowWaitsForMatchingPhase) {
 
 TEST(DcpimTest, NotificationPerFlowAndFinishHandshake) {
   Fixture f;
-  f.net->create_flow(0, 7, 10'000, us(1));
-  f.net->create_flow(1, 6, 300'000, us(1));
-  f.net->sim().run(ms(3));
+  f.net->create_flow(0, 7, Bytes{10'000}, TimePoint(us(1)));
+  f.net->create_flow(1, 6, Bytes{300'000}, TimePoint(us(1)));
+  f.net->sim().run(TimePoint(ms(3)));
   EXPECT_EQ(f.net->completed_flows, 2u);
   EXPECT_GE(f.host(0)->counters().notifications_sent, 1u);
   EXPECT_GE(f.host(1)->counters().notifications_sent, 1u);
@@ -94,11 +94,11 @@ TEST(DcpimTest, MatchedChannelsNeverExceedK) {
   Fixture f;
   // Four senders each push a long flow to receiver 7.
   for (int s = 0; s < 4; ++s) {
-    f.net->create_flow(s, 7, 10 * f.cfg.bdp_bytes, 0);
+    f.net->create_flow(s, 7, f.cfg.bdp_bytes * 10, TimePoint{});
   }
   const Time period = f.cfg.epoch_length();
   for (int epoch = 0; epoch < 20; ++epoch) {
-    f.net->sim().run(static_cast<Time>(epoch + 1) * period);
+    f.net->sim().run(TimePoint(period * (epoch + 1)));
     EXPECT_LE(f.host(7)->receiver_matched_channels(
                   static_cast<std::uint64_t>(epoch)),
               f.cfg.channels);
@@ -111,17 +111,17 @@ TEST(DcpimTest, MultipleSendersShareReceiverViaChannels) {
   // the receiver can and should admit several senders in the same phase.
   std::vector<net::Flow*> flows;
   for (int s = 0; s < 4; ++s) {
-    flows.push_back(f.net->create_flow(s, 7, 2 * f.cfg.bdp_bytes, 0));
+    flows.push_back(f.net->create_flow(s, 7, f.cfg.bdp_bytes * 2, TimePoint{}));
   }
   const Time period = f.cfg.epoch_length();
   bool multi = false;
   for (int epoch = 0; epoch < 40 && !multi; ++epoch) {
-    f.net->sim().run(static_cast<Time>(epoch + 1) * period);
+    f.net->sim().run(TimePoint(period * (epoch + 1)));
     multi = f.host(7)->receiver_matched_peers(
                 static_cast<std::uint64_t>(epoch)) > 1;
   }
   EXPECT_TRUE(multi);
-  f.net->sim().run(ms(10));
+  f.net->sim().run(TimePoint(ms(10)));
   EXPECT_EQ(f.net->completed_flows, 4u);
 }
 
@@ -130,14 +130,14 @@ TEST(DcpimTest, TokenWindowBoundsOutstandingAdmissions) {
   base.channels = 1;
   base.rounds = 1;
   Fixture f(Fixture::small_topo(), base);
-  const Bytes size = 20 * f.cfg.bdp_bytes;
-  net::Flow* flow = f.net->create_flow(0, 7, size, 0);
-  f.net->sim().run(ms(10));
+  const Bytes size = f.cfg.bdp_bytes * 20;
+  net::Flow* flow = f.net->create_flow(0, 7, size, TimePoint{});
+  f.net->sim().run(TimePoint(ms(10)));
   ASSERT_TRUE(flow->finished());
   // Tokens per data packet: no runaway admission despite the long flow.
-  const auto packets = flow->packet_count(1460);
-  EXPECT_LE(f.host(7)->counters().tokens_sent,
-            static_cast<std::uint64_t>(packets) + 50);
+  const auto packets =
+      static_cast<std::uint64_t>(flow->packet_count(Bytes{1460}).raw());
+  EXPECT_LE(f.host(7)->counters().tokens_sent, packets + 50);
 }
 
 TEST(DcpimTest, AllToAllTrafficCompletesWithLowShortFlowSlowdown) {
@@ -146,10 +146,10 @@ TEST(DcpimTest, AllToAllTrafficCompletesWithLowShortFlowSlowdown) {
   workload::PoissonPatternConfig pc;
   pc.cdf = &workload::imc10();
   pc.load = 0.6;
-  pc.stop = us(300);
+  pc.stop = TimePoint(us(300));
   workload::PoissonGenerator gen(*f.net, f.topo->host_rate(), pc);
   gen.start();
-  f.net->sim().run(ms(5));
+  f.net->sim().run(TimePoint(ms(5)));
   ASSERT_GT(f.net->num_flows(), 20u);
   EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
   const auto sf = stats.short_flows(f.cfg.bdp_bytes);
@@ -162,10 +162,10 @@ TEST(DcpimTest, RecoversFromRandomPacketLoss) {
   p.port_customize = [](net::PortConfig& pc) { pc.loss_rate = 0.02; };
   Fixture f(p);
   for (int i = 0; i < 8; ++i) {
-    f.net->create_flow(i % 4, 4 + (i % 4), 3 * f.cfg.bdp_bytes, us(i));
+    f.net->create_flow(i % 4, 4 + (i % 4), f.cfg.bdp_bytes * 3, TimePoint(us(i)));
   }
-  f.net->create_flow(0, 5, 10'000, us(3));  // short flow under loss
-  f.net->sim().run(ms(40));
+  f.net->create_flow(0, 5, Bytes{10'000}, TimePoint(us(3)));  // short flow under loss
+  f.net->sim().run(TimePoint(ms(40)));
   EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
 }
 
@@ -182,8 +182,8 @@ TEST(DcpimTest, ShortFlowRescueAfterHeavyIncastLoss) {
     std::vector<int> s;
     for (int i = 1; i <= 30; ++i) s.push_back(i);
     return s;
-  }(), 60'000, 0);
-  f.net->sim().run(ms(30));
+  }(), Bytes{60'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(30)));
   EXPECT_EQ(f.net->completed_flows, 30u);
   EXPECT_GT(f.net->total_drops(), 0u);  // the incast really did overflow
 }
@@ -194,9 +194,9 @@ TEST(DcpimTest, AsynchronousClocksStillComplete) {
   base.clock_jitter = probe.cfg.stage_length() / 2;
   Fixture f(Fixture::small_topo(), base);
   for (int i = 0; i < 6; ++i) {
-    f.net->create_flow(i % 4, 4 + ((i + 1) % 4), 4 * f.cfg.bdp_bytes, us(i));
+    f.net->create_flow(i % 4, 4 + ((i + 1) % 4), f.cfg.bdp_bytes * 4, TimePoint(us(i)));
   }
-  f.net->sim().run(ms(20));
+  f.net->sim().run(TimePoint(ms(20)));
   EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
 }
 
@@ -208,16 +208,15 @@ TEST(DcpimTest, PipeliningBeatsSequentialUtilization) {
     workload::PoissonPatternConfig pc;
     pc.cdf = &workload::web_search();
     pc.load = 0.6;
-    pc.stop = us(400);
+    pc.stop = TimePoint(us(400));
     workload::PoissonGenerator gen(*f.net, f.topo->host_rate(), pc);
     gen.start();
-    f.net->sim().run(us(400));
+    f.net->sim().run(TimePoint(us(400)));
     return f.net->total_payload_delivered;
   };
   const Bytes pipelined = run_mode(true);
   const Bytes sequential = run_mode(false);
-  EXPECT_GT(static_cast<double>(pipelined),
-            1.2 * static_cast<double>(sequential));
+  EXPECT_GT(fratio(pipelined, sequential), 1.2);
 }
 
 TEST(DcpimTest, FctOptimizingRoundFavoursSmallerFlow) {
@@ -226,9 +225,9 @@ TEST(DcpimTest, FctOptimizingRoundFavoursSmallerFlow) {
   DcpimConfig base;
   base.channels = 1;
   Fixture f(Fixture::small_topo(), base);
-  net::Flow* big = f.net->create_flow(0, 7, 40 * f.cfg.bdp_bytes, 0);
-  net::Flow* small = f.net->create_flow(1, 7, 3 * f.cfg.bdp_bytes, us(1));
-  f.net->sim().run(ms(40));
+  net::Flow* big = f.net->create_flow(0, 7, f.cfg.bdp_bytes * 40, TimePoint{});
+  net::Flow* small = f.net->create_flow(1, 7, f.cfg.bdp_bytes * 3, TimePoint(us(1)));
+  f.net->sim().run(TimePoint(ms(40)));
   ASSERT_TRUE(big->finished());
   ASSERT_TRUE(small->finished());
   EXPECT_LT(small->finish_time, big->finish_time);
@@ -242,10 +241,10 @@ TEST(DcpimTest, StaleTokensAreDiscarded) {
   workload::PoissonPatternConfig pc;
   pc.cdf = &workload::web_search();
   pc.load = 0.7;
-  pc.stop = us(300);
+  pc.stop = TimePoint(us(300));
   workload::PoissonGenerator gen(*f.net, f.topo->host_rate(), pc);
   gen.start();
-  f.net->sim().run(ms(4));
+  f.net->sim().run(TimePoint(ms(4)));
   std::uint64_t sent = 0, expired = 0;
   for (int h = 0; h < f.net->num_hosts(); ++h) {
     sent += f.host(h)->counters().tokens_sent;
@@ -260,7 +259,7 @@ TEST(DcpimTest, EpochLengthMatchesFormula) {
   cfg.rounds = 4;
   cfg.beta = 1.3;
   cfg.control_rtt = us(5.2);
-  cfg.bdp_bytes = 72'500;
+  cfg.bdp_bytes = Bytes{72'500};
   // (2r+1) * beta * cRTT/2 = 9 * 1.3 * 2.6us = 30.42us (paper §3.4).
   EXPECT_NEAR(to_us(cfg.epoch_length()), 30.42, 0.1);
   EXPECT_NEAR(to_us(cfg.stage_length()), 3.38, 0.05);
@@ -273,9 +272,9 @@ TEST(DcpimTest, ConfigDefaultsFollowPaper) {
   EXPECT_NEAR(cfg.beta, 1.3, 1e-9);
   EXPECT_TRUE(cfg.fct_optimizing_first_round);
   EXPECT_TRUE(cfg.pipeline_phases);
-  cfg.bdp_bytes = 70'000;
-  EXPECT_EQ(cfg.effective_short_threshold(), 70'000);  // 1 BDP default
-  EXPECT_EQ(cfg.effective_token_window(), 70'000);
+  cfg.bdp_bytes = Bytes{70'000};
+  EXPECT_EQ(cfg.effective_short_threshold(), Bytes{70'000});  // 1 BDP default
+  EXPECT_EQ(cfg.effective_token_window(), Bytes{70'000});
 }
 
 }  // namespace

@@ -37,16 +37,16 @@ struct Fixture {
 
 TEST(DcpimEdgeTest, OneByteFlow) {
   Fixture f;
-  net::Flow* flow = f.net->create_flow(0, 7, 1, 0);
-  f.net->sim().run(ms(1));
+  net::Flow* flow = f.net->create_flow(0, 7, Bytes{1}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(1)));
   EXPECT_TRUE(flow->finished());
 }
 
 TEST(DcpimEdgeTest, FlowExactlyAtShortThreshold) {
   Fixture f;
   // size == threshold is still "short" (<=, §3.5).
-  net::Flow* flow = f.net->create_flow(0, 7, f.cfg.effective_short_threshold(), 0);
-  f.net->sim().run(ms(2));
+  net::Flow* flow = f.net->create_flow(0, 7, f.cfg.effective_short_threshold(), TimePoint{});
+  f.net->sim().run(TimePoint(ms(2)));
   ASSERT_TRUE(flow->finished());
   EXPECT_GT(f.host(0)->counters().short_data_sent, 0u);
   EXPECT_EQ(f.host(7)->counters().tokens_sent, 0u);
@@ -55,8 +55,9 @@ TEST(DcpimEdgeTest, FlowExactlyAtShortThreshold) {
 TEST(DcpimEdgeTest, FlowOneByteOverThresholdIsMatched) {
   Fixture f;
   net::Flow* flow =
-      f.net->create_flow(0, 7, f.cfg.effective_short_threshold() + 1, 0);
-  f.net->sim().run(ms(3));
+      f.net->create_flow(0, 7, f.cfg.effective_short_threshold() + Bytes{1},
+                         TimePoint{});
+  f.net->sim().run(TimePoint(ms(3)));
   ASSERT_TRUE(flow->finished());
   EXPECT_EQ(f.host(0)->counters().short_data_sent, 0u);
   EXPECT_GT(f.host(7)->counters().tokens_sent, 0u);
@@ -64,54 +65,53 @@ TEST(DcpimEdgeTest, FlowOneByteOverThresholdIsMatched) {
 
 TEST(DcpimEdgeTest, IntraRackFlowCompletes) {
   Fixture f;
-  net::Flow* flow = f.net->create_flow(0, 1, 500'000, 0);  // same leaf
-  f.net->sim().run(ms(3));
+  net::Flow* flow = f.net->create_flow(0, 1, Bytes{500'000}, TimePoint{});  // same leaf
+  f.net->sim().run(TimePoint(ms(3)));
   EXPECT_TRUE(flow->finished());
 }
 
 TEST(DcpimEdgeTest, ManyConcurrentFlowsBetweenSamePair) {
   Fixture f;
   for (int i = 0; i < 10; ++i) {
-    f.net->create_flow(0, 7, 200'000, us(i));
+    f.net->create_flow(0, 7, Bytes{200'000}, TimePoint(us(i)));
   }
-  f.net->sim().run(ms(10));
+  f.net->sim().run(TimePoint(ms(10)));
   EXPECT_EQ(f.net->completed_flows, 10u);
 }
 
 TEST(DcpimEdgeTest, BidirectionalTraffic) {
   Fixture f;
-  f.net->create_flow(0, 7, 400'000, 0);
-  f.net->create_flow(7, 0, 400'000, 0);
-  f.net->sim().run(ms(5));
+  f.net->create_flow(0, 7, Bytes{400'000}, TimePoint{});
+  f.net->create_flow(7, 0, Bytes{400'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(5)));
   EXPECT_EQ(f.net->completed_flows, 2u);
 }
 
 TEST(DcpimEdgeTest, MultiMegabyteFlowSustainsHighRate) {
   Fixture f;
-  const Bytes size = 5 * kMB;
-  net::Flow* flow = f.net->create_flow(0, 7, size, 0);
-  f.net->sim().run(ms(20));
+  const Bytes size = kMB * 5;
+  net::Flow* flow = f.net->create_flow(0, 7, size, TimePoint{});
+  f.net->sim().run(TimePoint(ms(20)));
   ASSERT_TRUE(flow->finished());
   // Alone in the network a bulk flow must get close to line rate: the k=4
   // channels go entirely to it.
   const Time oracle = f.topo->oracle_fct(0, 7, size);
-  EXPECT_LT(static_cast<double>(flow->fct()),
-            1.35 * static_cast<double>(oracle));
+  EXPECT_LT(fratio(flow->fct(), oracle), 1.35);
 }
 
 TEST(DcpimEdgeTest, LongFlowPriorityLevelsSpreadByRemaining) {
   DcpimConfig base;
   base.long_flow_priorities = 4;
   Fixture f(Fixture::small_topo(), base);
-  f.net->create_flow(0, 7, 2 * kMB, 0);
-  f.net->create_flow(1, 7, 200'000, 0);
-  f.net->sim().run(ms(10));
+  f.net->create_flow(0, 7, kMB * 2, TimePoint{});
+  f.net->create_flow(1, 7, Bytes{200'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(10)));
   EXPECT_EQ(f.net->completed_flows, 2u);
 }
 
 TEST(DcpimEdgeTest, ZeroLoadIdleNetworkStaysQuiet) {
   Fixture f;
-  f.net->sim().run(ms(1));
+  f.net->sim().run(TimePoint(ms(1)));
   // Matching machinery runs but produces no control traffic without demand.
   for (int h = 0; h < f.net->num_hosts(); ++h) {
     EXPECT_EQ(f.host(h)->counters().requests_sent, 0u);
@@ -123,9 +123,9 @@ TEST(DcpimEdgeTest, HeavyControlLossStillCompletes) {
   net::LeafSpineParams p = Fixture::small_topo();
   p.port_customize = [](net::PortConfig& pc) { pc.loss_rate = 0.05; };
   Fixture f(p);
-  f.net->create_flow(0, 7, 3 * f.cfg.bdp_bytes, 0);
-  f.net->create_flow(1, 6, 8'000, 0);
-  f.net->sim().run(ms(80));
+  f.net->create_flow(0, 7, f.cfg.bdp_bytes * 3, TimePoint{});
+  f.net->create_flow(1, 6, Bytes{8'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(80)));
   EXPECT_EQ(f.net->completed_flows, 2u);
   // Retransmission machinery must actually have fired somewhere.
   std::uint64_t retx = 0;
@@ -146,8 +146,8 @@ TEST(DcpimEdgeTest, SevereLossTokenAccountingStaysBounded) {
   net::LeafSpineParams p = Fixture::small_topo();
   p.port_customize = [](net::PortConfig& pc) { pc.loss_rate = 0.3; };
   Fixture f(p);
-  net::Flow* flow = f.net->create_flow(0, 7, 5 * f.cfg.bdp_bytes, 0);
-  f.net->sim().run(ms(200));
+  net::Flow* flow = f.net->create_flow(0, 7, f.cfg.bdp_bytes * 5, TimePoint{});
+  f.net->sim().run(TimePoint(ms(200)));
   EXPECT_TRUE(flow->finished());
   std::uint64_t expired = 0, tokens = 0;
   for (int h = 0; h < f.net->num_hosts(); ++h) {
@@ -163,10 +163,10 @@ TEST(DcpimEdgeTest, CountersAreConsistent) {
   workload::PoissonPatternConfig pc;
   pc.cdf = &workload::imc10();
   pc.load = 0.5;
-  pc.stop = us(300);
+  pc.stop = TimePoint(us(300));
   workload::PoissonGenerator gen(*f.net, f.topo->host_rate(), pc);
   gen.start();
-  f.net->sim().run(ms(5));
+  f.net->sim().run(TimePoint(ms(5)));
   std::uint64_t tokens = 0, data = 0, short_data = 0;
   for (int h = 0; h < f.net->num_hosts(); ++h) {
     tokens += f.host(h)->counters().tokens_sent;
@@ -194,10 +194,10 @@ TEST_P(DcpimParamTest, MixedTrafficCompletes) {
   workload::PoissonPatternConfig pc;
   pc.cdf = &workload::web_search();
   pc.load = 0.4;
-  pc.stop = us(200);
+  pc.stop = TimePoint(us(200));
   workload::PoissonGenerator gen(*f.net, f.topo->host_rate(), pc);
   gen.start();
-  f.net->sim().run(ms(20));
+  f.net->sim().run(TimePoint(ms(20)));
   EXPECT_GT(f.net->num_flows(), 0u);
   EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
 }
@@ -215,8 +215,8 @@ TEST_P(DcpimBetaTest, LongFlowCompletes) {
   DcpimConfig base;
   base.beta = GetParam();
   Fixture f(Fixture::small_topo(), base);
-  net::Flow* flow = f.net->create_flow(0, 7, 4 * f.cfg.bdp_bytes, 0);
-  f.net->sim().run(ms(10));
+  net::Flow* flow = f.net->create_flow(0, 7, f.cfg.bdp_bytes * 4, TimePoint{});
+  f.net->sim().run(TimePoint(ms(10)));
   EXPECT_TRUE(flow->finished());
 }
 

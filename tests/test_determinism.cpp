@@ -43,11 +43,11 @@ std::size_t traced_run_hash(std::uint64_t seed) {
   workload::PoissonPatternConfig pc;
   pc.cdf = &workload::workload_by_name("imc10");
   pc.load = 0.6;
-  pc.stop = us(150);
+  pc.stop = TimePoint(us(150));
   workload::PoissonGenerator gen(*network, topo.host_rate(), pc);
   gen.start();
 
-  network->sim().run(ms(5));
+  network->sim().run(TimePoint(ms(5)));
 
   std::ostringstream csv;
   tracer.dump_csv(csv);

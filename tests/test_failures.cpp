@@ -65,16 +65,16 @@ TEST(LinkFailureTest, DcpimSurvivesSpineLinkFlap) {
   // Inter-rack flows that span the flapping uplink (packet spraying puts
   // roughly half their packets on it while it is down).
   for (int i = 0; i < 4; ++i) {
-    net.create_flow(i, 4 + i, 4 * topo.bdp_bytes(), us(i));
+    net.create_flow(i, 4 + i, topo.bdp_bytes() * 4, TimePoint(us(i)));
   }
-  net.create_flow(0, 5, 8'000, us(2));  // short flow during the outage
+  net.create_flow(0, 5, Bytes{8'000}, TimePoint(us(2)));  // short flow during the outage
 
   net::Port* uplink = first_uplink(net);
   ASSERT_NE(uplink, nullptr);
-  net.sim().schedule_at(us(5), [uplink]() { uplink->set_link_up(false); });
-  net.sim().schedule_at(us(120), [uplink]() { uplink->set_link_up(true); });
+  net.sim().schedule_at(TimePoint(us(5)), [uplink]() { uplink->set_link_up(false); });
+  net.sim().schedule_at(TimePoint(us(120)), [uplink]() { uplink->set_link_up(true); });
 
-  net.sim().run(ms(60));
+  net.sim().run(TimePoint(ms(60)));
   EXPECT_EQ(net.completed_flows, net.num_flows());
   EXPECT_GT(net.total_drops(), 0u);  // the outage really dropped packets
 }
@@ -94,13 +94,13 @@ TEST(LinkFailureTest, NdpSurvivesSpineLinkFlap) {
   cfg.control_rtt = topo.max_control_rtt();
 
   for (int i = 0; i < 4; ++i) {
-    net.create_flow(i, 4 + i, 200'000, us(i));
+    net.create_flow(i, 4 + i, Bytes{200'000}, TimePoint(us(i)));
   }
   net::Port* uplink = first_uplink(net);
   ASSERT_NE(uplink, nullptr);
-  net.sim().schedule_at(us(5), [uplink]() { uplink->set_link_up(false); });
-  net.sim().schedule_at(us(150), [uplink]() { uplink->set_link_up(true); });
-  net.sim().run(ms(100));
+  net.sim().schedule_at(TimePoint(us(5)), [uplink]() { uplink->set_link_up(false); });
+  net.sim().schedule_at(TimePoint(us(150)), [uplink]() { uplink->set_link_up(true); });
+  net.sim().run(TimePoint(ms(100)));
   EXPECT_EQ(net.completed_flows, net.num_flows());
 }
 
@@ -114,12 +114,12 @@ TEST(LinkFailureTest, TcpSurvivesAccessLinkFlap) {
   cfg.window.bdp_bytes = topo.bdp_bytes();
   cfg.window.base_rtt = topo.max_data_rtt();
 
-  net.create_flow(0, 7, 150'000, 0);
+  net.create_flow(0, 7, Bytes{150'000}, TimePoint{});
   // Flap the sender's own NIC: a total blackout only RTO recovers from.
   net::Port* nic = net.host(0)->nic();
-  net.sim().schedule_at(us(10), [nic]() { nic->set_link_up(false); });
-  net.sim().schedule_at(us(200), [nic]() { nic->set_link_up(true); });
-  net.sim().run(ms(200));
+  net.sim().schedule_at(TimePoint(us(10)), [nic]() { nic->set_link_up(false); });
+  net.sim().schedule_at(TimePoint(us(200)), [nic]() { nic->set_link_up(true); });
+  net.sim().run(TimePoint(ms(200)));
   EXPECT_EQ(net.completed_flows, 1u);
 }
 
@@ -135,10 +135,10 @@ TEST(LinkFailureTest, ControlRetransmissionCoversNotificationLoss) {
   cfg.bdp_bytes = topo.bdp_bytes();
 
   net::Port* nic = net.host(0)->nic();
-  net.sim().schedule_at(us(1) - 1, [nic]() { nic->set_link_up(false); });
-  net.create_flow(0, 5, 3 * topo.bdp_bytes(), us(1));
-  net.sim().schedule_at(us(40), [nic]() { nic->set_link_up(true); });
-  net.sim().run(ms(60));
+  net.sim().schedule_at(TimePoint(us(1) - ps(1)), [nic]() { nic->set_link_up(false); });
+  net.create_flow(0, 5, topo.bdp_bytes() * 3, TimePoint(us(1)));
+  net.sim().schedule_at(TimePoint(us(40)), [nic]() { nic->set_link_up(true); });
+  net.sim().run(TimePoint(ms(60)));
   EXPECT_EQ(net.completed_flows, 1u);
   auto* sender = static_cast<core::DcpimHost*>(net.host(0));
   EXPECT_GT(sender->counters().notify_retx, 0u);

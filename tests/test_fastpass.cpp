@@ -39,12 +39,12 @@ struct FastpassFixture {
 
 TEST(FastpassTest, SingleFlowCompletes) {
   FastpassFixture f;
-  net::Flow* flow = f.net->create_flow(0, 7, 300'000, 0);
-  f.net->sim().run(ms(5));
+  net::Flow* flow = f.net->create_flow(0, 7, Bytes{300'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(5)));
   ASSERT_TRUE(flow->finished());
   EXPECT_GT(f.arbiter->slots_allocated(), 0u);
   EXPECT_GE(f.host(0)->counters().data_sent,
-            flow->packet_count(1460));
+            static_cast<std::uint64_t>(flow->packet_count(Bytes{1460}).raw()));
 }
 
 TEST(FastpassTest, ShortFlowPaysTheArbiterRoundTrip) {
@@ -52,13 +52,12 @@ TEST(FastpassTest, ShortFlowPaysTheArbiterRoundTrip) {
   // request->allocation round trip before its first byte moves (§5:
   // "at least 2x away from optimal").
   FastpassFixture f;
-  net::Flow* flow = f.net->create_flow(0, 7, 1'000, 0);
-  f.net->sim().run(ms(2));
+  net::Flow* flow = f.net->create_flow(0, 7, Bytes{1'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(2)));
   ASSERT_TRUE(flow->finished());
-  const Time oracle = f.topo->oracle_fct(0, 7, 1'000);
+  const Time oracle = f.topo->oracle_fct(0, 7, Bytes{1'000});
   EXPECT_GE(flow->fct(), oracle + f.cfg.control_rtt);
-  EXPECT_GE(static_cast<double>(flow->fct()),
-            1.8 * static_cast<double>(oracle));
+  EXPECT_GE(fratio(flow->fct(), oracle), 1.8);
 }
 
 TEST(FastpassTest, DcpimBeatsFastpassOnShortFlows) {
@@ -66,8 +65,8 @@ TEST(FastpassTest, DcpimBeatsFastpassOnShortFlows) {
   Time fastpass_fct, dcpim_fct;
   {
     FastpassFixture f;
-    net::Flow* flow = f.net->create_flow(0, 7, 1'000, 0);
-    f.net->sim().run(ms(2));
+    net::Flow* flow = f.net->create_flow(0, 7, Bytes{1'000}, TimePoint{});
+    f.net->sim().run(TimePoint(ms(2)));
     fastpass_fct = flow->fct();
   }
   {
@@ -77,8 +76,8 @@ TEST(FastpassTest, DcpimBeatsFastpassOnShortFlows) {
         *net, small_topo(), core::dcpim_host_factory(dcfg)));
     dcfg.control_rtt = topo->max_control_rtt();
     dcfg.bdp_bytes = topo->bdp_bytes();
-    net::Flow* flow = net->create_flow(0, 7, 1'000, 0);
-    net->sim().run(ms(2));
+    net::Flow* flow = net->create_flow(0, 7, Bytes{1'000}, TimePoint{});
+    net->sim().run(TimePoint(ms(2)));
     dcpim_fct = flow->fct();
   }
   EXPECT_LT(2 * dcpim_fct, fastpass_fct);
@@ -91,12 +90,12 @@ TEST(FastpassTest, IncastIsCollisionFreeAtTheDownlink) {
   p.racks = 4;
   p.hosts_per_rack = 8;
   p.spines = 2;
-  p.buffer_bytes = 100 * kKB;
+  p.buffer_bytes = kKB * 100;
   FastpassFixture f(p);
   std::vector<int> senders;
   for (int i = 1; i <= 20; ++i) senders.push_back(i);
-  workload::schedule_incast(*f.net, 0, senders, 100'000, 0);
-  f.net->sim().run(ms(30));
+  workload::schedule_incast(*f.net, 0, senders, Bytes{100'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(30)));
   EXPECT_EQ(f.net->completed_flows, 20u);
   EXPECT_EQ(f.net->total_drops(), 0u);
 }
@@ -104,9 +103,9 @@ TEST(FastpassTest, IncastIsCollisionFreeAtTheDownlink) {
 TEST(FastpassTest, ArbitersMatchingIsOneToOnePerSlot) {
   FastpassFixture f;
   // Two flows from the same sender: slots must alternate, both complete.
-  f.net->create_flow(0, 6, 150'000, 0);
-  f.net->create_flow(0, 7, 150'000, 0);
-  f.net->sim().run(ms(5));
+  f.net->create_flow(0, 6, Bytes{150'000}, TimePoint{});
+  f.net->create_flow(0, 7, Bytes{150'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(5)));
   EXPECT_EQ(f.net->completed_flows, 2u);
 }
 
@@ -115,9 +114,9 @@ TEST(FastpassTest, RecoversFromRandomLoss) {
   p.port_customize = [](net::PortConfig& pc) { pc.loss_rate = 0.02; };
   FastpassFixture f(p);
   for (int i = 0; i < 4; ++i) {
-    f.net->create_flow(i, 7 - i, 150'000, us(i));
+    f.net->create_flow(i, 7 - i, Bytes{150'000}, TimePoint(us(i)));
   }
-  f.net->sim().run(ms(100));
+  f.net->sim().run(TimePoint(ms(100)));
   EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
   std::uint64_t rereq = 0;
   for (int h = 0; h < f.net->num_hosts(); ++h) {
@@ -131,10 +130,10 @@ TEST(FastpassTest, AllToAllTrafficCompletes) {
   workload::PoissonPatternConfig pc;
   pc.cdf = &workload::imc10();
   pc.load = 0.4;
-  pc.stop = us(200);
+  pc.stop = TimePoint(us(200));
   workload::PoissonGenerator gen(*f.net, f.topo->host_rate(), pc);
   gen.start();
-  f.net->sim().run(ms(20));
+  f.net->sim().run(TimePoint(ms(20)));
   EXPECT_GT(f.net->num_flows(), 0u);
   EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
 }

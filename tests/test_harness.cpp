@@ -15,10 +15,10 @@ ExperimentConfig small(Protocol p) {
   cfg.spines = 2;
   cfg.workload = "imc10";
   cfg.load = 0.5;
-  cfg.gen_stop = us(200);
-  cfg.measure_start = us(20);
-  cfg.measure_end = us(200);
-  cfg.horizon = ms(5);
+  cfg.gen_stop = TimePoint(us(200));
+  cfg.measure_start = TimePoint(us(20));
+  cfg.measure_end = TimePoint(us(200));
+  cfg.horizon = TimePoint(ms(5));
   return cfg;
 }
 
@@ -32,7 +32,7 @@ TEST_P(AllProtocolsTest, AllToAllRunsAndDeliversEverything) {
   EXPECT_EQ(res.flows_done, res.flows_total);
   EXPECT_GT(res.overall.count, 0u);
   EXPECT_GE(res.overall.mean, 1.0);
-  EXPECT_GT(res.bdp, 0);
+  EXPECT_GT(res.bdp, Bytes{});
   // At this tiny scale a single 10MB tail flow dwarfs what a 200us window
   // can physically deliver, so only sanity-check the ratio.
   EXPECT_GT(res.goodput_ratio, 0.0);
@@ -76,7 +76,7 @@ TEST(HarnessTest, TestbedTopologyIsSlower) {
   cfg.topo = TopoKind::Testbed;
   cfg.racks = 2;
   cfg.hosts_per_rack = 16;
-  cfg.horizon = ms(40);  // 10G links: the IMC10 tail needs ~8ms alone
+  cfg.horizon = TimePoint(ms(40));  // 10G links: the IMC10 tail needs ~8ms alone
   const ExperimentResult res = run_experiment(cfg);
   // 10G links: RTT around the paper's ~8us testbed.
   EXPECT_GT(res.data_rtt, us(5));
@@ -92,8 +92,8 @@ TEST(HarnessTest, BurstyPatternProducesIncastFlows) {
   cfg.incast_fanin = 20;
   cfg.incast_bursts = 2;
   cfg.incast_interval = us(100);
-  cfg.gen_stop = us(300);
-  cfg.horizon = ms(6);
+  cfg.gen_stop = TimePoint(us(300));
+  cfg.horizon = TimePoint(ms(6));
   const ExperimentResult res = run_experiment(cfg);
   // 2 bursts x 20 senders on top of the shuffle traffic.
   EXPECT_GE(res.flows_total, 40u);
@@ -103,8 +103,8 @@ TEST(HarnessTest, BurstyPatternProducesIncastFlows) {
 TEST(HarnessTest, DenseTmCreatesAllPairs) {
   ExperimentConfig cfg = small(Protocol::Dcpim);
   cfg.pattern = Pattern::DenseTM;
-  cfg.dense_flow_size = 100 * kKB;
-  cfg.horizon = ms(10);
+  cfg.dense_flow_size = kKB * 100;
+  cfg.horizon = TimePoint(ms(10));
   const ExperimentResult res = run_experiment(cfg);
   EXPECT_EQ(res.flows_total, 8u * 7u);
   EXPECT_EQ(res.flows_done, res.flows_total);
@@ -112,7 +112,7 @@ TEST(HarnessTest, DenseTmCreatesAllPairs) {
 
 TEST(HarnessTest, WorstCaseFixedSizeUsesBdpPlusOne) {
   ExperimentConfig cfg = small(Protocol::Dcpim);
-  cfg.fixed_size = -1;  // BDP+1 sentinel (Fig 4b)
+  cfg.fixed_size = Bytes{-1};  // BDP+1 sentinel (Fig 4b)
   const ExperimentResult res = run_experiment(cfg);
   EXPECT_EQ(res.flows_done, res.flows_total);
   EXPECT_GT(res.overall.count, 0u);
@@ -122,11 +122,11 @@ TEST(HarnessTest, MaxSustainedLoadMonotonicUsage) {
   // Fixed small flows so the carried-load signal reaches steady state
   // quickly (heavy-tailed workloads need multi-ms windows).
   ExperimentConfig cfg = small(Protocol::Dcpim);
-  cfg.fixed_size = 20'000;
-  cfg.gen_stop = us(600);
-  cfg.measure_start = us(200);
-  cfg.measure_end = us(600);
-  cfg.horizon = ms(2);
+  cfg.fixed_size = Bytes{20'000};
+  cfg.gen_stop = TimePoint(us(600));
+  cfg.measure_start = TimePoint(us(200));
+  cfg.measure_end = TimePoint(us(600));
+  cfg.horizon = TimePoint(ms(2));
   const double sustained =
       max_sustained_load(cfg, {0.3, 0.5}, /*threshold=*/0.5);
   EXPECT_GE(sustained, 0.3);
@@ -135,7 +135,7 @@ TEST(HarnessTest, MaxSustainedLoadMonotonicUsage) {
 TEST(HarnessTest, LossInjectionStillDrains) {
   ExperimentConfig cfg = small(Protocol::Dcpim);
   cfg.loss_rate = 0.01;
-  cfg.horizon = ms(40);
+  cfg.horizon = TimePoint(ms(40));
   const ExperimentResult res = run_experiment(cfg);
   EXPECT_EQ(res.flows_done, res.flows_total);
 }

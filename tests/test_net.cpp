@@ -21,14 +21,14 @@ class SinkHost : public Host {
   using Host::Host;
   void on_flow_arrival(Flow&) override {}
   std::vector<PacketPtr> received;
-  std::vector<Time> arrival_times;
+  std::vector<TimePoint> arrival_times;
 
   PacketPtr make_raw(int dst, Bytes size, std::uint8_t prio, bool control) {
     auto p = std::make_unique<Packet>();
     p->src = host_id();
     p->dst = dst;
     p->size = size;
-    p->payload = control ? 0 : size - 40;
+    p->payload = control ? Bytes{} : size - Bytes{40};
     p->priority = prio;
     p->control = control;
     return p;
@@ -48,9 +48,10 @@ class BlastHost : public Host {
  public:
   using Host::Host;
   void on_flow_arrival(Flow& flow) override {
-    const auto n = flow.packet_count(network().config().mtu_payload);
+    const auto n = static_cast<std::uint32_t>(
+        flow.packet_count(network().config().mtu_payload).raw());
     for (std::uint32_t seq = 0; seq < n; ++seq) {
-      send(make_data_packet(flow, seq, 2, false));
+      send(make_data_packet(flow, {.seq = seq, .priority = 2}));
     }
   }
 
@@ -91,19 +92,20 @@ PortConfig fast_link() {
 
 TEST(PortTest, DeliversAfterSerializationPropagationAndLatency) {
   TwoHostFixture f(fast_link());
-  f.a->inject(f.a->make_raw(1, 1500, 2, false));
+  f.a->inject(f.a->make_raw(1, Bytes{1500}, 2, false));
   f.net.sim().run();
   ASSERT_EQ(f.b->received.size(), 1u);
   // host->switch: ser(1500)=120ns + prop 200ns + switch 450ns;
   // switch->host: 120 + 200 + host latency 500ns = 1590ns total.
-  EXPECT_EQ(f.b->arrival_times[0], ns(120 + 200 + 450 + 120 + 200 + 500));
+  EXPECT_EQ(f.b->arrival_times[0],
+            TimePoint(ns(120 + 200 + 450 + 120 + 200 + 500)));
 }
 
 TEST(PortTest, StrictPriorityOvertakesInQueue) {
   TwoHostFixture f(fast_link());
   // Fill the NIC with low-priority packets, then inject one high-priority.
-  for (int i = 0; i < 10; ++i) f.a->inject(f.a->make_raw(1, 1500, 3, false));
-  f.a->inject(f.a->make_raw(1, 64, 0, true));
+  for (int i = 0; i < 10; ++i) f.a->inject(f.a->make_raw(1, Bytes{1500}, 3, false));
+  f.a->inject(f.a->make_raw(1, Bytes{64}, 0, true));
   f.net.sim().run();
   ASSERT_EQ(f.b->received.size(), 11u);
   // The control packet was enqueued last but (after the in-flight packet)
@@ -113,9 +115,9 @@ TEST(PortTest, StrictPriorityOvertakesInQueue) {
 
 TEST(PortTest, SharedBufferDropsDataWhenFull) {
   PortConfig link = fast_link();
-  link.buffer_bytes = 3 * 1540;  // room for ~3 data packets
+  link.buffer_bytes = Bytes{3 * 1540};  // room for ~3 data packets
   TwoHostFixture f(link);
-  for (int i = 0; i < 10; ++i) f.a->inject(f.a->make_raw(1, 1540, 2, false));
+  for (int i = 0; i < 10; ++i) f.a->inject(f.a->make_raw(1, Bytes{1540}, 2, false));
   f.net.sim().run();
   EXPECT_LT(f.b->received.size(), 10u);
   EXPECT_GT(f.net.total_drops(), 0u);
@@ -123,11 +125,11 @@ TEST(PortTest, SharedBufferDropsDataWhenFull) {
 
 TEST(PortTest, ControlHasOwnBufferBudget) {
   PortConfig link = fast_link();
-  link.buffer_bytes = 2 * 1540;
+  link.buffer_bytes = Bytes{2 * 1540};
   TwoHostFixture f(link);
   // Saturate the data budget, then send control packets — none may drop.
-  for (int i = 0; i < 20; ++i) f.a->inject(f.a->make_raw(1, 1540, 2, false));
-  for (int i = 0; i < 20; ++i) f.a->inject(f.a->make_raw(1, 64, 0, true));
+  for (int i = 0; i < 20; ++i) f.a->inject(f.a->make_raw(1, Bytes{1540}, 2, false));
+  for (int i = 0; i < 20; ++i) f.a->inject(f.a->make_raw(1, Bytes{64}, 0, true));
   f.net.sim().run();
   int control_received = 0;
   for (const auto& p : f.b->received) control_received += p->control;
@@ -136,9 +138,9 @@ TEST(PortTest, ControlHasOwnBufferBudget) {
 
 TEST(PortTest, EcnMarksAboveThreshold) {
   PortConfig link = fast_link();
-  link.ecn_threshold = 2 * 1540;
+  link.ecn_threshold = Bytes{2 * 1540};
   TwoHostFixture f(link);
-  for (int i = 0; i < 10; ++i) f.a->inject(f.a->make_raw(1, 1540, 2, false));
+  for (int i = 0; i < 10; ++i) f.a->inject(f.a->make_raw(1, Bytes{1540}, 2, false));
   f.net.sim().run();
   int marked = 0;
   for (const auto& p : f.b->received) marked += p->ecn_ce;
@@ -149,9 +151,9 @@ TEST(PortTest, EcnMarksAboveThreshold) {
 TEST(PortTest, TrimmingConvertsOverflowToHeaders) {
   PortConfig link = fast_link();
   link.trim_enable = true;
-  link.trim_queue_cap = 2 * 1540;
+  link.trim_queue_cap = Bytes{2 * 1540};
   TwoHostFixture f(link);
-  for (int i = 0; i < 10; ++i) f.a->inject(f.a->make_raw(1, 1540, 2, false));
+  for (int i = 0; i < 10; ++i) f.a->inject(f.a->make_raw(1, Bytes{1540}, 2, false));
   f.net.sim().run();
   ASSERT_EQ(f.b->received.size(), 10u);  // nothing dropped
   int trimmed = 0;
@@ -159,7 +161,7 @@ TEST(PortTest, TrimmingConvertsOverflowToHeaders) {
     if (p->trimmed) {
       ++trimmed;
       EXPECT_EQ(p->size, link.trim_header_size);
-      EXPECT_EQ(p->payload, 0);
+      EXPECT_EQ(p->payload, Bytes{});
       EXPECT_EQ(p->priority, 0);
     }
   }
@@ -169,14 +171,14 @@ TEST(PortTest, TrimmingConvertsOverflowToHeaders) {
 
 TEST(PortTest, AeolusDropsOnlyUnscheduledAboveThreshold) {
   PortConfig link = fast_link();
-  link.aeolus_threshold = 2 * 1540;
+  link.aeolus_threshold = Bytes{2 * 1540};
   TwoHostFixture f(link);
   for (int i = 0; i < 6; ++i) {
-    auto p = f.a->make_raw(1, 1540, 2, false);
+    auto p = f.a->make_raw(1, Bytes{1540}, 2, false);
     p->unscheduled = true;
     f.a->inject(std::move(p));
   }
-  for (int i = 0; i < 6; ++i) f.a->inject(f.a->make_raw(1, 1540, 2, false));
+  for (int i = 0; i < 6; ++i) f.a->inject(f.a->make_raw(1, Bytes{1540}, 2, false));
   f.net.sim().run();
   int unsched = 0, sched = 0;
   for (const auto& p : f.b->received) (p->unscheduled ? unsched : sched)++;
@@ -188,7 +190,7 @@ TEST(PortTest, LossInjectionDropsApproximateFraction) {
   PortConfig link = fast_link();
   link.loss_rate = 0.5;
   TwoHostFixture f(link);
-  for (int i = 0; i < 400; ++i) f.a->inject(f.a->make_raw(1, 200, 2, false));
+  for (int i = 0; i < 400; ++i) f.a->inject(f.a->make_raw(1, Bytes{200}, 2, false));
   f.net.sim().run();
   // Two lossy hops (host->switch, switch->host): expect ~25% survival.
   EXPECT_GT(f.b->received.size(), 40u);
@@ -198,21 +200,21 @@ TEST(PortTest, LossInjectionDropsApproximateFraction) {
 TEST(PortTest, PausedPortSendsOnlyControl) {
   TwoHostFixture f(fast_link());
   f.a->nic()->set_paused(true);
-  f.a->inject(f.a->make_raw(1, 1500, 2, false));
-  f.a->inject(f.a->make_raw(1, 64, 0, true));
-  f.net.sim().run(us(100));
+  f.a->inject(f.a->make_raw(1, Bytes{1500}, 2, false));
+  f.a->inject(f.a->make_raw(1, Bytes{64}, 0, true));
+  f.net.sim().run(TimePoint(us(100)));
   ASSERT_EQ(f.b->received.size(), 1u);
   EXPECT_TRUE(f.b->received[0]->control);
   f.a->nic()->set_paused(false);
-  f.net.sim().run(us(200));
+  f.net.sim().run(TimePoint(us(200)));
   EXPECT_EQ(f.b->received.size(), 2u);
 }
 
 TEST(PfcTest, IngressOverflowPausesUpstreamAndResumes) {
   PortConfig link = fast_link();
   link.pfc_enable = true;
-  link.pfc_pause_threshold = 5 * 1540;
-  link.pfc_resume_threshold = 2 * 1540;
+  link.pfc_pause_threshold = Bytes{5 * 1540};
+  link.pfc_resume_threshold = Bytes{2 * 1540};
   // Make the switch egress toward b slow so the switch buffers build up.
   NetConfig ncfg;
   Network net(ncfg);
@@ -224,8 +226,8 @@ TEST(PfcTest, IngressOverflowPausesUpstreamAndResumes) {
   slow.rate = 1 * kGbps;
   Network::connect(*b, *sw, link, slow);  // switch->b at 1G
   sw->set_next_hops({{0}, {1}});
-  for (int i = 0; i < 60; ++i) a->inject(a->make_raw(1, 1540, 2, false));
-  net.sim().run(us(5));
+  for (int i = 0; i < 60; ++i) a->inject(a->make_raw(1, Bytes{1540}, 2, false));
+  net.sim().run(TimePoint(us(5)));
   EXPECT_GT(sw->pfc_pauses_sent, 0u);
   EXPECT_TRUE(a->nic()->paused());
   net.sim().run();  // drain: everything eventually delivered, no drops
@@ -237,19 +239,19 @@ TEST(PfcTest, IngressOverflowPausesUpstreamAndResumes) {
 TEST(FlowRxStateTest, DedupesAndCompletes) {
   Flow flow;
   flow.id = 1;
-  flow.size = 3000;
-  FlowRxState st(&flow, 1460);
+  flow.size = Bytes{3000};
+  FlowRxState st(&flow, Bytes{1460});
   EXPECT_EQ(st.total_packets(), 3u);
-  EXPECT_EQ(st.on_data(0), 1460);
-  EXPECT_EQ(st.on_data(0), 0);  // duplicate
-  EXPECT_EQ(st.on_data(2), 80);  // tail packet is short
+  EXPECT_EQ(st.on_data(0), Bytes{1460});
+  EXPECT_EQ(st.on_data(0), Bytes{});  // duplicate
+  EXPECT_EQ(st.on_data(2), Bytes{80});  // tail packet is short
   EXPECT_FALSE(st.complete());
   EXPECT_EQ(st.first_missing(), 1u);
-  EXPECT_EQ(st.on_data(1), 1460);
+  EXPECT_EQ(st.on_data(1), Bytes{1460});
   EXPECT_TRUE(st.complete());
-  EXPECT_EQ(st.received_bytes(), 3000);
+  EXPECT_EQ(st.received_bytes(), Bytes{3000});
   EXPECT_EQ(st.first_missing(), 3u);
-  EXPECT_EQ(st.on_data(99), 0);  // out of range ignored
+  EXPECT_EQ(st.on_data(99), Bytes{});  // out of range ignored
 }
 
 TEST(TopologyTest, LeafSpineShapeAndMetrics) {
@@ -276,7 +278,7 @@ TEST(TopologyTest, IntraRackFasterThanInterRack) {
   auto topo = Topology::leaf_spine(net, p, factory_of<SinkHost>());
   // Hosts 0 and 1 share a rack; 0 and 143 do not.
   EXPECT_LT(topo.one_way_data(0, 1), topo.one_way_data(0, 143));
-  EXPECT_LT(topo.oracle_fct(0, 1, 100'000), topo.oracle_fct(0, 143, 100'000));
+  EXPECT_LT(topo.oracle_fct(0, 1, Bytes{100'000}), topo.oracle_fct(0, 143, Bytes{100'000}));
 }
 
 TEST(TopologyTest, OracleFctMonotoneInSize) {
@@ -284,8 +286,9 @@ TEST(TopologyTest, OracleFctMonotoneInSize) {
   Network net(ncfg);
   LeafSpineParams p;
   auto topo = Topology::leaf_spine(net, p, factory_of<SinkHost>());
-  Time prev = 0;
-  for (Bytes size : {100, 1500, 15'000, 150'000, 1'500'000}) {
+  Time prev{};
+  for (Bytes size : {Bytes{100}, Bytes{1500}, Bytes{15'000}, Bytes{150'000},
+                     Bytes{1'500'000}}) {
     const Time fct = topo.oracle_fct(0, 143, size);
     EXPECT_GT(fct, prev);
     prev = fct;
@@ -303,13 +306,12 @@ TEST(TopologyTest, SingleFlowAchievesNearOracleFct) {
   p.hosts_per_rack = 2;
   p.spines = 2;
   auto topo = Topology::leaf_spine(net, p, factory_of<BlastHost>());
-  Flow* flow = net.create_flow(0, 3, 300'000, 0);
+  Flow* flow = net.create_flow(0, 3, Bytes{300'000}, TimePoint{});
   net.sim().run();
   ASSERT_TRUE(flow->finished());
-  const Time oracle = topo.oracle_fct(0, 3, 300'000);
+  const Time oracle = topo.oracle_fct(0, 3, Bytes{300'000});
   EXPECT_GE(flow->fct(), oracle);  // oracle is a lower bound
-  EXPECT_LT(static_cast<double>(flow->fct()),
-            1.05 * static_cast<double>(oracle));
+  EXPECT_LT(fratio(flow->fct(), oracle), 1.05);
 }
 
 TEST(TopologyTest, PacketSprayingUsesAllSpines) {
@@ -322,7 +324,7 @@ TEST(TopologyTest, PacketSprayingUsesAllSpines) {
   p.spines = 4;
   auto topo = Topology::leaf_spine(net, p, factory_of<BlastHost>());
   (void)topo;
-  net.create_flow(0, 1, 600'000, 0);
+  net.create_flow(0, 1, Bytes{600'000}, TimePoint{});
   net.sim().run();
   // Every switch-to-switch port on the forward path must have carried
   // traffic: 4 leaf->spine uplinks plus the 4 spine->leaf downlinks.
@@ -331,7 +333,7 @@ TEST(TopologyTest, PacketSprayingUsesAllSpines) {
     if (dev->kind() != Device::Kind::Switch) continue;
     for (const auto& port : dev->ports) {
       if (port->peer()->kind() == Device::Kind::Switch &&
-          port->tx_packets > 0) {
+          port->tx_packets > PacketCount{}) {
         ++used_uplinks;
       }
     }
@@ -349,18 +351,21 @@ TEST(TopologyTest, PerFlowEcmpIsStable) {
   p.spines = 4;
   auto topo = Topology::leaf_spine(net, p, factory_of<BlastHost>());
   (void)topo;
-  net.create_flow(0, 1, 600'000, 0);
+  net.create_flow(0, 1, Bytes{600'000}, TimePoint{});
   net.sim().run();
   // Exactly one uplink per leaf carries the flow.
   for (const auto& dev : net.devices()) {
     if (dev->kind() != Device::Kind::Switch) continue;
     int used = 0;
     for (const auto& port : dev->ports) {
-      if (port->peer()->kind() == Device::Kind::Switch && port->tx_packets > 0) {
+      if (port->peer()->kind() == Device::Kind::Switch &&
+          port->tx_packets > PacketCount{}) {
         ++used;
       }
     }
-    if (used > 0) EXPECT_EQ(used, 1);
+    if (used > 0) {
+      EXPECT_EQ(used, 1);
+    }
   }
 }
 
@@ -373,9 +378,9 @@ TEST(TopologyTest, FatTreeShapeAndReachability) {
   EXPECT_EQ(topo.num_hosts(), 16);
   EXPECT_EQ(net.devices().size(), 16u + 4 + 8 + 8);
   // Same pod, same edge / same pod, different edge / cross pod.
-  Flow* f1 = net.create_flow(0, 1, 10'000, 0);
-  Flow* f2 = net.create_flow(0, 3, 10'000, 0);
-  Flow* f3 = net.create_flow(0, 15, 10'000, 0);
+  Flow* f1 = net.create_flow(0, 1, Bytes{10'000}, TimePoint{});
+  Flow* f2 = net.create_flow(0, 3, Bytes{10'000}, TimePoint{});
+  Flow* f3 = net.create_flow(0, 15, Bytes{10'000}, TimePoint{});
   net.sim().run();
   EXPECT_TRUE(f1->finished());
   EXPECT_TRUE(f2->finished());
@@ -405,19 +410,19 @@ TEST(NetworkTest, FlowLifecycleAndObservers) {
   auto topo = Topology::leaf_spine(net, p, factory_of<BlastHost>());
   (void)topo;
   int completions = 0;
-  Bytes payload_seen = 0;
+  Bytes payload_seen{};
   net.add_flow_observer([&](const Flow& f) {
     ++completions;
     EXPECT_TRUE(f.finished());
   });
-  net.add_payload_observer([&](Bytes fresh, Time) { payload_seen += fresh; });
-  net.create_flow(0, 2, 50'000, us(1));
-  net.create_flow(1, 3, 70'000, us(2));
+  net.add_payload_observer([&](Bytes fresh, TimePoint) { payload_seen += fresh; });
+  net.create_flow(0, 2, Bytes{50'000}, TimePoint(us(1)));
+  net.create_flow(1, 3, Bytes{70'000}, TimePoint(us(2)));
   net.sim().run();
   EXPECT_EQ(completions, 2);
-  EXPECT_EQ(payload_seen, 120'000);
+  EXPECT_EQ(payload_seen, Bytes{120'000});
   EXPECT_EQ(net.completed_flows, 2u);
-  EXPECT_EQ(net.total_payload_delivered, 120'000);
+  EXPECT_EQ(net.total_payload_delivered, Bytes{120'000});
 }
 
 }  // namespace

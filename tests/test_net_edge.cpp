@@ -18,14 +18,14 @@ class SinkHost : public Host {
   using Host::Host;
   void on_flow_arrival(Flow&) override {}
   std::vector<PacketPtr> received;
-  std::vector<Time> arrival_times;
+  std::vector<TimePoint> arrival_times;
 
   PacketPtr make_raw(int dst, Bytes size, std::uint8_t prio, bool control) {
     auto p = std::make_unique<Packet>();
     p->src = host_id();
     p->dst = dst;
     p->size = size;
-    p->payload = control ? 0 : std::max<Bytes>(0, size - 40);
+    p->payload = control ? Bytes{} : std::max(Bytes{}, size - Bytes{40});
     p->priority = prio;
     p->control = control;
     p->created_at = network().sim().now();
@@ -44,9 +44,10 @@ class BlastHost : public Host {
  public:
   using Host::Host;
   void on_flow_arrival(Flow& flow) override {
-    const auto n = flow.packet_count(network().config().mtu_payload);
+    const auto n = static_cast<std::uint32_t>(
+        flow.packet_count(network().config().mtu_payload).raw());
     for (std::uint32_t seq = 0; seq < n; ++seq) {
-      send(make_data_packet(flow, seq, 2, false));
+      send(make_data_packet(flow, {.seq = seq, .priority = 2}));
     }
   }
 
@@ -71,14 +72,14 @@ TEST(SprayingTest, UplinkLoadIsBalanced) {
   p.spines = 4;
   auto topo = Topology::leaf_spine(net, p, factory_of<BlastHost>());
   (void)topo;
-  net.create_flow(0, 1, 3'000'000, 0);  // ~2000 packets
+  net.create_flow(0, 1, Bytes{3'000'000}, TimePoint{});  // ~2000 packets
   net.sim().run();
   std::vector<std::uint64_t> counts;
   for (const auto& dev : net.devices()) {
     if (dev->name() != "leaf0") continue;
     for (const auto& port : dev->ports) {
       if (port->peer()->kind() == Device::Kind::Switch) {
-        counts.push_back(port->tx_packets);
+        counts.push_back(static_cast<std::uint64_t>(port->tx_packets.raw()));
       }
     }
   }
@@ -103,18 +104,18 @@ TEST(ControlPlaneTest, ControlLatencyUnaffectedByDataCongestion) {
   auto topo = Topology::leaf_spine(net, p, factory_of<SinkHost>());
   auto* a = static_cast<SinkHost*>(net.host(0));
   auto* b = static_cast<SinkHost*>(net.host(3));
-  for (int i = 0; i < 200; ++i) a->inject(a->make_raw(3, 1540, 3, false));
-  a->inject(a->make_raw(3, 64, 0, true));
+  for (int i = 0; i < 200; ++i) a->inject(a->make_raw(3, Bytes{1540}, 3, false));
+  a->inject(a->make_raw(3, Bytes{64}, 0, true));
   net.sim().run();
-  Time control_arrival = -1;
+  TimePoint control_arrival = kTimeUnset;
   for (std::size_t i = 0; i < b->received.size(); ++i) {
     if (b->received[i]->control) control_arrival = b->arrival_times[i];
   }
-  ASSERT_GE(control_arrival, 0);
+  ASSERT_NE(control_arrival, kTimeUnset);
   // One full data packet may already be serializing on each of the four
   // links along the path (strict priority is non-preemptive).
-  const Time budget = topo.one_way_control(0, 3) + 4 * us(0.12) + us(0.05);
-  EXPECT_LE(control_arrival, budget);
+  const Time budget = topo.one_way_control(0, 3) + us(0.12) * 4 + us(0.05);
+  EXPECT_LE(control_arrival, TimePoint(budget));
 }
 
 TEST(PfcTest, HysteresisAvoidsPauseFlapping) {
@@ -122,8 +123,8 @@ TEST(PfcTest, HysteresisAvoidsPauseFlapping) {
   link.rate = 100 * kGbps;
   link.propagation = ns(200);
   link.pfc_enable = true;
-  link.pfc_pause_threshold = 10 * 1540;
-  link.pfc_resume_threshold = 3 * 1540;
+  link.pfc_pause_threshold = Bytes{10 * 1540};
+  link.pfc_resume_threshold = Bytes{3 * 1540};
   NetConfig ncfg;
   Network net(ncfg);
   auto* a = net.add_device<SinkHost>(0, link);
@@ -134,7 +135,7 @@ TEST(PfcTest, HysteresisAvoidsPauseFlapping) {
   slow.rate = 10 * kGbps;
   Network::connect(*b, *sw, link, slow);
   sw->set_next_hops({{0}, {1}});
-  for (int i = 0; i < 100; ++i) a->inject(a->make_raw(1, 1540, 2, false));
+  for (int i = 0; i < 100; ++i) a->inject(a->make_raw(1, Bytes{1540}, 2, false));
   net.sim().run();
   EXPECT_EQ(b->received.size(), 100u);
   // With a wide hysteresis band, pauses happen but far fewer than packets.
@@ -147,7 +148,7 @@ TEST(TrimTest, ControlPacketsAreNeverTrimmed) {
   link.rate = 100 * kGbps;
   link.propagation = ns(200);
   link.trim_enable = true;
-  link.trim_queue_cap = 1540;  // trims almost everything
+  link.trim_queue_cap = Bytes{1540};  // trims almost everything
   NetConfig ncfg;
   Network net(ncfg);
   auto* a = net.add_device<SinkHost>(0, link);
@@ -156,11 +157,13 @@ TEST(TrimTest, ControlPacketsAreNeverTrimmed) {
   Network::connect(*a, *sw, link);
   Network::connect(*b, *sw, link);
   sw->set_next_hops({{0}, {1}});
-  for (int i = 0; i < 10; ++i) a->inject(a->make_raw(1, 1540, 2, false));
-  for (int i = 0; i < 10; ++i) a->inject(a->make_raw(1, 64, 0, true));
+  for (int i = 0; i < 10; ++i) a->inject(a->make_raw(1, Bytes{1540}, 2, false));
+  for (int i = 0; i < 10; ++i) a->inject(a->make_raw(1, Bytes{64}, 0, true));
   net.sim().run();
   for (const auto& pkt : b->received) {
-    if (pkt->control) EXPECT_FALSE(pkt->trimmed);
+    if (pkt->control) {
+      EXPECT_FALSE(pkt->trimmed);
+    }
   }
 }
 
@@ -168,7 +171,7 @@ TEST(EcnTest, BelowThresholdNoMarks) {
   PortConfig link;
   link.rate = 100 * kGbps;
   link.propagation = ns(200);
-  link.ecn_threshold = 1'000'000;  // effectively never
+  link.ecn_threshold = Bytes{1'000'000};  // effectively never
   NetConfig ncfg;
   Network net(ncfg);
   auto* a = net.add_device<SinkHost>(0, link);
@@ -177,7 +180,7 @@ TEST(EcnTest, BelowThresholdNoMarks) {
   Network::connect(*a, *sw, link);
   Network::connect(*b, *sw, link);
   sw->set_next_hops({{0}, {1}});
-  for (int i = 0; i < 50; ++i) a->inject(a->make_raw(1, 1540, 2, false));
+  for (int i = 0; i < 50; ++i) a->inject(a->make_raw(1, Bytes{1540}, 2, false));
   net.sim().run();
   for (const auto& pkt : b->received) EXPECT_FALSE(pkt->ecn_ce);
 }
@@ -193,7 +196,7 @@ TEST(IntTest, CollectIntStampsEveryHop) {
   (void)topo;
   auto* a = static_cast<SinkHost*>(net.host(0));
   auto* b = static_cast<SinkHost*>(net.host(1));
-  auto pkt = a->make_raw(1, 1540, 2, false);
+  auto pkt = a->make_raw(1, Bytes{1540}, 2, false);
   pkt->collect_int = true;
   a->inject(std::move(pkt));
   net.sim().run();
@@ -201,8 +204,8 @@ TEST(IntTest, CollectIntStampsEveryHop) {
   // host NIC + leaf0 + spine + leaf1 = 4 egress stamps.
   EXPECT_EQ(b->received[0]->int_hops.size(), 4u);
   for (const auto& hop : b->received[0]->int_hops) {
-    EXPECT_GT(hop.rate, 0);
-    EXPECT_GE(hop.timestamp, 0);
+    EXPECT_GT(hop.rate, BitsPerSec{});
+    EXPECT_GE(hop.timestamp, TimePoint{});
   }
 }
 
@@ -213,36 +216,36 @@ TEST(PfcTest, DroppedPacketsReleaseIngressAccounting) {
   PortConfig link;
   link.rate = 100 * kGbps;
   link.propagation = ns(200);
-  link.buffer_bytes = 5 * 1540;  // tiny egress: drops guaranteed
+  link.buffer_bytes = Bytes{5 * 1540};  // tiny egress: drops guaranteed
   link.pfc_enable = true;
-  link.pfc_pause_threshold = 8 * 1540;
-  link.pfc_resume_threshold = 3 * 1540;
+  link.pfc_pause_threshold = Bytes{8 * 1540};
+  link.pfc_resume_threshold = Bytes{3 * 1540};
   NetConfig ncfg;
   Network net(ncfg);
   auto* a = net.add_device<SinkHost>(0, link);
   auto* b = net.add_device<SinkHost>(1, link);
   auto* sw = net.add_device<Switch>("sw");
   PortConfig host_side = link;
-  host_side.buffer_bytes = 500 * kKB;  // host NICs never drop here
+  host_side.buffer_bytes = kKB * 500;  // host NICs never drop here
   Network::connect(*a, *sw, host_side, link);
   PortConfig slow = link;
   slow.rate = 5 * kGbps;  // switch->b is the bottleneck
   Network::connect(*b, *sw, host_side, slow);
   sw->set_next_hops({{0}, {1}});
   // Burst far beyond the egress buffer: drops + pauses happen.
-  for (int i = 0; i < 200; ++i) a->inject(a->make_raw(1, 1540, 2, false));
-  net.sim().run(ms(5));
+  for (int i = 0; i < 200; ++i) a->inject(a->make_raw(1, Bytes{1540}, 2, false));
+  net.sim().run(TimePoint(ms(5)));
   EXPECT_GT(net.total_drops(), 0u);
   // After the dust settles the upstream must be unpaused and the switch's
   // ingress accounting drained.
   EXPECT_FALSE(a->nic()->paused());
   for (const auto& port : sw->ports) {
-    EXPECT_EQ(sw->ingress_buffered(port->index()), 0);
+    EXPECT_EQ(sw->ingress_buffered(port->index()), Bytes{});
   }
   // And traffic flows again.
   const std::size_t before = b->received.size();
-  a->inject(a->make_raw(1, 1540, 2, false));
-  net.sim().run(ms(6));
+  a->inject(a->make_raw(1, Bytes{1540}, 2, false));
+  net.sim().run(TimePoint(ms(6)));
   EXPECT_GT(b->received.size(), before);
 }
 
@@ -260,13 +263,12 @@ TEST_P(FatTreeParamTest, ShapeRoutingAndOracle) {
   EXPECT_EQ(topo.num_hosts(), k * k * k / 4);
   // Cross-pod flow completes at ~oracle.
   const int last = topo.num_hosts() - 1;
-  Flow* flow = net.create_flow(0, last, 146'000, 0);
+  Flow* flow = net.create_flow(0, last, Bytes{146'000}, TimePoint{});
   net.sim().run();
   ASSERT_TRUE(flow->finished());
-  const Time oracle = topo.oracle_fct(0, last, 146'000);
+  const Time oracle = topo.oracle_fct(0, last, Bytes{146'000});
   EXPECT_GE(flow->fct(), oracle);
-  EXPECT_LT(static_cast<double>(flow->fct()),
-            1.05 * static_cast<double>(oracle));
+  EXPECT_LT(fratio(flow->fct(), oracle), 1.05);
 }
 
 INSTANTIATE_TEST_SUITE_P(Ks, FatTreeParamTest, ::testing::Values(4, 6, 8));
@@ -286,15 +288,13 @@ TEST(OracleTest, LoneFlowMatchesOracleForEveryPairClass) {
     int src, dst;
   };
   for (const Case c : {Case{0, 1}, Case{0, 5}}) {
-    Flow* flow = net.create_flow(c.src, c.dst, 100'000,
+    Flow* flow = net.create_flow(c.src, c.dst, Bytes{100'000},
                                  net.sim().now() + us(1));
     net.sim().run();
     ASSERT_TRUE(flow->finished());
-    const Time oracle = topo.oracle_fct(c.src, c.dst, 100'000);
+    const Time oracle = topo.oracle_fct(c.src, c.dst, Bytes{100'000});
     EXPECT_GE(flow->fct(), oracle);
-    EXPECT_LT(static_cast<double>(flow->fct()),
-              1.05 * static_cast<double>(oracle))
-        << c.src << "->" << c.dst;
+    EXPECT_LT(fratio(flow->fct(), oracle), 1.05) << c.src << "->" << c.dst;
   }
 }
 

@@ -37,30 +37,29 @@ struct PhostFixture {
 
 TEST(PhostTest, ShortFlowRidesFreeTokens) {
   PhostFixture f;
-  net::Flow* flow = f.net->create_flow(0, 7, 20'000, 0);
-  f.net->sim().run(ms(1));
+  net::Flow* flow = f.net->create_flow(0, 7, Bytes{20'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(1)));
   ASSERT_TRUE(flow->finished());
   EXPECT_GT(f.host(0)->counters().free_tokens_spent, 0u);
   EXPECT_EQ(f.host(7)->counters().tokens_sent, 0u);  // no grants needed
-  const Time oracle = f.topo->oracle_fct(0, 7, 20'000);
-  EXPECT_LT(static_cast<double>(flow->fct()),
-            1.1 * static_cast<double>(oracle));
+  const Time oracle = f.topo->oracle_fct(0, 7, Bytes{20'000});
+  EXPECT_LT(fratio(flow->fct(), oracle), 1.1);
 }
 
 TEST(PhostTest, LongFlowNeedsReceiverTokens) {
   PhostFixture f;
-  const Bytes size = 5 * f.cfg.bdp_bytes;
-  net::Flow* flow = f.net->create_flow(0, 7, size, 0);
-  f.net->sim().run(ms(5));
+  const Bytes size = f.cfg.bdp_bytes * 5;
+  net::Flow* flow = f.net->create_flow(0, 7, size, TimePoint{});
+  f.net->sim().run(TimePoint(ms(5)));
   ASSERT_TRUE(flow->finished());
   EXPECT_GT(f.host(7)->counters().tokens_sent, 0u);
 }
 
 TEST(PhostTest, SrptPrefersSmallerFlow) {
   PhostFixture f;
-  net::Flow* big = f.net->create_flow(0, 7, 30 * f.cfg.bdp_bytes, 0);
-  net::Flow* small = f.net->create_flow(1, 7, 3 * f.cfg.bdp_bytes, us(1));
-  f.net->sim().run(ms(30));
+  net::Flow* big = f.net->create_flow(0, 7, f.cfg.bdp_bytes * 30, TimePoint{});
+  net::Flow* small = f.net->create_flow(1, 7, f.cfg.bdp_bytes * 3, TimePoint(us(1)));
+  f.net->sim().run(TimePoint(ms(30)));
   ASSERT_TRUE(big->finished());
   ASSERT_TRUE(small->finished());
   EXPECT_LT(small->finish_time, big->finish_time);
@@ -71,9 +70,9 @@ TEST(PhostTest, TokenExpiryUnblocksBusySender) {
   // rate but the sender can only send one packet per MTU-time: half the
   // tokens expire and the receivers re-grant — everything still completes.
   PhostFixture f;
-  f.net->create_flow(0, 6, 10 * f.cfg.bdp_bytes, 0);
-  f.net->create_flow(0, 7, 10 * f.cfg.bdp_bytes, 0);
-  f.net->sim().run(ms(60));
+  f.net->create_flow(0, 6, f.cfg.bdp_bytes * 10, TimePoint{});
+  f.net->create_flow(0, 7, f.cfg.bdp_bytes * 10, TimePoint{});
+  f.net->sim().run(TimePoint(ms(60)));
   EXPECT_EQ(f.net->completed_flows, 2u);
   const std::uint64_t expired = f.host(6)->counters().tokens_expired +
                                 f.host(7)->counters().tokens_expired;
@@ -89,8 +88,8 @@ TEST(PhostTest, IncastCompletesViaRetransmission) {
   PhostFixture f(p);
   std::vector<int> senders;
   for (int i = 1; i <= 20; ++i) senders.push_back(i);
-  workload::schedule_incast(*f.net, 0, senders, 100'000, 0);
-  f.net->sim().run(ms(60));
+  workload::schedule_incast(*f.net, 0, senders, Bytes{100'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(60)));
   EXPECT_EQ(f.net->completed_flows, 20u);
   EXPECT_GT(f.net->total_drops(), 0u);  // free-token burst overflowed
 }
@@ -100,9 +99,9 @@ TEST(PhostTest, SurvivesRandomLoss) {
   p.port_customize = [](net::PortConfig& pc) { pc.loss_rate = 0.02; };
   PhostFixture f(p);
   for (int i = 0; i < 6; ++i) {
-    f.net->create_flow(i % 4, 4 + (i % 4), 200'000, us(i));
+    f.net->create_flow(i % 4, 4 + (i % 4), Bytes{200'000}, TimePoint(us(i)));
   }
-  f.net->sim().run(ms(80));
+  f.net->sim().run(TimePoint(ms(80)));
   EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
 }
 
@@ -126,10 +125,10 @@ TEST(DcpimSizeUnawareTest, TrafficStillCompletes) {
   workload::PoissonPatternConfig pc;
   pc.cdf = &workload::web_search();
   pc.load = 0.4;
-  pc.stop = us(300);
+  pc.stop = TimePoint(us(300));
   workload::PoissonGenerator gen(*f.net, f.topo->host_rate(), pc);
   gen.start();
-  f.net->sim().run(ms(20));
+  f.net->sim().run(TimePoint(ms(20)));
   EXPECT_GT(f.net->num_flows(), 0u);
   EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
 }
@@ -138,9 +137,9 @@ TEST(DcpimSizeUnawareTest, NoSrptMeansFifoServiceWithinSender) {
   // Two long flows from the same sender: without size info the earlier one
   // is served first regardless of size.
   BlindDcpimFixture f;
-  net::Flow* first = f.net->create_flow(0, 7, 20 * f.cfg.bdp_bytes, 0);
-  net::Flow* second = f.net->create_flow(0, 7, 2 * f.cfg.bdp_bytes, us(5));
-  f.net->sim().run(ms(40));
+  net::Flow* first = f.net->create_flow(0, 7, f.cfg.bdp_bytes * 20, TimePoint{});
+  net::Flow* second = f.net->create_flow(0, 7, f.cfg.bdp_bytes * 2, TimePoint(us(5)));
+  f.net->sim().run(TimePoint(ms(40)));
   ASSERT_TRUE(first->finished());
   ASSERT_TRUE(second->finished());
   EXPECT_LT(first->finish_time, second->finish_time);

@@ -23,15 +23,15 @@ TEST_P(RxStateOrderTest, PermutedDeliveryWithDuplicates) {
   Rng rng(GetParam());
   net::Flow flow;
   flow.id = 1;
-  flow.size = 1460 * 37 + 123;  // 38 packets, short tail
-  net::FlowRxState st(&flow, 1460);
+  flow.size = Bytes{1460 * 37 + 123};  // 38 packets, short tail
+  net::FlowRxState st(&flow, Bytes{1460});
   std::vector<std::uint32_t> seqs(st.total_packets());
   std::iota(seqs.begin(), seqs.end(), 0);
   // Shuffle and inject ~30% duplicates.
   for (std::size_t i = seqs.size(); i > 1; --i) {
     std::swap(seqs[i - 1], seqs[rng.uniform_int(i)]);
   }
-  Bytes total = 0;
+  Bytes total{};
   int completions = 0;
   for (std::uint32_t seq : seqs) {
     const bool was_complete = st.complete();
@@ -153,8 +153,8 @@ TEST(ConservationTest, DeliveredBytesMatchCompletedFlows) {
   cfg.spines = 2;
   cfg.workload = "imc10";
   cfg.load = 0.5;
-  cfg.gen_stop = us(200);
-  cfg.horizon = ms(5);
+  cfg.gen_stop = TimePoint(us(200));
+  cfg.horizon = TimePoint(ms(5));
   const auto res = harness::run_experiment(cfg);
   EXPECT_EQ(res.flows_done, res.flows_total);
   // All flows completed => total delivered payload spread over the series
@@ -177,8 +177,8 @@ TEST_P(SlowdownFloorTest, NoFlowBeatsTheOracle) {
   cfg.spines = 2;
   cfg.workload = "websearch";
   cfg.load = 0.4;
-  cfg.gen_stop = us(150);
-  cfg.horizon = ms(5);
+  cfg.gen_stop = TimePoint(us(150));
+  cfg.horizon = TimePoint(ms(5));
   const auto res = harness::run_experiment(cfg);
   ASSERT_GT(res.overall.count, 0u);
   // The oracle is a physical lower bound; mean >= 1 and p50 >= 1 must hold

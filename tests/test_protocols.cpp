@@ -50,21 +50,20 @@ struct HomaFixture {
 
 TEST(HomaTest, ShortFlowIsPureUnscheduled) {
   HomaFixture f(false);
-  net::Flow* flow = f.net->create_flow(0, 7, 20'000, 0);
-  f.net->sim().run(ms(1));
+  net::Flow* flow = f.net->create_flow(0, 7, Bytes{20'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(1)));
   ASSERT_TRUE(flow->finished());
   EXPECT_GT(f.host(0)->counters().unsched_sent, 0u);
   EXPECT_EQ(f.host(0)->counters().sched_sent, 0u);
-  const Time oracle = f.topo->oracle_fct(0, 7, 20'000);
-  EXPECT_LT(static_cast<double>(flow->fct()),
-            1.1 * static_cast<double>(oracle));
+  const Time oracle = f.topo->oracle_fct(0, 7, Bytes{20'000});
+  EXPECT_LT(fratio(flow->fct(), oracle), 1.1);
 }
 
 TEST(HomaTest, LongFlowUsesGrants) {
   HomaFixture f(false);
-  const Bytes size = 5 * f.cfg.bdp_bytes;
-  net::Flow* flow = f.net->create_flow(0, 7, size, 0);
-  f.net->sim().run(ms(3));
+  const Bytes size = f.cfg.bdp_bytes * 5;
+  net::Flow* flow = f.net->create_flow(0, 7, size, TimePoint{});
+  f.net->sim().run(TimePoint(ms(3)));
   ASSERT_TRUE(flow->finished());
   EXPECT_GT(f.host(7)->counters().grants_sent, 0u);
   EXPECT_GT(f.host(0)->counters().sched_sent, 0u);
@@ -75,7 +74,7 @@ TEST(HomaTest, SmallerFlowsGetHigherUnscheduledPriority) {
   // Probe the priority ladder through observable packets is heavy; the
   // config rule itself is the contract.
   HomaConfig cfg;
-  cfg.bdp_bytes = 80'000;
+  cfg.bdp_bytes = Bytes{80'000};
   // geometric defaults: <=10KB -> 1, <=40KB -> 2, <=160KB -> 3, else 4.
   net::Network net{net::NetConfig{}};
   (void)net;
@@ -87,9 +86,9 @@ TEST(HomaTest, OvercommitGrantsMultipleFlows) {
   HomaFixture f(false);
   // Three long flows into receiver 7; overcommit=2 grants two at a time.
   for (int s = 0; s < 3; ++s) {
-    f.net->create_flow(s, 7, 6 * f.cfg.bdp_bytes, 0);
+    f.net->create_flow(s, 7, f.cfg.bdp_bytes * 6, TimePoint{});
   }
-  f.net->sim().run(ms(10));
+  f.net->sim().run(TimePoint(ms(10)));
   EXPECT_EQ(f.net->completed_flows, 3u);
 }
 
@@ -98,9 +97,10 @@ TEST(HomaTest, PlainHomaRecoversViaResendTimer) {
   p.port_customize = [](net::PortConfig& pc) { pc.loss_rate = 0.03; };
   HomaFixture f(false, p);
   for (int i = 0; i < 6; ++i) {
-    f.net->create_flow(i % 4, 4 + (i % 4), 2 * f.cfg.bdp_bytes, us(i));
+    f.net->create_flow(i % 4, 4 + (i % 4), f.cfg.bdp_bytes * 2,
+                       TimePoint(us(i)));
   }
-  f.net->sim().run(ms(60));
+  f.net->sim().run(TimePoint(ms(60)));
   EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
   std::uint64_t resends = 0;
   for (int h = 0; h < f.net->num_hosts(); ++h) {
@@ -121,8 +121,8 @@ TEST(AeolusTest, SelectiveDroppingSparesScheduledPackets) {
   HomaFixture f(true, p);
   std::vector<int> senders;
   for (int i = 1; i <= 30; ++i) senders.push_back(i);
-  workload::schedule_incast(*f.net, 0, senders, 60'000, 0);
-  f.net->sim().run(ms(30));
+  workload::schedule_incast(*f.net, 0, senders, Bytes{60'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(30)));
   EXPECT_EQ(f.net->completed_flows, 30u);
   EXPECT_GT(f.net->total_drops(), 0u);
   std::uint64_t probes = 0;
@@ -142,17 +142,17 @@ TEST(AeolusTest, RecoversFasterThanPlainHomaUnderIncast) {
     HomaFixture f(aeolus, p);
     std::vector<int> senders;
     for (int i = 1; i <= 30; ++i) senders.push_back(i);
-    workload::schedule_incast(*f.net, 0, senders, 60'000, 0);
-    f.net->sim().run(ms(60));
-    Time last_finish = 0;
+    workload::schedule_incast(*f.net, 0, senders, Bytes{60'000}, TimePoint{});
+    f.net->sim().run(TimePoint(ms(60)));
+    TimePoint last_finish{};
     for (const auto& flow : f.net->flows()) {
       EXPECT_TRUE(flow->finished());
       last_finish = std::max(last_finish, flow->finish_time);
     }
     return last_finish;
   };
-  const Time aeolus_done = run(true);
-  const Time homa_done = run(false);
+  const TimePoint aeolus_done = run(true);
+  const TimePoint homa_done = run(false);
   EXPECT_LT(aeolus_done, homa_done);
 }
 
@@ -180,8 +180,8 @@ struct NdpFixture {
 
 TEST(NdpTest, SingleFlowCompletes) {
   NdpFixture f;
-  net::Flow* flow = f.net->create_flow(0, 7, 500'000, 0);
-  f.net->sim().run(ms(5));
+  net::Flow* flow = f.net->create_flow(0, 7, Bytes{500'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(5)));
   ASSERT_TRUE(flow->finished());
   EXPECT_GT(f.host(7)->counters().pulls_sent, 0u);
 }
@@ -194,8 +194,8 @@ TEST(NdpTest, IncastTrimsInsteadOfDropping) {
   NdpFixture f(p);
   std::vector<int> senders;
   for (int i = 1; i <= 20; ++i) senders.push_back(i);
-  workload::schedule_incast(*f.net, 0, senders, 100'000, 0);
-  f.net->sim().run(ms(30));
+  workload::schedule_incast(*f.net, 0, senders, Bytes{100'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(30)));
   EXPECT_EQ(f.net->completed_flows, 20u);
   EXPECT_GT(f.net->total_trims(), 0u);
   std::uint64_t nacks = 0, retx = 0;
@@ -214,9 +214,9 @@ TEST(NdpTest, TrimmedHeadersTriggerTimelyRetransmit) {
   p.spines = 1;
   NdpFixture f(p);
   // Two senders overload one receiver: trims guaranteed.
-  net::Flow* f1 = f.net->create_flow(0, 4, 300'000, 0);
-  net::Flow* f2 = f.net->create_flow(1, 4, 300'000, 0);
-  f.net->sim().run(ms(5));
+  net::Flow* f1 = f.net->create_flow(0, 4, Bytes{300'000}, TimePoint{});
+  net::Flow* f2 = f.net->create_flow(1, 4, Bytes{300'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(5)));
   EXPECT_TRUE(f1->finished());
   EXPECT_TRUE(f2->finished());
   EXPECT_EQ(f.net->total_drops(), 0u);  // trimming, never dropping
@@ -227,9 +227,9 @@ TEST(NdpTest, SurvivesRandomControlLoss) {
   p.port_customize = [](net::PortConfig& pc) { pc.loss_rate = 0.02; };
   NdpFixture f(p);
   for (int i = 0; i < 6; ++i) {
-    f.net->create_flow(i % 4, 4 + (i % 4), 200'000, us(i));
+    f.net->create_flow(i % 4, 4 + (i % 4), Bytes{200'000}, TimePoint(us(i)));
   }
-  f.net->sim().run(ms(60));
+  f.net->sim().run(TimePoint(ms(60)));
   EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
 }
 
@@ -261,8 +261,8 @@ TEST(HpccTest, SingleFlowCompletesWithIntFeedback) {
   WinFixture<HpccConfig, decltype(&hpcc_host_factory)> f(
       &hpcc_host_factory, [](net::PortConfig& pc) { hpcc_port_customize(pc); });
   f.cfg.window.collect_int = true;
-  net::Flow* flow = f.net->create_flow(0, 7, 500'000, 0);
-  f.net->sim().run(ms(10));
+  net::Flow* flow = f.net->create_flow(0, 7, Bytes{500'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(10)));
   ASSERT_TRUE(flow->finished());
   auto* h = static_cast<HpccHost*>(f.net->host(0));
   EXPECT_GT(h->counters().data_sent, 0u);
@@ -274,8 +274,8 @@ TEST(HpccTest, CongestionShrinksWindowNoDrops) {
   f.cfg.window.collect_int = true;
   // 6:1 incast: PFC + INT should avoid drops entirely.
   std::vector<int> senders{1, 2, 3, 4, 5, 6};
-  workload::schedule_incast(*f.net, 0, senders, 400'000, 0);
-  f.net->sim().run(ms(20));
+  workload::schedule_incast(*f.net, 0, senders, Bytes{400'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(20)));
   EXPECT_EQ(f.net->completed_flows, 6u);
   EXPECT_EQ(f.net->total_drops(), 0u);
 }
@@ -284,13 +284,13 @@ TEST(HpccTest, PfcPausesFireUnderIncast) {
   WinFixture<HpccConfig, decltype(&hpcc_host_factory)> f(
       &hpcc_host_factory, [](net::PortConfig& pc) {
         hpcc_port_customize(pc);
-        pc.pfc_pause_threshold = 30 * kKB;  // aggressive to force pauses
-        pc.pfc_resume_threshold = 15 * kKB;
+        pc.pfc_pause_threshold = kKB * 30;  // aggressive to force pauses
+        pc.pfc_resume_threshold = kKB * 15;
       });
   f.cfg.window.collect_int = true;
   std::vector<int> senders{1, 2, 3, 4, 5, 6, 7};
-  workload::schedule_incast(*f.net, 0, senders, 400'000, 0);
-  f.net->sim().run(ms(20));
+  workload::schedule_incast(*f.net, 0, senders, Bytes{400'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(20)));
   std::uint64_t pauses = 0;
   for (const auto& dev : f.net->devices()) {
     if (dev->kind() == net::Device::Kind::Switch) {
@@ -304,10 +304,10 @@ TEST(HpccTest, PfcPausesFireUnderIncast) {
 TEST(DctcpTest, EcnKeepsQueuesShortWithoutCollapse) {
   WinFixture<DctcpConfig, decltype(&dctcp_host_factory)> f(
       &dctcp_host_factory,
-      [](net::PortConfig& pc) { dctcp_port_customize(pc, 40 * kKB); });
+      [](net::PortConfig& pc) { dctcp_port_customize(pc, kKB * 40); });
   std::vector<int> senders{1, 2, 3, 4};
-  workload::schedule_incast(*f.net, 0, senders, 400'000, 0);
-  f.net->sim().run(ms(20));
+  workload::schedule_incast(*f.net, 0, senders, Bytes{400'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(20)));
   EXPECT_EQ(f.net->completed_flows, 4u);
   auto* h = static_cast<DctcpHost*>(f.net->host(1));
   EXPECT_GT(h->counters().ecn_echoes, 0u);
@@ -317,8 +317,8 @@ TEST(TcpTest, CompetingFlowsCompleteAndLossesRecover) {
   WinFixture<TcpConfig, decltype(&tcp_host_factory)> f(
       &tcp_host_factory, net::PortCustomize{});
   std::vector<int> senders{1, 2, 3, 4, 5, 6};
-  workload::schedule_incast(*f.net, 0, senders, 300'000, 0);
-  f.net->sim().run(ms(60));
+  workload::schedule_incast(*f.net, 0, senders, Bytes{300'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(60)));
   EXPECT_EQ(f.net->completed_flows, 6u);
 }
 
@@ -327,9 +327,9 @@ TEST(TcpTest, SurvivesRandomLoss) {
       &tcp_host_factory,
       [](net::PortConfig& pc) { pc.loss_rate = 0.01; });
   for (int i = 0; i < 4; ++i) {
-    f.net->create_flow(i, 7 - i, 150'000, us(i));
+    f.net->create_flow(i, 7 - i, Bytes{150'000}, TimePoint(us(i)));
   }
-  f.net->sim().run(ms(100));
+  f.net->sim().run(TimePoint(ms(100)));
   EXPECT_EQ(f.net->completed_flows, f.net->num_flows());
 }
 
@@ -337,8 +337,8 @@ TEST(WindowTest, FastRetransmitTriggersOnGap) {
   WinFixture<TcpConfig, decltype(&tcp_host_factory)> f(
       &tcp_host_factory,
       [](net::PortConfig& pc) { pc.loss_rate = 0.05; });
-  f.net->create_flow(0, 7, 400'000, 0);
-  f.net->sim().run(ms(100));
+  f.net->create_flow(0, 7, Bytes{400'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(100)));
   EXPECT_EQ(f.net->completed_flows, 1u);
   auto* h = static_cast<TcpHost*>(f.net->host(0));
   EXPECT_GT(h->counters().retransmissions, 0u);

@@ -25,7 +25,7 @@ ReportRow sample_row() {
   row.result.short_flows.p99 = 1.2;
   row.result.goodput_ratio = 0.9;
   row.result.load_carried_ratio = 0.95;
-  row.result.bdp = 70'000;
+  row.result.bdp = Bytes{70'000};
   row.result.data_rtt = us(5.6);
   row.result.control_rtt = us(5.3);
   return row;

@@ -11,9 +11,9 @@ namespace {
 TEST(SimulatorTest, RunsEventsInTimeOrder) {
   Simulator sim;
   std::vector<int> order;
-  sim.schedule_at(us(3), [&]() { order.push_back(3); });
-  sim.schedule_at(us(1), [&]() { order.push_back(1); });
-  sim.schedule_at(us(2), [&]() { order.push_back(2); });
+  sim.schedule_at(TimePoint(us(3)), [&]() { order.push_back(3); });
+  sim.schedule_at(TimePoint(us(1)), [&]() { order.push_back(1); });
+  sim.schedule_at(TimePoint(us(2)), [&]() { order.push_back(2); });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -22,7 +22,7 @@ TEST(SimulatorTest, TiesBreakByScheduleOrder) {
   Simulator sim;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    sim.schedule_at(us(1), [&, i]() { order.push_back(i); });
+    sim.schedule_at(TimePoint(us(1)), [&, i]() { order.push_back(i); });
   }
   sim.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
@@ -30,27 +30,27 @@ TEST(SimulatorTest, TiesBreakByScheduleOrder) {
 
 TEST(SimulatorTest, NowAdvancesToEventTime) {
   Simulator sim;
-  Time seen = -1;
-  sim.schedule_at(us(7), [&]() { seen = sim.now(); });
+  TimePoint seen = kTimeUnset;
+  sim.schedule_at(TimePoint(us(7)), [&]() { seen = sim.now(); });
   sim.run();
-  EXPECT_EQ(seen, us(7));
-  EXPECT_EQ(sim.now(), us(7));
+  EXPECT_EQ(seen, TimePoint(us(7)));
+  EXPECT_EQ(sim.now(), TimePoint(us(7)));
 }
 
 TEST(SimulatorTest, ScheduleAfterIsRelative) {
   Simulator sim;
-  Time seen = -1;
-  sim.schedule_at(us(5), [&]() {
+  TimePoint seen = kTimeUnset;
+  sim.schedule_at(TimePoint(us(5)), [&]() {
     sim.schedule_after(us(2), [&]() { seen = sim.now(); });
   });
   sim.run();
-  EXPECT_EQ(seen, us(7));
+  EXPECT_EQ(seen, TimePoint(us(7)));
 }
 
 TEST(SimulatorTest, CancelPreventsExecution) {
   Simulator sim;
   bool ran = false;
-  const EventId id = sim.schedule_at(us(1), [&]() { ran = true; });
+  const EventId id = sim.schedule_at(TimePoint(us(1)), [&]() { ran = true; });
   EXPECT_TRUE(sim.cancel(id));
   EXPECT_FALSE(sim.cancel(id));  // second cancel fails
   sim.run();
@@ -59,7 +59,7 @@ TEST(SimulatorTest, CancelPreventsExecution) {
 
 TEST(SimulatorTest, CancelAfterExecutionReturnsFalse) {
   Simulator sim;
-  const EventId id = sim.schedule_at(us(1), []() {});
+  const EventId id = sim.schedule_at(TimePoint(us(1)), []() {});
   sim.run();
   EXPECT_FALSE(sim.cancel(id));
 }
@@ -67,31 +67,31 @@ TEST(SimulatorTest, CancelAfterExecutionReturnsFalse) {
 TEST(SimulatorTest, RunUntilStopsAtBoundaryAndResumes) {
   Simulator sim;
   std::vector<int> order;
-  sim.schedule_at(us(1), [&]() { order.push_back(1); });
-  sim.schedule_at(us(10), [&]() { order.push_back(10); });
-  sim.run(us(5));
+  sim.schedule_at(TimePoint(us(1)), [&]() { order.push_back(1); });
+  sim.schedule_at(TimePoint(us(10)), [&]() { order.push_back(10); });
+  sim.run(TimePoint(us(5)));
   EXPECT_EQ(order, (std::vector<int>{1}));
-  EXPECT_EQ(sim.now(), us(5));
-  sim.run(us(20));
+  EXPECT_EQ(sim.now(), TimePoint(us(5)));
+  sim.run(TimePoint(us(20)));
   EXPECT_EQ(order, (std::vector<int>{1, 10}));
 }
 
 TEST(SimulatorTest, EventExactlyAtUntilRuns) {
   Simulator sim;
   bool ran = false;
-  sim.schedule_at(us(5), [&]() { ran = true; });
-  sim.run(us(5));
+  sim.schedule_at(TimePoint(us(5)), [&]() { ran = true; });
+  sim.run(TimePoint(us(5)));
   EXPECT_TRUE(ran);
 }
 
 TEST(SimulatorTest, StopHaltsLoop) {
   Simulator sim;
   int count = 0;
-  sim.schedule_at(us(1), [&]() {
+  sim.schedule_at(TimePoint(us(1)), [&]() {
     ++count;
     sim.stop();
   });
-  sim.schedule_at(us(2), [&]() { ++count; });
+  sim.schedule_at(TimePoint(us(2)), [&]() { ++count; });
   sim.run();
   EXPECT_EQ(count, 1);
   sim.run();  // resumes
@@ -102,7 +102,7 @@ TEST(SimulatorTest, RunStepsBounded) {
   Simulator sim;
   int count = 0;
   for (int i = 0; i < 5; ++i) {
-    sim.schedule_at(us(i + 1), [&]() { ++count; });
+    sim.schedule_at(TimePoint(us(i + 1)), [&]() { ++count; });
   }
   EXPECT_EQ(sim.run_steps(3), 3u);
   EXPECT_EQ(count, 3);
@@ -117,16 +117,16 @@ TEST(SimulatorTest, SelfPerpetuatingChainBoundedByUntil) {
     ++ticks;
     sim.schedule_after(us(1), [&]() { tick(); });
   };
-  sim.schedule_at(0, [&]() { tick(); });
-  sim.run(us(100));
+  sim.schedule_at(TimePoint{}, [&]() { tick(); });
+  sim.run(TimePoint(us(100)));
   EXPECT_EQ(ticks, 101);  // t = 0..100 inclusive
 }
 
 TEST(SimulatorTest, CountsExecutedAndPending) {
   Simulator sim;
-  sim.schedule_at(us(1), []() {});
-  sim.schedule_at(us(2), []() {});
-  const EventId id = sim.schedule_at(us(3), []() {});
+  sim.schedule_at(TimePoint(us(1)), []() {});
+  sim.schedule_at(TimePoint(us(2)), []() {});
+  const EventId id = sim.schedule_at(TimePoint(us(3)), []() {});
   EXPECT_EQ(sim.pending(), 3u);
   sim.cancel(id);
   EXPECT_EQ(sim.pending(), 2u);
@@ -140,8 +140,8 @@ TEST(SimulatorTest, PendingStaysConsistentUnderRepeatedCancel) {
   // not leave a tombstone behind, or pending() = heap - tombstones would
   // underflow once the heap drains.
   Simulator sim;
-  const EventId id = sim.schedule_at(us(1), []() {});
-  sim.schedule_at(us(2), []() {});
+  const EventId id = sim.schedule_at(TimePoint(us(1)), []() {});
+  sim.schedule_at(TimePoint(us(2)), []() {});
   EXPECT_TRUE(sim.cancel(id));
   EXPECT_FALSE(sim.cancel(id));
   EXPECT_FALSE(sim.cancel(id));
@@ -150,12 +150,12 @@ TEST(SimulatorTest, PendingStaysConsistentUnderRepeatedCancel) {
   EXPECT_EQ(sim.pending(), 0u);
 
   // Cancelling an already-executed id is refused and changes nothing.
-  const EventId ran = sim.schedule_at(us(3), []() {});
+  const EventId ran = sim.schedule_at(TimePoint(us(3)), []() {});
   sim.run();
   EXPECT_FALSE(sim.cancel(ran));
   EXPECT_FALSE(sim.cancel(kInvalidEvent));
   EXPECT_EQ(sim.pending(), 0u);
-  sim.schedule_at(us(4), []() {});
+  sim.schedule_at(TimePoint(us(4)), []() {});
   EXPECT_EQ(sim.pending(), 1u);
   sim.run();
   EXPECT_EQ(sim.pending(), 0u);

@@ -1,0 +1,211 @@
+// Tests for the strong-unit layer (util/strong_int.h, util/units.h,
+// util/time.h): conversions, serialization exactness at the paper's link
+// rates, __int128 overflow boundaries, and — via `requires`-expression
+// static_asserts — negative-compile proof that cross-unit arithmetic,
+// ns-for-ps substitution through the type system, and swapped
+// (bytes, rate) arguments do not compile.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+
+#include "util/time.h"
+#include "util/units.h"
+
+namespace dcpim {
+namespace {
+
+// ===== negative-compile checks =============================================
+// Inside a concept the operations below are checked for validity instead of
+// hard-erroring (requires-expressions SFINAE only in a template context), so
+// each `!Can...` static_assert is a compile-failure test that runs on every
+// build of this file: it proves the operation does NOT compile.
+
+template <typename A, typename B>
+concept CanAdd = requires(A a, B b) { a + b; };
+template <typename A, typename B>
+concept CanSub = requires(A a, B b) { a - b; };
+template <typename A, typename B>
+concept CanMul = requires(A a, B b) { a * b; };
+template <typename A, typename B>
+concept CanDiv = requires(A a, B b) { a / b; };
+template <typename A, typename B>
+concept CanEq = requires(A a, B b) { a == b; };
+template <typename A, typename B>
+concept CanLess = requires(A a, B b) { a < b; };
+template <typename A, typename B>
+concept CanAssign = requires(A a, B b) { a = b; };
+template <typename T>
+concept CanDoubleCast = requires(T t) { static_cast<double>(t); };
+template <typename B, typename R>
+concept CanSerialize = requires(B b, R r) { serialization_time(b, r); };
+template <typename T, typename R>
+concept CanBytesIn = requires(T t, R r) { bytes_in(t, r); };
+
+// Cross-unit arithmetic is deleted: the acceptance-criteria trio.
+static_assert(!CanAdd<Time, Bytes>, "Time + Bytes must not compile");
+static_assert(!CanAdd<Bytes, Time>);
+static_assert(!CanSub<Time, Bytes>);
+static_assert(!CanEq<Time, Bytes>);
+static_assert(!CanLess<Time, Bytes>);
+static_assert(!CanMul<Time, BitsPerSec>);
+static_assert(!CanDiv<Bytes, BitsPerSec>);
+static_assert(!CanAdd<Bytes, PacketCount>);
+static_assert(!CanSub<BitsPerSec, PacketCount>);
+
+// Swapped (bytes, rate) arguments are a compile error.
+static_assert(!CanSerialize<BitsPerSec, Bytes>,
+              "swapped (bytes, rate) must not compile");
+static_assert(CanSerialize<Bytes, BitsPerSec>);
+static_assert(!CanBytesIn<BitsPerSec, Time>);
+static_assert(CanBytesIn<Time, BitsPerSec>);
+
+// "ns-for-ps substitution": there is no implicit construction from raw
+// integers, so a caller cannot pass a nanosecond count where a Time (ps) is
+// expected — every Time goes through the ps/ns/us/ms factories, which fix
+// the scale at the call site.
+static_assert(!std::is_convertible_v<std::int64_t, Time>,
+              "raw integers must not implicitly become Time");
+static_assert(!std::is_convertible_v<std::int64_t, Bytes>);
+static_assert(!std::is_convertible_v<std::int64_t, BitsPerSec>);
+static_assert(!std::is_convertible_v<std::int64_t, TimePoint>);
+static_assert(!std::is_convertible_v<Time, std::int64_t>,
+              "Time must not silently decay to an integer");
+static_assert(!CanDoubleCast<Time>);
+
+// Duration vs instant: TimePoint is ordinal — no TimePoint + TimePoint,
+// no scalar scaling; the only arithmetic is against Time.
+static_assert(!CanAdd<TimePoint, TimePoint>,
+              "adding two instants is meaningless");
+static_assert(!CanMul<TimePoint, int>);
+static_assert(!CanSub<Time, TimePoint>);
+static_assert(std::is_same_v<decltype(TimePoint{} + Time{}), TimePoint>);
+static_assert(std::is_same_v<decltype(TimePoint{} - Time{}), TimePoint>);
+static_assert(std::is_same_v<decltype(TimePoint{} - TimePoint{}), Time>);
+// Time and TimePoint do not cross-assign or interconvert implicitly.
+static_assert(!std::is_convertible_v<Time, TimePoint>);
+static_assert(!std::is_convertible_v<TimePoint, Time>);
+static_assert(!CanAssign<Time&, TimePoint>);
+static_assert(!CanEq<Time, TimePoint>);
+
+// Zero-overhead: the wrappers are bit-identical to their representation
+// and every factory/conversion below is constexpr-evaluable.
+static_assert(sizeof(Time) == sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<Bytes>);
+static_assert(std::is_trivially_copyable_v<BitsPerSec>);
+static_assert(std::is_trivially_copyable_v<PacketCount>);
+
+// ===== conversions ==========================================================
+
+TEST(UnitsTest, TimeFactoriesAndLadder) {
+  EXPECT_EQ(ns(1), ps(1000));
+  EXPECT_EQ(us(1), ns(1000));
+  EXPECT_EQ(ms(1), us(1000));
+  EXPECT_EQ(kSecond, ms(1000));
+  EXPECT_EQ(us(2.5), ns(2500));
+  EXPECT_DOUBLE_EQ(to_ns(ps(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_us(ms(2)), 2000.0);
+  EXPECT_DOUBLE_EQ(to_ms(us(500)), 0.5);
+  EXPECT_DOUBLE_EQ(to_sec(ms(250)), 0.25);
+}
+
+TEST(UnitsTest, ByteAndRateFactories) {
+  EXPECT_EQ(kKB * 1000, kMB);
+  EXPECT_EQ(gbps(100), kGbps * 100);
+  EXPECT_EQ(gbps(0.5), BitsPerSec{500'000'000});
+  EXPECT_DOUBLE_EQ(to_kb(Bytes{1500}), 1.5);
+  EXPECT_DOUBLE_EQ(to_mb(kMB * 3), 3.0);
+}
+
+TEST(UnitsTest, ClosedArithmeticAndRatios) {
+  EXPECT_EQ(Bytes{100} + Bytes{40}, Bytes{140});
+  EXPECT_EQ(us(3) - us(1), us(2));
+  EXPECT_EQ(Bytes{1460} * 3, Bytes{4380});
+  EXPECT_EQ(3 * Bytes{1460}, Bytes{4380});
+  EXPECT_EQ(us(10) / 4, ps(2'500'000));
+  EXPECT_EQ(us(10) * 0.5, us(5));
+  // Same-unit quotient is a dimensionless Rep (floor), fratio is exact.
+  EXPECT_EQ(Bytes{10'000} / Bytes{1460}, 6);
+  EXPECT_EQ(Bytes{10'000} % Bytes{1460}, Bytes{1240});
+  EXPECT_DOUBLE_EQ(fratio(us(3), us(2)), 1.5);
+  PacketCount w{8};
+  ++w;
+  w += PacketCount{2};
+  EXPECT_EQ(w, PacketCount{11});
+  EXPECT_EQ(-ps(5), ps(-5));
+}
+
+TEST(UnitsTest, TimePointIsAnInstant) {
+  const TimePoint start{};
+  const TimePoint later = start + us(7);
+  EXPECT_EQ(later - start, us(7));
+  EXPECT_EQ(later - us(7), start);
+  EXPECT_EQ(TimePoint(us(7)), later);
+  EXPECT_EQ(later.since_start(), us(7));
+  EXPECT_LT(start, later);
+  EXPECT_EQ(kTimeUnset, TimePoint{-1});
+  EXPECT_LT(later, kTimePointInfinity);
+}
+
+TEST(UnitsTest, StreamingShowsUnitSuffix) {
+  std::ostringstream os;
+  os << ps(80) << " / " << Bytes{1460} << " / " << gbps(100) << " / "
+     << PacketCount{3} << " / " << TimePoint(us(1));
+  EXPECT_EQ(os.str(), "80 ps / 1460 B / 100000000000 bps / 3 pkt / "
+                      "1000000 ps");
+  EXPECT_EQ(to_string(ns(5)), "5000 ps");
+}
+
+// ===== serialization exactness (the determinism bedrock) ===================
+
+TEST(UnitsTest, SerializationExactAtPaperRates) {
+  // One byte is a whole number of picoseconds at 10/100/400 Gbps.
+  EXPECT_EQ(serialization_time(Bytes{1}, gbps(10)), ps(800));
+  EXPECT_EQ(serialization_time(Bytes{1}, gbps(100)), ps(80));
+  EXPECT_EQ(serialization_time(Bytes{1}, gbps(400)), ps(20));
+  // Full MTU-sized frames scale linearly with zero rounding.
+  EXPECT_EQ(serialization_time(Bytes{1500}, gbps(10)), ns(1200));
+  EXPECT_EQ(serialization_time(Bytes{1500}, gbps(100)), ns(120));
+  EXPECT_EQ(serialization_time(Bytes{1500}, gbps(400)), ns(30));
+  // serialization_time and bytes_in are exact inverses at these rates.
+  for (const BitsPerSec rate : {gbps(10), gbps(100), gbps(400)}) {
+    for (const Bytes b : {Bytes{1}, Bytes{1460}, kKB * 64, kMB * 8}) {
+      EXPECT_EQ(bytes_in(serialization_time(b, rate), rate), b)
+          << to_string(b) << " at " << to_string(rate);
+    }
+  }
+  EXPECT_EQ(bytes_in(us(1), gbps(100)), Bytes{12'500});
+  EXPECT_EQ(bytes_in(ms(1), gbps(400)), kMB * 50);
+}
+
+TEST(UnitsTest, SerializationSurvivesInt128Boundaries) {
+  // The kernels multiply through __int128 before dividing: bytes * 8e12
+  // overflows int64 beyond ~1.15 MB, so multi-megabyte messages are the
+  // regression surface.
+  EXPECT_EQ(serialization_time(kMB, gbps(100)), us(80));
+  EXPECT_EQ(serialization_time(kMB * 1000, gbps(10)), ms(800));
+  // 1 TB at 10 Gbps: bytes * 8 * 1e12 = 8e24, far beyond int64 (~9.2e18)
+  // yet comfortably inside __int128; the result (800 s) still fits Time.
+  EXPECT_EQ(serialization_time(kMB * 1'000'000, gbps(10)), kSecond * 800);
+  // bytes_in mirror: ~9.2e18 ps (near Time's int64 ceiling) * 1e10 bps
+  // needs 128-bit intermediates; result = t/8e12 * 1e10 bytes.
+  EXPECT_EQ(bytes_in(kSecond * 800, gbps(10)), kMB * 1'000'000);
+  const Time near_max{std::numeric_limits<std::int64_t>::max() / 2};
+  EXPECT_GT(bytes_in(near_max, gbps(400)), Bytes{});  // no wraparound
+}
+
+TEST(UnitsTest, ConstexprKernels) {
+  // Everything is constant-evaluable: these would fail to compile if any
+  // factory or kernel left constexpr.
+  constexpr Time kByteTime = serialization_time(Bytes{1}, gbps(100));
+  static_assert(kByteTime == ps(80));
+  static_assert(bytes_in(us(1), gbps(100)) == Bytes{12'500});
+  static_assert(Bytes{2} + Bytes{3} == Bytes{5});
+  static_assert(TimePoint(us(1)) - TimePoint{} == us(1));
+  static_assert(Time::zero() == Time{});
+  static_assert(PacketCount::max() > PacketCount{});
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dcpim

@@ -15,9 +15,9 @@ namespace dcpim {
 namespace {
 
 TEST(TimeTest, UnitConversionsRoundTrip) {
-  EXPECT_EQ(ns(1), 1000);
-  EXPECT_EQ(us(1), 1'000'000);
-  EXPECT_EQ(ms(1), 1'000'000'000);
+  EXPECT_EQ(ns(1), ps(1000));
+  EXPECT_EQ(us(1), ns(1000));
+  EXPECT_EQ(ms(1), us(1000));
   EXPECT_DOUBLE_EQ(to_us(us(5.5)), 5.5);
   EXPECT_DOUBLE_EQ(to_ns(ns(123)), 123.0);
   EXPECT_DOUBLE_EQ(to_ms(ms(2)), 2.0);
@@ -25,23 +25,23 @@ TEST(TimeTest, UnitConversionsRoundTrip) {
 
 TEST(TimeTest, SerializationExactAt100G) {
   // One byte at 100 Gbps is exactly 80 ps.
-  EXPECT_EQ(serialization_time(1, 100 * kGbps), 80);
-  EXPECT_EQ(serialization_time(1500, 100 * kGbps), 120'000);  // 120 ns
-  EXPECT_EQ(serialization_time(1500, 400 * kGbps), 30'000);
-  EXPECT_EQ(serialization_time(64, 10 * kGbps), 51'200);
+  EXPECT_EQ(serialization_time(Bytes{1}, gbps(100)), ps(80));
+  EXPECT_EQ(serialization_time(Bytes{1500}, gbps(100)), ns(120));
+  EXPECT_EQ(serialization_time(Bytes{1500}, gbps(400)), ns(30));
+  EXPECT_EQ(serialization_time(Bytes{64}, gbps(10)), ps(51'200));
 }
 
 TEST(TimeTest, SerializationNoOverflowForLargeMessages) {
   // 1 GB at 10 Gbps = 0.8 s; must not overflow int64 picoseconds.
-  const Time t = serialization_time(1'000'000'000, 10 * kGbps);
-  EXPECT_EQ(t, 800 * kMillisecond);
+  const Time t = serialization_time(kMB * 1000, gbps(10));
+  EXPECT_EQ(t, kMillisecond * 800);
 }
 
 TEST(TimeTest, BytesInInvertsSerialization) {
   const Time rtt = us(5);
-  const Bytes bdp = bytes_in(rtt, 100 * kGbps);
-  EXPECT_EQ(bdp, 62'500);
-  EXPECT_LE(serialization_time(bdp, 100 * kGbps), rtt);
+  const Bytes bdp = bytes_in(rtt, gbps(100));
+  EXPECT_EQ(bdp, Bytes{62'500});
+  EXPECT_LE(serialization_time(bdp, gbps(100)), rtt);
 }
 
 TEST(RngTest, DeterministicForSameSeed) {

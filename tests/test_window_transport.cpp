@@ -49,33 +49,32 @@ struct Fix {
 
 TEST(WindowTransportTest, LoneTcpFlowNearOracle) {
   Fix<TcpConfig, TcpHost> f(&tcp_host_factory);
-  net::Flow* flow = f.net->create_flow(0, 7, 400'000, 0);
-  f.net->sim().run(ms(10));
+  net::Flow* flow = f.net->create_flow(0, 7, Bytes{400'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(10)));
   ASSERT_TRUE(flow->finished());
   // Initial window = 1 BDP, so a lone flow is pipe-limited, not cwnd-bound.
-  const Time oracle = f.topo->oracle_fct(0, 7, 400'000);
-  EXPECT_LT(static_cast<double>(flow->fct()),
-            1.6 * static_cast<double>(oracle));
+  const Time oracle = f.topo->oracle_fct(0, 7, Bytes{400'000});
+  EXPECT_LT(fratio(flow->fct(), oracle), 1.6);
 }
 
 TEST(WindowTransportTest, SmallInitialWindowSlowStarts) {
   Fix<TcpConfig, TcpHost> f(&tcp_host_factory, {}, [](TcpConfig& cfg) {
-    cfg.window.init_cwnd = 2 * 1460;  // two-packet IW
+    cfg.window.init_cwnd = Bytes{2 * 1460};  // two-packet IW
   });
-  net::Flow* flow = f.net->create_flow(0, 7, 200'000, 0);
-  f.net->sim().run(ms(20));
+  net::Flow* flow = f.net->create_flow(0, 7, Bytes{200'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(20)));
   ASSERT_TRUE(flow->finished());
   // Slow start needs several RTTs: clearly slower than the pipe-limited
   // case but it must converge and complete.
-  const Time oracle = f.topo->oracle_fct(0, 7, 200'000);
-  EXPECT_GT(flow->fct(), 2 * oracle);
+  const Time oracle = f.topo->oracle_fct(0, 7, Bytes{200'000});
+  EXPECT_GT(flow->fct(), oracle * 2);
 }
 
 TEST(WindowTransportTest, TimeoutRecoversFromBlackoutLoss) {
   Fix<TcpConfig, TcpHost> f(&tcp_host_factory,
                             [](net::PortConfig& pc) { pc.loss_rate = 0.10; });
-  net::Flow* flow = f.net->create_flow(0, 7, 100'000, 0);
-  f.net->sim().run(ms(200));
+  net::Flow* flow = f.net->create_flow(0, 7, Bytes{100'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(200)));
   ASSERT_TRUE(flow->finished());
   const auto& c = f.host(0)->counters();
   EXPECT_GT(c.retransmissions, 0u);
@@ -84,11 +83,11 @@ TEST(WindowTransportTest, TimeoutRecoversFromBlackoutLoss) {
 TEST(WindowTransportTest, DctcpSeesEcnAndStillFinishesFast) {
   Fix<DctcpConfig, DctcpHost> f(
       &dctcp_host_factory,
-      [](net::PortConfig& pc) { dctcp_port_customize(pc, 30 * kKB); });
+      [](net::PortConfig& pc) { dctcp_port_customize(pc, kKB * 30); });
   // Two senders into one receiver: queue builds, ECN marks, no collapse.
-  net::Flow* f1 = f.net->create_flow(0, 7, 400'000, 0);
-  net::Flow* f2 = f.net->create_flow(1, 7, 400'000, 0);
-  f.net->sim().run(ms(20));
+  net::Flow* f1 = f.net->create_flow(0, 7, Bytes{400'000}, TimePoint{});
+  net::Flow* f2 = f.net->create_flow(1, 7, Bytes{400'000}, TimePoint{});
+  f.net->sim().run(TimePoint(ms(20)));
   ASSERT_TRUE(f1->finished());
   ASSERT_TRUE(f2->finished());
   const auto ecn = f.host(0)->counters().ecn_echoes +
@@ -105,15 +104,15 @@ TEST(WindowTransportTest, HpccKeepsQueuesShorterThanTcpUnderIncast) {
           [](net::PortConfig& pc) { hpcc_port_customize(pc); },
           [](HpccConfig& cfg) { cfg.window.collect_int = true; });
       std::vector<int> senders{1, 2, 3, 4, 5, 6};
-      for (int s : senders) f.net->create_flow(s, 0, 300'000, 0);
-      f.net->sim().run(ms(30));
+      for (int s : senders) f.net->create_flow(s, 0, Bytes{300'000}, TimePoint{});
+      f.net->sim().run(TimePoint(ms(30)));
       drops = f.net->total_drops();
       EXPECT_EQ(f.net->completed_flows, senders.size());
     } else {
       Fix<TcpConfig, TcpHost> f(&tcp_host_factory);
       std::vector<int> senders{1, 2, 3, 4, 5, 6};
-      for (int s : senders) f.net->create_flow(s, 0, 300'000, 0);
-      f.net->sim().run(ms(30));
+      for (int s : senders) f.net->create_flow(s, 0, Bytes{300'000}, TimePoint{});
+      f.net->sim().run(TimePoint(ms(30)));
       drops = f.net->total_drops();
       EXPECT_EQ(f.net->completed_flows, senders.size());
     }
@@ -125,8 +124,8 @@ TEST(WindowTransportTest, HpccKeepsQueuesShorterThanTcpUnderIncast) {
 TEST(WindowTransportTest, HomaCustomUnschedCutoffs) {
   // Config-level contract for the priority ladder.
   HomaConfig cfg;
-  cfg.bdp_bytes = 80'000;
-  cfg.unsched_cutoffs = {1'000, 10'000, 100'000};
+  cfg.bdp_bytes = Bytes{80'000};
+  cfg.unsched_cutoffs = {Bytes{1'000}, Bytes{10'000}, Bytes{100'000}};
   // The ladder is exercised through HomaHost::unsched_priority_for; here we
   // assert the configuration invariants the host relies on.
   for (std::size_t i = 1; i < cfg.unsched_cutoffs.size(); ++i) {

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the dcPIM simulator.
+
+Enforces the repo rules that clang-tidy cannot express (fourth CI lane;
+see .github/workflows/ci.yml):
+
+  naked-assert      no C `assert(...)` outside util/check.h — invariants go
+                    through DCPIM_CHECK/DCPIM_DCHECK so they survive NDEBUG
+                    and report the simulated time (static_assert is fine).
+  double-sim-time   no `double` declarations of sim-time state — simulation
+                    time is exact int64 picoseconds behind the Time /
+                    TimePoint strong types; doubles belong only at the
+                    to_ns/to_us/... reporting boundary.
+  nondeterminism    no `std::rand`/`srand` and no wall-clock reads
+                    (std::chrono system/steady/high_resolution clocks,
+                    gettimeofday, ::time()) in src/ — all randomness flows
+                    through the seeded util/rng.h and all time through the
+                    Simulator clock, keeping runs bit-for-bit reproducible.
+  unit-raw          every `.raw()` escape from a strong unit type in src/
+                    carries a `// unit-raw:` justification. A comment covers
+                    its own line and the lines below it up to the first
+                    blank line, so one justification can cover a tight
+                    paragraph of conversions.
+
+Scope: src/ only (tests/bench/examples may use raw() freely — the typed API
+is the thing under test there). Run from anywhere:
+
+    python3 tools/lint_dcpim.py            # lint the repo it lives in
+    python3 tools/lint_dcpim.py --root DIR # lint another checkout
+
+Exit status 0 = clean, 1 = violations (printed one per line as
+path:line: [rule] message).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".h", ".cpp"}
+
+# Files exempt from a specific rule: (rule, path relative to repo root).
+EXEMPT = {
+    ("naked-assert", "src/util/check.h"),  # defines the check macros
+}
+
+NAKED_ASSERT = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
+STATIC_ASSERT = re.compile(r"static_assert\s*\(")
+
+# A `double` declaration whose name smells like simulation time. The
+# ps/ns/us/ms factories take `double v` parameters and the to_* helpers
+# return double — those lines declare no time-named double variable, so the
+# name filter keeps them clean without an exemption list. Rate names like
+# `bytes_per_sec` are dimensionally per-time, not time, so `per_` names are
+# excluded; a double *initialized* from a sanctioned to_* conversion is the
+# reporting boundary itself and is likewise allowed.
+DOUBLE_SIM_TIME = re.compile(
+    r"\bdouble\s+(?!\w*per_)\w*(?:time|rtt|deadline|timestamp|horizon|epoch"
+    r"|_ps|_ns|_us|_ms|_sec)\w*\s*[;={]",
+    re.IGNORECASE,
+)
+SANCTIONED_TIME_CONVERSION = re.compile(r"=\s*to_(?:ns|us|ms|sec)\s*\(")
+
+NONDETERMINISM = [
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\("), "std::rand/srand"),
+    (re.compile(r"\bstd::chrono::(system|steady|high_resolution)_clock\b"),
+     "wall-clock read"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday"),
+    (re.compile(r"(?<![_A-Za-z0-9:])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "::time()"),
+]
+
+RAW_CALL = re.compile(r"\.raw\s*\(\s*\)")
+UNIT_RAW_TAG = "unit-raw:"
+# How far below a unit-raw comment its justification can reach, bounded by
+# the first blank line (keeps stale comments from silently covering new
+# code paragraphs).
+UNIT_RAW_MAX_REACH = 12
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string/char literal contents (approximate,
+    line-local: good enough for the patterns above, which never span
+    lines in this codebase)."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def unit_raw_covered_lines(lines: list[str]) -> set[int]:
+    covered: set[int] = set()
+    for i, line in enumerate(lines):
+        if UNIT_RAW_TAG not in line:
+            continue
+        covered.add(i)
+        for j in range(i + 1, min(i + 1 + UNIT_RAW_MAX_REACH, len(lines))):
+            if not lines[j].strip():
+                break
+            covered.add(j)
+    return covered
+
+
+def lint_file(path: Path, rel: str) -> list[str]:
+    violations: list[str] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    covered = unit_raw_covered_lines(lines)
+
+    for idx, line in enumerate(lines):
+        where = f"{rel}:{idx + 1}"
+        code = strip_comments_and_strings(line)
+
+        if ("naked-assert", rel) not in EXEMPT:
+            if NAKED_ASSERT.search(code) and not STATIC_ASSERT.search(code):
+                violations.append(
+                    f"{where}: [naked-assert] use DCPIM_CHECK/DCPIM_DCHECK "
+                    f"from util/check.h instead of assert()")
+
+        if (DOUBLE_SIM_TIME.search(code)
+                and not SANCTIONED_TIME_CONVERSION.search(code)):
+            violations.append(
+                f"{where}: [double-sim-time] sim-time state must be the "
+                f"integer Time/TimePoint types, not double")
+
+        for pattern, what in NONDETERMINISM:
+            if pattern.search(code):
+                violations.append(
+                    f"{where}: [nondeterminism] {what} breaks reproducible "
+                    f"runs; use util/rng.h / the Simulator clock")
+
+        if RAW_CALL.search(code) and idx not in covered:
+            violations.append(
+                f"{where}: [unit-raw] .raw() escape without a "
+                f"`// {UNIT_RAW_TAG}` justification on or above the line")
+
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: this script's repo)")
+    args = parser.parse_args()
+
+    src = args.root / "src"
+    if not src.is_dir():
+        print(f"lint_dcpim: no src/ under {args.root}", file=sys.stderr)
+        return 2
+
+    files = sorted(
+        p for p in src.rglob("*") if p.suffix in SOURCE_SUFFIXES)
+    violations: list[str] = []
+    for path in files:
+        rel = path.relative_to(args.root).as_posix()
+        violations.extend(lint_file(path, rel))
+
+    for v in violations:
+        print(v)
+    print(
+        f"lint_dcpim: {len(files)} files, {len(violations)} violation(s)",
+        file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
