@@ -7,13 +7,18 @@
 // horizons (and the FatTree size) toward paper scale.
 #pragma once
 
+#include <chrono>  // wall-clock ETA only; sim code never reads real time
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "util/env.h"
+#include "util/thread_pool.h"
 
 namespace dcpim::bench {
 
@@ -25,14 +30,88 @@ inline bool& audit_flag() {
   return enabled;
 }
 
-/// Parses the flags every figure binary shares. Currently:
-///   --audit   attach the invariant auditor (sim/audit.h) to every
-///             experiment the binary runs and print its summary.
+/// Worker threads for experiment sweeps (--jobs N / $DCPIM_JOBS; default 1
+/// == serial). Results are bit-identical at every value — see
+/// harness/sweep.h for the isolation contract that guarantees it.
+inline int& jobs_flag() {
+  static int jobs = [] {
+    const long env = env_long("DCPIM_JOBS", 1);
+    return env >= 1 ? static_cast<int>(env) : 1;
+  }();
+  return jobs;
+}
+
+/// Parses the flags every figure binary shares and REMOVES them from argv
+/// (compacting; argc is updated) so binaries with their own flag parsers —
+/// micro_core hands the remainder to google-benchmark — never see them.
+///   --audit     attach the invariant auditor (sim/audit.h) to every
+///               experiment the binary runs and print its summary.
+///   --jobs N    run experiment sweeps on N worker threads (also
+///               --jobs=N; 0 = all hardware threads). Output stays
+///               byte-identical to --jobs 1; progress/ETA goes to stderr.
 /// Unknown arguments are left alone for the binary to interpret.
-inline void parse_common_flags(int argc, char** argv) {
+inline void parse_common_flags(int& argc, char** argv) {
+  const auto set_jobs = [](const char* value) {
+    const long n = std::strtol(value, nullptr, 10);
+    jobs_flag() = n >= 1 ? static_cast<int>(n)
+                         : util::ThreadPool::hardware_threads();
+  };
+  int out = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--audit") audit_flag() = true;
+    const std::string arg(argv[i]);
+    if (arg == "--audit") {
+      audit_flag() = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      set_jobs(argv[++i]);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      set_jobs(arg.c_str() + 7);
+    } else {
+      argv[out++] = argv[i];
+    }
   }
+  argc = out;
+  argv[argc] = nullptr;
+}
+
+/// Progress/ETA line for a sweep, written to stderr only — stdout must stay
+/// byte-identical between --jobs 1 and --jobs N runs.
+class SweepProgress {
+ public:
+  explicit SweepProgress(const char* label)
+      : label_(label), start_(std::chrono::steady_clock::now()) {}
+
+  void operator()(std::size_t done, std::size_t total) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double eta =
+        done > 0 ? elapsed * static_cast<double>(total - done) /
+                       static_cast<double>(done)
+                 : 0.0;
+    std::fprintf(stderr, "\r  [%zu/%zu] %s  jobs=%d  %.1fs elapsed, eta %.1fs ",
+                 done, total, label_, jobs_flag(), elapsed, eta);
+    if (done == total) std::fputc('\n', stderr);
+    std::fflush(stderr);
+  }
+
+ private:
+  const char* label_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Runs the configs on jobs_flag() workers with a progress line; results
+/// come back in submission order regardless of completion order.
+inline std::vector<harness::ExperimentResult> run_sweep(
+    const std::vector<harness::ExperimentConfig>& configs,
+    const char* label) {
+  harness::SweepOptions opts;
+  opts.jobs = jobs_flag();
+  auto progress = std::make_shared<SweepProgress>(label);
+  opts.progress = [progress](std::size_t done, std::size_t total) {
+    (*progress)(done, total);
+  };
+  return harness::run_sweep(configs, opts);
 }
 
 /// The four protocols of the paper's simulation figures.

@@ -31,38 +31,51 @@ int main(int argc, char** argv) {
   for (double l : loads) std::printf(" %6.2f", l);
   std::printf(" | max sustained\n");
 
-  for (Protocol p : bench::figure_protocols()) {
+  // All (protocol, load) points are independent: sweep them in one batch so
+  // --jobs N parallelizes across the whole figure, then print in order.
+  const std::vector<Protocol> protocols = bench::figure_protocols();
+  std::vector<ExperimentConfig> configs;
+  for (Protocol p : protocols) {
     ExperimentConfig cfg = bench::default_setup(p);
     bench::steady_state_timing(cfg, ms(2.5));
-    std::printf("  %-12s", to_string(p));
-    std::fflush(stdout);
-    double baseline = 0;
-    double sustained = 0;
-    std::vector<ExperimentResult> results;
     for (double load : loads) {
       cfg.load = load;
-      results.push_back(run_experiment(cfg));
-      const ExperimentResult& res = results.back();
-      bench::maybe_csv("fig3a", p, cfg.workload, load, res);
+      configs.push_back(cfg);
+    }
+  }
+  const std::vector<ExperimentResult> all =
+      bench::run_sweep(configs, "fig3a");
+
+  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+    const Protocol p = protocols[pi];
+    std::printf("  %-12s", to_string(p));
+    double baseline = 0;
+    double sustained = 0;
+    std::vector<const ExperimentResult*> results;
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      const double load = loads[li];
+      const ExperimentResult& res = all[pi * loads.size() + li];
+      results.push_back(&res);
+      bench::maybe_csv("fig3a", p, configs[pi * loads.size() + li].workload,
+                       load, res);
       bench::maybe_print_audit(res);
       if (baseline == 0) baseline = res.load_carried_ratio;
       const double norm =
           baseline > 0 ? res.load_carried_ratio / baseline : 0.0;
       std::printf(" %6.3f", norm);
-      std::fflush(stdout);
       if (norm >= keep_fraction) sustained = load;
     }
     std::printf(" | %.2f\n", sustained);
     // Collapse signatures: drops+trims explode and short-flow tails blow up
     // once a protocol is pushed past what it can sustain.
     std::printf("  %-12s", "  drops(K)");
-    for (const auto& res : results) {
+    for (const ExperimentResult* res : results) {
       std::printf(" %6.1f",
-                  static_cast<double>(res.drops + res.trims) / 1000.0);
+                  static_cast<double>(res->drops + res->trims) / 1000.0);
     }
     std::printf("\n  %-12s", "  shortp99");
-    for (const auto& res : results) {
-      std::printf(" %6.1f", res.short_flows.p99);
+    for (const ExperimentResult* res : results) {
+      std::printf(" %6.1f", res->short_flows.p99);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -21,19 +21,30 @@ int main(int argc, char** argv) {
   for (const auto& w : workloads) std::printf(" %12s", w.c_str());
   std::printf("\n");
 
-  for (Protocol p : bench::figure_protocols()) {
-    std::printf("  %-12s", to_string(p));
-    std::fflush(stdout);
+  const std::vector<Protocol> protocols = bench::figure_protocols();
+  std::vector<ExperimentConfig> configs;
+  for (Protocol p : protocols) {
     for (const auto& w : workloads) {
       ExperimentConfig cfg = bench::default_setup(p);
       cfg.workload = w;
-      const ExperimentResult res = run_experiment(cfg);
-      bench::maybe_csv("fig3b", p, w, cfg.load, res);
+      configs.push_back(cfg);
+    }
+  }
+  const std::vector<ExperimentResult> all =
+      bench::run_sweep(configs, "fig3b");
+
+  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+    std::printf("  %-12s", to_string(protocols[pi]));
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+      const std::size_t idx = pi * workloads.size() + wi;
+      const ExperimentResult& res = all[idx];
+      bench::maybe_csv("fig3b", protocols[pi], workloads[wi],
+                       configs[idx].load, res);
       std::printf(" %12.2f", res.overall.mean);
       bench::maybe_print_audit(res);
-      std::fflush(stdout);
     }
     std::printf("\n");
+    std::fflush(stdout);
   }
   return 0;
 }

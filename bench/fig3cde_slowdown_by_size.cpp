@@ -19,14 +19,28 @@ int main(int argc, char** argv) {
       "short flows: dcPIM mean 1.03-1.04 / p99 1.09-1.16; HomaAeolus "
       "2.5-2.7 / 3-6.1; NDP 2.5-4.1 / 12.5-22.3; HPCC 1.1-1.9 / 2-5.8");
 
-  for (const std::string workload : {"imc10", "websearch", "datamining"}) {
-    std::printf("--- workload: %s ---\n", workload.c_str());
-    bool header_done = false;
-    for (Protocol p : bench::figure_protocols()) {
+  const std::vector<std::string> workloads = {"imc10", "websearch",
+                                              "datamining"};
+  const std::vector<Protocol> protocols = bench::figure_protocols();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& workload : workloads) {
+    for (Protocol p : protocols) {
       ExperimentConfig cfg = bench::default_setup(p);
       cfg.workload = workload;
-      const ExperimentResult res = run_experiment(cfg);
-      bench::maybe_csv("fig3cde", p, workload, cfg.load, res);
+      configs.push_back(cfg);
+    }
+  }
+  const std::vector<ExperimentResult> all =
+      bench::run_sweep(configs, "fig3cde");
+
+  std::size_t idx = 0;
+  for (const std::string& workload : workloads) {
+    std::printf("--- workload: %s ---\n", workload.c_str());
+    bool header_done = false;
+    for (Protocol p : protocols) {
+      const ExperimentResult& res = all[idx];
+      bench::maybe_csv("fig3cde", p, workload, configs[idx].load, res);
+      ++idx;
       if (!header_done) {
         std::printf("  %-12s %6s", "protocol", "");
         for (const auto& b : res.buckets) {

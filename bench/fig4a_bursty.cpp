@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
   }
   std::printf("  (us)\n");
 
-  for (Protocol p : bench::figure_protocols()) {
+  const std::vector<Protocol> protocols = bench::figure_protocols();
+  std::vector<ExperimentConfig> configs;
+  for (Protocol p : protocols) {
     ExperimentConfig cfg;
     cfg.protocol = p;
     cfg.pattern = Pattern::Bursty;
@@ -45,9 +47,14 @@ int main(int argc, char** argv) {
     cfg.horizon = TimePoint(horizon);
     cfg.util_bin = bin;
     cfg.audit = bench::audit_flag();
-    const ExperimentResult res = run_experiment(cfg);
+    configs.push_back(cfg);
+  }
+  const std::vector<ExperimentResult> all =
+      bench::run_sweep(configs, "fig4a");
 
-    std::printf("  %-12s", to_string(p));
+  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+    const ExperimentResult& res = all[pi];
+    std::printf("  %-12s", to_string(protocols[pi]));
     for (std::size_t i = 0; bin * i < horizon; ++i) {
       const double u =
           i < res.util_series.size() ? res.util_series[i] : 0.0;

@@ -20,11 +20,18 @@ int main(int argc, char** argv) {
       "worse than both (proactive drops)");
 
   std::printf("  %-12s %8s %8s %8s\n", "protocol", "mean", "p99", "carried");
-  for (Protocol p : bench::figure_protocols()) {
+  const std::vector<Protocol> protocols = bench::figure_protocols();
+  std::vector<ExperimentConfig> configs;
+  for (Protocol p : protocols) {
     ExperimentConfig cfg = bench::default_setup(p);
     cfg.fixed_size = Bytes{-1};  // BDP+1 sentinel
-    const ExperimentResult res = run_experiment(cfg);
-    std::printf("  %-12s %8.2f %8.2f %8.3f\n", to_string(p),
+    configs.push_back(cfg);
+  }
+  const std::vector<ExperimentResult> all =
+      bench::run_sweep(configs, "fig4b");
+  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+    const ExperimentResult& res = all[pi];
+    std::printf("  %-12s %8.2f %8.2f %8.3f\n", to_string(protocols[pi]),
                 res.overall.mean, res.overall.p99, res.load_carried_ratio);
     bench::maybe_print_audit(res);
     std::fflush(stdout);

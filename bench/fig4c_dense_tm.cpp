@@ -27,7 +27,9 @@ int main(int argc, char** argv) {
   for (Time t{}; t < horizon; t += bin) std::printf(" %5.0f", to_us(t));
   std::printf("  (us)\n");
 
-  for (Protocol p : bench::figure_protocols()) {
+  const std::vector<Protocol> protocols = bench::figure_protocols();
+  std::vector<ExperimentConfig> configs;
+  for (Protocol p : protocols) {
     ExperimentConfig cfg;
     cfg.protocol = p;
     cfg.pattern = Pattern::DenseTM;
@@ -38,8 +40,13 @@ int main(int argc, char** argv) {
     cfg.horizon = TimePoint(horizon);
     cfg.util_bin = bin;
     cfg.audit = bench::audit_flag();
-    const ExperimentResult res = run_experiment(cfg);
-    std::printf("  %-12s", to_string(p));
+    configs.push_back(cfg);
+  }
+  const std::vector<ExperimentResult> all =
+      bench::run_sweep(configs, "fig4c");
+  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+    const ExperimentResult& res = all[pi];
+    std::printf("  %-12s", to_string(protocols[pi]));
     for (std::size_t i = 0; bin * i < horizon; ++i) {
       std::printf(" %5.2f",
                   i < res.util_series.size() ? res.util_series[i] : 0.0);

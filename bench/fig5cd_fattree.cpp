@@ -21,12 +21,12 @@ int main(int argc, char** argv) {
               "DCPIM_BENCH_SCALE>=2 for paper scale)\n\n",
               k, k * k * k / 4);
 
-  for (const std::string workload : {"imc10", "websearch", "datamining"}) {
-    std::printf("--- workload: %s ---\n", workload.c_str());
-    std::printf("  %-12s %10s %10s | %12s %12s | %8s\n", "protocol",
-                "mean(all)", "p99(all)", "short mean", "short p99",
-                "carried");
-    for (Protocol p : bench::figure_protocols()) {
+  const std::vector<std::string> workloads = {"imc10", "websearch",
+                                              "datamining"};
+  const std::vector<Protocol> protocols = bench::figure_protocols();
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& workload : workloads) {
+    for (Protocol p : protocols) {
       ExperimentConfig cfg = bench::default_setup(p);
       cfg.topo = TopoKind::FatTree;
       cfg.fat_tree_k = k;
@@ -35,8 +35,22 @@ int main(int argc, char** argv) {
       cfg.measure_start = TimePoint(bench::scaled(us(200)));
       cfg.measure_end = TimePoint(bench::scaled(us(700)));
       cfg.horizon = TimePoint(bench::scaled(ms(2)));
-      const ExperimentResult res = run_experiment(cfg);
-      bench::maybe_csv("fig5cd", p, workload, cfg.load, res);
+      configs.push_back(cfg);
+    }
+  }
+  const std::vector<ExperimentResult> all =
+      bench::run_sweep(configs, "fig5cd");
+
+  std::size_t idx = 0;
+  for (const std::string& workload : workloads) {
+    std::printf("--- workload: %s ---\n", workload.c_str());
+    std::printf("  %-12s %10s %10s | %12s %12s | %8s\n", "protocol",
+                "mean(all)", "p99(all)", "short mean", "short p99",
+                "carried");
+    for (Protocol p : protocols) {
+      const ExperimentResult& res = all[idx];
+      bench::maybe_csv("fig5cd", p, workload, configs[idx].load, res);
+      ++idx;
       std::printf("  %-12s %10.2f %10.2f | %12.2f %12.2f | %8.3f\n",
                   to_string(p), res.overall.mean, res.overall.p99,
                   res.short_flows.mean, res.short_flows.p99,

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   const std::vector<Protocol> protos = {Protocol::Dcpim, Protocol::Dctcp,
                                         Protocol::Tcp};
-  bool header_done = false;
+  std::vector<ExperimentConfig> configs;
   for (Protocol p : protos) {
     ExperimentConfig cfg;
     cfg.protocol = p;
@@ -34,7 +34,14 @@ int main(int argc, char** argv) {
     cfg.measure_end = TimePoint(bench::scaled(ms(8)));
     cfg.horizon = TimePoint(bench::scaled(ms(30)));
     cfg.audit = bench::audit_flag();
-    const ExperimentResult res = run_experiment(cfg);
+    configs.push_back(cfg);
+  }
+  const std::vector<ExperimentResult> all = bench::run_sweep(configs, "fig7");
+
+  bool header_done = false;
+  for (std::size_t pi = 0; pi < protos.size(); ++pi) {
+    const Protocol p = protos[pi];
+    const ExperimentResult& res = all[pi];
     if (!header_done) {
       std::printf("  %-12s %6s", "protocol", "");
       for (const auto& b : res.buckets) {

@@ -30,9 +30,9 @@ int main(int argc, char** argv) {
   for (int f : fanins) std::printf(" %7d", f);
   std::printf("\n");
 
-  for (Protocol p : bench::figure_protocols()) {
-    std::printf("  %-12s", to_string(p));
-    std::fflush(stdout);
+  const std::vector<Protocol> protocols = bench::figure_protocols();
+  std::vector<ExperimentConfig> configs;
+  for (Protocol p : protocols) {
     for (int fanin : fanins) {
       ExperimentConfig cfg = bench::default_setup(p);
       cfg.pattern = Pattern::Incast;
@@ -41,16 +41,25 @@ int main(int argc, char** argv) {
       cfg.measure_start = TimePoint{};
       cfg.measure_end = TimePoint(us(1));
       cfg.horizon = TimePoint(bench::scaled(ms(30)));
-      const ExperimentResult res = run_experiment(cfg);
+      configs.push_back(cfg);
+    }
+  }
+  const std::vector<ExperimentResult> all =
+      bench::run_sweep(configs, "incast_sweep");
+
+  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+    std::printf("  %-12s", to_string(protocols[pi]));
+    for (std::size_t fi = 0; fi < fanins.size(); ++fi) {
+      const ExperimentResult& res = all[pi * fanins.size() + fi];
       if (res.flows_done < res.flows_total) {
         std::printf(" %7s", "stuck");
       } else {
         std::printf(" %7.1f", res.overall.p99);
       }
       bench::maybe_print_audit(res);
-      std::fflush(stdout);
     }
     std::printf("\n");
+    std::fflush(stdout);
   }
   std::printf("\n  (all incast flows start at t=0; slowdown vs the unloaded "
               "oracle, so fan-in N costs at least ~N/2 on average)\n");

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 #include <functional>
 
+#include "bench_common.h"
 #include "matching/pim.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -95,4 +96,13 @@ BENCHMARK(BM_HopcroftKarp)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the shared bench flags (--jobs/--audit) are
+// consumed before google-benchmark rejects them as unknown.
+int main(int argc, char** argv) {
+  dcpim::bench::parse_common_flags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -51,6 +51,10 @@ struct Runtime {
   ExperimentConfig exp;  ///< owned copy; protocol configs live here
   std::unique_ptr<net::Network> net;
   std::unique_ptr<net::Topology> topo;
+  /// Owns the synthetic fixed-size CDF when exp.fixed_size is set. Must be
+  /// per-experiment (not static): generators sample it for the whole run,
+  /// and experiments execute concurrently under harness::SweepRunner.
+  std::unique_ptr<workload::EmpiricalCdf> fixed_cdf;
 };
 
 bool uses_packet_spraying(Protocol p) {
@@ -186,13 +190,12 @@ void drive_pattern(Runtime& rt, std::vector<std::unique_ptr<workload::PoissonGen
   const net::Topology& topo = *rt.topo;
 
   const workload::EmpiricalCdf* cdf = nullptr;
-  static thread_local std::unique_ptr<workload::EmpiricalCdf> fixed_holder;
   if (exp.fixed_size != Bytes{}) {
     const Bytes size = exp.fixed_size > Bytes{} ? exp.fixed_size
                                                 : topo.bdp_bytes() + Bytes{1};  // Fig 4b
-    fixed_holder =
+    rt.fixed_cdf =
         std::make_unique<workload::EmpiricalCdf>(workload::fixed_size_cdf(size));
-    cdf = fixed_holder.get();
+    cdf = rt.fixed_cdf.get();
   } else {
     cdf = &workload::workload_by_name(exp.workload);
   }

@@ -1,5 +1,6 @@
 #include "harness/report.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -47,6 +48,67 @@ std::string to_csv_row(const ReportRow& row) {
      << ',' << r.trims << ',' << r.pfc_pauses << ',' << r.bdp << ','
      << to_us(r.data_rtt) << ',' << to_us(r.control_rtt) << ','
      << r.audit.checks << ',' << r.audit.violations_total;
+  return os.str();
+}
+
+namespace {
+
+/// %a hex-float: round-trips every double bit pattern, unlike %g/%f.
+void append_exact(std::ostringstream& os, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  os << buf;
+}
+
+void append_slowdown(std::ostringstream& os, const char* label,
+                     const stats::SlowdownSummary& s) {
+  os << label << ":count=" << s.count << ",mean=";
+  append_exact(os, s.mean);
+  os << ",p50=";
+  append_exact(os, s.p50);
+  os << ",p99=";
+  append_exact(os, s.p99);
+  os << ",max=";
+  append_exact(os, s.max);
+  os << "\n";
+}
+
+}  // namespace
+
+std::string result_fingerprint(const ExperimentResult& r) {
+  std::ostringstream os;
+  append_slowdown(os, "overall", r.overall);
+  append_slowdown(os, "short_flows", r.short_flows);
+  for (std::size_t i = 0; i < r.buckets.size(); ++i) {
+    os << "bucket[" << i << "]:lo=" << r.buckets[i].lo
+       << ",hi=" << r.buckets[i].hi << " ";
+    append_slowdown(os, "slowdown", r.buckets[i].slowdown);
+  }
+  os << "goodput_ratio=";
+  append_exact(os, r.goodput_ratio);
+  os << "\nload_carried_ratio=";
+  append_exact(os, r.load_carried_ratio);
+  os << "\nflows_total=" << r.flows_total << " flows_done=" << r.flows_done
+     << " drops=" << r.drops << " trims=" << r.trims
+     << " pfc_pauses=" << r.pfc_pauses << " bdp=" << r.bdp
+     << " data_rtt=" << r.data_rtt << " control_rtt=" << r.control_rtt
+     << " util_bin=" << r.util_bin << "\n";
+  os << "util_series[" << r.util_series.size() << "]:";
+  for (double u : r.util_series) {
+    os << ' ';
+    append_exact(os, u);
+  }
+  os << "\naudit:enabled=" << r.audit.enabled << ",sweeps=" << r.audit.sweeps
+     << ",checks=" << r.audit.checks
+     << ",violations_total=" << r.audit.violations_total << "\n";
+  for (const auto& probe : r.audit.probes) {
+    os << "audit_probe:" << probe.name << "=" << probe.checks << "/"
+       << probe.violations << "\n";
+  }
+  for (const auto& v : r.audit.violations) {
+    os << "audit_violation:[" << v.at << "] " << v.probe << ": " << v.message
+       << "\n";
+  }
   return os.str();
 }
 

@@ -30,6 +30,14 @@ std::string format_audit_summary(const sim::AuditSummary& audit);
 /// Flattens a row: experiment,protocol,workload,load,<metrics...>.
 std::string to_csv_row(const ReportRow& row);
 
+/// Exact serialization of EVERY field of an ExperimentResult — slowdown
+/// summaries, all size buckets, the full utilization series, and the audit
+/// summary — with doubles rendered as hex floats (%a) so equal fingerprints
+/// mean bit-identical results. This is the equality the determinism test
+/// layer (tests/test_sweep_determinism.cpp) asserts between serial and
+/// parallel sweeps; it is also handy for diffing two runs by hand.
+std::string result_fingerprint(const ExperimentResult& result);
+
 /// Appends rows to `<dir>/<experiment>.csv` (with a header when the file is
 /// new). Returns false (quietly) if the directory is unwritable.
 bool append_csv(const std::string& dir, const std::vector<ReportRow>& rows);

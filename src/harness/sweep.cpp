@@ -1,0 +1,66 @@
+#include "harness/sweep.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace dcpim::harness {
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<ExperimentResult> SweepRunner::run(
+    const std::vector<ExperimentConfig>& configs) const {
+  const std::size_t total = configs.size();
+  std::vector<ExperimentResult> results(total);
+  std::vector<std::exception_ptr> errors(total);
+  std::size_t done = 0;
+
+  const int jobs =
+      std::min<int>(options_.jobs, static_cast<int>(std::max<std::size_t>(
+                                       total, 1)));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < total; ++i) {
+      try {
+        results[i] = run_experiment(configs[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      ++done;
+      if (options_.progress) options_.progress(done, total);
+    }
+  } else {
+    std::mutex progress_mu;  // serializes `done` and the progress callback
+    util::ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < total; ++i) {
+      pool.submit([this, &configs, &results, &errors, &progress_mu, &done,
+                   total, i] {
+        try {
+          results[i] = run_experiment(configs[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lk(progress_mu);
+        ++done;
+        if (options_.progress) options_.progress(done, total);
+      });
+    }
+    pool.wait_idle();  // happens-before: makes results[] writes visible
+  }
+
+  for (std::size_t i = 0; i < total; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  return results;
+}
+
+std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& configs,
+    const SweepOptions& options) {
+  return SweepRunner(options).run(configs);
+}
+
+}  // namespace dcpim::harness

@@ -6,6 +6,9 @@
 namespace dcpim::check_detail {
 
 SimTimeSource& sim_time_source() {
+  // shared-ok: thread_local — each thread registers the simulator it is
+  // currently driving; parallel sweeps never share a Simulator across
+  // threads, so the slots are independent by construction.
   static thread_local SimTimeSource source;
   return source;
 }

@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdarg>
 #include <cstdlib>
@@ -8,7 +9,11 @@
 namespace dcpim {
 namespace {
 
-LogLevel g_level = [] {
+// Atomic: worker threads of a parallel sweep (harness/sweep.h) read the
+// level on every LOG_* macro while the main thread may still be applying a
+// command-line override. Relaxed ordering suffices — the level gates
+// diagnostics only and never synchronizes data.
+std::atomic<LogLevel> g_level = [] {
   if (const char* env = std::getenv("DCPIM_LOG")) {
     return parse_log_level(env);
   }
@@ -29,8 +34,10 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 LogLevel parse_log_level(const std::string& name) {
   std::string lower(name);

@@ -1,0 +1,108 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcpim::util {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  DCPIM_CHECK(static_cast<bool>(task), "cannot submit an empty task");
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    DCPIM_CHECK(!stop_, "submit() on a stopping ThreadPool");
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++queued_;
+    ++unfinished_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return unfinished_ == 0; });
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& out) {
+  // Own queue first (front), then sweep the others as steal victims (back).
+  for (std::size_t k = 0; k < queues_.size(); ++k) {
+    const std::size_t victim = (self + k) % queues_.size();
+    WorkQueue& wq = *queues_[victim];
+    std::lock_guard<std::mutex> lk(wq.mu);
+    if (wq.tasks.empty()) continue;
+    if (victim == self) {
+      out = std::move(wq.tasks.front());
+      wq.tasks.pop_front();
+    } else {
+      out = std::move(wq.tasks.back());
+      wq.tasks.pop_back();
+    }
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    Task task;
+    if (try_pop(self, task)) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        DCPIM_CHECK_GT(queued_, 0u, "popped a task the pool never counted");
+        --queued_;
+      }
+      task();
+      bool became_idle;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        DCPIM_CHECK_GT(unfinished_, 0u, "finished more tasks than submitted");
+        became_idle = --unfinished_ == 0;
+      }
+      if (became_idle) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    // queued_ only moves 0 -> 1 under mu_ (submit) and notifies afterwards,
+    // so the predicate re-check in wait() cannot miss a wakeup.
+    work_cv_.wait(lk, [this] { return stop_ || queued_ > 0; });
+    if (queued_ > 0) continue;  // try_pop again (some worker has work)
+    if (stop_) return;
+  }
+}
+
+}  // namespace dcpim::util

@@ -1,0 +1,212 @@
+// Property-based tests for matching::pim — seeded randomized bipartite
+// demand matrices (500+ cases across the parameterized suite) checking the
+// invariants the end-to-end protocol relies on:
+//
+//   * every round's output is a valid partial matching (no sender or
+//     receiver matched twice, only demand edges used),
+//   * the matching only grows round over round,
+//   * after O(log n) rounds the matching is maximal,
+//   * the accepted fraction respects the Theorem 1 bound (evaluated as a
+//     group aggregate, mirroring bench/theorem1_matching.cpp's criterion).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "matching/pim.h"
+#include "util/rng.h"
+
+namespace dcpim {
+namespace {
+
+using matching::BipartiteGraph;
+using matching::MatchResult;
+
+/// Full validity check, independent of MatchResult's own helpers: every
+/// matched pair is a demand edge, and no receiver is matched twice.
+void expect_valid_partial_matching(const BipartiteGraph& g,
+                                   const MatchResult& m,
+                                   const std::string& context) {
+  ASSERT_EQ(m.match_of_sender.size(), static_cast<std::size_t>(g.n()))
+      << context;
+  std::vector<int> receiver_uses(static_cast<std::size_t>(g.n()), 0);
+  for (int s = 0; s < g.n(); ++s) {
+    const int r = m.match_of_sender[static_cast<std::size_t>(s)];
+    if (r < 0) continue;
+    EXPECT_LT(r, g.n()) << context;
+    EXPECT_TRUE(g.has_edge(s, r))
+        << context << ": matched pair (" << s << ", " << r
+        << ") is not a demand edge";
+    ++receiver_uses[static_cast<std::size_t>(r)];
+  }
+  for (int r = 0; r < g.n(); ++r) {
+    EXPECT_LE(receiver_uses[static_cast<std::size_t>(r)], 1)
+        << context << ": receiver " << r << " matched twice";
+  }
+  EXPECT_TRUE(m.is_valid_matching(g)) << context;
+}
+
+/// Parameter: (n, average degree). Each instantiation runs kSeedsPerCase
+/// random graphs, so the suite covers 9 x 60 = 540 randomized cases.
+class PimPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {
+ protected:
+  static constexpr int kSeedsPerCase = 60;
+  int n() const { return std::get<0>(GetParam()); }
+  double avg_degree() const { return std::get<1>(GetParam()); }
+  int log_rounds() const {
+    return static_cast<int>(std::ceil(std::log2(n()))) + 4;
+  }
+};
+
+TEST_P(PimPropertyTest, EveryRoundYieldsValidPartialMatching) {
+  for (std::uint64_t seed = 1; seed <= kSeedsPerCase; ++seed) {
+    Rng graph_rng(seed);
+    const BipartiteGraph g = BipartiteGraph::random(n(), avg_degree(), graph_rng);
+    for (int rounds : {1, 2, 4}) {
+      Rng rng(seed * 1000 + static_cast<std::uint64_t>(rounds));
+      const MatchResult m = matching::run_pim(g, rounds, rng);
+      expect_valid_partial_matching(
+          g, m,
+          "n=" + std::to_string(n()) + " seed=" + std::to_string(seed) +
+              " rounds=" + std::to_string(rounds));
+      ASSERT_EQ(m.size_after_round.size(), static_cast<std::size_t>(rounds));
+    }
+  }
+}
+
+TEST_P(PimPropertyTest, MatchingOnlyGrowsAcrossRounds) {
+  for (std::uint64_t seed = 1; seed <= kSeedsPerCase; ++seed) {
+    Rng graph_rng(seed);
+    const BipartiteGraph g = BipartiteGraph::random(n(), avg_degree(), graph_rng);
+    Rng rng(seed);
+    const MatchResult m = matching::run_pim(g, log_rounds(), rng);
+    int prev = 0;
+    for (std::size_t round = 0; round < m.size_after_round.size(); ++round) {
+      EXPECT_GE(m.size_after_round[round], prev)
+          << "seed " << seed << ": matching shrank at round " << round;
+      prev = m.size_after_round[round];
+    }
+    EXPECT_EQ(m.size_after_round.back(), m.size());
+  }
+}
+
+TEST_P(PimPropertyTest, LogRoundsReachMaximality) {
+  // PIM converges to a maximal matching in O(log n) rounds w.h.p.
+  // (Anderson et al.); log2(n)+4 rounds must leave no augmenting edge.
+  for (std::uint64_t seed = 1; seed <= kSeedsPerCase; ++seed) {
+    Rng graph_rng(seed);
+    const BipartiteGraph g = BipartiteGraph::random(n(), avg_degree(), graph_rng);
+    Rng rng(seed);
+    const MatchResult m = matching::run_pim(g, log_rounds(), rng);
+    EXPECT_TRUE(m.is_maximal(g)) << "n=" << n() << " seed=" << seed;
+    EXPECT_LE(m.size(), g.maximum_matching_size());
+  }
+}
+
+TEST_P(PimPropertyTest, AcceptedFractionMeetsTheorem1Bound) {
+  // Theorem 1 is a bound on the *expected* matching size, so aggregate
+  // over the randomized cases and allow the same 5% slack the theorem1
+  // bench uses for finite-sample noise.
+  for (int rounds : {1, 2, 4}) {
+    double sum_r = 0;
+    double sum_star = 0;
+    for (std::uint64_t seed = 1; seed <= kSeedsPerCase; ++seed) {
+      Rng graph_rng(seed);
+      const BipartiteGraph g =
+          BipartiteGraph::random(n(), avg_degree(), graph_rng);
+      Rng rng(seed * 17 + static_cast<std::uint64_t>(rounds));
+      sum_r += matching::run_pim(g, rounds, rng).size();
+      sum_star += matching::run_pim(g, log_rounds(), rng).size();
+    }
+    const double m_r = sum_r / kSeedsPerCase;
+    const double m_star = sum_star / kSeedsPerCase;
+    const double bound =
+        matching::theorem1_bound(n(), avg_degree(), m_star, rounds);
+    EXPECT_GE(m_r, bound * 0.95)
+        << "n=" << n() << " deg=" << avg_degree() << " rounds=" << rounds
+        << ": mean matching " << m_r << " below Theorem 1 bound " << bound;
+  }
+}
+
+TEST_P(PimPropertyTest, SameSeedIsDeterministic) {
+  for (std::uint64_t seed : {1u, 23u, 59u}) {
+    Rng g1(seed);
+    Rng g2(seed);
+    const BipartiteGraph a = BipartiteGraph::random(n(), avg_degree(), g1);
+    const BipartiteGraph b = BipartiteGraph::random(n(), avg_degree(), g2);
+    Rng r1(seed + 1);
+    Rng r2(seed + 1);
+    const MatchResult ma = matching::run_pim(a, 4, r1);
+    const MatchResult mb = matching::run_pim(b, 4, r2);
+    EXPECT_EQ(ma.match_of_sender, mb.match_of_sender) << "seed " << seed;
+    EXPECT_EQ(ma.size_after_round, mb.size_after_round) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, PimPropertyTest,
+    ::testing::Combine(::testing::Values(16, 64, 128),
+                       ::testing::Values(2.0, 5.0, 10.0)),
+    [](const ::testing::TestParamInfo<std::tuple<int, double>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "deg" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+// ---- edge cases outside the randomized sweep --------------------------------
+
+TEST(PimEdgeCaseTest, EmptyGraphMatchesNothing) {
+  const BipartiteGraph g(8);
+  Rng rng(1);
+  const MatchResult m = matching::run_pim(g, 4, rng);
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_TRUE(m.is_maximal(g));
+  EXPECT_TRUE(m.is_valid_matching(g));
+}
+
+TEST(PimEdgeCaseTest, CompleteGraphConvergesToPerfectMatching) {
+  const int n = 32;
+  const BipartiteGraph g = BipartiteGraph::complete(n);
+  Rng rng(5);
+  const MatchResult m =
+      matching::run_pim(g, static_cast<int>(std::ceil(std::log2(n))) + 4, rng);
+  // Complete demand: maximal == perfect.
+  EXPECT_EQ(m.size(), n);
+  EXPECT_TRUE(m.is_valid_matching(g));
+}
+
+TEST(PimEdgeCaseTest, SingleEdgeGraphMatchesIt) {
+  BipartiteGraph g(4);
+  g.add_edge(2, 3);
+  Rng rng(9);
+  const MatchResult m = matching::run_pim(g, 1, rng);
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_EQ(m.match_of_sender[2], 3);
+}
+
+TEST(PimEdgeCaseTest, ZeroRoundsLeavesEverythingUnmatched) {
+  Rng graph_rng(3);
+  const BipartiteGraph g = BipartiteGraph::random(16, 5.0, graph_rng);
+  Rng rng(3);
+  const MatchResult m = matching::run_pim(g, 0, rng);
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_TRUE(m.size_after_round.empty());
+  EXPECT_TRUE(m.is_valid_matching(g));
+}
+
+TEST(PimEdgeCaseTest, PimNeverExceedsMaximumMatching) {
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    Rng graph_rng(seed);
+    const BipartiteGraph g = BipartiteGraph::random(48, 3.0, graph_rng);
+    Rng rng(seed);
+    const MatchResult m = matching::run_pim(g, 12, rng);
+    EXPECT_LE(m.size(), g.maximum_matching_size()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dcpim

@@ -21,6 +21,13 @@ see .github/workflows/ci.yml):
                     its own line and the lines below it up to the first
                     blank line, so one justification can cover a tight
                     paragraph of conversions.
+  static-local      no `static` (or `static thread_local`) non-const local
+                    state in src/ without a `// shared-ok:` justification —
+                    function-local statics are process-wide mutable state
+                    that leaks between experiments and breaks the parallel-
+                    sweep isolation contract (harness/sweep.h). const/
+                    constexpr statics are immutable and always fine.
+                    Coverage reach mirrors unit-raw.
 
 Scope: src/ only (tests/bench/examples may use raw() freely — the typed API
 is the thing under test there). Run from anywhere:
@@ -79,6 +86,18 @@ UNIT_RAW_TAG = "unit-raw:"
 # code paragraphs).
 UNIT_RAW_MAX_REACH = 12
 
+# An indented (function/class scope — namespace scope is unindented in this
+# codebase) `static` or `static thread_local` declaration of a non-const
+# object. The trailing alternation requires the declarator to reach `=`,
+# `{`, `;` or end-of-line without crossing a `(`, which excludes static
+# member/free function declarations; `static_assert` fails the `\s+` after
+# `static`. const/constexpr statics are immutable after their (thread-safe)
+# initialization and are always fine.
+STATIC_LOCAL = re.compile(
+    r"^\s+static\s+(?:thread_local\s+)?(?!const\b|constexpr\b)"
+    r"[\w:<>,*&\s]+?[\w_]+\s*(?:[={;]|$)")
+SHARED_OK_TAG = "shared-ok:"
+
 
 def strip_comments_and_strings(line: str) -> str:
     """Removes // comments and string/char literal contents (approximate,
@@ -106,10 +125,12 @@ def strip_comments_and_strings(line: str) -> str:
     return "".join(out)
 
 
-def unit_raw_covered_lines(lines: list[str]) -> set[int]:
+def tag_covered_lines(lines: list[str], tag: str) -> set[int]:
+    """Lines justified by a `// <tag>` comment: the comment's own line and
+    the lines below it up to the first blank line (bounded reach)."""
     covered: set[int] = set()
     for i, line in enumerate(lines):
-        if UNIT_RAW_TAG not in line:
+        if tag not in line:
             continue
         covered.add(i)
         for j in range(i + 1, min(i + 1 + UNIT_RAW_MAX_REACH, len(lines))):
@@ -122,7 +143,8 @@ def unit_raw_covered_lines(lines: list[str]) -> set[int]:
 def lint_file(path: Path, rel: str) -> list[str]:
     violations: list[str] = []
     lines = path.read_text(encoding="utf-8").splitlines()
-    covered = unit_raw_covered_lines(lines)
+    covered = tag_covered_lines(lines, UNIT_RAW_TAG)
+    shared_ok = tag_covered_lines(lines, SHARED_OK_TAG)
 
     for idx, line in enumerate(lines):
         where = f"{rel}:{idx + 1}"
@@ -150,6 +172,12 @@ def lint_file(path: Path, rel: str) -> list[str]:
             violations.append(
                 f"{where}: [unit-raw] .raw() escape without a "
                 f"`// {UNIT_RAW_TAG}` justification on or above the line")
+
+        if STATIC_LOCAL.search(code) and idx not in shared_ok:
+            violations.append(
+                f"{where}: [static-local] static non-const local state "
+                f"breaks per-experiment isolation (harness/sweep.h); make "
+                f"it per-experiment or justify with `// {SHARED_OK_TAG}`")
 
     return violations
 
