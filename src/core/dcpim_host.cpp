@@ -13,7 +13,7 @@ constexpr std::uint8_t kShortFlowPriority = 1;
 constexpr std::uint8_t kLongFlowBasePriority = 2;
 
 std::uint32_t seq_count(const net::Flow& flow, Bytes mtu_payload) {
-  // unit-raw: data seq numbers are raw uint32 indices on the wire
+  // sa-ok(unit-raw): data seq numbers are raw uint32 indices on the wire
   return static_cast<std::uint32_t>(flow.packet_count(mtu_payload).raw());
 }
 }  // namespace
@@ -23,7 +23,7 @@ DcpimHost::DcpimHost(net::Network& net, int host_id,
     : net::Host(net, host_id, nic), cfg_(cfg) {
   if (cfg_.clock_jitter > Time{}) {
     jitter_ = Time{static_cast<std::int64_t>(network().rng().uniform_int(
-        // unit-raw: the rng draws over a raw inclusive picosecond range
+        // sa-ok(unit-raw): the rng draws over a raw inclusive picosecond range
         static_cast<std::uint64_t>(cfg_.clock_jitter.raw()) + 1))};
   }
   // First matching phase begins at local time 0 (+ jitter). The config's
@@ -182,6 +182,8 @@ void DcpimHost::schedule_finish_timer(std::uint64_t flow_id) {
 void DcpimHost::handle_request(const RequestPacket& req) {
   // Only grant when there really is an active flow toward that receiver.
   bool has_flow = false;
+  // sa-ok(determinism): any-of reduction — the result is the same for
+  // every visit order of tx_flows_.
   for (const auto& [id, tx] : tx_flows_) {
     if (tx.flow->dst == req.src && !tx.finish_acked) {
       has_flow = true;
@@ -259,6 +261,7 @@ void DcpimHost::run_grant_stage(std::uint64_t m, int round) {
     grant->min_remaining_bytes = req.min_remaining_bytes;
     send(std::move(grant));
     ++counters_.grants_sent;
+    st.granted[req.src] += give;
     spare -= give;
   }
 }
@@ -266,6 +269,7 @@ void DcpimHost::run_grant_stage(std::uint64_t m, int round) {
 void DcpimHost::handle_accept(const AcceptPacket& acc) {
   SenderEpochState& st = sender_epoch(acc.epoch);
   st.matched_channels += acc.channels_accepted;
+  st.accepted[acc.src] += acc.channels_accepted;
 }
 
 bool DcpimHost::token_expired(const TokenPacket& tok) const {
@@ -451,6 +455,10 @@ Bytes DcpimHost::flow_remaining(const RxFlow& rx) const {
 }
 
 void DcpimHost::snapshot_demand(ReceiverEpochState& st) {
+  // sa-ok(determinism): each visit writes only the per-sender keyed slots
+  // st.demand[sender] / st.min_remaining[sender]; no cross-sender state, so
+  // the snapshot is identical for every visit order. Consumers that turn
+  // the demand map into wire order sort first (run_request_stage).
   for (auto& [sender, ids] : rx_by_sender_) {
     // Prune finished/rescued-away flows lazily.
     std::erase_if(ids, [this](std::uint64_t id) {
@@ -484,7 +492,16 @@ void DcpimHost::run_request_stage(std::uint64_t m, int round) {
   const int spare = cfg_.channels - st.matched_channels;
   if (spare <= 0) return;
   const Bytes per_channel = channel_bytes_per_phase();
-  for (const auto& [sender, pending] : st.demand) {
+  // Requests leave this host in sender-id order: st.demand is an unordered
+  // map and its bucket order must not become wire order (bit-reproducible
+  // runs across libstdc++ versions).
+  std::vector<int> senders;
+  senders.reserve(st.demand.size());
+  // sa-ok(determinism): key harvest only — the iteration feeds a sort.
+  for (const auto& [sender, pending] : st.demand) senders.push_back(sender);
+  std::sort(senders.begin(), senders.end());
+  for (const int sender : senders) {
+    const Bytes pending = st.demand[sender];
     if (pending <= Bytes{}) continue;
     const int wanted = static_cast<int>(std::min<std::int64_t>(
         spare, (pending + per_channel - Bytes{1}) / per_channel));
@@ -590,7 +607,12 @@ void DcpimHost::start_data_phase(std::uint64_t m) {
 
   const Time token_timeout = cfg_.epoch_length() + cfg_.control_rtt;
   const TimePoint now = network().sim().now();
-  for (const auto& [sender, channels] : it->second.matches) {
+  // active_matches_ indexes token_tick round-robin order, so the match set
+  // must enter it in sender-id order, not unordered_map bucket order.
+  std::vector<std::pair<int, int>> sorted_matches(it->second.matches.begin(),
+                                                  it->second.matches.end());
+  std::sort(sorted_matches.begin(), sorted_matches.end());
+  for (const auto& [sender, channels] : sorted_matches) {
     // Requeue timed-out tokens for this sender's flows: their data was
     // lost (or the phase expired), so they must be re-admitted (§3.2).
     auto ids_it = rx_by_sender_.find(sender);
@@ -600,9 +622,14 @@ void DcpimHost::start_data_phase(std::uint64_t m) {
         if (rx_it == rx_flows_.end()) continue;
         RxFlow& rx = rx_it->second;
         std::vector<std::uint32_t> timed_out;
+        // sa-ok(determinism): the harvested set is sorted before it
+        // reaches readmit order, two lines down.
         for (const auto& [seq, sent_at] : rx.outstanding) {
           if (now - sent_at > token_timeout) timed_out.push_back(seq);
         }
+        // readmit is a FIFO of token issue order: sort so re-admission
+        // order never inherits unordered_map bucket order.
+        std::sort(timed_out.begin(), timed_out.end());
         for (std::uint32_t seq : timed_out) {
           rx.outstanding.erase(seq);
           --outstanding_total_;
@@ -806,6 +833,8 @@ void DcpimHost::audit_token_accounting(std::vector<std::string>& out) const {
   // the sum of the per-flow maps it caches.
   std::size_t per_flow_outstanding = 0;
   const std::uint32_t window_cap = window_packets(cfg_.channels);
+  // sa-ok(determinism): read-only audit sum; visit order can only reorder
+  // failure diagnostics, never simulation state.
   for (const auto& [id, rx] : rx_flows_) {
     per_flow_outstanding += rx.outstanding.size();
     if (rx.outstanding.size() > window_cap) {
@@ -825,6 +854,8 @@ void DcpimHost::audit_token_accounting(std::vector<std::string>& out) const {
 
 void DcpimHost::audit_matching(std::vector<std::string>& out) const {
   const std::string who = "host " + std::to_string(host_id());
+  // sa-ok(determinism): read-only audit; visit order can only reorder
+  // failure diagnostics, never simulation state.
   for (const auto& [epoch, st] : send_epochs_) {
     if (st.matched_channels < 0 || st.matched_channels > cfg_.channels) {
       out.push_back(who + " (sender) epoch " + std::to_string(epoch) +
@@ -833,6 +864,8 @@ void DcpimHost::audit_matching(std::vector<std::string>& out) const {
                     std::to_string(cfg_.channels) + "]");
     }
   }
+  // sa-ok(determinism): read-only audit; visit order can only reorder
+  // failure diagnostics, never simulation state.
   for (const auto& [epoch, st] : recv_epochs_) {
     if (st.matched_channels < 0 || st.matched_channels > cfg_.channels) {
       out.push_back(who + " (receiver) epoch " + std::to_string(epoch) +
@@ -841,6 +874,7 @@ void DcpimHost::audit_matching(std::vector<std::string>& out) const {
                     std::to_string(cfg_.channels) + "]");
     }
     int accepted_sum = 0;
+    // sa-ok(determinism): commutative sum plus range checks — audit only.
     for (const auto& [sender, channels] : st.matches) {
       if (channels < 1 || channels > cfg_.channels) {
         out.push_back(who + " (receiver) epoch " + std::to_string(epoch) +
@@ -854,6 +888,56 @@ void DcpimHost::audit_matching(std::vector<std::string>& out) const {
                     " per-sender matches sum to " +
                     std::to_string(accepted_sum) + " but total says " +
                     std::to_string(st.matched_channels));
+    }
+  }
+}
+
+void DcpimHost::audit_channel_ledger(std::vector<std::string>& out) const {
+  const std::string who = "host " + std::to_string(host_id());
+  // Double-spend check (§3.3): a receiver spends a sender's grant by
+  // accepting channels against it. Accepting more than this sender ever
+  // offered it — in any round of the epoch — means a forged, replayed, or
+  // double-counted Accept. Unclaimed offers are fine (grants race at the
+  // receiver), so only the per-receiver upper bound is asserted, plus the
+  // closed-ledger identity matched == Σ accepted.
+  // sa-ok(determinism): read-only audit; visit order can only reorder
+  // failure diagnostics, never simulation state.
+  for (const auto& [epoch, st] : send_epochs_) {
+    const std::string tag =
+        who + " (sender) epoch " + std::to_string(epoch);
+    int accepted_sum = 0;
+    // sa-ok(determinism): per-receiver bound checks plus a commutative
+    // sum — audit only.
+    for (const auto& [receiver, taken] : st.accepted) {
+      accepted_sum += taken;
+      if (taken < 0) {
+        out.push_back(tag + " recorded " + std::to_string(taken) +
+                      " accepted channels from receiver " +
+                      std::to_string(receiver));
+        continue;
+      }
+      auto it = st.granted.find(receiver);
+      const int offered = it == st.granted.end() ? 0 : it->second;
+      if (taken > offered) {
+        out.push_back(tag + " receiver " + std::to_string(receiver) +
+                      " accepted " + std::to_string(taken) +
+                      " channels against only " + std::to_string(offered) +
+                      " granted (double-spend)");
+      }
+    }
+    if (accepted_sum != st.matched_channels) {
+      out.push_back(tag + " per-receiver accepts sum to " +
+                    std::to_string(accepted_sum) + " but matched total says " +
+                    std::to_string(st.matched_channels));
+    }
+    // sa-ok(determinism): non-negativity scan over offers — audit only.
+    for (const auto& [receiver, offered] : st.granted) {
+      if (offered < 0 || offered > cfg_.channels * cfg_.rounds) {
+        out.push_back(tag + " offered receiver " +
+                      std::to_string(receiver) + " " +
+                      std::to_string(offered) + " channels, outside [0, " +
+                      std::to_string(cfg_.channels * cfg_.rounds) + "]");
+      }
     }
   }
 }

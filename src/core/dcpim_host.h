@@ -71,6 +71,11 @@ class DcpimHost : public net::Host {
   /// §3.4): per live epoch, no role holds more than k matched channels and
   /// the receiver's per-sender match table is consistent with its total.
   void audit_matching(std::vector<std::string>& out) const;
+  /// Channel double-spend (§3.3): per live sender-side epoch, every
+  /// receiver's accepted channels stay within what this sender's grant
+  /// stages actually offered it, and the epoch's matched total equals the
+  /// sum of per-receiver accepts; appends violations to `out`.
+  void audit_channel_ledger(std::vector<std::string>& out) const;
   /// Event-driven audit hook, fired once per epoch rollover (after stale
   /// epoch state is garbage-collected, before the new matching phase is
   /// scheduled). Installed by harness/audit_probes.cpp against a
@@ -112,6 +117,14 @@ class DcpimHost : public net::Host {
     /// Requests buffered per round, drained by the grant-stage event.
     std::unordered_map<int, std::vector<RequestPacket>> requests;
     std::unordered_map<int, bool> grant_stage_scheduled;
+    /// Per-receiver channel ledger for the double-spend audit: `granted`
+    /// counts offers extended across all grant stages of this epoch,
+    /// `accepted` counts the channels each receiver claimed back. Offers
+    /// that lose the accept race go unclaimed, so Σ granted may exceed
+    /// Σ accepted — but no receiver may ever claim more than it was
+    /// offered (audit_channel_ledger).
+    std::unordered_map<int, int> granted;   ///< receiver -> channels offered
+    std::unordered_map<int, int> accepted;  ///< receiver -> channels claimed
   };
 
   void send_notification(TxFlow& tx, bool retransmit);

@@ -194,14 +194,25 @@ void install_standard_probes(sim::Auditor& auditor, net::Network& net) {
     });
     for (auto& v : violations) ctx.fail(std::move(v));
   });
+  auditor.add_probe("dcpim-channel-ledger",
+                    [&net](sim::Auditor::Context& ctx) {
+                      std::vector<std::string> violations;
+                      for_each_dcpim_host(net, [&](core::DcpimHost& host) {
+                        host.audit_channel_ledger(violations);
+                      });
+                      for (auto& v : violations) ctx.fail(std::move(v));
+                    });
   auditor.add_probe("pfc-pause-ledger", [&net](sim::Auditor::Context& ctx) {
     check_pfc_pause_ledger(net, ctx);
   });
 
   // Event-driven lane (add_event_probe: no sweep fn): every DcpimHost
-  // re-runs its token/matching checks at its own epoch rollover, so a
-  // violation confined to one epoch is caught even if the periodic sweep
-  // never lands inside it.
+  // re-runs its token/matching/channel-ledger checks at its own epoch
+  // rollover, so a violation confined to one epoch is caught even if the
+  // periodic sweep never lands inside it. The grant/accept double-spend
+  // check in particular is epoch-scoped state that GC erases two epochs
+  // later — the rollover hook fires after GC but before the new matching
+  // phase, when epoch m-1's ledger is final and still alive.
   const std::size_t epoch_probe =
       auditor.add_event_probe("dcpim-epoch-rollover");
   for_each_dcpim_host(net, [&](core::DcpimHost& host) {
@@ -210,6 +221,7 @@ void install_standard_probes(sim::Auditor& auditor, net::Network& net) {
           std::vector<std::string> violations;
           host.audit_token_accounting(violations);
           host.audit_matching(violations);
+          host.audit_channel_ledger(violations);
           auditor.count_check(epoch_probe);
           for (auto& v : violations) {
             auditor.report(epoch_probe, net.sim().now(),

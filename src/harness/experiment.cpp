@@ -302,12 +302,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.goodput_ratio = goodput.ratio();
   {
     const double window_sec = to_sec(cfg.measure_end - cfg.measure_start);
-    // unit-raw: offered-rate algebra mixes rate, load fraction and seconds.
+    // sa-ok(unit-raw): offered-rate algebra mixes rate, load fraction and seconds.
     const double offered_rate_bytes =
         cfg.load * static_cast<double>(rt.topo->host_rate().raw()) / 8.0 *
         rt.net->num_hosts();
     if (window_sec > 0 && offered_rate_bytes > 0) {
-      // unit-raw: goodput ratio against the double-valued offered rate
+      // sa-ok(unit-raw): goodput ratio against the double-valued offered rate
       res.load_carried_ratio = static_cast<double>(goodput.delivered().raw()) /
                                (offered_rate_bytes * window_sec);
     }
@@ -323,7 +323,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
   // Utilization relative to the aggregate receiver capacity involved in the
   // pattern (all hosts for all-to-all / dense; one rack for bursty).
-  // unit-raw: utilization denominators are double-valued aggregate bps.
+  // sa-ok(unit-raw): utilization denominators are double-valued aggregate bps.
   double capacity_bps =
       static_cast<double>(rt.topo->host_rate().raw()) * rt.net->num_hosts();
   if (cfg.pattern == Pattern::Bursty) {

@@ -29,6 +29,8 @@ void Port::drop_packet(PacketPtr p) {
   net_.notify_drop(*p, *this);
 }
 
+// sa-hot: runs once per packet per hop — the single hottest path in the
+// simulator (dcpim_sa enforces no transitive allocation from here).
 void Port::enqueue(PacketPtr p) {
   DCPIM_CHECK(peer_ != nullptr, "port not connected");
   if (!link_up_) {
@@ -86,6 +88,8 @@ void Port::enqueue(PacketPtr p) {
 
   qbytes_[prio] += p->size;
   total_qbytes_ += p->size;
+  // sa-ok(hot-alloc): deque push of one pointer — block allocation is
+  // amortized and the freed blocks are reused at steady state.
   queues_[prio].push_back(std::move(p));
   try_transmit();
 }
@@ -112,6 +116,7 @@ int Port::next_priority_to_send() const {
   return -1;
 }
 
+// sa-hot: per-packet dequeue/serialization path.
 void Port::try_transmit() {
   if (busy_) return;
   const int prio = next_priority_to_send();
@@ -125,6 +130,8 @@ void Port::try_transmit() {
 
   if (p->collect_int) {
     // HPCC INT: stamp egress state at dequeue time.
+    // sa-ok(hot-alloc): HPCC telemetry only (collect_int), and the vector
+    // is bounded by the path hop count (<= 5 in a fat-tree).
     p->int_hops.push_back(IntHopRecord{
         .qlen = total_qbytes_,
         .tx_bytes = tx_bytes,

@@ -42,7 +42,7 @@ class FlowRxState {
   FlowRxState(Flow* flow, Bytes mtu_payload)
       : flow_(flow),
         mtu_payload_(mtu_payload),
-        // unit-raw: vector sizing takes a bare count
+        // sa-ok(unit-raw): vector sizing takes a bare count
         seen_(static_cast<std::size_t>(flow->packet_count(mtu_payload).raw()),
               false) {}
 

@@ -12,6 +12,8 @@ Host::Host(Network& net, int host_id, const PortConfig& /*nic_cfg*/)
   net.register_host(this);
 }
 
+// sa-hot: per-packet NIC ingress; protocol on_packet dispatch is the
+// hot-scope boundary (protocols manufacture control packets by design).
 void Host::receive(PacketPtr p, Port* /*in*/) { on_packet(std::move(p)); }
 
 void Host::send(PacketPtr p) {
@@ -34,6 +36,7 @@ PacketPtr Host::make_data_packet(const Flow& flow, DataPacketSpec spec) const {
   return p;
 }
 
+// sa-hot: every delivered data packet lands here.
 Bytes Host::accept_data(const Packet& p) {
   Flow* flow = network().flow(p.flow_id);
   if (flow == nullptr) {
@@ -57,6 +60,7 @@ Bytes Host::accept_data(const Packet& p) {
 FlowRxState& Host::rx_state(Flow& flow) {
   auto it = rx_.find(flow.id);
   if (it == rx_.end()) {
+    // sa-ok(hot-alloc): once per flow (first data packet), not per packet.
     it = rx_.emplace(flow.id,
                      FlowRxState(&flow, network().config().mtu_payload))
              .first;

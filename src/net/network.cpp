@@ -62,7 +62,7 @@ void Network::flow_completed(Flow& f) {
   ++completed_flows;
   LOG_DEBUG("flow %llu (%d->%d, %lld B) done, fct=%.2f us",
             static_cast<unsigned long long>(f.id), f.src, f.dst,
-            // unit-raw: printf interop
+            // sa-ok(unit-raw): printf interop
             static_cast<long long>(f.size.raw()), to_us(f.fct()));
   for (auto& fn : flow_observers_) fn(f);
 }

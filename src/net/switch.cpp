@@ -32,6 +32,8 @@ void Switch::pfc_account_arrival(Packet& p, Port* in) {
   if (in == nullptr || !in->config().pfc_enable) return;
   const auto idx = static_cast<std::size_t>(in->index());
   if (ingress_bytes_.size() <= idx) {
+    // sa-ok(hot-alloc): one-time lazy sizing on the first PFC arrival per
+    // switch; every later packet takes the branch-not-taken path.
     ingress_bytes_.resize(ports.size(), Bytes{});
     ingress_paused_.resize(ports.size(), false);
   }
@@ -61,6 +63,7 @@ void Switch::pfc_update(int ingress_index) {
   }
 }
 
+// sa-hot: per-packet forwarding path through every switch hop.
 void Switch::receive(PacketPtr p, Port* in) {
   pfc_account_arrival(*p, in);
   Port* out = select_egress(*p);

@@ -133,7 +133,7 @@ void Topology::finalize(Network& net) {
   bdp_bytes_ = bytes_in(max_data_rtt_, host_rate_);
   LOG_INFO("topology: %d hosts, data RTT %.2f us, cRTT %.2f us, BDP %lld B",
            num_hosts_, to_us(max_data_rtt_), to_us(max_control_rtt_),
-           // unit-raw: printf interop
+           // sa-ok(unit-raw): printf interop
            static_cast<long long>(bdp_bytes_.raw()));
 }
 

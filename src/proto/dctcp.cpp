@@ -19,7 +19,7 @@ void DctcpHost::on_ack_event(WFlow& f, const AckPacket& ack) {
                         static_cast<double>(f.window_acks);
     f.dctcp_alpha = (1.0 - cfg_.g) * f.dctcp_alpha + cfg_.g * frac;
     if (f.window_marks > 0) {
-      // unit-raw: the congestion window evolves multiplicatively, in
+      // sa-ok(unit-raw): the congestion window evolves multiplicatively, in
       // doubles
       f.cwnd_bytes =
           std::max(f.cwnd_bytes * (1.0 - f.dctcp_alpha / 2.0),
@@ -31,7 +31,7 @@ void DctcpHost::on_ack_event(WFlow& f, const AckPacket& ack) {
   }
 
   // Standard additive increase (slow start below ssthresh).
-  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   const double mss_bytes = static_cast<double>(mss().raw());
   if (f.cwnd_bytes < f.ssthresh) {
     f.cwnd_bytes += mss_bytes;
@@ -41,14 +41,14 @@ void DctcpHost::on_ack_event(WFlow& f, const AckPacket& ack) {
 }
 
 void DctcpHost::on_fast_retransmit(WFlow& f) {
-  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   f.ssthresh =
       std::max(f.cwnd_bytes / 2, static_cast<double>((mss() * 2).raw()));
   f.cwnd_bytes = f.ssthresh;
 }
 
 void DctcpHost::on_timeout(WFlow& f) {
-  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   f.ssthresh =
       std::max(f.cwnd_bytes / 2, static_cast<double>((mss() * 2).raw()));
   f.cwnd_bytes = static_cast<double>(mss().raw());

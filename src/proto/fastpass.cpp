@@ -9,9 +9,11 @@
 namespace dcpim::proto {
 
 namespace {
+// Fastpass needs no control packets on the wire: loss re-requests go
+// straight to the in-process arbiter (arbiter_.add_demand), so data is the
+// whole vocabulary and the on_packet switch below is exhaustive.
 enum FastpassKind : int {
   kFpData = 0,
-  kFpRerequest,  ///< receiver -> sender: these seqs never arrived
 };
 }  // namespace
 
@@ -100,7 +102,7 @@ void FastpassHost::on_flow_arrival(net::Flow& flow) {
   TxFlow tx;
   tx.flow = &flow;
   tx.packets = static_cast<std::uint32_t>(
-      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      // sa-ok(unit-raw): data seq numbers are raw uint32 indices on the wire
       flow.packet_count(network().config().mtu_payload).raw());
   tx_flows_.emplace(flow.id, tx);
   // Every packet — even a single-packet RPC — must be scheduled first: the

@@ -54,7 +54,7 @@ void HomaHost::on_flow_arrival(net::Flow& flow) {
   TxFlow tx;
   tx.flow = &flow;
   tx.packets = static_cast<std::uint32_t>(
-      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      // sa-ok(unit-raw): data seq numbers are raw uint32 indices on the wire
       flow.packet_count(network().config().mtu_payload).raw());
   tx.unsched_packets = std::min<std::uint32_t>(tx.packets, window_packets());
   tx_flows_.emplace(flow.id, tx);
@@ -129,7 +129,7 @@ HomaHost::RxFlow* HomaHost::ensure_rx_flow(std::uint64_t flow_id) {
   RxFlow rx;
   rx.flow = flow;
   rx.packets = static_cast<std::uint32_t>(
-      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      // sa-ok(unit-raw): data seq numbers are raw uint32 indices on the wire
       flow->packet_count(network().config().mtu_payload).raw());
   rx.unsched_packets = std::min<std::uint32_t>(rx.packets, window_packets());
   rx.next_new_seq = rx.unsched_packets;
@@ -206,6 +206,8 @@ void HomaHost::resend_check(std::uint64_t flow_id) {
     ++counters_.resend_requests;
     const TimePoint now = network().sim().now();
     std::vector<std::uint32_t> stale;
+    // sa-ok(determinism): harvest feeds keyed erases and an ordered
+    // std::set insert — the outcome is visit-order independent.
     for (const auto& [seq, at] : rx.outstanding) {
       if (now - at > cfg_.effective_resend()) stale.push_back(seq);
     }
@@ -241,6 +243,8 @@ void HomaHost::recompute_active() {
     return h;
   };
   std::vector<std::tuple<Bytes, std::uint64_t, std::uint64_t>> order;
+  // sa-ok(determinism): every candidate is visited and `order` is fully
+  // sorted below on a (size, salted-hash, id) key with no duplicates.
   for (std::uint64_t id : sched_candidates_) {
     auto it = rx_flows_.find(id);
     if (it == rx_flows_.end() || it->second.flow->finished()) continue;

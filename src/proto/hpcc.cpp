@@ -20,19 +20,19 @@ double HpccHost::utilization_estimate(WFlow& f, const AckPacket& ack) const {
   for (std::size_t j = 0; j < hops; ++j) {
     const auto& cur = ack.int_echo[j];
     const auto& prev = f.last_int[j];
-    // unit-raw: the HPCC utilization estimator (eq. 2) is double-valued
+    // sa-ok(unit-raw): the HPCC utilization estimator (eq. 2) is double-valued
     const double rate_bps = static_cast<double>(cur.rate.raw());
     if (rate_bps <= 0) continue;
     double tx_rate_bps = 0;
     const Time dt = cur.timestamp - prev.timestamp;
     if (dt > Time{} && cur.tx_bytes >= prev.tx_bytes) {
       tx_rate_bps =
-          // unit-raw: double-valued telemetry rate estimate
+          // sa-ok(unit-raw): double-valued telemetry rate estimate
           static_cast<double>((cur.tx_bytes - prev.tx_bytes).raw()) * 8.0 /
           to_sec(dt);
     }
     const double qlen_term =
-        // unit-raw: double-valued telemetry queue term
+        // sa-ok(unit-raw): double-valued telemetry queue term
         static_cast<double>(std::min(cur.qlen, prev.qlen).raw()) * 8.0 /
         (rate_bps * t_sec);
     u = std::max(u, qlen_term + tx_rate_bps / rate_bps);
@@ -41,7 +41,7 @@ double HpccHost::utilization_estimate(WFlow& f, const AckPacket& ack) const {
   if (f.last_int.size() != ack.int_echo.size()) {
     for (const auto& hop : ack.int_echo) {
       if (hop.rate <= BitsPerSec{}) continue;
-      // unit-raw: double-valued telemetry queue term
+      // sa-ok(unit-raw): double-valued telemetry queue term
       u = std::max(u, static_cast<double>(hop.qlen.raw()) * 8.0 /
                           (static_cast<double>(hop.rate.raw()) * t_sec));
     }
@@ -55,7 +55,7 @@ void HpccHost::on_ack_event(WFlow& f, const AckPacket& ack) {
   f.last_int = ack.int_echo;
 
   const double wai = static_cast<double>(
-      // unit-raw: additive-increase feeds the double-valued window update
+      // sa-ok(unit-raw): additive-increase feeds the double-valued window update
       (cfg_.wai_bytes > Bytes{} ? cfg_.wai_bytes : mss() / 2).raw());
   double w;
   if (u >= cfg_.eta || f.inc_stage >= cfg_.max_stage) {
@@ -63,7 +63,7 @@ void HpccHost::on_ack_event(WFlow& f, const AckPacket& ack) {
   } else {
     w = f.wc_bytes + wai;
   }
-  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   const double cap = 2.0 * static_cast<double>(window_config().bdp_bytes.raw());
   f.cwnd_bytes = std::clamp(w, static_cast<double>(mss().raw()), cap);
 
@@ -78,13 +78,13 @@ void HpccHost::on_ack_event(WFlow& f, const AckPacket& ack) {
 void HpccHost::on_fast_retransmit(WFlow& f) {
   // PFC keeps the fabric lossless in the common case; on the rare loss we
   // halve the reference window.
-  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   f.wc_bytes = std::max(f.wc_bytes / 2, static_cast<double>(mss().raw()));
   f.cwnd_bytes = f.wc_bytes;
 }
 
 void HpccHost::on_timeout(WFlow& f) {
-  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   f.wc_bytes = static_cast<double>(mss().raw());
   f.cwnd_bytes = f.wc_bytes;
   f.inc_stage = 0;

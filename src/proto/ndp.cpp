@@ -24,7 +24,7 @@ void NdpHost::on_flow_arrival(net::Flow& flow) {
   TxFlow tx;
   tx.flow = &flow;
   tx.packets = static_cast<std::uint32_t>(
-      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      // sa-ok(unit-raw): data seq numbers are raw uint32 indices on the wire
       flow.packet_count(network().config().mtu_payload).raw());
   tx.last_progress = network().sim().now();
   auto [it, _] = tx_flows_.emplace(flow.id, std::move(tx));
@@ -122,7 +122,7 @@ void NdpHost::handle_data_or_header(net::PacketPtr p) {
     RxFlow rx;
     rx.flow = flow;
     rx.packets = static_cast<std::uint32_t>(
-        // unit-raw: data seq numbers are raw uint32 indices on the wire
+        // sa-ok(unit-raw): data seq numbers are raw uint32 indices on the wire
         flow->packet_count(network().config().mtu_payload).raw());
     it = rx_flows_.emplace(id, rx).first;
   }
@@ -195,6 +195,8 @@ void NdpHost::on_packet(net::PacketPtr p) {
     handle_data_or_header(std::move(p));
     return;
   }
+  // sa-ok(packet-switch): kNdpData is consumed by the trimmed-header guard
+  // above; the default only catches corrupted kinds and warns.
   switch (p->kind) {
     case kNdpPull:
       handle_pull(*p);

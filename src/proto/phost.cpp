@@ -26,7 +26,7 @@ void PhostHost::on_flow_arrival(net::Flow& flow) {
   TxFlow tx;
   tx.flow = &flow;
   tx.packets = static_cast<std::uint32_t>(
-      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      // sa-ok(unit-raw): data seq numbers are raw uint32 indices on the wire
       flow.packet_count(network().config().mtu_payload).raw());
   tx_flows_.emplace(flow.id, tx);
 
@@ -115,7 +115,7 @@ PhostHost::RxFlow* PhostHost::ensure_rx(std::uint64_t flow_id) {
   RxFlow rx;
   rx.flow = flow;
   rx.packets = static_cast<std::uint32_t>(
-      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      // sa-ok(unit-raw): data seq numbers are raw uint32 indices on the wire
       flow->packet_count(network().config().mtu_payload).raw());
   rx.free_packets = std::min<std::uint32_t>(
       rx.packets, static_cast<std::uint32_t>(std::max<std::int64_t>(
@@ -161,6 +161,8 @@ void PhostHost::expire_stale(RxFlow& rx) {
     }
   }
   std::vector<std::uint32_t> stale;
+  // sa-ok(determinism): harvest feeds keyed erases, an ordered std::set
+  // insert, and commutative counter bumps — visit-order independent.
   for (const auto& [seq, at] : rx.outstanding) {
     if (now - at > cfg_.effective_token_timeout()) stale.push_back(seq);
   }
@@ -183,8 +185,11 @@ PhostHost::RxFlow* PhostHost::pick_flow() {
   RxFlow* best = nullptr;
   Bytes best_rem = Bytes::max();
   bool best_downgraded = true;
+  std::uint64_t best_id = 0;
   const auto window = static_cast<std::size_t>(std::max<std::int64_t>(
       1, cfg_.bdp_bytes / network().config().mtu_payload));
+  // sa-ok(determinism): the selection key (downgraded, remaining, flow id)
+  // is a strict total order, so the winner is visit-order independent.
   for (auto& [id, rx] : rx_flows_) {
     if (rx.flow->finished()) continue;
     expire_stale(rx);
@@ -194,12 +199,16 @@ PhostHost::RxFlow* PhostHost::pick_flow() {
     const Bytes rem =
         rx.flow->size - (st != nullptr ? st->received_bytes() : Bytes{});
     const bool downgraded = rx.downgraded_until > now;
-    // Non-downgraded flows always beat downgraded ones; SRPT within class.
+    // Non-downgraded flows always beat downgraded ones; SRPT within class,
+    // lowest flow id on equal remaining (a total order: equal-size ties
+    // must not fall to unordered_map visit order).
     if (best == nullptr || (best_downgraded && !downgraded) ||
-        (best_downgraded == downgraded && rem < best_rem)) {
+        (best_downgraded == downgraded &&
+         (rem < best_rem || (rem == best_rem && id < best_id)))) {
       best = &rx;
       best_rem = rem;
       best_downgraded = downgraded;
+      best_id = id;
     }
   }
   return best;

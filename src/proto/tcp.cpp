@@ -9,7 +9,7 @@ TcpHost::TcpHost(net::Network& net, int host_id, const net::PortConfig& nic,
     : WindowHost(net, host_id, nic, cfg.window), cfg_(cfg) {}
 
 void TcpHost::on_ack_event(WFlow& f, const AckPacket& /*ack*/) {
-  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   const double mss_bytes = static_cast<double>(mss().raw());
   if (f.cwnd_bytes < f.ssthresh) {
     f.cwnd_bytes += mss_bytes;  // slow start
@@ -19,14 +19,14 @@ void TcpHost::on_ack_event(WFlow& f, const AckPacket& /*ack*/) {
 }
 
 void TcpHost::on_fast_retransmit(WFlow& f) {
-  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   f.ssthresh =
       std::max(f.cwnd_bytes / 2, static_cast<double>((mss() * 2).raw()));
   f.cwnd_bytes = f.ssthresh;
 }
 
 void TcpHost::on_timeout(WFlow& f) {
-  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   f.ssthresh =
       std::max(f.cwnd_bytes / 2, static_cast<double>((mss() * 2).raw()));
   f.cwnd_bytes = static_cast<double>(mss().raw());

@@ -21,9 +21,9 @@ void WindowHost::on_flow_arrival(net::Flow& flow) {
   WFlow f;
   f.flow = &flow;
   f.packets = static_cast<std::uint32_t>(
-      // unit-raw: data seq numbers are raw uint32 indices on the wire
+      // sa-ok(unit-raw): data seq numbers are raw uint32 indices on the wire
       flow.packet_count(network().config().mtu_payload).raw());
-  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   f.cwnd_bytes = static_cast<double>(cfg_.effective_init_cwnd().raw());
   f.window_start = network().sim().now();
   auto [it, _] = flows_.emplace(flow.id, std::move(f));
@@ -41,7 +41,7 @@ void WindowHost::try_send(WFlow& f) {
   const Bytes mtu = mss();
   while (true) {
     const Bytes inflight_bytes = mtu * f.inflight.size();
-    // unit-raw: compared against the double-valued congestion window
+    // sa-ok(unit-raw): compared against the double-valued congestion window
     if (static_cast<double>((inflight_bytes + mtu).raw()) > f.cwnd_bytes &&
         !f.inflight.empty()) {
       return;  // window full (always allow at least one packet out)
@@ -75,6 +75,8 @@ void WindowHost::arm_rto(std::uint64_t flow_id) {
     WFlow& f = it->second;
     const TimePoint now = network().sim().now();
     TimePoint oldest = kTimePointInfinity;
+    // sa-ok(determinism): both inflight walks are visit-order independent —
+    // a commutative min-fold here, an ordered std::set insert below.
     for (const auto& [seq, at] : f.inflight) oldest = std::min(oldest, at);
     if (!f.inflight.empty() && now - oldest >= rto(f)) {
       ++counters_.timeouts;
@@ -147,7 +149,7 @@ void WindowHost::handle_ack(net::PacketPtr p) {
   }
 
   on_ack_event(f, ack);
-  // unit-raw: the congestion window evolves multiplicatively, in doubles
+  // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   f.cwnd_bytes = std::max(f.cwnd_bytes, static_cast<double>(mss().raw()));
   try_send(f);
 }

@@ -12,13 +12,15 @@ namespace {
 /// Adapter so DCPIM_CHECK failures anywhere in the stack can report the
 /// simulated time at which the invariant broke (see util/check.h).
 std::int64_t sim_now_for_checks(const void* ctx) {
-  // unit-raw: check.h's failure-message hook is unit-agnostic by design
+  // sa-ok(unit-raw): check.h's failure-message hook is unit-agnostic by design
   return static_cast<const Simulator*>(ctx)->now().raw();
 }
 
 }  // namespace
 
 void Simulator::heap_push(Entry e) {
+  // sa-ok(hot-alloc): vector growth is amortized and the heap reaches its
+  // steady-state capacity within the first few simulated RTTs.
   heap_.push_back(std::move(e));
   std::size_t i = heap_.size() - 1;
   while (i > 0) {
@@ -77,6 +79,7 @@ bool Simulator::pop_next(Entry& out) {
   return false;
 }
 
+// sa-hot: the event loop proper — every simulated event passes through.
 void Simulator::run(TimePoint until) {
   check_detail::ScopedSimTimeSource time_source(this, &sim_now_for_checks);
   stopped_ = false;
@@ -99,6 +102,7 @@ void Simulator::run(TimePoint until) {
   if (!stopped_ && until != kTimePointInfinity) now_ = until;
 }
 
+// sa-hot: bounded-step variant of the event loop.
 std::size_t Simulator::run_steps(std::size_t max_events) {
   check_detail::ScopedSimTimeSource time_source(this, &sim_now_for_checks);
   stopped_ = false;

@@ -100,7 +100,7 @@ Bytes UtilizationSeries::bytes_in_bin(std::size_t i) const {
 
 double UtilizationSeries::utilization(std::size_t i,
                                       double capacity_bps) const {
-  // unit-raw: utilization is a double-valued fraction of caller capacity
+  // sa-ok(unit-raw): utilization is a double-valued fraction of caller capacity
   return static_cast<double>(bytes_in_bin(i).raw()) * 8.0 /
          (capacity_bps * to_sec(bin_width_));
 }

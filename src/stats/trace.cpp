@@ -80,7 +80,7 @@ void Tracer::dump(std::ostream& os) const {
 void Tracer::dump_csv(std::ostream& os) const {
   os << "at_ps,kind,flow,host,bytes,label\n";
   for (const auto& e : events_) {
-    // unit-raw: CSV columns are raw numbers; units live in the header row
+    // sa-ok(unit-raw): CSV columns are raw numbers; units live in the header row
     os << e.at.raw() << "," << to_string(e.kind) << "," << e.flow_id << ","
        << e.host << "," << e.bytes.raw() << ",\"" << e.label << "\"\n";
   }

@@ -20,9 +20,9 @@
 // than an overload-resolution maze.
 //
 // Escape hatch: `raw()` exposes the underlying representation. Project
-// policy (enforced by tools/lint_dcpim.py) is that every raw() call in src/
-// carries a `// unit-raw:` comment justifying why typed arithmetic cannot
-// express the operation.
+// policy (enforced by tools/dcpim_sa.py, the semantic-analyzer CI lane) is
+// that every raw() call in src/ carries an `sa-ok(unit-raw)` suppression
+// comment justifying why typed arithmetic cannot express the operation.
 //
 // Everything here is constexpr and the types are standard-layout wrappers
 // of their representation (static_asserts below), so the layer is
@@ -49,8 +49,8 @@ class StrongOrdinal {
   constexpr explicit StrongOrdinal(Rep v) : v_(v) {}
 
   /// Underlying representation. Use sparingly; in src/ every call site
-  /// must justify itself with a `// unit-raw:` comment (see
-  /// tools/lint_dcpim.py).
+  /// must justify itself with an `sa-ok(unit-raw)` suppression comment
+  /// (see tools/dcpim_sa.py).
   [[nodiscard]] constexpr Rep raw() const { return v_; }
 
   static constexpr Derived min() {
@@ -201,7 +201,7 @@ class StrongInt : public StrongOrdinal<Derived, Rep> {
 /// utilization fractions).
 template <typename D, typename R>
 constexpr double fratio(StrongInt<D, R> a, StrongInt<D, R> b) {
-  // unit-raw: same-unit quotient; the units cancel by construction
+  // sa-ok(unit-raw): same-unit quotient; the units cancel by construction
   return static_cast<double>(a.raw()) / static_cast<double>(b.raw());
 }
 

@@ -40,25 +40,25 @@ class TimePoint : public StrongOrdinal<TimePoint> {
   using StrongOrdinal<TimePoint>::StrongOrdinal;
   /// The instant `since_start` after the simulation epoch (time zero).
   constexpr explicit TimePoint(Time since_start)
-      // unit-raw: epoch-offset construction is the defining conversion
+      // sa-ok(unit-raw): epoch-offset construction is the defining conversion
       : StrongOrdinal<TimePoint>(since_start.raw()) {}
   static constexpr const char* unit_suffix() { return "ps"; }
 
   /// Offset from simulation start (inverse of the Time constructor).
   constexpr Time since_start() const {
-    return Time{v_};  // unit-raw: epoch-offset extraction
+    return Time{v_};
   }
 };
 
 constexpr TimePoint operator+(TimePoint t, Time d) {
-  return TimePoint{t.raw() + d.raw()};  // unit-raw: instant shifted by span
+  return TimePoint{t.raw() + d.raw()};  // sa-ok(unit-raw): instant shifted by span
 }
 constexpr TimePoint operator+(Time d, TimePoint t) { return t + d; }
 constexpr TimePoint operator-(TimePoint t, Time d) {
-  return TimePoint{t.raw() - d.raw()};  // unit-raw: instant shifted by span
+  return TimePoint{t.raw() - d.raw()};  // sa-ok(unit-raw): instant shifted by span
 }
 constexpr Time operator-(TimePoint a, TimePoint b) {
-  return Time{a.raw() - b.raw()};  // unit-raw: span between instants
+  return Time{a.raw() - b.raw()};  // sa-ok(unit-raw): span between instants
 }
 constexpr TimePoint& operator+=(TimePoint& t, Time d) { return t = t + d; }
 
@@ -80,7 +80,7 @@ constexpr Time ns(double v) { return kNanosecond * v; }
 constexpr Time us(double v) { return kMicrosecond * v; }
 constexpr Time ms(double v) { return kMillisecond * v; }
 
-// unit-raw: the to_* helpers are the sanctioned double conversion boundary.
+// sa-ok(unit-raw): the to_* helpers are the sanctioned double conversion boundary.
 constexpr double to_ns(Time t) { return static_cast<double>(t.raw()) / 1e3; }
 constexpr double to_us(Time t) { return static_cast<double>(t.raw()) / 1e6; }
 constexpr double to_ms(Time t) { return static_cast<double>(t.raw()) / 1e9; }
@@ -92,7 +92,7 @@ constexpr double to_us(TimePoint t) { return to_us(t.since_start()); }
 constexpr Time serialization_time(Bytes bytes, BitsPerSec rate) {
   // bytes * 8 bits * 1e12 ps/s / rate. Multiply first in 128-bit to avoid
   // overflow for multi-megabyte messages.
-  // unit-raw: mixed-unit kernel; the strong signature above is the checked
+  // sa-ok(unit-raw): mixed-unit kernel; the strong signature above is the checked
   // boundary.
   return Time{static_cast<std::int64_t>(
       (static_cast<__int128>(bytes.raw()) * 8 * kSecond.raw()) / rate.raw())};
@@ -100,7 +100,7 @@ constexpr Time serialization_time(Bytes bytes, BitsPerSec rate) {
 
 /// Bytes transmittable in `t` at `rate` (floor).
 constexpr Bytes bytes_in(Time t, BitsPerSec rate) {
-  // unit-raw: mixed-unit kernel; the strong signature above is the checked
+  // sa-ok(unit-raw): mixed-unit kernel; the strong signature above is the checked
   // boundary.
   return Bytes{static_cast<std::int64_t>(
       (static_cast<__int128>(t.raw()) * rate.raw()) / (8 * kSecond.raw()))};

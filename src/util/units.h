@@ -41,7 +41,7 @@ constexpr BitsPerSec gbps(double v) { return kGbps * v; }
 inline constexpr Bytes kKB{1'000};
 inline constexpr Bytes kMB{1'000'000};
 
-// unit-raw: the to_* helpers are the sanctioned double conversion boundary.
+// sa-ok(unit-raw): the to_* helpers are the sanctioned double conversion boundary.
 constexpr double to_kb(Bytes b) { return static_cast<double>(b.raw()) / 1e3; }
 constexpr double to_mb(Bytes b) { return static_cast<double>(b.raw()) / 1e6; }
 

@@ -67,7 +67,7 @@ double EmpiricalCdf::cdf_at(double bytes) const {
 
 EmpiricalCdf fixed_size_cdf(Bytes size) {
   return EmpiricalCdf("fixed" + to_string(size),
-                      // unit-raw: CDF points are double-valued by contract
+                      // sa-ok(unit-raw): CDF points are double-valued by contract
                       {{static_cast<double>(size.raw()), 1.0}});
 }
 

@@ -16,7 +16,7 @@ PoissonGenerator::PoissonGenerator(net::Network& net, BitsPerSec access_rate,
   if (cfg_.receivers.empty()) cfg_.receivers = all_hosts(net);
   // load = (mean_size * 8) / (interarrival * rate)  =>  interarrival.
   const double bytes_per_sec =
-      // unit-raw: load math is double-valued; the rate enters as a scalar
+      // sa-ok(unit-raw): load math is double-valued; the rate enters as a scalar
       cfg_.load * static_cast<double>(access_rate.raw()) / 8.0;
   const double seconds = cfg_.cdf->mean_bytes() / bytes_per_sec;
   mean_interarrival_ = kSecond * seconds;
@@ -27,7 +27,7 @@ void PoissonGenerator::start() {
   for (std::size_t i = 0; i < cfg_.senders.size(); ++i) {
     // First arrival after an exponential delay (memoryless start).
     const Time delay =
-        // unit-raw: exponential() draws a double-valued mean
+        // sa-ok(unit-raw): exponential() draws a double-valued mean
         ps(net_.rng().exponential(static_cast<double>(mean_interarrival_.raw())));
     net_.sim().schedule_at(cfg_.start + delay, [this, i]() { arrival(i); });
   }
@@ -35,7 +35,7 @@ void PoissonGenerator::start() {
 
 void PoissonGenerator::schedule_next(std::size_t sender_idx) {
   const Time delay =
-      // unit-raw: exponential() draws a double-valued mean
+      // sa-ok(unit-raw): exponential() draws a double-valued mean
       ps(net_.rng().exponential(static_cast<double>(mean_interarrival_.raw())));
   net_.sim().schedule_after(delay,
                             [this, sender_idx]() { arrival(sender_idx); });

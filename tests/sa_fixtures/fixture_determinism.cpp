@@ -1,0 +1,64 @@
+// dcpim-sa fixture: planted determinism violations.
+//
+// Golden expectations (tests/test_dcpim_sa.py):
+//   - std::rand reached through a two-deep helper chain from an event root
+//   - an unseeded std::random_device
+//   - a wall-clock read (std::chrono::steady_clock)
+//   - a range-for over an unordered_map member inside an event-reachable
+//     function
+//   - one sa-ok(determinism)-suppressed unordered walk that must NOT fire
+//
+// This file is analyzed standalone (never compiled into the simulator).
+#include <cstdlib>
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Event {
+  int kind = 0;
+};
+
+class DetHost {
+ public:
+  // Event root by name: `on_packet` seeds the reachability walk.
+  void on_packet(const Event& e) {
+    if (e.kind > 0) jitter_helper();
+    walk_flows();
+    walk_flows_suppressed();
+  }
+
+ private:
+  // Two-deep chain: on_packet -> jitter_helper -> draw_jitter -> std::rand.
+  void jitter_helper() { last_jitter_ = draw_jitter(); }
+
+  int draw_jitter() {
+    std::random_device rd;  // planted: unseeded random_device
+    (void)rd;
+    const auto t = std::chrono::steady_clock::now();  // planted: wall clock
+    (void)t;
+    return std::rand();  // planted: std::rand three calls from the root
+  }
+
+  void walk_flows() {
+    // planted: bucket order escapes into per-flow state mutation order
+    for (auto& [id, credits] : flow_credits_) {
+      credits += 1;
+      order_sensitive_ = id;
+    }
+  }
+
+  void walk_flows_suppressed() {
+    int total = 0;
+    // sa-ok(determinism): commutative sum — visit order cannot escape.
+    for (const auto& [id, credits] : flow_credits_) total += credits;
+    order_sensitive_ = total;
+  }
+
+  std::unordered_map<int, int> flow_credits_;
+  int last_jitter_ = 0;
+  int order_sensitive_ = 0;
+};
+
+}  // namespace fixture

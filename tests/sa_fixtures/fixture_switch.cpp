@@ -1,0 +1,72 @@
+// dcpim-sa fixture: planted packet-kind exhaustiveness violations.
+//
+// Golden expectations (tests/test_dcpim_sa.py):
+//   - a switch over FixtureKind that misses kFixAck with no default
+//   - a switch whose bare default hides kFixNack
+//   - an exhaustive switch that must NOT fire
+//   - a default audited via sa-ok(packet-switch) that must NOT fire
+
+namespace fixture {
+
+enum FixtureKind : int {
+  kFixData = 0,
+  kFixAck,
+  kFixNack,
+};
+
+int sink = 0;
+
+void missing_no_default(FixtureKind k) {
+  switch (k) {  // planted: kFixAck unhandled, no default
+    case kFixData:
+      sink = 1;
+      break;
+    case kFixNack:
+      sink = 2;
+      break;
+  }
+}
+
+void hidden_by_default(FixtureKind k) {
+  switch (k) {  // planted: kFixNack silently swallowed by default
+    case kFixData:
+      sink = 3;
+      break;
+    case kFixAck:
+      sink = 4;
+      break;
+    default:
+      sink = -1;
+  }
+}
+
+void exhaustive(FixtureKind k) {
+  switch (k) {
+    case kFixData:
+      sink = 5;
+      break;
+    case kFixAck:
+      sink = 6;
+      break;
+    case kFixNack:
+      sink = 7;
+      break;
+  }
+}
+
+void audited_default(FixtureKind k) {
+  // sa-ok(packet-switch): kFixNack is filtered by the caller; the default
+  // is the audited drop path for corrupt kinds.
+  switch (k) {
+    case kFixData:
+      sink = 8;
+      break;
+    case kFixAck:
+      sink = 9;
+      break;
+    default:
+      sink = -2;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// dcpim-sa fixture: planted strong-type .raw() escapes.
+//
+// Golden expectations (tests/test_dcpim_sa.py):
+//   - a direct .raw() call with no justification
+//   - a .raw() reached through an `auto` copy (the historical regex rule
+//     never looked past the declared type; dcpim-sa flags the call itself)
+//   - a ->raw() through a pointer
+//   - an sa-ok(unit-raw)-justified escape that must NOT fire
+
+namespace fixture {
+
+class Ticks {
+ public:
+  explicit Ticks(long v) : v_(v) {}
+  long raw() const { return v_; }
+
+ private:
+  long v_;
+};
+
+long direct_escape(const Ticks& t) {
+  return t.raw();  // planted: naked escape
+}
+
+long auto_escape(const Ticks& t) {
+  auto copy = t;
+  return copy.raw();  // planted: escape via auto-typed copy
+}
+
+long pointer_escape(const Ticks* t) {
+  return t->raw();  // planted: escape through a pointer
+}
+
+long justified_escape(const Ticks& t) {
+  // sa-ok(unit-raw): fixture interop boundary — the raw count leaves the
+  // typed domain here by design.
+  return t.raw();
+}
+
+}  // namespace fixture

@@ -3,10 +3,15 @@
 // (harness/audit_probes.h via the experiment harness).
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/dcpim_host.h"
+#include "core/dcpim_packets.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "net/topology.h"
 #include "sim/audit.h"
 #include "sim/simulator.h"
 
@@ -100,16 +105,62 @@ TEST(AuditedExperimentTest, DcpimRunIsClean) {
   EXPECT_GT(res.audit.checks, 0u);
   EXPECT_TRUE(res.audit.clean())
       << harness::format_audit_summary(res.audit);
-  // All six standard probes plus the built-in monotonicity probe ran.
-  EXPECT_EQ(res.audit.probes.size(), 7u);
+  // All seven standard probes plus the built-in monotonicity probe ran.
+  EXPECT_EQ(res.audit.probes.size(), 8u);
   const std::string report = harness::format_audit_summary(res.audit);
   EXPECT_NE(report.find("flow-byte-conservation"), std::string::npos);
   EXPECT_NE(report.find("queue-occupancy"), std::string::npos);
   EXPECT_NE(report.find("dcpim-token-accounting"), std::string::npos);
   EXPECT_NE(report.find("dcpim-matching"), std::string::npos);
+  EXPECT_NE(report.find("dcpim-channel-ledger"), std::string::npos);
   EXPECT_NE(report.find("pfc-pause-ledger"), std::string::npos);
   EXPECT_NE(report.find("dcpim-epoch-rollover"), std::string::npos);
   EXPECT_NE(report.find("clean"), std::string::npos);
+}
+
+/// Exposes the protected packet entry point so a test can hand a host a
+/// forged control packet without routing it through the fabric.
+struct ForgeableDcpimHost : core::DcpimHost {
+  using core::DcpimHost::DcpimHost;
+  using core::DcpimHost::on_packet;
+};
+
+TEST(AuditedExperimentTest, ChannelLedgerCatchesForgedAccept) {
+  core::DcpimConfig cfg;
+  net::Network net{net::NetConfig{}};
+  net::LeafSpineParams params;
+  params.racks = 2;
+  params.hosts_per_rack = 2;
+  params.spines = 1;
+  const net::Topology topo = net::Topology::leaf_spine(
+      net, params,
+      [&cfg](net::Network& n, int id,
+             const net::PortConfig& nic) -> net::Host* {
+        return n.add_device<ForgeableDcpimHost>(id, nic, cfg);
+      });
+  cfg.control_rtt = topo.max_control_rtt();
+  cfg.bdp_bytes = topo.bdp_bytes();
+
+  // Host 1 claims two channels against host 0 in an epoch where host 0
+  // never granted it anything — a double-spend the matching-range audit
+  // cannot see (2 <= cfg.channels), but the per-receiver ledger can.
+  auto acc = std::make_unique<core::AcceptPacket>();
+  acc->src = 1;
+  acc->dst = 0;
+  acc->kind = core::kAccept;
+  acc->control = true;
+  acc->epoch = 5;
+  acc->channels_accepted = 2;
+  auto* h0 = static_cast<ForgeableDcpimHost*>(net.host(0));
+  h0->on_packet(std::move(acc));
+
+  std::vector<std::string> matching;
+  h0->audit_matching(matching);
+  EXPECT_TRUE(matching.empty()) << matching[0];
+  std::vector<std::string> ledger;
+  h0->audit_channel_ledger(ledger);
+  ASSERT_FALSE(ledger.empty());
+  EXPECT_NE(ledger[0].find("double-spend"), std::string::npos) << ledger[0];
 }
 
 TEST(AuditedExperimentTest, NonDcpimProtocolAlsoClean) {

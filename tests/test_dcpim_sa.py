@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Golden-output regression test for tools/dcpim_sa.py (run by ctest).
+
+Runs the analyzer over the deliberately-violating fixture corpus in
+tests/sa_fixtures/ and asserts the finding set matches the golden list
+EXACTLY — every planted violation fires, and nothing else does. The
+negative controls (suppressed escapes, exhaustive switches, cold-path
+allocations) live in the same files, so a false positive fails the test
+just as loudly as a miss.
+
+Also covers the src/ contract: the analyzer must exit 0 on the real tree
+with all four rules enabled (every escape fixed or justified), and the
+suppression ratchet must hold against tools/sa_baseline.json.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SA = REPO / "tools" / "dcpim_sa.py"
+FIXTURES = REPO / "tests" / "sa_fixtures"
+
+# (rule, fixture file, line) — the planted violations, nothing more.
+GOLDEN = {
+    ("determinism", "fixture_determinism.cpp", 37),   # std::random_device
+    ("determinism", "fixture_determinism.cpp", 39),   # steady_clock wall read
+    ("determinism", "fixture_determinism.cpp", 41),   # std::rand via helpers
+    ("determinism", "fixture_determinism.cpp", 46),   # unordered range-for
+    ("packet-switch", "fixture_switch.cpp", 20),      # kFixAck, no default
+    ("packet-switch", "fixture_switch.cpp", 31),      # kFixNack behind default
+    ("hot-alloc", "fixture_hotalloc.cpp", 28),        # push_back under sa-hot
+    ("hot-alloc", "fixture_hotalloc.cpp", 29),        # new under sa-hot
+    ("unit-raw", "fixture_unitraw.cpp", 22),          # direct .raw()
+    ("unit-raw", "fixture_unitraw.cpp", 27),          # .raw() via auto copy
+    ("unit-raw", "fixture_unitraw.cpp", 31),          # ->raw() via pointer
+    ("unit-raw", "fixture_suppression.cpp", 21),      # blank justification
+    ("unit-raw", "fixture_suppression.cpp", 26),      # unknown-rule comment
+    ("sa-suppression", "fixture_suppression.cpp", 20),  # empty justification
+    ("sa-suppression", "fixture_suppression.cpp", 25),  # unknown rule name
+    ("sa-suppression", "fixture_suppression.cpp", 30),  # unused suppression
+}
+
+
+def run_sa(*args):
+    return subprocess.run(
+        [sys.executable, str(SA), *args],
+        capture_output=True, text=True, cwd=REPO)
+
+
+class FixtureCorpusTest(unittest.TestCase):
+    def run_on_fixtures(self, *extra):
+        with tempfile.TemporaryDirectory() as td:
+            report_path = Path(td) / "report.json"
+            proc = run_sa(
+                "--files", *sorted(str(p) for p in FIXTURES.glob("*.cpp")),
+                "--no-ratchet", "--json", str(report_path), *extra)
+            report = json.loads(report_path.read_text())
+        return proc, report
+
+    def test_finds_exactly_the_planted_violations(self):
+        proc, report = self.run_on_fixtures()
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        got = {(f["rule"], Path(f["file"]).name, f["line"])
+               for f in report["findings"]}
+        missing = GOLDEN - got
+        extra = got - GOLDEN
+        self.assertFalse(missing, f"planted violations not found: {missing}")
+        self.assertFalse(extra, f"false positives: {extra}")
+        # One finding per golden entry — no duplicate reports either.
+        self.assertEqual(len(report["findings"]), len(GOLDEN))
+
+    def test_each_rule_fires(self):
+        _, report = self.run_on_fixtures()
+        fired = {f["rule"] for f in report["findings"]}
+        self.assertEqual(
+            fired, {"determinism", "packet-switch", "hot-alloc", "unit-raw",
+                    "sa-suppression"})
+
+    def test_rule_selection(self):
+        proc, report = self.run_on_fixtures("--rules", "packet-switch")
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual({f["rule"] for f in report["findings"]},
+                         {"packet-switch"})
+        self.assertEqual(len(report["findings"]), 2)
+
+    def test_call_paths_reported(self):
+        _, report = self.run_on_fixtures()
+        by_key = {(f["rule"], f["line"]): f for f in report["findings"]}
+        rand = by_key[("determinism", 41)]
+        self.assertIn("on_packet", rand.get("path", []))
+        self.assertIn("draw_jitter", rand.get("path", []))
+        alloc = by_key[("hot-alloc", 28)]
+        self.assertEqual(alloc.get("path", []),
+                         ["pump", "stage_one", "stage_two"])
+
+    def test_suppressions_counted(self):
+        _, report = self.run_on_fixtures()
+        # Justified escapes in the fixtures: one per rule, plus the stale
+        # hot-alloc comment (counted even though it is also a finding).
+        self.assertEqual(report["suppressions"],
+                         {"determinism": 1, "packet-switch": 1,
+                          "hot-alloc": 2, "unit-raw": 1})
+
+
+class SourceTreeTest(unittest.TestCase):
+    def test_src_is_clean_with_all_rules(self):
+        compdb = REPO / "build" / "compile_commands.json"
+        if not compdb.exists():
+            self.skipTest("no compile_commands.json (configure first)")
+        with tempfile.TemporaryDirectory() as td:
+            report_path = Path(td) / "report.json"
+            proc = run_sa("--compdb", str(compdb), "--json", str(report_path))
+            report = json.loads(report_path.read_text())
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertEqual(report["findings"], [])
+        self.assertEqual(report["ratchet_failures"], [])
+        self.assertEqual(
+            sorted(report["rules"]),
+            ["determinism", "hot-alloc", "packet-switch", "sa-suppression",
+             "unit-raw"])
+        # The analyzer really walked the tree, not an empty file list.
+        self.assertGreater(report["files"], 50)
+        self.assertGreater(report["functions"], 300)
+
+    def test_ratchet_fails_on_regression(self):
+        compdb = REPO / "build" / "compile_commands.json"
+        if not compdb.exists():
+            self.skipTest("no compile_commands.json (configure first)")
+        # A zeroed baseline must turn the existing suppressions into a
+        # ratchet failure — proves the count comparison is live.
+        with tempfile.TemporaryDirectory() as td:
+            # Run against a copy of the tool so the baseline next to it can
+            # be swapped without touching the real one.
+            tool_dir = Path(td) / "tools"
+            tool_dir.mkdir()
+            (tool_dir / "dcpim_sa.py").write_text(SA.read_text())
+            (tool_dir / "sa_baseline.json").write_text("{}")
+            proc = subprocess.run(
+                [sys.executable, str(tool_dir / "dcpim_sa.py"),
+                 "--compdb", str(compdb), "--root", str(REPO)],
+                capture_output=True, text=True, cwd=REPO)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("ratchet", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

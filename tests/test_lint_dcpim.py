@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint_dcpim.py (run by ctest).
+
+Pins the --root contract: EXEMPT entries are repo-relative keys, so they
+must keep applying when the linted checkout is named by a relative path, a
+path with trailing slash or `..` segments, or a symlink — resolution
+happens against --root, never against the repo the tool itself lives in.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "lint_dcpim.py"
+
+
+def make_fake_repo(root: Path):
+    """A minimal checkout exercising the EXEMPT entry: check.h carries a
+    naked assert (allowed there — it defines the macros) and another file
+    carries one that must still be flagged."""
+    (root / "src" / "util").mkdir(parents=True)
+    (root / "src" / "util" / "check.h").write_text(
+        "#pragma once\n"
+        "#define DCPIM_CHECK(c, m) assert(c)\n")
+    (root / "src" / "util" / "other.h").write_text(
+        "#pragma once\n"
+        "inline void f(int x) { assert(x > 0); }\n")
+
+
+def run_lint(root_arg, cwd):
+    return subprocess.run(
+        [sys.executable, str(LINT), "--root", str(root_arg)],
+        capture_output=True, text=True, cwd=cwd)
+
+
+class ExemptResolutionTest(unittest.TestCase):
+    def assert_exempt_applied(self, proc):
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        flagged = [ln.split(":", 1)[0]
+                   for ln in proc.stdout.splitlines() if ln]
+        self.assertNotIn("src/util/check.h", flagged,
+                         "EXEMPT entry for src/util/check.h did not apply")
+        self.assertIn("src/util/other.h", flagged,
+                      "the non-exempt naked assert must still be flagged")
+
+    def test_absolute_root(self):
+        with tempfile.TemporaryDirectory() as td:
+            make_fake_repo(Path(td))
+            self.assert_exempt_applied(run_lint(td, td))
+
+    def test_relative_root(self):
+        with tempfile.TemporaryDirectory() as td:
+            repo = Path(td) / "checkout"
+            make_fake_repo(repo)
+            self.assert_exempt_applied(run_lint("checkout", td))
+
+    def test_trailing_slash_and_dotdot(self):
+        with tempfile.TemporaryDirectory() as td:
+            repo = Path(td) / "checkout"
+            make_fake_repo(repo)
+            self.assert_exempt_applied(
+                run_lint(f"{repo}{os.sep}", td))
+            self.assert_exempt_applied(
+                run_lint(repo / "src" / ".." , td))
+
+    def test_symlinked_root(self):
+        with tempfile.TemporaryDirectory() as td:
+            repo = Path(td) / "checkout"
+            make_fake_repo(repo)
+            link = Path(td) / "link"
+            link.symlink_to(repo, target_is_directory=True)
+            self.assert_exempt_applied(run_lint(link, td))
+
+    def test_missing_src_is_usage_error(self):
+        with tempfile.TemporaryDirectory() as td:
+            proc = run_lint(td, td)
+            self.assertEqual(proc.returncode, 2)
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repo_is_clean(self):
+        proc = run_lint(REPO, REPO)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,1182 @@
+#!/usr/bin/env python3
+"""dcpim-sa: semantic analyzer for the dcPIM simulator (sixth CI lane).
+
+Where tools/lint_dcpim.py enforces line-local textual rules, dcpim-sa builds
+a per-translation-unit model (function definitions, call sites, switch
+statements, range-for loops, declarations) plus a whole-program call graph,
+and checks the semantic properties the ROADMAP's correctness story rests on:
+
+  determinism     event-handler-reachable code must not reach banned
+                  nondeterminism sources: std::rand/srand/random_device,
+                  wall clocks (std::chrono system/steady/high_resolution,
+                  gettimeofday, ::time(), clock()), and must not range-for
+                  over std::unordered_{map,set} where the iteration order
+                  can escape into simulation state (address/bucket-dependent
+                  ordering is the classic cross-platform reproducibility
+                  leak). Banned *calls* are flagged anywhere in src/ (same
+                  strictness as lint_dcpim); unordered iteration is flagged
+                  only in event-handler-reachable functions, where order can
+                  become packet order.
+
+  packet-switch   every `switch` over a packet/control-kind enum (enums
+                  named *Kind in src/proto/ and src/core/) must cover all
+                  enumerators, or carry an explicitly audited default via an
+                  sa-ok(packet-switch) justification. A bare `default:` does
+                  NOT count as coverage — a default silently swallowing a
+                  newly added control packet is exactly the bug this rule
+                  exists to catch.
+
+  hot-alloc       functions annotated `// sa-hot` (the per-packet fabric:
+                  Port::enqueue/try_transmit, Switch::receive, the
+                  Simulator event loop, Host::accept_data) must not
+                  transitively reach allocation or container growth
+                  (new/make_unique/make_shared/push_back/emplace/insert/
+                  resize/reserve/...). Traversal follows the call graph but
+                  only descends into functions defined under --hot-scope
+                  (default src/net/ and src/sim/): the virtual dispatch into
+                  protocol handlers is the contract boundary — protocols
+                  manufacture control packets by design.
+
+  unit-raw        every `.raw()` escape from a strong unit type needs an
+                  sa-ok(unit-raw) justification (successor of lint_dcpim's
+                  regex rule; the clang frontend checks the receiver's type,
+                  the text frontend flags every .raw()/->raw() call).
+
+Suppression grammar (checked by the built-in `sa-suppression` meta-rule):
+
+    // sa-ok(<rule>): <justification>
+
+The justification is mandatory; the comment covers its own line and the
+lines below it up to the first blank line (max 12 — same reach as the
+historical `unit-raw:` comments). Suppressions are counted per rule and
+ratcheted against tools/sa_baseline.json: a count above the baseline fails
+the run, a count below it prints a reminder to tighten. Unused and
+malformed suppressions are violations themselves, so the suppression set
+can only shrink or be re-justified, never silently rot.
+
+Frontends: with python libclang bindings available (--frontend clang or
+auto), translation units are parsed through the real AST driven by
+compile_commands.json. Without them (this repo's CI containers are
+gcc-only), a built-in tokenizer/parser frontend produces the same TU model
+from the source text; it is what the fixture corpus regression-tests. Use
+--frontend text to force it.
+
+Usage:
+    tools/dcpim_sa.py --compdb build/compile_commands.json \
+        --json build/sa_report.json
+    tools/dcpim_sa.py --files tests/sa_fixtures/*.cpp --no-ratchet
+
+Exit status: 0 clean, 1 findings (or ratchet regression), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# =============================================================================
+# Configuration tables
+# =============================================================================
+
+RULES = ("determinism", "packet-switch", "hot-alloc", "unit-raw",
+         "sa-suppression")
+
+# Qualified token chains whose *call* is banned anywhere in src/.
+BANNED_QUALIFIED = {
+    ("std", "rand"): "std::rand",
+    ("std", "srand"): "std::srand",
+    ("std", "random_device"): "std::random_device",
+    ("std", "chrono", "system_clock"): "wall clock (system_clock)",
+    ("std", "chrono", "steady_clock"): "wall clock (steady_clock)",
+    ("std", "chrono", "high_resolution_clock"):
+        "wall clock (high_resolution_clock)",
+    ("chrono", "system_clock"): "wall clock (system_clock)",
+    ("chrono", "steady_clock"): "wall clock (steady_clock)",
+    ("chrono", "high_resolution_clock"):
+        "wall clock (high_resolution_clock)",
+}
+
+# Bare identifiers banned when they appear as a call (not behind . or ->).
+BANNED_BARE_CALLS = {
+    "rand": "rand()",
+    "srand": "srand()",
+    "rand_r": "rand_r()",
+    "drand48": "drand48()",
+    "lrand48": "lrand48()",
+    "gettimeofday": "gettimeofday()",
+    "random_device": "std::random_device",
+}
+# time(...) / clock() are only nondeterminism when called bare with a
+# wall-clock-shaped argument list; member fns named time()/clock() are fine.
+BANNED_TIME_LIKE = {"time", "clock"}
+
+# Method names whose call means allocation/growth on the hot path.
+ALLOC_CALLS = {
+    "make_unique", "make_shared", "push_back", "emplace_back", "push_front",
+    "emplace_front", "emplace", "insert", "resize", "reserve", "assign",
+    "append", "to_string",
+}
+
+UNORDERED_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+# Functions whose simple name marks an event-handler entry point. Any
+# function that schedules simulator callbacks is also a root: its lambda
+# bodies execute at event time and the text frontend attributes lambda-body
+# calls to the enclosing function.
+EVENT_ROOT_NAMES = {"on_packet", "on_flow_arrival", "receive", "run",
+                    "run_steps"}
+SCHEDULING_CALLS = {"schedule_at", "schedule_after"}
+
+# Path prefixes (repo-relative, forward slashes) whose *Kind enums are
+# packet/control-kind enums subject to the exhaustiveness rule.
+KIND_ENUM_PATHS = ("src/proto/", "src/core/")
+KIND_ENUM_RE = re.compile(r"Kind$")
+
+# hot-alloc traversal only descends into functions defined under these
+# prefixes; a call out of scope is the accepted protocol-dispatch boundary.
+DEFAULT_HOT_SCOPE = ("src/net/", "src/sim/")
+
+# The colon is part of the grammar: prose that *mentions* sa-ok(rule)
+# without one (docs, this file) is not a suppression.
+SA_OK_RE = re.compile(r"sa-ok\(([A-Za-z0-9_-]+)\)\s*:\s*(.*)")
+SA_HOT_RE = re.compile(r"\bsa-hot\b")
+SUPPRESSION_REACH = 12
+
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "case",
+    "default", "do", "else", "new", "delete", "static_cast", "dynamic_cast",
+    "const_cast", "reinterpret_cast", "catch", "throw", "decltype", "typeid",
+    "noexcept", "static_assert", "alignas", "co_await", "co_return",
+    "co_yield", "requires", "constexpr", "consteval", "constinit",
+}
+
+
+# =============================================================================
+# Findings / report model
+# =============================================================================
+
+@dataclass
+class Finding:
+    rule: str
+    file: str
+    line: int
+    message: str
+    path: list[str] = field(default_factory=list)  ##< call path, if any
+
+    def key(self):
+        return (self.rule, self.file, self.line, self.message)
+
+    def to_json(self):
+        d = {"rule": self.rule, "file": self.file, "line": self.line,
+             "message": self.message}
+        if self.path:
+            d["path"] = self.path
+        return d
+
+
+@dataclass
+class Suppression:
+    rule: str
+    file: str
+    line: int
+    justification: str
+    used: bool = False
+
+
+# =============================================================================
+# Text frontend: tokenizer
+# =============================================================================
+
+@dataclass
+class Tok:
+    text: str
+    line: int
+    kind: str  # "id", "num", "punct"
+
+
+def tokenize(source: str):
+    """Lexes C++ source into tokens, and separately returns per-line comment
+    text (for sa-ok / sa-hot annotations). String/char literal contents are
+    dropped; the literal is kept as a single punct token so call argument
+    shapes survive."""
+    toks: list[Tok] = []
+    comments: dict[int, str] = {}
+    i, n, line = 0, len(source), 1
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            j = source.find("\n", i)
+            if j < 0:
+                j = n
+            comments[line] = comments.get(line, "") + source[i + 2:j]
+            i = j
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "*":
+            j = source.find("*/", i + 2)
+            if j < 0:
+                j = n
+            block = source[i + 2:j]
+            # A block comment annotates the line it starts on.
+            comments[line] = comments.get(line, "") + block
+            line += block.count("\n")
+            i = j + 2
+            continue
+        if c == "#":  # preprocessor directive: skip to end of (logical) line
+            while i < n and source[i] != "\n":
+                if source[i] == "\\" and i + 1 < n and source[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                i += 1
+            continue
+        if c in "\"'":
+            # R"(...)" raw strings are not used in this codebase; plain scan.
+            quote = c
+            i += 1
+            while i < n and source[i] != quote:
+                if source[i] == "\\":
+                    i += 1
+                if i < n and source[i] == "\n":
+                    line += 1
+                i += 1
+            i += 1
+            toks.append(Tok('""' if quote == '"' else "''", line, "punct"))
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            toks.append(Tok(source[i:j], line, "id"))
+            i = j
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "._'+-" and
+                             (source[j] not in "+-" or
+                              source[j - 1] in "eEpP")):
+                j += 1
+            toks.append(Tok(source[i:j], line, "num"))
+            i = j
+            continue
+        # multi-char punctuation we care about
+        for two in ("::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+                    "||", "+=", "-=", "*=", "/=", "++", "--"):
+            if source.startswith(two, i):
+                toks.append(Tok(two, line, "punct"))
+                i += 2
+                break
+        else:
+            toks.append(Tok(c, line, "punct"))
+            i += 1
+    return toks, comments
+
+
+# =============================================================================
+# Text frontend: TU model extraction
+# =============================================================================
+
+@dataclass
+class FunctionDef:
+    name: str          ##< qualified as written, e.g. "Simulator::heap_push"
+    simple: str        ##< last component, e.g. "heap_push"
+    file: str
+    line: int
+    calls: list = field(default_factory=list)       ##< (simple_name, line)
+    banned: list = field(default_factory=list)      ##< (what, line)
+    allocs: list = field(default_factory=list)      ##< (what, line)
+    range_fors: list = field(default_factory=list)  ##< (target_id, line)
+    switches: list = field(default_factory=list)    ##< SwitchStmt
+    is_hot: bool = False
+    schedules: bool = False
+
+
+@dataclass
+class SwitchStmt:
+    file: str
+    line: int
+    labels: set
+    has_default: bool
+
+
+@dataclass
+class TUModel:
+    file: str
+    functions: list = field(default_factory=list)
+    enums: dict = field(default_factory=dict)       ##< name -> [enumerators]
+    unordered_decls: set = field(default_factory=set)
+    raw_calls: list = field(default_factory=list)   ##< lines with .raw()
+    comments: dict = field(default_factory=dict)
+
+
+def match_paren(toks, i):
+    """toks[i] == '('; returns index of its matching ')'."""
+    depth = 0
+    while i < len(toks):
+        if toks[i].text == "(":
+            depth += 1
+        elif toks[i].text == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(toks) - 1
+
+
+def match_brace(toks, i):
+    """toks[i] == '{'; returns index of its matching '}'."""
+    depth = 0
+    while i < len(toks):
+        if toks[i].text == "{":
+            depth += 1
+        elif toks[i].text == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(toks) - 1
+
+
+def collect_unordered_decls(toks, out: set):
+    """Records declared names whose type mentions unordered_{map,set}:
+    members, locals, and `using X = std::unordered_map<...>` aliases. The
+    lookup is name-based — precise enough for this codebase's unique member
+    names, and the clang frontend does it by real type."""
+    aliases: set = set()
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or not UNORDERED_RE.match(t.text):
+            if t.text == "using" and i + 2 < n and toks[i + 2].text == "=":
+                # using Alias = ... unordered ... ;
+                j = i + 3
+                is_unordered = False
+                while j < n and toks[j].text != ";":
+                    if toks[j].kind == "id" and (
+                            UNORDERED_RE.match(toks[j].text) or
+                            toks[j].text in aliases):
+                        is_unordered = True
+                    j += 1
+                if is_unordered:
+                    aliases.add(toks[i + 1].text)
+                    out.add(toks[i + 1].text)
+            continue
+        # skip the template argument list to find the declared name
+        j = i + 1
+        if j < n and toks[j].text == "<":
+            depth = 0
+            while j < n:
+                if toks[j].text == "<":
+                    depth += 1
+                elif toks[j].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif toks[j].text == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        break
+                j += 1
+            j += 1
+        # possible &, *, and then the declarator name
+        while j < n and toks[j].text in ("&", "*", "const"):
+            j += 1
+        if j < n and toks[j].kind == "id":
+            nxt = toks[j + 1].text if j + 1 < n else ";"
+            if nxt in (";", "=", "{", ",", ")"):
+                out.add(toks[j].text)
+
+
+def parse_enums(toks, out: dict):
+    n = len(toks)
+    i = 0
+    while i < n:
+        if toks[i].text == "enum" and toks[i].kind == "id":
+            j = i + 1
+            if j < n and toks[j].text in ("class", "struct"):
+                j += 1
+            if j < n and toks[j].kind == "id":
+                name = toks[j].text
+                j += 1
+                if j < n and toks[j].text == ":":  # underlying type
+                    while j < n and toks[j].text != "{":
+                        j += 1
+                if j < n and toks[j].text == "{":
+                    end = match_brace(toks, j)
+                    enumerators = []
+                    k = j + 1
+                    expect_name = True
+                    depth = 0
+                    while k < end:
+                        t = toks[k]
+                        if t.text in ("(", "{", "["):
+                            depth += 1
+                        elif t.text in (")", "}", "]"):
+                            depth -= 1
+                        elif depth == 0 and t.text == ",":
+                            expect_name = True
+                        elif depth == 0 and expect_name and t.kind == "id":
+                            enumerators.append(t.text)
+                            expect_name = False
+                        k += 1
+                    if enumerators:
+                        out[name] = enumerators
+                    i = end
+        i += 1
+
+
+def extract_switches(toks, start, end, file, out):
+    """Collects switch statements (labels at the switch's own nesting level,
+    nested switches recursed) in toks[start:end]."""
+    i = start
+    while i < end:
+        if toks[i].text == "switch" and toks[i].kind == "id":
+            line = toks[i].line
+            lp = i + 1
+            if lp < end and toks[lp].text == "(":
+                rp = match_paren(toks, lp)
+                b = rp + 1
+                if b < end and toks[b].text == "{":
+                    be = match_brace(toks, b)
+                    labels: set = set()
+                    has_default = False
+                    k = b + 1
+                    while k < be:
+                        t = toks[k]
+                        if t.text == "switch" and t.kind == "id":
+                            # nested switch: recurse, then skip over it
+                            nlp = k + 1
+                            nrp = match_paren(toks, nlp)
+                            nb = nrp + 1
+                            if nb < be and toks[nb].text == "{":
+                                extract_switches(toks, k, match_brace(
+                                    toks, nb) + 1, file, out)
+                                k = match_brace(toks, nb)
+                        elif t.text == "case":
+                            k += 1
+                            last = None
+                            while k < be and toks[k].text != ":":
+                                if toks[k].kind == "id":
+                                    last = toks[k].text
+                                k += 1
+                            if last is not None:
+                                labels.add(last)
+                        elif t.text == "default":
+                            has_default = True
+                        k += 1
+                    out.append(SwitchStmt(file, line, labels, has_default))
+                    i = be
+        i += 1
+
+
+def extract_range_fors(toks, start, end, out):
+    """Finds `for (decl : expr)` and records the last identifier of expr
+    (the iterated entity) — e.g. `it->second.matches` -> `matches`."""
+    i = start
+    while i < end:
+        if toks[i].text == "for" and toks[i].kind == "id" and \
+                i + 1 < end and toks[i + 1].text == "(":
+            rp = match_paren(toks, i + 1)
+            group = toks[i + 2:rp]
+            if not any(t.text == ";" for t in group):
+                # range-for: find the top-level ':'
+                depth = 0
+                for gi, t in enumerate(group):
+                    if t.text in ("(", "[", "{", "<"):
+                        depth += 1
+                    elif t.text in (")", "]", "}", ">"):
+                        depth -= 1
+                    elif t.text == ":" and depth <= 0:
+                        expr = group[gi + 1:]
+                        last_id = None
+                        is_call = False
+                        for e in expr:
+                            if e.kind == "id":
+                                last_id = e.text
+                                is_call = False
+                            elif e.text == "(":
+                                is_call = True
+                        if last_id is not None and not is_call:
+                            out.append((last_id, toks[i].line))
+                        break
+            i = rp
+        i += 1
+
+
+def scan_body(fn: FunctionDef, toks, start, end):
+    """Populates calls / banned constructs / allocations for a function
+    body span (lambdas inside are attributed to the enclosing function)."""
+    n = end
+    i = start
+    while i < n:
+        t = toks[i]
+        if t.kind == "id":
+            prev = toks[i - 1].text if i > 0 else ""
+            nxt = toks[i + 1].text if i + 1 < n else ""
+            if t.text == "new" and prev != "operator":
+                fn.allocs.append(("new", t.line))
+                i += 1
+                continue
+            # qualified banned chains (std::rand, std::chrono::steady_clock)
+            chain_hit = False
+            for chain, what in BANNED_QUALIFIED.items():
+                if t.text == chain[0]:
+                    k, ok = i, True
+                    for part in chain[1:]:
+                        if k + 2 < n and toks[k + 1].text == "::" and \
+                                toks[k + 2].text == part:
+                            k += 2
+                        else:
+                            ok = False
+                            break
+                    if ok and prev != "::":
+                        fn.banned.append((what, t.line))
+                        # skip past the chain so its tail (e.g. `rand`)
+                        # is not re-reported as a bare banned call
+                        i = k + 1
+                        chain_hit = True
+                        break
+            if chain_hit:
+                continue
+            if nxt == "(" and t.text not in CPP_KEYWORDS:
+                bare = prev not in (".", "->", "::")
+                global_scope = (prev == "::" and
+                                (i < 2 or toks[i - 2].kind != "id"))
+                if (bare or global_scope) and t.text in BANNED_BARE_CALLS:
+                    fn.banned.append((BANNED_BARE_CALLS[t.text], t.line))
+                elif (bare or global_scope) and t.text in BANNED_TIME_LIKE:
+                    rp = match_paren(toks, i + 1)
+                    args = [a.text for a in toks[i + 2:rp]]
+                    if args in ([], ["NULL"], ["nullptr"], ["0"]):
+                        fn.banned.append((t.text + "() wall clock", t.line))
+                if t.text in ALLOC_CALLS:
+                    fn.allocs.append((t.text + "()", t.line))
+                fn.calls.append((t.text, t.line))
+                if t.text in SCHEDULING_CALLS:
+                    fn.schedules = True
+        i += 1
+
+
+def find_function_defs(toks, file, model: TUModel):
+    """Scans the token stream for function definitions (free functions,
+    out-of-line methods, class-inline methods) and hands each body to
+    scan_body/extract_*. Function bodies are identified as
+    `name ( ... ) [const|noexcept|override|final|-> T]* [: init-list] {`;
+    everything inside the braces belongs to the function, including
+    lambdas."""
+    n = len(toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.text == "(" and i > 0 and toks[i - 1].kind == "id" and \
+                toks[i - 1].text not in CPP_KEYWORDS:
+            rp = match_paren(toks, i)
+            # scan what follows the parameter list
+            j = rp + 1
+            saw_init_list = False
+            while j < n:
+                tj = toks[j].text
+                if tj in ("const", "noexcept", "override", "final",
+                          "mutable"):
+                    j += 1
+                elif tj == "->":  # trailing return type
+                    j += 1
+                    while j < n and toks[j].text not in ("{", ";", "="):
+                        j += 1
+                elif tj == ":" and not saw_init_list:
+                    saw_init_list = True
+                    j += 1
+                    # skip the ctor init list: consume balanced (...) / {...}
+                    # pairs that directly follow an identifier or '>'
+                    while j < n:
+                        tt = toks[j].text
+                        if tt == "(":
+                            j = match_paren(toks, j) + 1
+                        elif tt == "{" and j > 0 and (
+                                toks[j - 1].kind == "id" or
+                                toks[j - 1].text in (">", ">>")):
+                            j = match_brace(toks, j) + 1
+                        elif tt == "{":
+                            break  # the body
+                        elif tt == ";":
+                            break
+                        else:
+                            j += 1
+                elif tj == "noexcept" or tj == "(":
+                    j += 1
+                else:
+                    break
+            if j < n and toks[j].text == "{":
+                # qualified name: walk back over id (:: id)* and ~dtor
+                name_parts = [toks[i - 1].text]
+                k = i - 1
+                while k >= 2 and toks[k - 1].text == "::" and \
+                        toks[k - 2].kind == "id":
+                    name_parts.insert(0, toks[k - 2].text)
+                    k -= 2
+                if k >= 1 and toks[k - 1].text == "~":
+                    name_parts[0] = "~" + name_parts[0]
+                # reject control flow shapes and calls: the token before the
+                # name must not suggest an expression context
+                before = toks[k - 1].text if k >= 1 else ""
+                if before in (".", "->", "=", "return", ",", "(", "&&",
+                              "||", "!"):
+                    i = rp
+                    continue
+                be = match_brace(toks, j)
+                fn = FunctionDef(
+                    name="::".join(name_parts), simple=name_parts[-1],
+                    file=file, line=toks[i - 1].line)
+                scan_body(fn, toks, j + 1, be)
+                extract_switches(toks, j + 1, be, file, fn.switches)
+                extract_range_fors(toks, j + 1, be, fn.range_fors)
+                model.functions.append(fn)
+                i = be
+                continue
+            i = rp
+            continue
+        i += 1
+
+
+def text_parse_file(path: Path, rel: str) -> TUModel:
+    source = path.read_text(encoding="utf-8")
+    toks, comments = tokenize(source)
+    model = TUModel(file=rel, comments=comments)
+    parse_enums(toks, model.enums)
+    collect_unordered_decls(toks, model.unordered_decls)
+    find_function_defs(toks, rel, model)
+    # .raw() / ->raw() escapes, anywhere in the file
+    for i, t in enumerate(toks):
+        if t.text == "raw" and t.kind == "id" and i > 0 and \
+                toks[i - 1].text in (".", "->") and \
+                i + 1 < len(toks) and toks[i + 1].text == "(":
+            model.raw_calls.append(t.line)
+    # sa-hot annotations: a marker on the definition line or up to two
+    # lines above it marks the function as a hot root.
+    hot_lines = {ln for ln, c in comments.items() if SA_HOT_RE.search(c)}
+    for fn in model.functions:
+        if any(ln in hot_lines for ln in range(fn.line - 2, fn.line + 1)):
+            fn.is_hot = True
+    return model
+
+
+# =============================================================================
+# Clang frontend (optional): builds the same TU model through libclang
+# =============================================================================
+
+def try_load_clang():
+    try:
+        import clang.cindex as cindex  # type: ignore
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+def clang_parse_file(cindex, path: Path, rel: str, args) -> TUModel:
+    """AST-based extraction. Only reached when python libclang bindings are
+    installed; produces the same TUModel the rule engine consumes, with
+    type-accurate unordered-container and strong-type detection."""
+    index = cindex.Index.create()
+    tu = index.parse(str(path), args=args)
+    source = path.read_text(encoding="utf-8")
+    _, comments = tokenize(source)
+    model = TUModel(file=rel, comments=comments)
+    ck = cindex.CursorKind
+
+    def qualified(cur):
+        parts, c = [], cur
+        while c is not None and c.kind != ck.TRANSLATION_UNIT:
+            if c.spelling:
+                parts.insert(0, c.spelling)
+            c = c.semantic_parent
+        return "::".join(parts[-2:]) if len(parts) > 1 else parts[0]
+
+    def walk_body(cur, fn):
+        for child in cur.walk_preorder():
+            loc = child.location
+            if loc.file is None or Path(str(loc.file)).name != path.name:
+                continue
+            if child.kind == ck.CALL_EXPR and child.spelling:
+                fn.calls.append((child.spelling, loc.line))
+                if child.spelling in SCHEDULING_CALLS:
+                    fn.schedules = True
+                if child.spelling in ALLOC_CALLS:
+                    fn.allocs.append((child.spelling + "()", loc.line))
+                if child.spelling in BANNED_BARE_CALLS:
+                    fn.banned.append(
+                        (BANNED_BARE_CALLS[child.spelling], loc.line))
+            elif child.kind == ck.CXX_NEW_EXPR:
+                fn.allocs.append(("new", loc.line))
+            elif child.kind == ck.DECL_REF_EXPR:
+                t = child.type.spelling
+                if "random_device" in t or "chrono" in t and "clock" in t:
+                    fn.banned.append((t, loc.line))
+            elif child.kind == ck.CXX_FOR_RANGE_STMT:
+                for sub in child.get_children():
+                    if UNORDERED_RE.search(sub.type.spelling or ""):
+                        fn.range_fors.append((sub.spelling or "<expr>",
+                                              loc.line))
+                        break
+
+    for cur in tu.cursor.walk_preorder():
+        loc = cur.location
+        if loc.file is None or str(loc.file) != str(path):
+            continue
+        if cur.kind == ck.ENUM_DECL and cur.spelling:
+            model.enums[cur.spelling] = [
+                c.spelling for c in cur.get_children()
+                if c.kind == ck.ENUM_CONSTANT_DECL]
+        elif cur.kind in (ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR,
+                          ck.DESTRUCTOR) and cur.is_definition():
+            fn = FunctionDef(name=qualified(cur), simple=cur.spelling,
+                             file=rel, line=loc.line)
+            walk_body(cur, fn)
+            model.functions.append(fn)
+        elif cur.kind == ck.SWITCH_STMT:
+            labels = set()
+            has_default = False
+            for sub in cur.walk_preorder():
+                if sub.kind == ck.CASE_STMT:
+                    toks = list(sub.get_tokens())
+                    for tk in toks[1:]:
+                        if tk.spelling == ":":
+                            break
+                        if tk.spelling.isidentifier():
+                            labels.add(tk.spelling)
+                elif sub.kind == ck.DEFAULT_STMT:
+                    has_default = True
+            if model.functions:
+                model.functions[-1].switches.append(
+                    SwitchStmt(rel, loc.line, labels, has_default))
+        elif cur.kind == ck.CALL_EXPR and cur.spelling == "raw":
+            model.raw_calls.append(loc.line)
+        elif cur.kind == ck.FIELD_DECL or cur.kind == ck.VAR_DECL:
+            if UNORDERED_RE.search(cur.type.spelling or ""):
+                model.unordered_decls.add(cur.spelling)
+    hot_lines = {ln for ln, c in model.comments.items()
+                 if SA_HOT_RE.search(c)}
+    for fn in model.functions:
+        if any(ln in hot_lines for ln in range(fn.line - 2, fn.line + 1)):
+            fn.is_hot = True
+    return model
+
+
+# =============================================================================
+# Suppressions
+# =============================================================================
+
+def collect_suppressions(model: TUModel):
+    """Parses sa-ok(<rule>): comments; returns (suppressions, findings for
+    malformed ones). Coverage: the comment's own line plus lines below to
+    the first blank-of-comments... — reach is computed against the source
+    lines at check time (see covered_lines)."""
+    sups: list[Suppression] = []
+    findings: list[Finding] = []
+    for line, text in sorted(model.comments.items()):
+        for m in SA_OK_RE.finditer(text):
+            rule, just = m.group(1), m.group(2).strip()
+            if rule not in RULES or rule == "sa-suppression":
+                findings.append(Finding(
+                    "sa-suppression", model.file, line,
+                    f"sa-ok names unknown rule '{rule}' "
+                    f"(valid: {', '.join(RULES[:-1])})"))
+                continue
+            if not just:
+                findings.append(Finding(
+                    "sa-suppression", model.file, line,
+                    f"sa-ok({rule}) carries no justification — write why "
+                    f"the escape is sound"))
+                continue
+            sups.append(Suppression(rule, model.file, line, just))
+    return sups, findings
+
+
+def suppression_cover(sups, source_lines):
+    """rule -> set of covered line numbers (1-based). A suppression covers
+    its own line and the lines below it up to the first blank line, capped
+    at SUPPRESSION_REACH (the historical unit-raw comment reach)."""
+    cover: dict[str, dict[int, Suppression]] = {}
+    # Later (nearer) suppressions override earlier ones on overlap, so a
+    # finding is always charged to the closest justification above it —
+    # otherwise stacked paragraphs mark the nearer comment unused.
+    for s in sorted(sups, key=lambda s: s.line):
+        lines = cover.setdefault(s.rule, {})
+        lines[s.line] = s
+        for ln in range(s.line + 1,
+                        min(s.line + 1 + SUPPRESSION_REACH,
+                            len(source_lines) + 1)):
+            if not source_lines[ln - 1].strip():
+                break
+            lines[ln] = s
+    return cover
+
+
+# =============================================================================
+# Rule engine
+# =============================================================================
+
+class Analyzer:
+    def __init__(self, models, files_text, hot_scope, kind_enum_paths):
+        self.models = models
+        self.files_text = files_text  ##< rel -> list of source lines
+        self.hot_scope = hot_scope
+        self.kind_enum_paths = kind_enum_paths
+        self.findings: list[Finding] = []
+        self.suppressions: list[Suppression] = []
+        self.cover: dict[str, dict[str, dict[int, Suppression]]] = {}
+        # global indexes
+        self.by_simple: dict[str, list[FunctionDef]] = {}
+        self.unordered: set = set()
+        self.enums: dict[str, tuple[str, list[str]]] = {}
+        for m in models:
+            for fn in m.functions:
+                self.by_simple.setdefault(fn.simple, []).append(fn)
+            self.unordered |= m.unordered_decls
+            for name, enumerators in m.enums.items():
+                self.enums[name] = (m.file, enumerators)
+        self.enum_of_label: dict[str, str] = {}
+        for name, (_, enumerators) in self.enums.items():
+            for e in enumerators:
+                self.enum_of_label.setdefault(e, name)
+
+    # --- helpers -----------------------------------------------------------
+
+    def emit(self, finding: Finding):
+        file_cover = self.cover.get(finding.file, {})
+        sup = file_cover.get(finding.rule, {}).get(finding.line)
+        if sup is not None:
+            sup.used = True
+            return
+        self.findings.append(finding)
+
+    def reachable_from(self, roots, scope_prefixes=None):
+        seen = set()
+        frontier = list(roots)
+        while frontier:
+            fn = frontier.pop()
+            key = (fn.file, fn.name, fn.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            for callee, _ in fn.calls:
+                for target in self.by_simple.get(callee, ()):
+                    if scope_prefixes is not None and not any(
+                            target.file.startswith(p)
+                            for p in scope_prefixes):
+                        continue
+                    frontier.append(target)
+        return seen
+
+    def find_path(self, root, goal_key, scope_prefixes=None):
+        """BFS path of function names from root to the function with key
+        goal_key, for diagnostics."""
+        from collections import deque
+        q = deque([(root, [root.name])])
+        seen = set()
+        while q:
+            fn, path = q.popleft()
+            key = (fn.file, fn.name, fn.line)
+            if key == goal_key:
+                return path
+            if key in seen:
+                continue
+            seen.add(key)
+            for callee, _ in fn.calls:
+                for target in self.by_simple.get(callee, ()):
+                    if scope_prefixes is not None and not any(
+                            target.file.startswith(p)
+                            for p in scope_prefixes):
+                        continue
+                    q.append((target, path + [target.name]))
+        return []
+
+    # --- rules -------------------------------------------------------------
+
+    def run(self):
+        for m in self.models:
+            sups, malformed = collect_suppressions(m)
+            self.suppressions.extend(sups)
+            self.findings.extend(malformed)
+            self.cover[m.file] = suppression_cover(
+                sups, self.files_text[m.file])
+
+        self.rule_determinism()
+        self.rule_packet_switch()
+        self.rule_hot_alloc()
+        self.rule_unit_raw()
+        self.rule_unused_suppressions()
+        self.findings.sort(key=lambda f: (f.file, f.line, f.rule))
+        return self.findings
+
+    def rule_determinism(self):
+        roots = [fn for m in self.models for fn in m.functions
+                 if fn.simple in EVENT_ROOT_NAMES or fn.schedules]
+        reachable = self.reachable_from(roots)
+        for m in self.models:
+            for fn in m.functions:
+                key = (fn.file, fn.name, fn.line)
+                in_event = key in reachable
+                for what, line in fn.banned:
+                    path = []
+                    if in_event:
+                        for r in roots:
+                            path = self.find_path(r, key)
+                            if path:
+                                break
+                    self.emit(Finding(
+                        "determinism", fn.file, line,
+                        f"{what} breaks bit-reproducible runs; use "
+                        f"util/rng.h / the Simulator clock"
+                        + (f" [event-reachable via "
+                           f"{' -> '.join(path)}]" if path else ""),
+                        path))
+                if not in_event:
+                    continue
+                for target, line in fn.range_fors:
+                    if target in self.unordered:
+                        self.emit(Finding(
+                            "determinism", fn.file, line,
+                            f"iteration over unordered container "
+                            f"'{target}' in event-reachable "
+                            f"{fn.name}(): bucket order is address/"
+                            f"library-dependent and can escape into "
+                            f"simulation state — iterate a sorted view "
+                            f"or justify with sa-ok(determinism)"))
+
+    def rule_packet_switch(self):
+        kind_enums = {
+            name: enumerators
+            for name, (file, enumerators) in self.enums.items()
+            if KIND_ENUM_RE.search(name) and
+            (not self.kind_enum_paths or
+             any(file.startswith(p) for p in self.kind_enum_paths))}
+        label_owner = {}
+        for name, enumerators in kind_enums.items():
+            for e in enumerators:
+                label_owner[e] = name
+        for m in self.models:
+            for fn in m.functions:
+                for sw in fn.switches:
+                    owners = {label_owner[lb] for lb in sw.labels
+                              if lb in label_owner}
+                    if len(owners) != 1:
+                        continue
+                    enum_name = owners.pop()
+                    missing = [e for e in kind_enums[enum_name]
+                               if e not in sw.labels]
+                    if not missing:
+                        continue
+                    if sw.has_default:
+                        msg = (f"switch over {enum_name} hides "
+                               f"{', '.join(missing)} behind its default — "
+                               f"enumerate them or audit the default with "
+                               f"sa-ok(packet-switch)")
+                    else:
+                        msg = (f"switch over {enum_name} does not handle "
+                               f"{', '.join(missing)} and has no default")
+                    self.emit(Finding("packet-switch", sw.file, sw.line, msg))
+
+    def rule_hot_alloc(self):
+        hot_roots = [fn for m in self.models for fn in m.functions
+                     if fn.is_hot]
+        reachable = self.reachable_from(hot_roots, self.hot_scope)
+        reported = set()
+        for m in self.models:
+            for fn in m.functions:
+                key = (fn.file, fn.name, fn.line)
+                if key not in reachable:
+                    continue
+                for what, line in fn.allocs:
+                    if (fn.file, line, what) in reported:
+                        continue
+                    reported.add((fn.file, line, what))
+                    path = []
+                    for r in hot_roots:
+                        path = self.find_path(r, key, self.hot_scope)
+                        if path:
+                            break
+                    via = (f" [hot path: {' -> '.join(path)}]"
+                           if len(path) > 1 else "")
+                    self.emit(Finding(
+                        "hot-alloc", fn.file, line,
+                        f"{what} allocates on the sa-hot per-packet path "
+                        f"{fn.name}(){via} — preallocate, pool, or justify "
+                        f"with sa-ok(hot-alloc)", path))
+
+    def rule_unit_raw(self):
+        for m in self.models:
+            for line in m.raw_calls:
+                self.emit(Finding(
+                    "unit-raw", m.file, line,
+                    ".raw() strong-type escape without an sa-ok(unit-raw) "
+                    "justification"))
+
+    def rule_unused_suppressions(self):
+        for s in self.suppressions:
+            if not s.used:
+                self.emit(Finding(
+                    "sa-suppression", s.file, s.line,
+                    f"sa-ok({s.rule}) suppresses nothing — the code it "
+                    f"covered moved or was fixed; delete the comment"))
+
+
+# =============================================================================
+# Driver
+# =============================================================================
+
+def load_compdb(path: Path):
+    db = json.loads(path.read_text(encoding="utf-8"))
+    files = []
+    args_by_file = {}
+    for entry in db:
+        f = Path(entry["file"])
+        if not f.is_absolute():
+            f = Path(entry["directory"]) / f
+        files.append(f)
+        raw = entry.get("command", "")
+        args = [a for a in raw.split() if a.startswith(("-I", "-D", "-std"))]
+        args_by_file[f] = args
+    return files, args_by_file
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--compdb", type=Path,
+                        help="compile_commands.json exported by CMake")
+    parser.add_argument("--files", nargs="*", type=Path,
+                        help="explicit file list (fixture/test mode)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this script's repo)")
+    parser.add_argument("--json", type=Path, help="write JSON report here")
+    parser.add_argument("--frontend", choices=("auto", "clang", "text"),
+                        default="auto")
+    parser.add_argument("--hot-scope", default=",".join(DEFAULT_HOT_SCOPE),
+                        help="comma-separated path prefixes hot-alloc "
+                             "traversal may descend into ('*' = everywhere)")
+    parser.add_argument("--no-ratchet", action="store_true",
+                        help="skip the suppression-count baseline check")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite tools/sa_baseline.json from this run")
+    parser.add_argument("--rules", default=",".join(RULES),
+                        help="comma-separated rules to enable")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    if args.files:
+        files = [f.resolve() for f in args.files]
+        kind_paths: tuple = ()
+        hot_scope = None if args.hot_scope == "*" else tuple(
+            p for p in args.hot_scope.split(",") if p)
+        if args.hot_scope == ",".join(DEFAULT_HOT_SCOPE):
+            hot_scope = None  # fixture mode: traverse everywhere
+        args_by_file = {}
+    elif args.compdb:
+        cpps, args_by_file = load_compdb(args.compdb)
+        src = root / "src"
+        files = sorted({f for f in cpps
+                        if f.is_relative_to(src)} |
+                       set(src.rglob("*.h")))
+        kind_paths = KIND_ENUM_PATHS
+        hot_scope = tuple(p for p in args.hot_scope.split(",") if p)
+    else:
+        print("dcpim_sa: pass --compdb or --files", file=sys.stderr)
+        return 2
+
+    frontend = "text"
+    cindex = None
+    if args.frontend in ("auto", "clang"):
+        cindex = try_load_clang()
+        if cindex is not None:
+            frontend = "clang"
+        elif args.frontend == "clang":
+            print("dcpim_sa: --frontend clang requested but python "
+                  "libclang bindings are unavailable", file=sys.stderr)
+            return 2
+
+    models = []
+    files_text = {}
+    for f in files:
+        rel = f.relative_to(root).as_posix() if f.is_relative_to(root) \
+            else f.as_posix()
+        files_text[rel] = f.read_text(encoding="utf-8").splitlines()
+        if frontend == "clang" and f.suffix == ".cpp":
+            models.append(clang_parse_file(
+                cindex, f, rel, args_by_file.get(f, [])))
+        else:
+            models.append(text_parse_file(f, rel))
+
+    enabled = set(args.rules.split(","))
+    analyzer = Analyzer(models, files_text, hot_scope, kind_paths)
+    findings = [f for f in analyzer.run() if f.rule in enabled]
+
+    sup_counts: dict[str, int] = {}
+    for s in analyzer.suppressions:
+        sup_counts[s.rule] = sup_counts.get(s.rule, 0) + 1
+
+    ratchet_failures = []
+    baseline_path = Path(__file__).resolve().parent / "sa_baseline.json"
+    if args.write_baseline:
+        baseline_path.write_text(
+            json.dumps(sup_counts, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+    elif not args.no_ratchet and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        for rule, count in sorted(sup_counts.items()):
+            allowed = baseline.get(rule, 0)
+            if count > allowed:
+                ratchet_failures.append(
+                    f"{rule}: {count} suppressions > baseline {allowed} — "
+                    f"fix the new escape or consciously raise "
+                    f"tools/sa_baseline.json")
+            elif count < allowed:
+                print(f"dcpim_sa: ratchet can tighten — {rule} has {count} "
+                      f"suppressions, baseline allows {allowed} "
+                      f"(tools/dcpim_sa.py --write-baseline)")
+
+    report = {
+        "frontend": frontend,
+        "files": len(files),
+        "functions": sum(len(m.functions) for m in models),
+        "rules": sorted(enabled & set(RULES)),
+        "findings": [f.to_json() for f in findings],
+        "suppressions": sup_counts,
+        "ratchet_failures": ratchet_failures,
+        "clean": not findings and not ratchet_failures,
+    }
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report, indent=2) + "\n",
+                             encoding="utf-8")
+
+    for f in findings:
+        print(f"{f.file}:{f.line}: [{f.rule}] {f.message}")
+    for r in ratchet_failures:
+        print(f"ratchet: {r}")
+    by_rule: dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    detail = ", ".join(f"{r}={n}" for r, n in sorted(by_rule.items())) \
+        or "clean"
+    print(f"dcpim_sa[{frontend}]: {len(files)} files, "
+          f"{report['functions']} functions, {len(findings)} finding(s) "
+          f"({detail}), suppressions "
+          f"{json.dumps(sup_counts, sort_keys=True)}", file=sys.stderr)
+    return 1 if findings or ratchet_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,18 +16,19 @@ see .github/workflows/ci.yml):
                     gettimeofday, ::time()) in src/ — all randomness flows
                     through the seeded util/rng.h and all time through the
                     Simulator clock, keeping runs bit-for-bit reproducible.
-  unit-raw          every `.raw()` escape from a strong unit type in src/
-                    carries a `// unit-raw:` justification. A comment covers
-                    its own line and the lines below it up to the first
-                    blank line, so one justification can cover a tight
-                    paragraph of conversions.
   static-local      no `static` (or `static thread_local`) non-const local
                     state in src/ without a `// shared-ok:` justification —
                     function-local statics are process-wide mutable state
                     that leaks between experiments and breaks the parallel-
                     sweep isolation contract (harness/sweep.h). const/
-                    constexpr statics are immutable and always fine.
-                    Coverage reach mirrors unit-raw.
+                    constexpr statics are immutable and always fine. The
+                    `// shared-ok:` comment covers its own line and the
+                    lines below it up to the first blank line (bounded
+                    reach), so one justification can cover a paragraph.
+
+The historical unit-raw rule (every `.raw()` escape needs a justification)
+moved to tools/dcpim_sa.py, which checks it semantically — including via
+auto and templates — under the `sa-ok(unit-raw)` suppression grammar.
 
 Scope: src/ only (tests/bench/examples may use raw() freely — the typed API
 is the thing under test there). Run from anywhere:
@@ -79,12 +80,10 @@ NONDETERMINISM = [
      "::time()"),
 ]
 
-RAW_CALL = re.compile(r"\.raw\s*\(\s*\)")
-UNIT_RAW_TAG = "unit-raw:"
-# How far below a unit-raw comment its justification can reach, bounded by
+# How far below a justification comment its coverage can reach, bounded by
 # the first blank line (keeps stale comments from silently covering new
-# code paragraphs).
-UNIT_RAW_MAX_REACH = 12
+# code paragraphs). tools/dcpim_sa.py mirrors this for sa-ok suppressions.
+TAG_MAX_REACH = 12
 
 # An indented (function/class scope — namespace scope is unindented in this
 # codebase) `static` or `static thread_local` declaration of a non-const
@@ -133,7 +132,7 @@ def tag_covered_lines(lines: list[str], tag: str) -> set[int]:
         if tag not in line:
             continue
         covered.add(i)
-        for j in range(i + 1, min(i + 1 + UNIT_RAW_MAX_REACH, len(lines))):
+        for j in range(i + 1, min(i + 1 + TAG_MAX_REACH, len(lines))):
             if not lines[j].strip():
                 break
             covered.add(j)
@@ -143,7 +142,6 @@ def tag_covered_lines(lines: list[str], tag: str) -> set[int]:
 def lint_file(path: Path, rel: str) -> list[str]:
     violations: list[str] = []
     lines = path.read_text(encoding="utf-8").splitlines()
-    covered = tag_covered_lines(lines, UNIT_RAW_TAG)
     shared_ok = tag_covered_lines(lines, SHARED_OK_TAG)
 
     for idx, line in enumerate(lines):
@@ -168,11 +166,6 @@ def lint_file(path: Path, rel: str) -> list[str]:
                     f"{where}: [nondeterminism] {what} breaks reproducible "
                     f"runs; use util/rng.h / the Simulator clock")
 
-        if RAW_CALL.search(code) and idx not in covered:
-            violations.append(
-                f"{where}: [unit-raw] .raw() escape without a "
-                f"`// {UNIT_RAW_TAG}` justification on or above the line")
-
         if STATIC_LOCAL.search(code) and idx not in shared_ok:
             violations.append(
                 f"{where}: [static-local] static non-const local state "
@@ -190,16 +183,21 @@ def main() -> int:
         help="repository root (default: this script's repo)")
     args = parser.parse_args()
 
-    src = args.root / "src"
+    # Resolve the root before computing EXEMPT-relative paths: a relative,
+    # symlinked, or `..`-laden --root must produce the same repo-relative
+    # keys as running from the checkout itself, or exemptions silently stop
+    # applying (see tests/test_lint_dcpim.py).
+    root = args.root.resolve()
+    src = root / "src"
     if not src.is_dir():
-        print(f"lint_dcpim: no src/ under {args.root}", file=sys.stderr)
+        print(f"lint_dcpim: no src/ under {root}", file=sys.stderr)
         return 2
 
     files = sorted(
         p for p in src.rglob("*") if p.suffix in SOURCE_SUFFIXES)
     violations: list[str] = []
     for path in files:
-        rel = path.relative_to(args.root).as_posix()
+        rel = path.resolve().relative_to(root).as_posix()
         violations.extend(lint_file(path, rel))
 
     for v in violations:

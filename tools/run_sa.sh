@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the dcpim-sa semantic analyzer over src/ (sixth CI lane).
+#
+# Usage: tools/run_sa.sh [build-dir] [extra dcpim_sa.py args...]
+#
+# The build dir must contain compile_commands.json (CMake exports it via
+# CMAKE_EXPORT_COMPILE_COMMANDS, set unconditionally in the top-level
+# CMakeLists.txt); a configure-only run is enough:
+#
+#   cmake -B build -S .
+#   tools/run_sa.sh build
+#
+# The JSON report lands in <build-dir>/sa_report.json (uploaded as a CI
+# artifact). Exit status: 0 clean, 1 findings or suppression-ratchet
+# regression, 2 usage error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "run_sa.sh: python3 not found; skipping static analysis" >&2
+    exit 0
+fi
+
+COMPDB="${BUILD_DIR}/compile_commands.json"
+if [[ ! -f "${COMPDB}" ]]; then
+    echo "run_sa.sh: ${COMPDB} not found — configure first:" >&2
+    echo "  cmake -B ${BUILD_DIR} -S ." >&2
+    exit 2
+fi
+
+exec python3 tools/dcpim_sa.py \
+    --compdb "${COMPDB}" \
+    --json "${BUILD_DIR}/sa_report.json" \
+    "$@"
