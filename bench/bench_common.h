@@ -30,6 +30,19 @@ inline bool& audit_flag() {
   return enabled;
 }
 
+/// FaultPlan spec applied to every experiment the binary runs (--faults;
+/// empty = none). Grammar in sim/fault/fault_plan.h.
+inline std::string& faults_flag() {
+  static std::string spec;
+  return spec;
+}
+
+/// Seed for wildcard/burst resolution in the FaultPlan (--fault-seed).
+inline std::uint64_t& fault_seed_flag() {
+  static std::uint64_t seed = 1;
+  return seed;
+}
+
 /// Worker threads for experiment sweeps (--jobs N / $DCPIM_JOBS; default 1
 /// == serial). Results are bit-identical at every value — see
 /// harness/sweep.h for the isolation contract that guarantees it.
@@ -49,12 +62,21 @@ inline int& jobs_flag() {
 ///   --jobs N    run experiment sweeps on N worker threads (also
 ///               --jobs=N; 0 = all hardware threads). Output stays
 ///               byte-identical to --jobs 1; progress/ETA goes to stderr.
+///   --faults S  execute FaultPlan spec S (also --faults=S; grammar in
+///               sim/fault/fault_plan.h) in every experiment and print the
+///               recovery metrics. Deterministic: stdout stays
+///               byte-identical across --jobs values.
+///   --fault-seed N   seed for wildcard/`rand:` resolution (default 1;
+///               also --fault-seed=N).
 /// Unknown arguments are left alone for the binary to interpret.
 inline void parse_common_flags(int& argc, char** argv) {
   const auto set_jobs = [](const char* value) {
     const long n = std::strtol(value, nullptr, 10);
     jobs_flag() = n >= 1 ? static_cast<int>(n)
                          : util::ThreadPool::hardware_threads();
+  };
+  const auto set_fault_seed = [](const char* value) {
+    fault_seed_flag() = std::strtoull(value, nullptr, 10);
   };
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -65,6 +87,14 @@ inline void parse_common_flags(int& argc, char** argv) {
       set_jobs(argv[++i]);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       set_jobs(arg.c_str() + 7);
+    } else if (arg == "--faults" && i + 1 < argc) {
+      faults_flag() = argv[++i];
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults_flag() = arg.substr(9);
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      set_fault_seed(argv[++i]);
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      set_fault_seed(arg.c_str() + 13);
     } else {
       argv[out++] = argv[i];
     }
@@ -131,6 +161,8 @@ inline harness::ExperimentConfig default_setup(harness::Protocol p) {
   cfg.measure_end = TimePoint(scaled(ms(1.2)));
   cfg.horizon = TimePoint(scaled(ms(3)));
   cfg.audit = audit_flag();
+  cfg.faults = faults_flag();
+  cfg.fault_seed = fault_seed_flag();
   return cfg;
 }
 
@@ -193,6 +225,15 @@ inline void maybe_csv(const std::string& experiment,
 inline void maybe_print_audit(const harness::ExperimentResult& result) {
   if (!result.audit.enabled) return;
   std::printf("    %s\n", harness::format_audit_summary(result.audit).c_str());
+}
+
+/// Prints the fault-recovery metrics under a result row when --faults is
+/// active. Deterministic output (simulated quantities only), so it is safe
+/// for the byte-identical stdout contract across --jobs values.
+inline void maybe_print_faults(const harness::ExperimentResult& result) {
+  if (!result.recovery.enabled) return;
+  std::printf("    %s\n",
+              harness::format_recovery_stats(result.recovery).c_str());
 }
 
 }  // namespace dcpim::bench

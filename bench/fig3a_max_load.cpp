@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
       bench::maybe_csv("fig3a", p, configs[pi * loads.size() + li].workload,
                        load, res);
       bench::maybe_print_audit(res);
+      bench::maybe_print_faults(res);
       if (baseline == 0) baseline = res.load_carried_ratio;
       const double norm =
           baseline > 0 ? res.load_carried_ratio / baseline : 0.0;

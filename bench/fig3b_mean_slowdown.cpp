@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
                        configs[idx].load, res);
       std::printf(" %12.2f", res.overall.mean);
       bench::maybe_print_audit(res);
+      bench::maybe_print_faults(res);
     }
     std::printf("\n");
     std::fflush(stdout);

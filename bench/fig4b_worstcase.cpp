@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
     std::printf("  %-12s %8.2f %8.2f %8.3f\n", to_string(protocols[pi]),
                 res.overall.mean, res.overall.p99, res.load_carried_ratio);
     bench::maybe_print_audit(res);
+    bench::maybe_print_faults(res);
     std::fflush(stdout);
   }
   return 0;

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(res.pfc_pauses),
                 static_cast<unsigned long long>(res.trims));
     bench::maybe_print_audit(res);
+    bench::maybe_print_faults(res);
     std::fflush(stdout);
   }
   std::printf(

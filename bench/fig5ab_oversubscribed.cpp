@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
                   res.short_flows.mean, res.short_flows.p99,
                   res.load_carried_ratio);
       bench::maybe_print_audit(res);
+      bench::maybe_print_faults(res);
       std::fflush(stdout);
     }
     std::printf("\n");

@@ -30,6 +30,7 @@ void print_row(const std::string& label, const ExperimentResult& res) {
               label.c_str(), res.load_carried_ratio, res.overall.mean,
               res.overall.p99, res.short_flows.p99);
   bench::maybe_print_audit(res);
+  bench::maybe_print_faults(res);
   std::fflush(stdout);
 }
 

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     bench::maybe_print_audit(res);
+    bench::maybe_print_faults(res);
     std::fflush(stdout);
   }
   return 0;

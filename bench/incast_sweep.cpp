@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
         std::printf(" %7.1f", res.overall.p99);
       }
       bench::maybe_print_audit(res);
+      bench::maybe_print_faults(res);
     }
     std::printf("\n");
     std::fflush(stdout);

@@ -58,6 +58,13 @@ class DcpimHost : public net::Host {
   const Counters& counters() const { return counters_; }
   const DcpimConfig& protocol_config() const { return cfg_; }
 
+  /// Loss recovery = notify/finish control retransmits plus token-timeout
+  /// readmissions (§5.1) — the actions dcPIM takes only when packets die.
+  std::uint64_t loss_recovery_count() const override {
+    return counters_.notify_retx + counters_.finish_retx +
+           counters_.readmitted_seqs;
+  }
+
   /// Matched channels (receiver role) in the matching phase for epoch m.
   int receiver_matched_channels(std::uint64_t epoch) const;
   /// Distinct senders matched (receiver role) in epoch m.

@@ -22,10 +22,18 @@ namespace {
 ///   delivered(f) + dropped(f) <= injected(f)    (no bytes out of thin air;
 ///                                                slack = in-flight + dup +
 ///                                                trimmed payload)
+///
+/// Drops are attributed by cause: bytes killed by injected faults
+/// (loss windows, downed links, targeted drops — net::is_injected_drop)
+/// are ledgered apart from protocol/buffer drops, so a conservation
+/// violation message names how much of the loss was deliberate and a
+/// protocol bug cannot hide behind an active FaultPlan (DESIGN.md §11).
 struct FlowLedger {
   struct Entry {
-    Bytes injected{};  ///< payload bytes handed to the sender NIC
-    Bytes dropped{};   ///< payload bytes lost at any port
+    Bytes injected{};       ///< payload bytes handed to the sender NIC
+    Bytes dropped_fault{};  ///< payload bytes killed by injected faults
+    Bytes dropped_proto{};  ///< payload bytes lost to buffers/Aeolus
+    Bytes dropped() const { return dropped_fault + dropped_proto; }
   };
   std::unordered_map<std::uint64_t, Entry> flows;
 };
@@ -54,10 +62,11 @@ void check_flow_conservation(net::Network& net, const FlowLedger& ledger,
     auto it = ledger.flows.find(f->id);
     const FlowLedger::Entry entry =
         it == ledger.flows.end() ? FlowLedger::Entry{} : it->second;
-    if (delivered + entry.dropped > entry.injected) {
+    if (delivered + entry.dropped() > entry.injected) {
       ctx.fail(tag + " accounts " + to_string(delivered) + " delivered + " +
-               to_string(entry.dropped) + " dropped against only " +
-               to_string(entry.injected) + " injected");
+               to_string(entry.dropped()) + " dropped (" +
+               to_string(entry.dropped_fault) + " fault-injected) against " +
+               "only " + to_string(entry.injected) + " injected");
     }
   }
   if (delivered_sum != net.total_payload_delivered) {
@@ -168,8 +177,15 @@ void install_standard_probes(sim::Auditor& auditor, net::Network& net) {
   net.add_inject_observer([ledger](const net::Packet& p) {
     if (p.payload > Bytes{}) ledger->flows[p.flow_id].injected += p.payload;
   });
-  net.add_drop_observer([ledger](const net::Packet& p, const net::Port&) {
-    if (p.payload > Bytes{}) ledger->flows[p.flow_id].dropped += p.payload;
+  net.add_drop_observer([ledger](const net::Packet& p, const net::Port&,
+                                 net::DropReason reason) {
+    if (p.payload <= Bytes{}) return;
+    auto& entry = ledger->flows[p.flow_id];
+    if (net::is_injected_drop(reason)) {
+      entry.dropped_fault += p.payload;
+    } else {
+      entry.dropped_proto += p.payload;
+    }
   });
 
   auditor.add_probe("flow-byte-conservation",
@@ -179,6 +195,26 @@ void install_standard_probes(sim::Auditor& auditor, net::Network& net) {
   auditor.add_probe("queue-occupancy", [&net](sim::Auditor::Context& ctx) {
     check_queue_occupancy(net, ctx);
   });
+  // Drop attribution stays coherent: the injected subset can never exceed
+  // the total, and a port with no fault source ever configured must not
+  // claim injected drops (loss windows rewrite loss_rate back to 0 only
+  // after the window — a nonzero count with a zero rate is legal then, but
+  // an injected count above the all-cause count never is).
+  auditor.add_probe("injected-drop-attribution",
+                    [&net](sim::Auditor::Context& ctx) {
+                      for (const auto& dev : net.devices()) {
+                        for (const auto& port : dev->ports) {
+                          if (port->injected_drops > port->drops) {
+                            ctx.fail(dev->name() + " port " +
+                                     std::to_string(port->index()) +
+                                     " attributes " +
+                                     std::to_string(port->injected_drops) +
+                                     " injected drops out of only " +
+                                     std::to_string(port->drops) + " total");
+                          }
+                        }
+                      }
+                    });
   auditor.add_probe("dcpim-token-accounting",
                     [&net](sim::Auditor::Context& ctx) {
                       std::vector<std::string> violations;

@@ -6,6 +6,7 @@
 
 #include "core/dcpim_host.h"
 #include "harness/audit_probes.h"
+#include "harness/fault_injector.h"
 #include "net/topology.h"
 #include "sim/audit.h"
 #include "util/logging.h"
@@ -51,6 +52,7 @@ struct Runtime {
   ExperimentConfig exp;  ///< owned copy; protocol configs live here
   std::unique_ptr<net::Network> net;
   std::unique_ptr<net::Topology> topo;
+  std::unique_ptr<FaultInjector> faults;
   /// Owns the synthetic fixed-size CDF when exp.fixed_size is set. Must be
   /// per-experiment (not static): generators sample it for the whole run,
   /// and experiments execute concurrently under harness::SweepRunner.
@@ -281,6 +283,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   std::vector<std::unique_ptr<workload::PoissonGenerator>> gens;
   drive_pattern(rt, gens);
 
+  if (!cfg.faults.empty()) {
+    FaultInjector::Options fopts;
+    fopts.seed = cfg.fault_seed;
+    rt.faults = std::make_unique<FaultInjector>(
+        *rt.net, sim::fault::parse_fault_spec(cfg.faults), fopts);
+    rt.faults->install();
+  }
+
   std::unique_ptr<sim::Auditor> auditor;
   if (cfg.audit) {
     sim::Auditor::Options opts;
@@ -315,6 +325,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.flows_total = rt.net->num_flows();
   res.flows_done = rt.net->completed_flows;
   res.drops = rt.net->total_drops();
+  res.injected_drops = rt.net->total_injected_drops();
   res.trims = rt.net->total_trims();
   for (const auto& dev : rt.net->devices()) {
     if (dev->kind() == net::Device::Kind::Switch) {
@@ -336,6 +347,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.util_series.resize(util.num_bins());
   for (std::size_t i = 0; i < util.num_bins(); ++i) {
     res.util_series[i] = util.utilization(i, capacity_bps);
+  }
+  if (rt.faults) {
+    res.recovery = rt.faults->recovery(capacity_bps);
   }
   if (auditor) {
     // Final end-of-run sweep: catches invariants that only settle once the

@@ -10,6 +10,7 @@
 #include "core/dcpim_config.h"
 #include "proto/dctcp.h"
 #include "sim/audit.h"
+#include "sim/fault/fault_plan.h"
 #include "proto/homa.h"
 #include "proto/hpcc.h"
 #include "proto/ndp.h"
@@ -74,6 +75,11 @@ struct ExperimentConfig {
 
   // --- failure injection --------------------------------------------------------
   double loss_rate = 0.0;  ///< random per-packet loss on every port
+  /// FaultPlan spec executed against the topology (empty = no faults); the
+  /// `--faults` grammar of sim/fault/fault_plan.h. Wildcard targets and
+  /// `rand:` bursts resolve from `fault_seed`, never the workload RNG.
+  std::string faults;
+  std::uint64_t fault_seed = 1;
 
   // --- invariant auditing ---------------------------------------------------
   /// When set, the standard invariant probes (see harness/audit_probes.h)
@@ -107,6 +113,9 @@ struct ExperimentResult {
   std::size_t flows_total = 0;
   std::size_t flows_done = 0;
   std::uint64_t drops = 0;
+  /// The subset of `drops` attributed to injected faults (loss windows,
+  /// downed links, targeted drops) rather than protocol behavior.
+  std::uint64_t injected_drops = 0;
   std::uint64_t trims = 0;
   std::uint64_t pfc_pauses = 0;
   Bytes bdp{};
@@ -117,6 +126,8 @@ struct ExperimentResult {
   Time util_bin = us(10);
   /// Invariant audit outcome (enabled == false unless cfg.audit was set).
   sim::AuditSummary audit;
+  /// Fault-recovery metrics (enabled == false unless cfg.faults was set).
+  sim::fault::RecoveryStats recovery;
 
   double mean_util(std::size_t from_bin, std::size_t to_bin) const;
 };

@@ -12,7 +12,23 @@ std::string csv_header() {
   return "experiment,protocol,workload,load,flows_total,flows_done,"
          "mean_slowdown,p50_slowdown,p99_slowdown,short_mean,short_p99,"
          "goodput_ratio,load_carried_ratio,drops,trims,pfc_pauses,"
-         "bdp_bytes,data_rtt_us,control_rtt_us,audit_checks,audit_violations";
+         "bdp_bytes,data_rtt_us,control_rtt_us,audit_checks,audit_violations,"
+         "fault_events,injected_drops,recovery_actions,flows_stalled,"
+         "fault_active_us,mean_recovery_us,max_recovery_us,"
+         "goodput_during_faults,goodput_after_faults";
+}
+
+std::string format_recovery_stats(const sim::fault::RecoveryStats& r) {
+  if (!r.enabled) return "faults: disabled";
+  std::ostringstream os;
+  os << "faults: " << r.fault_events << " event(s), " << r.injected_drops
+     << " injected drop(s), active " << to_us(r.fault_active) << " us\n"
+     << "  recovery: " << r.recovery_actions << " action(s), mean "
+     << to_us(r.mean_recovery) << " us, max " << to_us(r.max_recovery)
+     << " us, " << r.flows_stalled << " flow(s) stalled\n"
+     << "  goodput: " << r.goodput_during_faults << " during, "
+     << r.goodput_after_faults << " after\n";
+  return os.str();
 }
 
 std::string format_audit_summary(const sim::AuditSummary& audit) {
@@ -47,7 +63,14 @@ std::string to_csv_row(const ReportRow& row) {
      << r.goodput_ratio << ',' << r.load_carried_ratio << ',' << r.drops
      << ',' << r.trims << ',' << r.pfc_pauses << ',' << r.bdp << ','
      << to_us(r.data_rtt) << ',' << to_us(r.control_rtt) << ','
-     << r.audit.checks << ',' << r.audit.violations_total;
+     << r.audit.checks << ',' << r.audit.violations_total << ','
+     << r.recovery.fault_events << ',' << r.recovery.injected_drops << ','
+     << r.recovery.recovery_actions << ',' << r.recovery.flows_stalled << ','
+     << to_us(r.recovery.fault_active) << ','
+     << to_us(r.recovery.mean_recovery) << ','
+     << to_us(r.recovery.max_recovery) << ','
+     << r.recovery.goodput_during_faults << ','
+     << r.recovery.goodput_after_faults;
   return os.str();
 }
 
@@ -98,6 +121,20 @@ std::string result_fingerprint(const ExperimentResult& r) {
     os << ' ';
     append_exact(os, u);
   }
+  os << "\nrecovery:enabled=" << r.recovery.enabled
+     << ",events=" << r.recovery.fault_events
+     << ",windows=" << r.recovery.windows
+     << ",injected_drops=" << r.recovery.injected_drops
+     << ",actions=" << r.recovery.recovery_actions
+     << ",stalled=" << r.recovery.flows_stalled
+     << ",active=" << r.recovery.fault_active
+     << ",mean_recovery=" << r.recovery.mean_recovery
+     << ",max_recovery=" << r.recovery.max_recovery
+     << ",goodput_during=";
+  append_exact(os, r.recovery.goodput_during_faults);
+  os << ",goodput_after=";
+  append_exact(os, r.recovery.goodput_after_faults);
+  os << " injected_drops_total=" << r.injected_drops;
   os << "\naudit:enabled=" << r.audit.enabled << ",sweeps=" << r.audit.sweeps
      << ",checks=" << r.audit.checks
      << ",violations_total=" << r.audit.violations_total << "\n";

@@ -27,6 +27,11 @@ std::string csv_header();
 /// experiment ran without auditing.
 std::string format_audit_summary(const sim::AuditSummary& audit);
 
+/// Multi-line human-readable fault-recovery report (--faults runs): event
+/// and injected-drop counts, recovery times, goodput during/after faults.
+/// Returns "faults: disabled" when no FaultPlan was installed.
+std::string format_recovery_stats(const sim::fault::RecoveryStats& r);
+
 /// Flattens a row: experiment,protocol,workload,load,<metrics...>.
 std::string to_csv_row(const ReportRow& row);
 

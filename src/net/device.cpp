@@ -8,8 +8,42 @@
 
 namespace dcpim::net {
 
+namespace {
+
+/// Disjoint per-port seed for the fault RNG stream: a SplitMix64-style mix
+/// of the network seed with the (device, port) coordinates. Distinct ports
+/// get unrelated streams, and none of them is the workload RNG stream.
+std::uint64_t fault_stream_seed(std::uint64_t net_seed, int device_id,
+                                int port_index) {
+  std::uint64_t z =
+      net_seed ^ (0x9E3779B97F4A7C15ull +
+                  (static_cast<std::uint64_t>(device_id + 1) << 17) +
+                  static_cast<std::uint64_t>(port_index + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kBufferOverflow: return "buffer-overflow";
+    case DropReason::kAeolus: return "aeolus";
+    case DropReason::kLinkDown: return "link-down";
+    case DropReason::kInjectedLoss: return "injected-loss";
+    case DropReason::kTargetedFault: return "targeted-fault";
+  }
+  return "?";
+}
+
 Port::Port(Device& owner, int index, PortConfig cfg)
-    : owner_(owner), net_(owner.network()), index_(index), cfg_(cfg) {}
+    : owner_(owner),
+      net_(owner.network()),
+      index_(index),
+      cfg_(cfg),
+      fault_rng_(fault_stream_seed(owner.network().config().seed,
+                                   owner.device_id(), index)) {}
 
 void Port::connect(Device* peer, Port* reverse) {
   peer_ = peer;
@@ -20,13 +54,14 @@ Time Port::tx_time(Bytes bytes) const {
   return serialization_time(bytes, cfg_.rate);
 }
 
-void Port::drop_packet(PacketPtr p) {
+void Port::drop_packet(PacketPtr p, DropReason reason) {
   ++drops;
+  if (is_injected_drop(reason)) ++injected_drops;
   // Release any switch-side ingress accounting (PFC): a dropped packet
   // never reaches try_transmit's departure hook, and leaking its bytes
   // would leave the upstream port paused forever.
   owner_.on_packet_departed(*p);
-  net_.notify_drop(*p, *this);
+  net_.notify_drop(*p, *this, reason);
 }
 
 // sa-hot: runs once per packet per hop — the single hottest path in the
@@ -34,11 +69,18 @@ void Port::drop_packet(PacketPtr p) {
 void Port::enqueue(PacketPtr p) {
   DCPIM_CHECK(peer_ != nullptr, "port not connected");
   if (!link_up_) {
-    drop_packet(std::move(p));
+    drop_packet(std::move(p), DropReason::kLinkDown);
     return;
   }
-  if (cfg_.loss_rate > 0.0 && net_.rng().bernoulli(cfg_.loss_rate)) {
-    drop_packet(std::move(p));
+  if (net_.has_fault_filter() && net_.fault_filter_drop(*p, *this)) {
+    drop_packet(std::move(p), DropReason::kTargetedFault);
+    return;
+  }
+  // Loss draws consume the per-port fault RNG stream, never the shared
+  // workload RNG: enabling loss on one port must not perturb arrival
+  // sequences anywhere else (sweep determinism, DESIGN.md §11).
+  if (cfg_.loss_rate > 0.0 && fault_rng_.bernoulli(cfg_.loss_rate)) {
+    drop_packet(std::move(p), DropReason::kInjectedLoss);
     return;
   }
 
@@ -51,7 +93,7 @@ void Port::enqueue(PacketPtr p) {
         data_queued + p->size > cfg_.aeolus_threshold) {
       // Aeolus selective dropping: first-RTT (unscheduled) packets are
       // dropped early so scheduled traffic keeps the buffer.
-      drop_packet(std::move(p));
+      drop_packet(std::move(p), DropReason::kAeolus);
       return;
     }
 
@@ -70,7 +112,7 @@ void Port::enqueue(PacketPtr p) {
       p->priority = 0;
       prio = 0;
     } else if (over_buffer) {
-      drop_packet(std::move(p));
+      drop_packet(std::move(p), DropReason::kBufferOverflow);
       return;
     } else if (cfg_.ecn_threshold >= Bytes{} && data_queued >= cfg_.ecn_threshold) {
       p->ecn_ce = true;
@@ -80,7 +122,7 @@ void Port::enqueue(PacketPtr p) {
     // Control-plane (or already-trimmed) packet: strict priority 0 with its
     // own byte budget, so data congestion cannot starve the control plane.
     if (cfg_.buffer_bytes >= Bytes{} && qbytes_[0] + p->size > cfg_.buffer_bytes) {
-      drop_packet(std::move(p));
+      drop_packet(std::move(p), DropReason::kBufferOverflow);
       return;
     }
     prio = p->priority;  // control is priority 0 by construction
@@ -106,8 +148,14 @@ void Port::set_link_up(bool up) {
   if (link_up_) try_transmit();
 }
 
+void Port::set_stalled(bool stalled) {
+  if (stalled_ == stalled) return;
+  stalled_ = stalled;
+  if (!stalled_) try_transmit();
+}
+
 int Port::next_priority_to_send() const {
-  if (!link_up_) return -1;
+  if (!link_up_ || stalled_) return -1;
   for (int prio = 0; prio < kNumPriorities; ++prio) {
     if (queues_[prio].empty()) continue;
     if (paused_ && prio != 0) return -1;  // PFC pauses all but control

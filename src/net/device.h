@@ -16,12 +16,34 @@
 
 #include "net/config.h"
 #include "net/packet.h"
+#include "util/rng.h"
 #include "util/time.h"
 
 namespace dcpim::net {
 
 class Network;
 class Device;
+
+/// Why a port dropped a packet. Fault-injected causes (loss windows, downed
+/// links, targeted drops — everything the FaultPlan layer schedules) are
+/// kept distinct from protocol/buffer causes so the audit probes never
+/// mistake an injected fault for a protocol bug (DESIGN.md §11).
+enum class DropReason {
+  kBufferOverflow,  ///< shared data / control byte budget exceeded
+  kAeolus,          ///< Aeolus selective drop of unscheduled packets
+  kLinkDown,        ///< port link administratively down (set_link_up)
+  kInjectedLoss,    ///< Bernoulli loss window (PortConfig::loss_rate)
+  kTargetedFault,   ///< FaultPlan targeted drop (Network fault filter)
+};
+
+/// True for drops caused by injected faults rather than protocol behavior.
+constexpr bool is_injected_drop(DropReason reason) {
+  return reason == DropReason::kLinkDown ||
+         reason == DropReason::kInjectedLoss ||
+         reason == DropReason::kTargetedFault;
+}
+
+const char* to_string(DropReason reason);
 
 class Port {
  public:
@@ -44,6 +66,19 @@ class Port {
   void set_link_up(bool up);
   bool link_up() const { return link_up_; }
 
+  /// Host-stall injection (FaultPlan): while stalled the port transmits
+  /// nothing at all — unlike PFC pause, even control packets wait — but
+  /// keeps admitting packets to its queues (no drops). Models a paused or
+  /// GC-frozen end host rather than a failed link.
+  void set_stalled(bool stalled);
+  bool stalled() const { return stalled_; }
+
+  /// Dedicated fault RNG stream: loss_rate draws and targeted-drop draws
+  /// consume this, never the shared Network RNG, so injecting loss on one
+  /// port cannot perturb workload arrivals or any other port (DESIGN.md
+  /// §11). Seeded per (network seed, device, port index) at construction.
+  Rng& fault_rng() { return fault_rng_; }
+
   Device& owner() const { return owner_; }
   Device* peer() const { return peer_; }
   Port* reverse() const { return reverse_; }
@@ -59,7 +94,8 @@ class Port {
   Time tx_time(Bytes bytes) const;
 
   // --- statistics ---------------------------------------------------------
-  std::uint64_t drops = 0;
+  std::uint64_t drops = 0;           ///< all drops, any reason
+  std::uint64_t injected_drops = 0;  ///< the is_injected_drop() subset
   std::uint64_t trims = 0;
   std::uint64_t ecn_marks = 0;
   Bytes tx_bytes{};            ///< cumulative bytes fully transmitted
@@ -69,8 +105,8 @@ class Port {
  private:
   void try_transmit();
   /// Drops `p`, releasing switch-side (PFC) accounting and firing the
-  /// network drop observers.
-  void drop_packet(PacketPtr p);
+  /// network drop observers with the attributed reason.
+  void drop_packet(PacketPtr p, DropReason reason);
   /// True if some queue with a transmittable packet is non-empty.
   int next_priority_to_send() const;
 
@@ -87,6 +123,8 @@ class Port {
   bool busy_ = false;
   bool paused_ = false;
   bool link_up_ = true;
+  bool stalled_ = false;
+  Rng fault_rng_;
 };
 
 class Device {

@@ -40,6 +40,12 @@ class Host : public Device {
   /// New locally-originated flow to transmit.
   virtual void on_flow_arrival(Flow& flow) = 0;
 
+  /// Count of loss-recovery actions this host has taken so far: protocol-
+  /// defined (retransmissions, RTO fires, token readmissions, resend
+  /// requests, ...). Feeds the fault-injection recovery metrics
+  /// (sim::fault::RecoveryStats::recovery_actions; DESIGN.md §11).
+  virtual std::uint64_t loss_recovery_count() const { return 0; }
+
  protected:
   /// Protocol packet handler (both sender- and receiver-side packets).
   virtual void on_packet(PacketPtr p) = 0;

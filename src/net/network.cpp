@@ -75,6 +75,14 @@ std::uint64_t Network::total_drops() const {
   return n;
 }
 
+std::uint64_t Network::total_injected_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& dev : devices_) {
+    for (const auto& port : dev->ports) n += port->injected_drops;
+  }
+  return n;
+}
+
 std::uint64_t Network::total_trims() const {
   std::uint64_t n = 0;
   for (const auto& dev : devices_) {

@@ -70,8 +70,14 @@ class Network {
   using FlowObserver = std::function<void(const Flow&)>;
   using ArrivalObserver = std::function<void(const Flow&)>;
   using PayloadObserver = std::function<void(Bytes, TimePoint)>;
-  using DropObserver = std::function<void(const Packet&, const Port&)>;
+  using DropObserver =
+      std::function<void(const Packet&, const Port&, DropReason)>;
   using InjectObserver = std::function<void(const Packet&)>;
+  /// Fault-plan targeted-drop hook (harness::FaultInjector): returns true
+  /// if `p` must be killed at `port`. Consulted by Port::enqueue for every
+  /// packet while installed; draws come from port.fault_rng() so the hook
+  /// never touches the workload RNG.
+  using FaultFilter = std::function<bool(const Packet&, Port&)>;
 
   void add_flow_observer(FlowObserver fn) {
     flow_observers_.push_back(std::move(fn));
@@ -96,9 +102,19 @@ class Network {
   void notify_payload(Bytes fresh, TimePoint at) {
     for (auto& fn : payload_observers_) fn(fresh, at);
   }
+  /// Installs/clears the targeted-drop fault filter (one at a time; the
+  /// FaultInjector owns it for the lifetime of an experiment).
+  void set_fault_filter(FaultFilter fn) { fault_filter_ = std::move(fn); }
+  void clear_fault_filter() { fault_filter_ = nullptr; }
+  bool has_fault_filter() const { return static_cast<bool>(fault_filter_); }
+  /// Internal: Port::enqueue asks whether the filter kills this packet.
+  bool fault_filter_drop(const Packet& p, Port& port) {
+    return fault_filter_(p, port);
+  }
+
   /// Internal: fired by ports on any drop.
-  void notify_drop(const Packet& p, const Port& port) {
-    for (auto& fn : drop_observers_) fn(p, port);
+  void notify_drop(const Packet& p, const Port& port, DropReason reason) {
+    for (auto& fn : drop_observers_) fn(p, port, reason);
   }
   /// Internal: fired by Host::send for every injected packet.
   void notify_injected(const Packet& p) {
@@ -107,6 +123,8 @@ class Network {
 
   // --- aggregate statistics ---------------------------------------------------
   std::uint64_t total_drops() const;
+  /// Drops attributed to injected faults (is_injected_drop reasons) only.
+  std::uint64_t total_injected_drops() const;
   std::uint64_t total_trims() const;
   Bytes total_payload_delivered{};
   std::uint64_t completed_flows = 0;
@@ -123,6 +141,7 @@ class Network {
   std::vector<PayloadObserver> payload_observers_;
   std::vector<DropObserver> drop_observers_;
   std::vector<InjectObserver> inject_observers_;
+  FaultFilter fault_filter_;
 
   NetConfig cfg_;
   sim::Simulator sim_;

@@ -89,6 +89,10 @@ class FastpassHost : public net::Host {
   };
   const Counters& counters() const { return counters_; }
 
+  std::uint64_t loss_recovery_count() const override {
+    return counters_.rerequests;
+  }
+
  protected:
   void on_packet(net::PacketPtr p) override;
 

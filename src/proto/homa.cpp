@@ -83,6 +83,31 @@ void HomaHost::on_flow_arrival(net::Flow& flow) {
       ++counters_.probes_sent;
     });
   }
+
+  // If the notify AND the whole unscheduled burst die (a blackholed spine,
+  // a hostile loss window), the receiver never learns the flow exists and
+  // nothing on its side can retry — re-announce until it engages. Same
+  // first-contact insurance as pHost's arm_rts_retry.
+  const std::uint64_t id = flow.id;
+  network().sim().schedule_after(cfg_.effective_resend(),
+                                 [this, id]() { notify_check(id); });
+}
+
+void HomaHost::notify_check(std::uint64_t flow_id) {
+  auto it = tx_flows_.find(flow_id);
+  if (it == tx_flows_.end()) return;
+  const TxFlow& tx = it->second;
+  // A grant proves the receiver knows the flow; from there its own resend
+  // machinery owns recovery. (Pure-unscheduled flows never see grants, so
+  // they keep re-announcing until the flow completes.)
+  if (tx.flow->finished() || tx.grant_seen) return;
+  auto note = make_control<SizedNotifyPacket>(tx.flow->dst, kHomaNotify);
+  note->flow_id = flow_id;
+  note->flow_size = tx.flow->size;
+  send(std::move(note));
+  ++counters_.notify_retx;
+  network().sim().schedule_after(cfg_.effective_resend(),
+                                 [this, flow_id]() { notify_check(flow_id); });
 }
 
 void HomaHost::handle_grant(const net::Packet& p) {
@@ -90,6 +115,7 @@ void HomaHost::handle_grant(const net::Packet& p) {
   auto it = tx_flows_.find(p.flow_id);
   if (it == tx_flows_.end()) return;
   TxFlow& tx = it->second;
+  tx.grant_seen = true;
   if (tx.flow->finished() || grant.data_seq >= tx.packets) return;
   grant_queue_.push_back(
       PendingGrant{p.flow_id, grant.data_seq, grant.data_priority});

@@ -63,8 +63,13 @@ class HomaHost : public net::Host {
     std::uint64_t grants_sent = 0;
     std::uint64_t probes_sent = 0;
     std::uint64_t resend_requests = 0;
+    std::uint64_t notify_retx = 0;
   };
   const Counters& counters() const { return counters_; }
+
+  std::uint64_t loss_recovery_count() const override {
+    return counters_.resend_requests + counters_.notify_retx;
+  }
 
  protected:
   void on_packet(net::PacketPtr p) override;
@@ -75,6 +80,7 @@ class HomaHost : public net::Host {
     std::uint32_t packets = 0;
     std::uint32_t unsched_packets = 0;
     bool done = false;
+    bool grant_seen = false;  ///< receiver engaged; notify retries stop
   };
 
   struct RxFlow {
@@ -106,6 +112,7 @@ class HomaHost : public net::Host {
   void grant_tick(std::uint64_t flow_id);
   bool issue_grant(RxFlow& rx);
   void resend_check(std::uint64_t flow_id);
+  void notify_check(std::uint64_t flow_id);
 
   const HomaConfig& cfg_;
   Counters counters_;

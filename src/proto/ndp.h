@@ -52,6 +52,10 @@ class NdpHost : public net::Host {
   };
   const Counters& counters() const { return counters_; }
 
+  std::uint64_t loss_recovery_count() const override {
+    return counters_.retransmissions + counters_.rto_fires;
+  }
+
  protected:
   void on_packet(net::PacketPtr p) override;
 

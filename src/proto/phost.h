@@ -59,6 +59,12 @@ class PhostHost : public net::Host {
   };
   const Counters& counters() const { return counters_; }
 
+  /// pHost recovers from loss via its receiver token timeout, observed at
+  /// the sender as stale (expired) tokens it must ignore and re-earn.
+  std::uint64_t loss_recovery_count() const override {
+    return counters_.tokens_expired;
+  }
+
  protected:
   void on_packet(net::PacketPtr p) override;
 

@@ -51,6 +51,10 @@ class WindowHost : public net::Host {
   };
   const Counters& counters() const { return counters_; }
 
+  std::uint64_t loss_recovery_count() const override {
+    return counters_.retransmissions;
+  }
+
  protected:
   struct WFlow {
     net::Flow* flow = nullptr;

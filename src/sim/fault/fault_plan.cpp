@@ -1,0 +1,382 @@
+#include "sim/fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace dcpim::sim::fault {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+[[noreturn]] void bad_spec(const std::string& item, const std::string& why) {
+  throw std::invalid_argument("fault spec item '" + item + "': " + why);
+}
+
+double parse_number(const std::string& item, const std::string& text,
+                    const char* what) {
+  const std::string t = trim(text);
+  if (t.empty()) bad_spec(item, std::string("missing ") + what);
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) {
+    bad_spec(item, std::string("malformed ") + what + " '" + t + "'");
+  }
+  return v;
+}
+
+Time parse_time(const std::string& item, const std::string& text) {
+  try {
+    return parse_time_literal(text);
+  } catch (const std::invalid_argument& e) {
+    bad_spec(item, e.what());
+  }
+}
+
+/// Splits "<...>@<start>:<dur>" off the tail of an item body; returns the
+/// part before '@' and fills the window.
+std::string parse_window(const std::string& item, const std::string& body,
+                         TimePoint& start, Time& duration) {
+  const auto at = body.rfind('@');
+  if (at == std::string::npos) bad_spec(item, "missing '@<start>:<dur>'");
+  const std::string window = body.substr(at + 1);
+  const auto colon = window.find(':');
+  if (colon == std::string::npos) {
+    bad_spec(item, "window must be '<start>:<dur>'");
+  }
+  start = TimePoint(parse_time(item, window.substr(0, colon)));
+  duration = parse_time(item, window.substr(colon + 1));
+  if (start.since_start() < Time{}) bad_spec(item, "start must be >= 0");
+  if (duration <= Time{}) bad_spec(item, "duration must be > 0");
+  return body.substr(0, at);
+}
+
+/// Splits an optional trailing ".<port>" off a target name.
+void parse_target(const std::string& item, const std::string& text,
+                  FaultEvent& ev) {
+  std::string t = trim(text);
+  if (t.empty()) bad_spec(item, "missing target");
+  const auto dot = t.rfind('.');
+  if (dot != std::string::npos && dot + 1 < t.size() &&
+      t.find_first_not_of("0123456789", dot + 1) == std::string::npos) {
+    ev.port = static_cast<int>(
+        parse_number(item, t.substr(dot + 1), "port index"));
+    t = t.substr(0, dot);
+  }
+  ev.target = t;
+}
+
+double parse_rate(const std::string& item, const std::string& text) {
+  const double rate = parse_number(item, text, "rate");
+  if (rate <= 0.0 || rate > 1.0) bad_spec(item, "rate must be in (0, 1]");
+  return rate;
+}
+
+FaultEvent parse_item(const std::string& item) {
+  const auto colon = item.find(':');
+  if (colon == std::string::npos) {
+    bad_spec(item, "expected '<verb>:<args>'");
+  }
+  const std::string verb = trim(item.substr(0, colon));
+  const std::string args = item.substr(colon + 1);
+
+  FaultEvent ev;
+  const std::string head = parse_window(item, args, ev.start, ev.duration);
+  if (verb == "flap") {
+    ev.kind = FaultKind::LinkFlap;
+    parse_target(item, head, ev);
+  } else if (verb == "loss") {
+    ev.kind = FaultKind::LossWindow;
+    const auto sep = head.rfind(':');
+    if (sep == std::string::npos) {
+      bad_spec(item, "expected 'loss:<target>:<rate>@...'");
+    }
+    parse_target(item, head.substr(0, sep), ev);
+    ev.rate = parse_rate(item, head.substr(sep + 1));
+  } else if (verb == "drop") {
+    ev.kind = FaultKind::TargetedDrop;
+    const auto sep = head.rfind(':');
+    if (sep == std::string::npos) {
+      ev.packet_kind = trim(head);
+    } else {
+      ev.packet_kind = trim(head.substr(0, sep));
+      ev.rate = parse_rate(item, head.substr(sep + 1));
+    }
+    if (ev.packet_kind.empty()) bad_spec(item, "missing packet kind");
+  } else if (verb == "blackhole") {
+    ev.kind = FaultKind::Blackhole;
+    parse_target(item, head, ev);
+    if (ev.port >= 0) bad_spec(item, "blackhole takes a device, not a port");
+  } else if (verb == "stall") {
+    ev.kind = FaultKind::HostStall;
+    parse_target(item, head, ev);
+    if (ev.port >= 0) bad_spec(item, "stall takes a host, not a port");
+  } else if (verb == "rand") {
+    ev.kind = FaultKind::RandomBurst;
+    ev.count = static_cast<int>(parse_number(item, head, "event count"));
+    if (ev.count <= 0) bad_spec(item, "event count must be > 0");
+  } else {
+    bad_spec(item, "unknown verb '" + verb + "'");
+  }
+  return ev;
+}
+
+/// Formats `t` in the largest unit that divides it exactly.
+std::string format_time(Time t) {
+  struct Unit {
+    Time one;
+    const char* suffix;
+  };
+  // note: no (argless) constructor calls here — initializer list of units.
+  const Unit units[] = {{kSecond, "s"},
+                        {kMillisecond, "ms"},
+                        {kMicrosecond, "us"},
+                        {kNanosecond, "ns"},
+                        {kPicosecond, "ps"}};
+  for (const Unit& u : units) {
+    if (t % u.one == Time{}) {
+      return std::to_string(t / u.one) + u.suffix;
+    }
+  }
+  return std::to_string(t / kPicosecond) + "ps";
+}
+
+std::string format_rate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", rate);
+  return buf;
+}
+
+std::string format_target(const FaultEvent& ev) {
+  if (ev.port < 0) return ev.target;
+  return ev.target + "." + std::to_string(ev.port);
+}
+
+std::string format_window(const FaultEvent& ev) {
+  return "@" + format_time(ev.start.since_start()) + ":" +
+         format_time(ev.duration);
+}
+
+/// Draws a uniformly random span in [0, bound), picosecond-granular.
+Time pick_span(Rng& rng, Time bound) {
+  const std::int64_t steps = std::max<std::int64_t>(bound / kPicosecond, 1);
+  return kPicosecond *
+         static_cast<std::int64_t>(
+             rng.uniform_int(static_cast<std::uint64_t>(steps)));
+}
+
+FaultEvent random_event(TimePoint window_start, Time window_span,
+                        const RandomFaultOptions& opts, Rng& rng) {
+  // Candidate kinds; random plans only ever target switches by wildcard
+  // (plus host stalls), so any draw leaves the network recoverable once its
+  // window closes — the property the chaos suite asserts.
+  FaultKind kinds[5];
+  std::size_t n = 0;
+  kinds[n++] = FaultKind::LinkFlap;
+  kinds[n++] = FaultKind::LossWindow;
+  if (opts.allow_targeted) kinds[n++] = FaultKind::TargetedDrop;
+  if (opts.allow_stall) kinds[n++] = FaultKind::HostStall;
+  if (opts.allow_blackhole) kinds[n++] = FaultKind::Blackhole;
+
+  FaultEvent ev;
+  ev.kind = kinds[rng.uniform_int(n)];
+  ev.start = window_start + pick_span(rng, window_span);
+  ev.duration =
+      opts.min_duration + pick_span(rng, opts.max_duration - opts.min_duration);
+
+  const auto pick_rate = [&] {
+    // Meaningful loss only: at least a quarter of the configured cap.
+    return opts.max_loss_rate * (0.25 + 0.75 * rng.uniform());
+  };
+  switch (ev.kind) {
+    case FaultKind::LinkFlap:
+      ev.target = rng.bernoulli(0.5) ? "leaf*" : "spine*";
+      break;
+    case FaultKind::LossWindow:
+      ev.target = rng.bernoulli(0.5) ? "leaf*" : "spine*";
+      ev.rate = pick_rate();
+      break;
+    case FaultKind::TargetedDrop:
+      ev.packet_kind = rng.bernoulli(0.5) ? "control" : "data";
+      ev.rate = pick_rate();
+      break;
+    case FaultKind::HostStall:
+      ev.target = "host*";
+      break;
+    case FaultKind::Blackhole:
+      // Spines only: a blackholed spine leaves the other spine paths up, so
+      // even in-window traffic keeps a route.
+      ev.target = "spine*";
+      break;
+    case FaultKind::RandomBurst:
+      break;  // unreachable: not in the candidate set
+  }
+  return ev;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::LinkFlap: return "flap";
+    case FaultKind::LossWindow: return "loss";
+    case FaultKind::TargetedDrop: return "drop";
+    case FaultKind::Blackhole: return "blackhole";
+    case FaultKind::HostStall: return "stall";
+    case FaultKind::RandomBurst: return "rand";
+  }
+  return "?";
+}
+
+Time parse_time_literal(const std::string& text) {
+  const std::string t = trim(text);
+  const auto digits = t.find_last_of("0123456789.");
+  if (t.empty() || digits == std::string::npos) {
+    throw std::invalid_argument("malformed time literal '" + t + "'");
+  }
+  const std::string number = t.substr(0, digits + 1);
+  const std::string suffix = t.substr(digits + 1);
+  char* end = nullptr;
+  const double magnitude = std::strtod(number.c_str(), &end);
+  if (end != number.c_str() + number.size()) {
+    throw std::invalid_argument("malformed time literal '" + t + "'");
+  }
+  Time unit;
+  if (suffix == "ps") {
+    unit = kPicosecond;
+  } else if (suffix == "ns") {
+    unit = kNanosecond;
+  } else if (suffix == "us") {
+    unit = kMicrosecond;
+  } else if (suffix == "ms") {
+    unit = kMillisecond;
+  } else if (suffix == "s") {
+    unit = kSecond;
+  } else {
+    throw std::invalid_argument("time literal '" + t +
+                                "' needs a ps/ns/us/ms/s suffix");
+  }
+  return unit * magnitude;
+}
+
+FaultPlan parse_fault_spec(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto semi = spec.find(';', pos);
+    const std::string item = trim(
+        spec.substr(pos, semi == std::string::npos ? semi : semi - pos));
+    if (!item.empty()) plan.events.push_back(parse_item(item));
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  return plan;
+}
+
+std::string to_spec(const FaultPlan& plan) {
+  std::string out;
+  for (const FaultEvent& ev : plan.events) {
+    if (!out.empty()) out += ";";
+    out += to_string(ev.kind);
+    out += ":";
+    switch (ev.kind) {
+      case FaultKind::LinkFlap:
+      case FaultKind::Blackhole:
+      case FaultKind::HostStall:
+        out += format_target(ev);
+        break;
+      case FaultKind::LossWindow:
+        out += format_target(ev) + ":" + format_rate(ev.rate);
+        break;
+      case FaultKind::TargetedDrop:
+        out += ev.packet_kind;
+        if (ev.rate < 1.0) out += ":" + format_rate(ev.rate);
+        break;
+      case FaultKind::RandomBurst:
+        out += std::to_string(ev.count);
+        break;
+    }
+    out += format_window(ev);
+  }
+  return out;
+}
+
+std::string describe(const FaultEvent& ev) {
+  std::string what;
+  switch (ev.kind) {
+    case FaultKind::LinkFlap:
+      what = "link " + format_target(ev) + " down";
+      break;
+    case FaultKind::LossWindow:
+      what = "loss " + format_rate(ev.rate) + " on " + format_target(ev);
+      break;
+    case FaultKind::TargetedDrop:
+      what = "drop " + ev.packet_kind + " at " + format_rate(ev.rate);
+      break;
+    case FaultKind::Blackhole:
+      what = "blackhole " + ev.target;
+      break;
+    case FaultKind::HostStall:
+      what = "stall " + ev.target;
+      break;
+    case FaultKind::RandomBurst:
+      what = std::to_string(ev.count) + " random events";
+      break;
+  }
+  return what + " " + format_window(ev);
+}
+
+FaultPlan expand(const FaultPlan& plan, const RandomFaultOptions& opts,
+                 Rng& rng) {
+  FaultPlan out;
+  for (const FaultEvent& ev : plan.events) {
+    if (ev.kind != FaultKind::RandomBurst) {
+      out.events.push_back(ev);
+      continue;
+    }
+    const int n = ev.count > 0
+                      ? ev.count
+                      : static_cast<int>(rng.uniform_range(
+                            opts.min_events, opts.max_events));
+    for (int i = 0; i < n; ++i) {
+      out.events.push_back(random_event(ev.start, ev.duration, opts, rng));
+    }
+  }
+  return out;
+}
+
+FaultPlan random_fault_plan(const RandomFaultOptions& opts,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  FaultPlan burst;
+  FaultEvent ev;
+  ev.kind = FaultKind::RandomBurst;
+  ev.start = opts.earliest;
+  ev.duration = opts.span;
+  ev.count = 0;  // expand() draws min_events..max_events
+  burst.events.push_back(ev);
+  return expand(burst, opts, rng);
+}
+
+std::vector<FaultWindow> fault_windows(const FaultPlan& plan) {
+  std::vector<FaultWindow> windows;
+  windows.reserve(plan.events.size());
+  for (const FaultEvent& ev : plan.events) {
+    windows.push_back(FaultWindow{ev.start, ev.end()});
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+  return windows;
+}
+
+}  // namespace dcpim::sim::fault

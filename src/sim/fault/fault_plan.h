@@ -1,0 +1,153 @@
+// FaultPlan: a declarative, simulator-clock-driven schedule of fault events.
+//
+// dcPIM's premise (§2.1) is that "failures are a norm"; this module turns
+// that premise into a first-class, deterministic test surface. A FaultPlan
+// is pure data — a list of timed fault events (link flaps, per-port loss
+// windows, targeted control-packet drops, switch blackholes, host stalls)
+// — that harness::FaultInjector later resolves against a concrete Network
+// and executes as ordinary simulator events. Everything random (wildcard
+// resolution, `rand:` burst expansion, loss draws) flows through seeded
+// fault RNG streams that are disjoint from the workload RNG, so a plan
+// perturbs *only* what it injects and parallel sweeps stay bit-identical
+// across `--jobs` (DESIGN.md §11).
+//
+// Plans are built programmatically or parsed from the `--faults` spec
+// grammar (semicolon-separated items; times use ns/us/ms/s literals):
+//
+//   flap:<target>@<start>:<dur>            link down at start, up after dur
+//   loss:<target>:<rate>@<start>:<dur>     per-packet loss window on a port
+//   drop:<kind>[:<rate>]@<start>:<dur>     targeted drop by packet kind
+//   blackhole:<device>@<start>:<dur>       every port of a device goes down
+//   stall:<host>@<start>:<dur>             host NIC pauses (no loss)
+//   rand:<count>@<start>:<dur>             count random events in the window
+//
+// <target> is a device name (`leaf0`, `spine1`, `host3`), optionally with a
+// port index (`leaf0.2`), or a prefix wildcard (`leaf*`, `spine*`, `*`) the
+// injector resolves with its fault RNG. <kind> names a dcPIM control packet
+// (`rts`/`request`, `grant`, `accept`, `token`, `notification`, ...) or a
+// generic class (`control`, `data`, `any`) that works for every protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace dcpim::sim::fault {
+
+enum class FaultKind {
+  LinkFlap,     ///< one port (or all ports of a device) down for a window
+  LossWindow,   ///< Bernoulli per-packet loss on a port for a window
+  TargetedDrop, ///< drop packets matching a kind name, network-wide
+  Blackhole,    ///< every port of a device down (switch failure)
+  HostStall,    ///< host NIC stops transmitting (no drops; models a pause)
+  RandomBurst,  ///< expands into `count` random concrete events
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scheduled fault. Which fields are meaningful depends on `kind`; the
+/// window is always [start, start + duration).
+struct FaultEvent {
+  FaultKind kind = FaultKind::LinkFlap;
+  TimePoint start{};
+  Time duration{};
+  /// Device name, exact (`leaf0`) or prefix wildcard (`leaf*`, `*`).
+  /// Unused for TargetedDrop.
+  std::string target;
+  /// Port index on the target device; -1 = all ports of an exact device,
+  /// or one RNG-chosen port of a wildcard device.
+  int port = -1;
+  /// Loss probability for LossWindow / TargetedDrop (1.0 = drop all).
+  double rate = 1.0;
+  /// Packet-kind name for TargetedDrop (see header comment).
+  std::string packet_kind;
+  /// Number of events a RandomBurst expands into.
+  int count = 0;
+
+  TimePoint end() const { return start + duration; }
+};
+
+/// The fault window an event occupies on the simulation clock.
+struct FaultWindow {
+  TimePoint start{};
+  TimePoint end{};
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  bool empty() const { return events.empty(); }
+};
+
+/// Parses the `--faults` spec grammar (see header comment). Throws
+/// std::invalid_argument with a position-annotated message on bad input.
+FaultPlan parse_fault_spec(const std::string& spec);
+
+/// Canonical spec string for `plan` (parse round-trip; logging).
+std::string to_spec(const FaultPlan& plan);
+
+/// One-line human description of an event (logs, test diagnostics).
+std::string describe(const FaultEvent& ev);
+
+/// Parses a `100us` / `1.5ms` / `250ns` / `2s` literal into Time. Throws
+/// std::invalid_argument on bad input.
+Time parse_time_literal(const std::string& text);
+
+/// Bounds for random fault generation (`rand:` items and random_fault_plan).
+/// Defaults are sized for the small chaos-test topologies: every window
+/// closes early enough that protocols can recover well before the horizon.
+struct RandomFaultOptions {
+  int min_events = 1;
+  int max_events = 4;
+  TimePoint earliest{us(20)};   ///< no fault starts before this
+  Time span = us(200);          ///< starts drawn in [earliest, earliest+span)
+  Time min_duration = us(2);
+  Time max_duration = us(40);
+  double max_loss_rate = 0.5;   ///< cap for loss/targeted-drop rates
+  bool allow_stall = true;
+  bool allow_blackhole = true;
+  bool allow_targeted = true;
+};
+
+/// Expands every RandomBurst in `plan` into concrete wildcard events drawn
+/// from `rng` within `opts` bounds (other events pass through unchanged).
+/// Deterministic for a given (plan, opts, rng-state).
+FaultPlan expand(const FaultPlan& plan, const RandomFaultOptions& opts,
+                 Rng& rng);
+
+/// A fully random plan: min..max events drawn from `seed` within bounds.
+/// The workhorse of the chaos property suite (tests/test_chaos.cpp).
+FaultPlan random_fault_plan(const RandomFaultOptions& opts,
+                            std::uint64_t seed);
+
+/// Fault windows of a concrete plan, sorted by start (one per event).
+std::vector<FaultWindow> fault_windows(const FaultPlan& plan);
+
+/// Recovery observability surfaced through harness::ExperimentResult (and
+/// the CSV report): how hard the faults hit and how fast the protocol came
+/// back. Definitions in DESIGN.md §11.
+struct RecoveryStats {
+  bool enabled = false;            ///< a FaultPlan was installed
+  std::uint64_t fault_events = 0;  ///< concrete events applied
+  std::uint64_t windows = 0;       ///< fault windows evaluated for recovery
+  std::uint64_t injected_drops = 0;///< packets killed by injected faults
+  /// Sum of the per-protocol loss-recovery counters over all hosts
+  /// (retransmissions, RTO fires, token readmissions, resend requests, ...;
+  /// see net::Host::loss_recovery_count).
+  std::uint64_t recovery_actions = 0;
+  /// Flows that arrived before a fault window closed and never finished.
+  std::uint64_t flows_stalled = 0;
+  Time fault_active{};   ///< union of all fault windows on the clock
+  /// Time from a window's end until every flow it caught had finished,
+  /// averaged / maxed over windows (stalled flows excluded; see §11).
+  Time mean_recovery{};
+  Time max_recovery{};
+  /// Delivered payload inside / after the fault windows, as a fraction of
+  /// the pattern's aggregate receiver capacity over the same span.
+  double goodput_during_faults = 0;
+  double goodput_after_faults = 0;
+};
+
+}  // namespace dcpim::sim::fault

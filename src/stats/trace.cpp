@@ -31,7 +31,8 @@ Tracer::Tracer(net::Network& net, Options options)
                                  TraceEventKind::FlowCompleted, f.id, f.dst,
                                  f.size, ""});
   });
-  net_.add_drop_observer([this](const net::Packet& p, const net::Port& port) {
+  net_.add_drop_observer([this](const net::Packet& p, const net::Port& port,
+                                net::DropReason reason) {
     ++drop_count_;
     if (!accepts(p.flow_id)) return;
     events_.push_back(TraceEvent{
@@ -42,7 +43,8 @@ Tracer::Tracer(net::Network& net, Options options)
         p.size,
         "at " + port.owner().name() + " prio " +
             std::to_string(static_cast<int>(p.priority)) +
-            (p.unscheduled ? " unsched" : "")});
+            (p.unscheduled ? " unsched" : "") + " [" + to_string(reason) +
+            "]"});
   });
   if (options_.record_deliveries) {
     net_.add_payload_observer([this](Bytes fresh, TimePoint at) {

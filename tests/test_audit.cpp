@@ -105,8 +105,8 @@ TEST(AuditedExperimentTest, DcpimRunIsClean) {
   EXPECT_GT(res.audit.checks, 0u);
   EXPECT_TRUE(res.audit.clean())
       << harness::format_audit_summary(res.audit);
-  // All seven standard probes plus the built-in monotonicity probe ran.
-  EXPECT_EQ(res.audit.probes.size(), 8u);
+  // All eight standard probes plus the built-in monotonicity probe ran.
+  EXPECT_EQ(res.audit.probes.size(), 9u);
   const std::string report = harness::format_audit_summary(res.audit);
   EXPECT_NE(report.find("flow-byte-conservation"), std::string::npos);
   EXPECT_NE(report.find("queue-occupancy"), std::string::npos);

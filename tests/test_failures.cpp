@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "core/dcpim_host.h"
+#include "harness/fault_injector.h"
 #include "net/switch.h"
 #include "net/topology.h"
 #include "proto/ndp.h"
 #include "proto/tcp.h"
+#include "sim/fault/fault_plan.h"
 
 namespace dcpim {
 namespace {
@@ -142,6 +145,75 @@ TEST(LinkFailureTest, ControlRetransmissionCoversNotificationLoss) {
   EXPECT_EQ(net.completed_flows, 1u);
   auto* sender = static_cast<core::DcpimHost*>(net.host(0));
   EXPECT_GT(sender->counters().notify_retx, 0u);
+}
+
+// ---- targeted control-packet kills (FaultPlan `drop:` events) ---------------
+//
+// Each test kills exactly one dcPIM control-packet kind for a window that
+// covers the first matching rounds (rate 1.0 — every such packet dies) and
+// asserts the protocol still delivers every flow afterwards. Token loss
+// additionally must be repaired by the receiver's token-readmission path
+// (counters().readmitted_seqs), the mechanism §5.1 relies on.
+
+/// Runs inter-rack dcPIM traffic under `spec`; returns total readmissions.
+std::uint64_t run_targeted_drop(const std::string& spec,
+                                std::uint64_t* injected_drops = nullptr) {
+  net::NetConfig ncfg;
+  net::Network net(ncfg);
+  core::DcpimConfig cfg;
+  auto topo = net::Topology::leaf_spine(net, small_topo(),
+                                        core::dcpim_host_factory(cfg));
+  cfg.control_rtt = topo.max_control_rtt();
+  cfg.bdp_bytes = topo.bdp_bytes();
+
+  for (int i = 0; i < 4; ++i) {
+    net.create_flow(i, 4 + i, topo.bdp_bytes() * 4, TimePoint(us(i)));
+  }
+  harness::FaultInjector inj(net, sim::fault::parse_fault_spec(spec), {});
+  inj.install();
+  net.sim().run(TimePoint(ms(80)));
+  EXPECT_EQ(net.completed_flows, net.num_flows()) << "spec '" << spec << "'";
+  if (injected_drops != nullptr) {
+    *injected_drops = net.total_injected_drops();
+  }
+  std::uint64_t readmitted = 0;
+  for (int h = 0; h < topo.num_hosts(); ++h) {
+    readmitted +=
+        static_cast<core::DcpimHost*>(net.host(h))->counters().readmitted_seqs;
+  }
+  return readmitted;
+}
+
+TEST(TargetedDropTest, DcpimSurvivesRtsKill) {
+  std::uint64_t drops = 0;
+  run_targeted_drop("drop:rts@2us:60us", &drops);
+  EXPECT_GT(drops, 0u);  // the window really killed RTS packets
+}
+
+TEST(TargetedDropTest, DcpimSurvivesGrantKill) {
+  std::uint64_t drops = 0;
+  run_targeted_drop("drop:grant@2us:60us", &drops);
+  EXPECT_GT(drops, 0u);
+}
+
+TEST(TargetedDropTest, DcpimSurvivesAcceptKill) {
+  std::uint64_t drops = 0;
+  run_targeted_drop("drop:accept@2us:60us", &drops);
+  EXPECT_GT(drops, 0u);
+}
+
+TEST(TargetedDropTest, TokenKillRecoversThroughReadmission) {
+  std::uint64_t drops = 0;
+  const std::uint64_t readmitted =
+      run_targeted_drop("drop:token@30us:80us", &drops);
+  EXPECT_GT(drops, 0u);
+  // Every flow finished (asserted inside the helper) *because* the receiver
+  // readmitted the token-starved sequence ranges.
+  EXPECT_GT(readmitted, 0u);
+}
+
+TEST(TargetedDropTest, PartialRateKillStillCompletes) {
+  run_targeted_drop("drop:control:0.5@2us:60us");
 }
 
 }  // namespace

@@ -151,6 +151,51 @@ TEST(SweepDeterminismTest, ExperimentExceptionPropagatesToCaller) {
   EXPECT_THROW(harness::run_sweep(configs, opts), std::invalid_argument);
 }
 
+// ---- fault injection under the determinism contract -------------------------
+
+TEST(SweepDeterminismTest, FaultedSweepBitIdenticalToSerial) {
+  // Every fault class at once (flap, loss window, targeted drop, stall) plus
+  // the global loss_rate knob: all randomness must come from the per-port
+  // fault streams and the injector's fault_seed RNG, never from scheduling,
+  // so jobs=4 reproduces jobs=1 bit for bit — recovery metrics included.
+  std::vector<ExperimentConfig> configs;
+  for (Protocol p : {Protocol::Dcpim, Protocol::Ndp}) {
+    ExperimentConfig faulted = small_config(p, 0.5, 42);
+    faulted.faults =
+        "flap:leaf0@30us:40us;loss:spine*:0.3@50us:60us;"
+        "drop:grant:0.5@40us:30us;stall:host2@60us:20us";
+    faulted.fault_seed = 7;
+    configs.push_back(faulted);
+
+    // Satellite regression: cfg.loss_rate draws now come from each port's
+    // dedicated fault stream, not the shared workload RNG.
+    ExperimentConfig lossy = small_config(p, 0.5, 42);
+    lossy.loss_rate = 0.02;
+    configs.push_back(lossy);
+  }
+  harness::SweepOptions serial;
+  serial.jobs = 1;
+  harness::SweepOptions parallel;
+  parallel.jobs = 4;
+  const auto serial_fp = fingerprints(harness::run_sweep(configs, serial));
+  const auto parallel_fp = fingerprints(harness::run_sweep(configs, parallel));
+  ASSERT_EQ(serial_fp.size(), parallel_fp.size());
+  for (std::size_t i = 0; i < serial_fp.size(); ++i) {
+    EXPECT_EQ(serial_fp[i], parallel_fp[i])
+        << "faulted experiment " << i << " diverged between jobs=1 and jobs=4";
+  }
+}
+
+TEST(SweepDeterminismTest, FaultedRunRepeatsExactly) {
+  ExperimentConfig cfg = small_config(Protocol::Dcpim, 0.5, 42);
+  cfg.faults = "blackhole:spine0@30us:40us;drop:token@20us:25us";
+  const auto first = harness::run_experiment(cfg);
+  const auto second = harness::run_experiment(cfg);
+  EXPECT_TRUE(first.recovery.enabled);
+  EXPECT_EQ(harness::result_fingerprint(first),
+            harness::result_fingerprint(second));
+}
+
 // ---- seed sensitivity / state-leak regressions ------------------------------
 
 TEST(SeedSensitivityTest, DifferentSeedsProduceDifferentArrivals) {

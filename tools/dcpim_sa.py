@@ -16,11 +16,15 @@ and checks the semantic properties the ROADMAP's correctness story rests on:
                   leak). Banned *calls* are flagged anywhere in src/ (same
                   strictness as lint_dcpim); unordered iteration is flagged
                   only in event-handler-reachable functions, where order can
-                  become packet order.
+                  become packet order. The fault-plan constructors
+                  (random_fault_plan, expand) count as roots: their draws
+                  seed wildcard resolution and per-port loss streams, so
+                  order leaks there desynchronize sweeps just the same.
 
   packet-switch   every `switch` over a packet/control-kind enum (enums
-                  named *Kind in src/proto/ and src/core/) must cover all
-                  enumerators, or carry an explicitly audited default via an
+                  named *Kind in src/proto/, src/core/, and src/sim/fault/
+                  — FaultKind included) must cover all enumerators, or
+                  carry an explicitly audited default via an
                   sa-ok(packet-switch) justification. A bare `default:` does
                   NOT count as coverage — a default silently swallowing a
                   newly added control packet is exactly the bug this rule
@@ -127,14 +131,21 @@ UNORDERED_RE = re.compile(
 # Functions whose simple name marks an event-handler entry point. Any
 # function that schedules simulator callbacks is also a root: its lambda
 # bodies execute at event time and the text frontend attributes lambda-body
-# calls to the enclosing function.
+# calls to the enclosing function. The fault-plan constructors are roots
+# too: random_fault_plan/expand run before the simulation starts, but the
+# plans they draw feed wildcard resolution and per-port loss streams, so a
+# nondeterminism leak there desynchronizes sweeps exactly like one at
+# event time would (FaultInjector::install is already a root — it
+# schedules).
 EVENT_ROOT_NAMES = {"on_packet", "on_flow_arrival", "receive", "run",
-                    "run_steps"}
+                    "run_steps", "random_fault_plan", "expand"}
 SCHEDULING_CALLS = {"schedule_at", "schedule_after"}
 
 # Path prefixes (repo-relative, forward slashes) whose *Kind enums are
-# packet/control-kind enums subject to the exhaustiveness rule.
-KIND_ENUM_PATHS = ("src/proto/", "src/core/")
+# packet/control-kind enums subject to the exhaustiveness rule. FaultKind
+# (src/sim/fault/) rides the same rule: a `default:` swallowing a newly
+# added fault verb would silently skip injecting it.
+KIND_ENUM_PATHS = ("src/proto/", "src/core/", "src/sim/fault/")
 KIND_ENUM_RE = re.compile(r"Kind$")
 
 # hot-alloc traversal only descends into functions defined under these

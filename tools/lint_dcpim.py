@@ -11,11 +11,14 @@ see .github/workflows/ci.yml):
                     time is exact int64 picoseconds behind the Time /
                     TimePoint strong types; doubles belong only at the
                     to_ns/to_us/... reporting boundary.
-  nondeterminism    no `std::rand`/`srand` and no wall-clock reads
-                    (std::chrono system/steady/high_resolution clocks,
-                    gettimeofday, ::time()) in src/ — all randomness flows
-                    through the seeded util/rng.h and all time through the
-                    Simulator clock, keeping runs bit-for-bit reproducible.
+  nondeterminism    no `std::rand`/`srand`/`std::random_device` and no
+                    wall-clock reads (std::chrono system/steady/
+                    high_resolution clocks, gettimeofday, ::time()) in
+                    src/ — all randomness flows through the seeded
+                    util/rng.h (fault injection included: FaultPlans draw
+                    from dedicated seeded streams, never entropy) and all
+                    time through the Simulator clock, keeping runs
+                    bit-for-bit reproducible.
   static-local      no `static` (or `static thread_local`) non-const local
                     state in src/ without a `// shared-ok:` justification —
                     function-local statics are process-wide mutable state
@@ -73,6 +76,8 @@ SANCTIONED_TIME_CONVERSION = re.compile(r"=\s*to_(?:ns|us|ms|sec)\s*\(")
 
 NONDETERMINISM = [
     (re.compile(r"\bstd::rand\b|\bsrand\s*\("), "std::rand/srand"),
+    (re.compile(r"\bstd::random_device\b|\brandom_device\s+\w"),
+     "std::random_device"),
     (re.compile(r"\bstd::chrono::(system|steady|high_resolution)_clock\b"),
      "wall-clock read"),
     (re.compile(r"\bgettimeofday\s*\("), "gettimeofday"),
