@@ -303,6 +303,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   rt.net->sim().run(cfg.horizon);
 
   ExperimentResult res;
+  res.events_executed = rt.net->sim().events_executed();
+  res.sim_end = rt.net->sim().now();
   res.bdp = rt.topo->bdp_bytes();
   res.data_rtt = rt.topo->max_data_rtt();
   res.control_rtt = rt.topo->max_control_rtt();

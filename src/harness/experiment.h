@@ -118,6 +118,13 @@ struct ExperimentResult {
   std::uint64_t injected_drops = 0;
   std::uint64_t trims = 0;
   std::uint64_t pfc_pauses = 0;
+  /// Simulator events executed over the whole run and the instant the run
+  /// drained to. Part of the fingerprint: two runs that agree here executed
+  /// the same event count to the same simulated instant, which makes them
+  /// the denominators of the perf basket (bench/perf_basket.cpp) — events
+  /// per wall-second and simulated-seconds per wall-second.
+  std::uint64_t events_executed = 0;
+  TimePoint sim_end{};
   Bytes bdp{};
   Time data_rtt{};
   Time control_rtt{};

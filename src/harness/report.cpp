@@ -116,6 +116,8 @@ std::string result_fingerprint(const ExperimentResult& r) {
      << " pfc_pauses=" << r.pfc_pauses << " bdp=" << r.bdp
      << " data_rtt=" << r.data_rtt << " control_rtt=" << r.control_rtt
      << " util_bin=" << r.util_bin << "\n";
+  os << "events_executed=" << r.events_executed << " sim_end=" << r.sim_end
+     << "\n";
   os << "util_series[" << r.util_series.size() << "]:";
   for (double u : r.util_series) {
     os << ' ';

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
 #include <utility>
 
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace dcpim::harness {
@@ -33,7 +33,7 @@ std::vector<ExperimentResult> SweepRunner::run(
       if (options_.progress) options_.progress(done, total);
     }
   } else {
-    std::mutex progress_mu;  // serializes `done` and the progress callback
+    util::Mutex progress_mu;  // serializes `done` and the progress callback
     util::ThreadPool pool(jobs);
     for (std::size_t i = 0; i < total; ++i) {
       pool.submit([this, &configs, &results, &errors, &progress_mu, &done,
@@ -43,7 +43,7 @@ std::vector<ExperimentResult> SweepRunner::run(
         } catch (...) {
           errors[i] = std::current_exception();
         }
-        std::lock_guard<std::mutex> lk(progress_mu);
+        util::MutexLock lk(progress_mu);
         ++done;
         if (options_.progress) options_.progress(done, total);
       });

@@ -48,6 +48,9 @@ Bytes Host::accept_data(const Packet& p) {
   const bool was_complete = st.complete();
   const Bytes fresh = st.on_data(p.seq);
   if (fresh > Bytes{}) {
+    // sa-ok(shard-ownership): global delivery accounting — a sharded build
+    // turns this into a per-shard counter merged at epoch sync; until then
+    // the write is a single add with no read-back on this path.
     network().total_payload_delivered += fresh;
     network().notify_payload(fresh, network().sim().now());
     if (!was_complete && st.complete()) {

@@ -40,6 +40,9 @@ Flow* Network::create_flow(int src, int dst, Bytes size, TimePoint start) {
   flow->src = src;
   flow->dst = dst;
   flow->size = size;
+  // sa-ok(shard-ownership): construction before publication — the Flow is
+  // invisible to every host until the arrival event scheduled below fires,
+  // so no domain can observe these writes mid-flight.
   flow->start_time = start;
   Flow* raw = flow.get();
   flow_index_.emplace(raw->id, raw);
@@ -58,6 +61,10 @@ Flow* Network::flow(std::uint64_t id) const {
 
 void Network::flow_completed(Flow& f) {
   DCPIM_CHECK(!f.finished(), "flow completed twice");
+  // sa-ok(shard-ownership): completion rendezvous — finish_time is written
+  // exactly once, after the receiving host's own rx state proved the flow
+  // complete; a sharded build funnels this through the same completion
+  // event rather than a concurrent write.
   f.finish_time = sim_.now();
   ++completed_flows;
   LOG_DEBUG("flow %llu (%d->%d, %lld B) done, fct=%.2f us",

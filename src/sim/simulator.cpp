@@ -21,6 +21,8 @@ std::int64_t sim_now_for_checks(const void* ctx) {
 void Simulator::heap_push(Entry e) {
   // sa-ok(hot-alloc): vector growth is amortized and the heap reaches its
   // steady-state capacity within the first few simulated RTTs.
+  // sa-ok(hot-cost): the binary-heap push IS the event queue — O(log n) is
+  // its contract (see the rationale comment in simulator.h).
   heap_.push_back(std::move(e));
   std::size_t i = heap_.size() - 1;
   while (i > 0) {
@@ -34,6 +36,8 @@ void Simulator::heap_push(Entry e) {
 Simulator::Entry Simulator::heap_pop() {
   Entry top = std::move(heap_.front());
   heap_.front() = std::move(heap_.back());
+  // sa-ok(hot-cost): the sift-down after this pop is the event-queue
+  // contract; the pop itself never shrinks capacity.
   heap_.pop_back();
   std::size_t i = 0;
   const std::size_t n = heap_.size();

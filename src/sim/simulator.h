@@ -4,11 +4,16 @@
 // callbacks scheduled at absolute or relative times; ties are broken by
 // scheduling order so runs are fully deterministic.
 //
-// Implementation: a hand-rolled binary heap storing the callbacks inline
-// (std::priority_queue cannot move out of top(), and an id->callback side
-// table costs a hash lookup per event — this queue is the simulator's
-// hottest path). Cancellation is lazy via a tombstone set; cancelled events
-// are skipped on pop.
+// Implementation: a hand-rolled binary heap storing the callbacks inline.
+// std::priority_queue cannot move out of top(), so it would force either a
+// copyable callback type or an id->callback side table; keeping the
+// UniqueFunction inside the heap entry avoids both. Cancellation is lazy
+// via a tombstone set: cancel() pays an O(pending) membership scan, and
+// while any tombstone is outstanding each pop pays one hash-erase probe to
+// filter it (pop_next) — free again once the set drains. That trade keeps
+// the common per-event path at exactly one O(log n) sift each way, which
+// is why the dcpim-sa hot-cost rule recognizes this vector as the event
+// queue by its type and schedule API rather than by function names.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +46,8 @@ class Simulator {
   EventId schedule_at(TimePoint t, Callback cb);
 
   /// Schedules `cb` `delay` after now().
+  // sa-ok(hot-cost): the forwarding shim is where every timer legitimately
+  // enters the heap; the push cost is charged once, inside heap_push.
   EventId schedule_after(Time delay, Callback cb) {
     return schedule_at(now_ + delay, std::move(cb));
   }

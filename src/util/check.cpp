@@ -8,7 +8,9 @@ namespace dcpim::check_detail {
 SimTimeSource& sim_time_source() {
   // shared-ok: thread_local — each thread registers the simulator it is
   // currently driving; parallel sweeps never share a Simulator across
-  // threads, so the slots are independent by construction.
+  // threads, so the slots are independent by construction. Under the
+  // -Wthread-safety contract (DESIGN.md §12) thread_local is its own
+  // capability: no cross-thread access exists to guard.
   static thread_local SimTimeSource source;
   return source;
 }

@@ -9,10 +9,13 @@
 namespace dcpim {
 namespace {
 
-// Atomic: worker threads of a parallel sweep (harness/sweep.h) read the
-// level on every LOG_* macro while the main thread may still be applying a
-// command-line override. Relaxed ordering suffices — the level gates
-// diagnostics only and never synchronizes data.
+// shared-ok: atomic — worker threads of a parallel sweep (harness/sweep.h)
+// read the level on every LOG_* macro while the main thread may still be
+// applying a command-line override. Relaxed ordering suffices — the level
+// gates diagnostics only and never synchronizes data. Under the
+// -Wthread-safety contract (DESIGN.md §12) the std::atomic IS the
+// capability: there is no lock to annotate, and every access goes through
+// load/store below, so the analysis has nothing unguarded to flag.
 std::atomic<LogLevel> g_level = [] {
   if (const char* env = std::getenv("DCPIM_LOG")) {
     return parse_log_level(env);

@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(int threads) {
 ThreadPool::~ThreadPool() {
   wait_idle();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -34,7 +34,7 @@ void ThreadPool::submit(Task task) {
   DCPIM_CHECK(static_cast<bool>(task), "cannot submit an empty task");
   std::size_t target;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     DCPIM_CHECK(!stop_, "submit() on a stopping ThreadPool");
     target = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
@@ -42,15 +42,18 @@ void ThreadPool::submit(Task task) {
     ++unfinished_;
   }
   {
-    std::lock_guard<std::mutex> lk(queues_[target]->mu);
+    MutexLock lk(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [this] { return unfinished_ == 0; });
+  // Explicit predicate loop (not the lambda overload): clang's
+  // thread-safety analysis checks the unfinished_ read against mu_ here,
+  // which it cannot do through a predicate closure.
+  MutexLock lk(mu_);
+  while (unfinished_ != 0) idle_cv_.wait(mu_);
 }
 
 int ThreadPool::hardware_threads() {
@@ -63,7 +66,7 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
   for (std::size_t k = 0; k < queues_.size(); ++k) {
     const std::size_t victim = (self + k) % queues_.size();
     WorkQueue& wq = *queues_[victim];
-    std::lock_guard<std::mutex> lk(wq.mu);
+    MutexLock lk(wq.mu);
     if (wq.tasks.empty()) continue;
     if (victim == self) {
       out = std::move(wq.tasks.front());
@@ -82,24 +85,24 @@ void ThreadPool::worker_loop(std::size_t self) {
     Task task;
     if (try_pop(self, task)) {
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         DCPIM_CHECK_GT(queued_, 0u, "popped a task the pool never counted");
         --queued_;
       }
       task();
       bool became_idle;
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         DCPIM_CHECK_GT(unfinished_, 0u, "finished more tasks than submitted");
         became_idle = --unfinished_ == 0;
       }
       if (became_idle) idle_cv_.notify_all();
       continue;
     }
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     // queued_ only moves 0 -> 1 under mu_ (submit) and notifies afterwards,
-    // so the predicate re-check in wait() cannot miss a wakeup.
-    work_cv_.wait(lk, [this] { return stop_ || queued_ > 0; });
+    // so the predicate re-check after wait() cannot miss a wakeup.
+    while (!stop_ && queued_ == 0) work_cv_.wait(mu_);
     if (queued_ > 0) continue;  // try_pop again (some worker has work)
     if (stop_) return;
   }

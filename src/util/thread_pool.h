@@ -19,14 +19,14 @@
 // or unseeded randomness.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/unique_function.h"
 
 namespace dcpim::util {
@@ -62,8 +62,8 @@ class ThreadPool {
   /// One worker's deque. The owner pops from the front; thieves pop from
   /// the back.
   struct WorkQueue {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks DCPIM_GUARDED_BY(mu);
   };
 
   void worker_loop(std::size_t self);
@@ -72,16 +72,17 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  // Coordination: mu_ guards the counters and flags below; queued_ counts
+  // Coordination: mu_ guards the counters and flags below (checked by
+  // clang -Wthread-safety via the GUARDED_BY annotations); queued_ counts
   // tasks sitting in deques (sleep/wake signal), unfinished_ counts tasks
   // submitted but not yet completed (wait_idle signal).
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< workers sleep here when starved
-  std::condition_variable idle_cv_;  ///< wait_idle()/destructor sleep here
-  std::size_t queued_ = 0;
-  std::size_t unfinished_ = 0;
-  std::size_t next_queue_ = 0;  ///< round-robin submission cursor
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  ///< workers sleep here when starved
+  CondVar idle_cv_;  ///< wait_idle()/destructor sleep here
+  std::size_t queued_ DCPIM_GUARDED_BY(mu_) = 0;
+  std::size_t unfinished_ DCPIM_GUARDED_BY(mu_) = 0;
+  std::size_t next_queue_ DCPIM_GUARDED_BY(mu_) = 0;  ///< round-robin cursor
+  bool stop_ DCPIM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dcpim::util

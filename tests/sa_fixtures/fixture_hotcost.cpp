@@ -1,0 +1,73 @@
+// dcpim-sa fixture: planted hot-path cost violations (hot-cost rule).
+//
+// Golden expectations (tests/test_dcpim_sa.py):
+//   - virtual dispatch, an ordered-map lookup, an event-queue heap op, and
+//     a schedule-API push inside a helper under the sa-hot root
+//   - a heavy std::string by-value parameter on a hot-reachable function
+//   - the identical copy on a cold function that must NOT fire
+//   - an sa-ok(hot-cost)-suppressed heap op that must NOT fire
+//   - a malformed (justification-less) suppression that suppresses nothing
+//
+// CostEngine's slots_ vector is recognized as event-queue storage because
+// the class declares the schedule API — by type and API shape, not by any
+// function being named heap_*.
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+class CostSink {
+ public:
+  virtual ~CostSink() = default;
+  virtual void deliver(int v) = 0;
+};
+
+class CostEngine {
+ public:
+  // sa-hot
+  void pump(int v, CostSink* sink) {
+    route(v, sink);
+    enqueue_suppressed(v);
+    enqueue_sloppy(v);
+  }
+
+  void cold_stamp(std::string tag) {  // identical copy, not hot: clean
+    last_tag_ = tag;
+  }
+
+  void schedule_at(int when) {
+    slots_.push_back(when);  // planted: heap op on the event-queue member
+  }
+
+ private:
+  void route(int v, CostSink* sink) {
+    sink->deliver(v);  // planted: virtual dispatch per event
+    rate_ = rates_.count(v);  // planted: ordered-map lookup per event
+    schedule_at(v);  // planted: schedule-API push into the event heap
+    hot_stamp(last_tag_);
+  }
+
+  void hot_stamp(std::string tag) {  // planted: heavy by-value copy
+    last_tag_ = tag;
+  }
+
+  void enqueue_suppressed(int v) {
+    // sa-ok(hot-alloc): startup burst only; capacity is reached in warmup.
+    // sa-ok(hot-cost): startup burst only; the queue is empty in steady
+    // state, so the sift is O(1) amortized.
+    slots_.push_back(v);
+  }
+
+  void enqueue_sloppy(int v) {
+    // sa-ok(hot-cost):
+    slots_.push_back(v);  // planted: empty justification suppresses nothing
+  }
+
+  std::map<int, int> rates_;
+  std::vector<int> slots_;
+  std::string last_tag_;
+  long rate_ = 0;
+};
+
+}  // namespace fixture

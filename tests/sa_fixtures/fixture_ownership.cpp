@@ -1,0 +1,79 @@
+// dcpim-sa fixture: planted shard-ownership (cross-domain write) violations.
+//
+// Golden expectations (tests/test_dcpim_sa.py):
+//   - a host event callback writing per-switch-port state, directly
+//   - the same crossing one helper frame below the callback
+//   - a fabric-domain scheduler (root via the schedule API) writing host state
+//   - a Packet-field write from the callback that must NOT fire (conduit)
+//   - an own-domain write that must NOT fire
+//   - an sa-ok(shard-ownership)-suppressed crossing that must NOT fire
+//   - a malformed (justification-less) suppression that suppresses nothing
+
+namespace fixture {
+
+struct OwnPacket {  // domain: packet — the sanctioned hand-off conduit
+  int src = 0;
+  int tagged = 0;
+};
+
+class OwnPort {  // domain: per-switch-port
+ public:
+  int tx_count = 0;
+
+  void forward(OwnPacket* p) {
+    p->src = 1;     // fabric writing the conduit: clean
+    tx_count += 1;  // own field, unprefixed: clean
+  }
+};
+
+class OwnHost {  // domain: per-host
+ public:
+  int rx_credits = 0;
+
+  void on_packet(OwnPacket* p, OwnPort* port) {
+    rx_credits += 1;     // own-domain write: clean
+    p->tagged = 1;       // Packet hand-off: clean
+    port->tx_count = 0;  // planted: host resets per-port state in-event
+    bump_helper(port);
+    audited_drain(port);
+    sloppy_comment(port);
+  }
+
+  void bump_helper(OwnPort* port) {
+    port->tx_count += 1;  // planted: same crossing, one frame deep
+  }
+
+  void audited_drain(OwnPort* port) {
+    // sa-ok(shard-ownership): drain-time accounting; the port is quiesced
+    // and no other event can observe the counter until resume.
+    port->tx_count -= 1;
+  }
+
+  void sloppy_comment(OwnPort* port) {
+    // sa-ok(shard-ownership):
+    ++port->tx_count;  // planted: empty justification suppresses nothing
+  }
+};
+
+class OwnSwitch {  // domain: per-switch-port (fabric)
+ public:
+  void relay(OwnHost* h) {
+    schedule_after(1);   // scheduling makes this function an event root
+    h->rx_credits = 3;   // planted: fabric writes host state directly
+  }
+
+  void schedule_after(int delay) { pending_ = delay; }
+
+ private:
+  int pending_ = 0;
+};
+
+class OwnHarness {  // no name rule, no src/ path: domain-less, never a root
+ public:
+  void stage(OwnHost* h, OwnPort* port) {
+    h->rx_credits = 0;   // harness setup before events: clean
+    port->tx_count = 0;  // harness setup before events: clean
+  }
+};
+
+}  // namespace fixture

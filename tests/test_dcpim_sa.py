@@ -9,8 +9,10 @@ allocations) live in the same files, so a false positive fails the test
 just as loudly as a miss.
 
 Also covers the src/ contract: the analyzer must exit 0 on the real tree
-with all four rules enabled (every escape fixed or justified), and the
-suppression ratchet must hold against tools/sa_baseline.json.
+with all rules enabled (every escape fixed or justified), the suppression
+ratchet must hold against tools/sa_baseline.json, the ranked hot-cost
+report must carry a real worklist, and the baseline-shrink CI guard must
+reject growth.
 """
 
 from __future__ import annotations
@@ -44,6 +46,22 @@ GOLDEN = {
     ("sa-suppression", "fixture_suppression.cpp", 20),  # empty justification
     ("sa-suppression", "fixture_suppression.cpp", 25),  # unknown rule name
     ("sa-suppression", "fixture_suppression.cpp", 30),  # unused suppression
+    # shard-ownership family (fixture_ownership.cpp)
+    ("shard-ownership", "fixture_ownership.cpp", 36),  # host writes port state
+    ("shard-ownership", "fixture_ownership.cpp", 43),  # same, one frame deep
+    ("shard-ownership", "fixture_ownership.cpp", 54),  # under malformed sa-ok
+    ("shard-ownership", "fixture_ownership.cpp", 62),  # fabric writes host
+    ("sa-suppression", "fixture_ownership.cpp", 53),   # empty justification
+    # hot-cost family (fixture_hotcost.cpp)
+    ("hot-cost", "fixture_hotcost.cpp", 40),   # heap op on eventq member
+    ("hot-cost", "fixture_hotcost.cpp", 45),   # virtual dispatch
+    ("hot-cost", "fixture_hotcost.cpp", 46),   # ordered-map lookup
+    ("hot-cost", "fixture_hotcost.cpp", 47),   # schedule-API push
+    ("hot-cost", "fixture_hotcost.cpp", 51),   # heavy by-value copy
+    ("hot-cost", "fixture_hotcost.cpp", 64),   # under malformed sa-ok
+    ("hot-alloc", "fixture_hotcost.cpp", 40),  # same sites, allocation view
+    ("hot-alloc", "fixture_hotcost.cpp", 64),
+    ("sa-suppression", "fixture_hotcost.cpp", 63),  # empty justification
 }
 
 
@@ -79,8 +97,8 @@ class FixtureCorpusTest(unittest.TestCase):
         _, report = self.run_on_fixtures()
         fired = {f["rule"] for f in report["findings"]}
         self.assertEqual(
-            fired, {"determinism", "packet-switch", "hot-alloc", "unit-raw",
-                    "sa-suppression"})
+            fired, {"determinism", "packet-switch", "hot-alloc", "hot-cost",
+                    "shard-ownership", "unit-raw", "sa-suppression"})
 
     def test_rule_selection(self):
         proc, report = self.run_on_fixtures("--rules", "packet-switch")
@@ -102,10 +120,64 @@ class FixtureCorpusTest(unittest.TestCase):
     def test_suppressions_counted(self):
         _, report = self.run_on_fixtures()
         # Justified escapes in the fixtures: one per rule, plus the stale
-        # hot-alloc comment (counted even though it is also a finding).
+        # hot-alloc comment (counted even though it is also a finding) and
+        # the stacked hot-alloc/hot-cost pair in fixture_hotcost.cpp.
         self.assertEqual(report["suppressions"],
                          {"determinism": 1, "packet-switch": 1,
-                          "hot-alloc": 2, "unit-raw": 1})
+                          "hot-alloc": 3, "hot-cost": 1,
+                          "shard-ownership": 1, "unit-raw": 1})
+
+    def test_hot_cost_json_is_ranked_and_keeps_suppressed_sites(self):
+        with tempfile.TemporaryDirectory() as td:
+            cost_path = Path(td) / "sa_hot_cost.json"
+            report_path = Path(td) / "report.json"
+            run_sa("--files",
+                   *sorted(str(p) for p in FIXTURES.glob("*.cpp")),
+                   "--no-ratchet", "--json", str(report_path),
+                   "--hot-cost-json", str(cost_path))
+            cost = json.loads(cost_path.read_text())
+        sites = cost["sites"]
+        self.assertEqual(cost["total_sites"], len(sites))
+        # Ranked: contiguous ranks, non-increasing weights.
+        self.assertEqual([s["rank"] for s in sites],
+                         list(range(1, len(sites) + 1)))
+        weights = [s["weight"] for s in sites]
+        self.assertEqual(weights, sorted(weights, reverse=True))
+        for s in sites:
+            self.assertIn(s["category"], cost["weights"])
+            self.assertEqual(s["weight"], cost["weights"][s["category"]])
+        # The justified heap op is in the worklist, flagged and quoted —
+        # the report is a worklist, not a findings echo.
+        suppressed = [s for s in sites if s["suppressed"]]
+        self.assertTrue(suppressed)
+        self.assertTrue(any("startup burst" in s["justification"]
+                            for s in suppressed))
+        # All four cost categories appear in the fixture corpus.
+        self.assertEqual(
+            set(cost["by_category"]),
+            {"heap-op", "map-lookup", "heavy-copy", "virtual-dispatch"})
+
+    def test_parse_cache_round_trip_and_parallel_equivalence(self):
+        with tempfile.TemporaryDirectory() as td:
+            cache = Path(td) / "cache"
+            reports = []
+            for name, extra in (("cold.json", []),
+                                ("warm.json", []),
+                                ("jobs.json", ["--jobs", "2"])):
+                report_path = Path(td) / name
+                run_sa("--files",
+                       *sorted(str(p) for p in FIXTURES.glob("*.cpp")),
+                       "--no-ratchet", "--json", str(report_path),
+                       "--cache-dir", str(cache), *extra)
+                reports.append(json.loads(report_path.read_text()))
+        cold, warm, jobs = reports
+        self.assertEqual(cold["cache_hits"], 0)
+        self.assertEqual(warm["cache_hits"], warm["files"])
+        self.assertEqual(jobs["cache_hits"], jobs["files"])
+        for r in (warm, jobs):
+            for key in ("findings", "suppressions", "functions", "rules"):
+                self.assertEqual(r[key], cold[key],
+                                 f"cached/parallel run differs on {key}")
 
 
 class SourceTreeTest(unittest.TestCase):
@@ -122,11 +194,29 @@ class SourceTreeTest(unittest.TestCase):
         self.assertEqual(report["ratchet_failures"], [])
         self.assertEqual(
             sorted(report["rules"]),
-            ["determinism", "hot-alloc", "packet-switch", "sa-suppression",
-             "unit-raw"])
+            ["determinism", "hot-alloc", "hot-cost", "packet-switch",
+             "sa-suppression", "shard-ownership", "unit-raw"])
         # The analyzer really walked the tree, not an empty file list.
         self.assertGreater(report["files"], 50)
         self.assertGreater(report["functions"], 300)
+
+    def test_src_hot_cost_report_ranks_ten_sites(self):
+        compdb = REPO / "build" / "compile_commands.json"
+        if not compdb.exists():
+            self.skipTest("no compile_commands.json (configure first)")
+        with tempfile.TemporaryDirectory() as td:
+            cost_path = Path(td) / "sa_hot_cost.json"
+            proc = run_sa("--compdb", str(compdb), "--no-ratchet",
+                          "--hot-cost-json", str(cost_path))
+            cost = json.loads(cost_path.read_text())
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        # The speed-program worklist: at least ten concrete, ranked sites
+        # on the real tree, each anchored to a file/line/function.
+        self.assertGreaterEqual(cost["total_sites"], 10)
+        for s in cost["sites"]:
+            self.assertTrue(s["file"].startswith("src/"))
+            self.assertGreater(s["line"], 0)
+            self.assertTrue(s["function"])
 
     def test_ratchet_fails_on_regression(self):
         compdb = REPO / "build" / "compile_commands.json"
@@ -147,6 +237,45 @@ class SourceTreeTest(unittest.TestCase):
                 capture_output=True, text=True, cwd=REPO)
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
         self.assertIn("ratchet", proc.stdout)
+
+
+class BaselineShrinkGuardTest(unittest.TestCase):
+    """tools/check_baseline_shrink.py: the baseline file may only shrink."""
+
+    CHECKER = REPO / "tools" / "check_baseline_shrink.py"
+
+    def run_guard(self, old: dict, new: dict):
+        with tempfile.TemporaryDirectory() as td:
+            old_p = Path(td) / "old.json"
+            new_p = Path(td) / "new.json"
+            old_p.write_text(json.dumps(old))
+            new_p.write_text(json.dumps(new))
+            return subprocess.run(
+                [sys.executable, str(self.CHECKER), str(old_p), str(new_p)],
+                capture_output=True, text=True)
+
+    def test_shrink_and_removal_pass(self):
+        proc = self.run_guard({"unit-raw": 50, "hot-alloc": 5},
+                              {"unit-raw": 49})
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("shrink: hot-alloc 5 -> 0", proc.stdout)
+
+    def test_growth_fails(self):
+        proc = self.run_guard({"unit-raw": 50}, {"unit-raw": 51})
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("FAIL: unit-raw grew 50 -> 51", proc.stdout)
+
+    def test_new_rule_family_is_allowed_once(self):
+        proc = self.run_guard({"unit-raw": 50},
+                              {"unit-raw": 50, "shard-ownership": 3})
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("new rule family 'shard-ownership'", proc.stdout)
+
+    def test_current_baseline_holds_against_itself(self):
+        baseline = json.loads(
+            (REPO / "tools" / "sa_baseline.json").read_text())
+        proc = self.run_guard(baseline, baseline)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""CI ratchet guard: tools/sa_baseline.json may only shrink.
+
+Usage: check_baseline_shrink.py OLD_BASELINE NEW_BASELINE
+
+Compares two sa_baseline.json snapshots (CI passes the one on the merge
+base as OLD and the working tree's as NEW). The contract:
+
+  - a rule present in both may only keep or lower its suppression count;
+  - a rule that disappears from NEW shrank to zero — always fine;
+  - a rule present only in NEW is a *new rule family* entering the
+    baseline: allowed exactly once, reported as informational so the
+    reviewer sees the opening count.
+
+Exit 0 when the ratchet holds, 1 when any shared rule's count grew,
+2 on usage/parse errors. dcpim_sa.py itself enforces the run-time side
+(current suppressions <= baseline); this guard enforces the review-time
+side (the baseline file cannot be quietly raised to paper over a
+regression).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    try:
+        old = json.loads(Path(sys.argv[1]).read_text(encoding="utf-8"))
+        new = json.loads(Path(sys.argv[2]).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as e:
+        print(f"check_baseline_shrink: {e}", file=sys.stderr)
+        return 2
+    if not (isinstance(old, dict) and isinstance(new, dict)):
+        print("check_baseline_shrink: baselines must be rule->count maps",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    for rule, count in sorted(new.items()):
+        if rule not in old:
+            print(f"note: new rule family '{rule}' enters the baseline "
+                  f"at {count} suppression(s)")
+        elif count > old[rule]:
+            print(f"FAIL: {rule} grew {old[rule]} -> {count} — fix the new "
+                  f"escape instead of raising the baseline")
+            failures += 1
+        elif count < old[rule]:
+            print(f"shrink: {rule} {old[rule]} -> {count}")
+    for rule in sorted(set(old) - set(new)):
+        print(f"shrink: {rule} {old[rule]} -> 0 (removed)")
+    if failures:
+        return 1
+    print("baseline ratchet holds: counts only shrink")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

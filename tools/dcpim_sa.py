@@ -46,6 +46,32 @@ and checks the semantic properties the ROADMAP's correctness story rests on:
                   regex rule; the clang frontend checks the receiver's type,
                   the text frontend flags every .raw()/->raw() call).
 
+  shard-ownership every mutable sim-state field belongs to an ownership
+                  domain (per-host, per-switch-port, per-simulator,
+                  harness-global — inferred from the declaring class's name,
+                  its base-class chain, and its file; DESIGN.md §12). A
+                  direct field write that crosses domains, reached from an
+                  event callback, is flagged: it is exactly the access a
+                  one-shard-per-leaf domain decomposition cannot allow.
+                  Packet fields are the sanctioned hand-off conduit (never
+                  flagged), and harness-side schedulers (fault injection,
+                  arrival generation) stage state by design and are not
+                  roots. Method calls are the hand-off boundary — only
+                  direct writes (`x->field = ...`) cross-domain are the
+                  hazard this rule exists for.
+
+  hot-cost        beyond allocation (hot-alloc), the per-packet/per-event
+                  paths reachable from `// sa-hot` roots must not silently
+                  pay: heavy pass-by-value copies (string/vector/map/
+                  function parameters), virtual dispatch, ordered std::map/
+                  std::set lookups, or event-queue heap operations
+                  (schedule_at/schedule_after calls and pushes/pops on the
+                  scheduling class's queue storage, recognized by type and
+                  by the schedule API — not by function name). Every site
+                  is a finding (fix or justify with sa-ok(hot-cost)) AND a
+                  row in the ranked sa_hot_cost.json report
+                  (--hot-cost-json) that the speed program attacks next.
+
 Suppression grammar (checked by the built-in `sa-suppression` meta-rule):
 
     // sa-ok(<rule>): <justification>
@@ -76,7 +102,10 @@ Exit status: 0 clean, 1 findings (or ratchet regression), 2 usage error.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import os
+import pickle
 import re
 import sys
 from dataclasses import dataclass, field
@@ -86,8 +115,8 @@ from pathlib import Path
 # Configuration tables
 # =============================================================================
 
-RULES = ("determinism", "packet-switch", "hot-alloc", "unit-raw",
-         "sa-suppression")
+RULES = ("determinism", "packet-switch", "hot-alloc", "hot-cost",
+         "shard-ownership", "unit-raw", "sa-suppression")
 
 # Qualified token chains whose *call* is banned anywhere in src/.
 BANNED_QUALIFIED = {
@@ -141,6 +170,14 @@ EVENT_ROOT_NAMES = {"on_packet", "on_flow_arrival", "receive", "run",
                     "run_steps", "random_fault_plan", "expand"}
 SCHEDULING_CALLS = {"schedule_at", "schedule_after"}
 
+# shard-ownership roots are narrower than EVENT_ROOT_NAMES: `run` would drag
+# SweepRunner::run (same simple name) into the event-reachable set and flag
+# the harness's own setup writes, and harness-global schedulers (arrival
+# generation, fault-plan install) stage state across domains by design
+# before events fire. The rule therefore roots at the per-event callbacks
+# plus schedulers whose own class lives in a sharded domain.
+OWNERSHIP_ROOT_NAMES = {"on_packet", "on_flow_arrival", "receive"}
+
 # Path prefixes (repo-relative, forward slashes) whose *Kind enums are
 # packet/control-kind enums subject to the exhaustiveness rule. FaultKind
 # (src/sim/fault/) rides the same rule: a `default:` swallowing a newly
@@ -150,7 +187,86 @@ KIND_ENUM_RE = re.compile(r"Kind$")
 
 # hot-alloc traversal only descends into functions defined under these
 # prefixes; a call out of scope is the accepted protocol-dispatch boundary.
+# hot-cost shares the same scope: the virtual dispatch *into* a protocol is
+# itself reported (as a dispatch cost site), but the analyzer does not chase
+# costs on the far side of that contract boundary.
 DEFAULT_HOT_SCOPE = ("src/net/", "src/sim/")
+
+# --- shard-ownership domains (DESIGN.md §12) ---------------------------------
+DOMAIN_HOST = "per-host"
+DOMAIN_FABRIC = "per-switch-port"
+DOMAIN_SIM = "per-simulator"
+DOMAIN_HARNESS = "harness-global"
+DOMAIN_PACKET = "packet"  ##< the sanctioned hand-off conduit, never flagged
+
+
+def domain_of_name(name: str):
+    """Class-name rules, checked on a class and then its base chain. The
+    order matters: Host derives from Device, so the host rule must hit
+    before the fabric rule does via the base walk."""
+    if "Packet" in name or name.endswith("Spec"):
+        return DOMAIN_PACKET
+    if name == "Simulator" or name.endswith("Simulator"):
+        return DOMAIN_SIM
+    if (name == "Host" or name.endswith("Host") or name == "Flow" or
+            name.endswith("RxState") or name.endswith("TxState") or
+            name.endswith("FlowState")):
+        return DOMAIN_HOST
+    if (name in ("Port", "Device") or name.endswith("Switch") or
+            name.endswith("Port") or name.endswith("Device")):
+        return DOMAIN_FABRIC
+    if name in ("Network", "Topology", "Auditor"):
+        return DOMAIN_SIM
+    return None
+
+
+# File-path fallback for classes (and free functions) the name rules do not
+# place. Checked in order; first prefix hit wins.
+DOMAIN_PATHS = (
+    ("src/net/host", DOMAIN_HOST),
+    ("src/proto/", DOMAIN_HOST),
+    ("src/core/", DOMAIN_HOST),
+    ("src/net/packet", DOMAIN_PACKET),
+    ("src/net/flow", DOMAIN_HOST),
+    ("src/net/", DOMAIN_FABRIC),
+    ("src/sim/", DOMAIN_SIM),
+    ("src/", DOMAIN_HARNESS),
+)
+
+# Compound-assignment and increment tokens that make a member access a write.
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=",
+              "++", "--", "<<=", ">>="}
+
+# --- hot-cost categories -----------------------------------------------------
+# Weight orders the sa_hot_cost.json report: heap ops dominate (every event
+# pays O(log n) twice), then ordered-map lookups and heavy copies, then the
+# dispatch boundary itself.
+HOT_COST_WEIGHTS = {
+    "heap-op": 5,
+    "map-lookup": 4,
+    "heavy-copy": 4,
+    "virtual-dispatch": 3,
+}
+
+# Parameter types whose by-value copy on a hot path is a real memcpy/alloc,
+# not a register move. Smart pointers and strong units are deliberately
+# absent: unique_ptr by value is the move-idiom and StrongInt is one word.
+HEAVY_VALUE_TYPES = {
+    "string", "basic_string", "vector", "deque", "list", "map", "set",
+    "multimap", "multiset", "unordered_map", "unordered_set", "function",
+}
+
+# Mutating calls on the scheduling class's queue storage that constitute an
+# event-queue heap operation.
+HEAP_MUTATION_CALLS = {
+    "push_back", "pop_back", "emplace_back", "push", "pop", "emplace",
+    "insert", "erase",
+}
+
+ORDERED_CONTAINERS = {"map", "set", "multimap", "multiset"}
+ORDERED_LOOKUP_CALLS = {"find", "count", "at", "lower_bound", "upper_bound",
+                        "contains", "equal_range", "insert", "emplace",
+                        "erase"}
 
 # The colon is part of the grammar: prose that *mentions* sa-ok(rule)
 # without one (docs, this file) is not a suppression.
@@ -281,12 +397,13 @@ def tokenize(source: str):
             toks.append(Tok(source[i:j], line, "num"))
             i = j
             continue
-        # multi-char punctuation we care about
-        for two in ("::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&",
-                    "||", "+=", "-=", "*=", "/=", "++", "--"):
-            if source.startswith(two, i):
-                toks.append(Tok(two, line, "punct"))
-                i += 2
+        # multi-char punctuation we care about (longest match first)
+        for multi in ("<<=", ">>=", "::", "->", "<<", ">>", "<=", ">=",
+                      "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                      "%=", "|=", "&=", "^=", "++", "--"):
+            if source.startswith(multi, i):
+                toks.append(Tok(multi, line, "punct"))
+                i += len(multi)
                 break
         else:
             toks.append(Tok(c, line, "punct"))
@@ -311,6 +428,26 @@ class FunctionDef:
     switches: list = field(default_factory=list)    ##< SwitchStmt
     is_hot: bool = False
     schedules: bool = False
+    owner: str = ""    ##< enclosing/qualifying class name, "" for free fns
+    writes: list = field(default_factory=list)       ##< (root, field, line)
+    member_calls: list = field(default_factory=list)  ##< (base, method, line)
+    heavy_params: list = field(default_factory=list)  ##< (type, name, line)
+
+
+@dataclass
+class ClassDef:
+    name: str
+    file: str
+    line: int
+    end_line: int
+    bases: list = field(default_factory=list)      ##< direct base names
+    fields: list = field(default_factory=list)     ##< (name, type_str, line)
+    virtual_methods: set = field(default_factory=set)
+    has_schedule_api: bool = False
+    ##< container members that back the event queue (type-recognized:
+    ##< priority_queue anywhere, or vector/deque inside the class that
+    ##< declares the schedule API)
+    eventq_members: set = field(default_factory=set)
 
 
 @dataclass
@@ -327,6 +464,8 @@ class TUModel:
     functions: list = field(default_factory=list)
     enums: dict = field(default_factory=dict)       ##< name -> [enumerators]
     unordered_decls: set = field(default_factory=set)
+    ordered_decls: set = field(default_factory=set)  ##< std::map/set names
+    classes: list = field(default_factory=list)      ##< ClassDef
     raw_calls: list = field(default_factory=list)   ##< lines with .raw()
     comments: dict = field(default_factory=dict)
 
@@ -359,26 +498,26 @@ def match_brace(toks, i):
     return len(toks) - 1
 
 
-def collect_unordered_decls(toks, out: set):
-    """Records declared names whose type mentions unordered_{map,set}:
-    members, locals, and `using X = std::unordered_map<...>` aliases. The
-    lookup is name-based — precise enough for this codebase's unique member
-    names, and the clang frontend does it by real type."""
+def collect_container_decls(toks, out: set, match_tok):
+    """Records declared names whose type satisfies `match_tok(toks, i)`:
+    members, locals, and `using X = std::...<...>` aliases. The lookup is
+    name-based — precise enough for this codebase's unique member names,
+    and the clang frontend does it by real type."""
     aliases: set = set()
     n = len(toks)
     for i, t in enumerate(toks):
-        if t.kind != "id" or not UNORDERED_RE.match(t.text):
+        if t.kind != "id" or not match_tok(toks, i):
             if t.text == "using" and i + 2 < n and toks[i + 2].text == "=":
-                # using Alias = ... unordered ... ;
+                # using Alias = ... container ... ;
                 j = i + 3
-                is_unordered = False
+                is_match = False
                 while j < n and toks[j].text != ";":
                     if toks[j].kind == "id" and (
-                            UNORDERED_RE.match(toks[j].text) or
+                            match_tok(toks, j) or
                             toks[j].text in aliases):
-                        is_unordered = True
+                        is_match = True
                     j += 1
-                if is_unordered:
+                if is_match:
                     aliases.add(toks[i + 1].text)
                     out.add(toks[i + 1].text)
             continue
@@ -406,6 +545,22 @@ def collect_unordered_decls(toks, out: set):
             nxt = toks[j + 1].text if j + 1 < n else ";"
             if nxt in (";", "=", "{", ",", ")"):
                 out.add(toks[j].text)
+
+
+def is_unordered_tok(toks, i):
+    return bool(UNORDERED_RE.match(toks[i].text))
+
+
+def is_ordered_tok(toks, i):
+    """`std::map` / `std::set` family only — the std:: qualification keeps
+    user types that happen to be named `map` out of the registry."""
+    if toks[i].text not in ORDERED_CONTAINERS:
+        return False
+    return i >= 2 and toks[i - 1].text == "::" and toks[i - 2].text == "std"
+
+
+def collect_unordered_decls(toks, out: set):
+    collect_container_decls(toks, out, is_unordered_tok)
 
 
 def parse_enums(toks, out: dict):
@@ -444,6 +599,256 @@ def parse_enums(toks, out: dict):
                         out[name] = enumerators
                     i = end
         i += 1
+
+
+def parse_classes(toks, file, out: list, start=0, end=None):
+    """Finds class/struct definitions in toks[start:end] (nested classes
+    recursed) and records their line span, direct bases, mutable data
+    members, virtual method names, whether they expose the simulator's
+    schedule API, and their event-queue storage members. This is the model
+    behind shard-ownership domains and the hot-cost heap-op category."""
+    if end is None:
+        end = len(toks)
+    i = start
+    while i < end:
+        t = toks[i]
+        if t.kind == "id" and t.text in ("class", "struct") and \
+                (i == 0 or toks[i - 1].text != "enum"):
+            j = i + 1
+            # skip an attribute-macro call between the keyword and the name
+            # (e.g. `class DCPIM_CAPABILITY("mutex") Mutex`).
+            name = None
+            if j < end and toks[j].kind == "id":
+                name = toks[j].text
+                j += 1
+                if j < end and toks[j].text == "(":
+                    j = match_paren(toks, j) + 1
+                    if j < end and toks[j].kind == "id":
+                        name = toks[j].text
+                        j += 1
+            if name is not None:
+                if j < end and toks[j].text == "final":
+                    j += 1
+                bases: list = []
+                if j < end and toks[j].text == ":":
+                    j += 1
+                    depth = 0
+                    while j < end and not (depth == 0 and
+                                           toks[j].text == "{"):
+                        tj = toks[j]
+                        if tj.text == "<":
+                            depth += 1
+                        elif tj.text in (">", ">>"):
+                            depth -= 2 if tj.text == ">>" else 1
+                        elif depth <= 0 and tj.kind == "id" and tj.text \
+                                not in ("public", "protected", "private",
+                                        "virtual"):
+                            bases.append(tj.text)
+                        j += 1
+                if j < end and toks[j].text == "{":
+                    be = match_brace(toks, j)
+                    cd = ClassDef(name=name, file=file, line=t.line,
+                                  end_line=toks[be].line, bases=bases)
+                    scan_class_members(toks, j + 1, be, cd, file, out)
+                    out.append(cd)
+                    i = be
+                    continue
+        i += 1
+
+
+def scan_class_members(toks, start, end, cd: ClassDef, file, out):
+    """Walks one class body: fields, virtual methods, the schedule API, and
+    nested classes (recursed into `out` as their own ClassDefs)."""
+    deferred_containers: list = []  # (name, line): vector/deque members
+    stmt: list = []
+    i = start
+    while i < end:
+        t = toks[i]
+        if t.kind == "id" and t.text in ("class", "struct") and \
+                (i == 0 or toks[i - 1].text != "enum"):
+            # nested class definition (or forward decl): recurse via
+            # parse_classes, then skip to where it ended
+            probe = i
+            parse_classes(toks, file, out, i, end)
+            # advance past the nested body if one was parsed
+            k = i + 1
+            while k < end and toks[k].text not in ("{", ";"):
+                k += 1
+            i = match_brace(toks, k) if k < end and toks[k].text == "{" \
+                else k
+            stmt = []
+            i += 1
+            del probe
+            continue
+        if t.text == "{":
+            prev = stmt[-1].text if stmt else ""
+            if prev in (")", "const", "noexcept", "override", "final") or \
+                    prev == ">":
+                # method body: skip it whole, statement is done
+                i = match_brace(toks, i) + 1
+                classify_member(stmt, cd)
+                stmt = []
+                continue
+            # brace initializer (`Bytes b{};`): consume without recording
+            i = match_brace(toks, i) + 1
+            continue
+        if t.text == ";":
+            classify_member(stmt, cd)
+            stmt = []
+            i += 1
+            continue
+        if t.text == ":" and len(stmt) == 1 and \
+                stmt[0].text in ("public", "private", "protected"):
+            stmt = []  # access specifiers are statement separators
+            i += 1
+            continue
+        stmt.append(t)
+        i += 1
+    classify_member(stmt, cd)
+    # Event-queue storage: priority_queue members always; vector/deque
+    # members when the class declares the schedule API (type + API based —
+    # deliberately not a function-name match, see hot-cost docs).
+    for name, _line in deferred_containers:
+        cd.eventq_members.add(name)
+    if cd.has_schedule_api:
+        for fname, ftype, _line in cd.fields:
+            if "vector" in ftype or "deque" in ftype:
+                cd.eventq_members.add(fname)
+    for fname, ftype, _line in cd.fields:
+        if "priority_queue" in ftype:
+            cd.eventq_members.add(fname)
+
+
+def classify_member(stmt, cd: ClassDef):
+    """Classifies one class-level statement as a field, a (possibly
+    virtual) method, or noise. Angle-bracket depth is tracked so template
+    arguments (including `std::function<void(int)>`) never look like
+    parameter lists."""
+    if not stmt:
+        return
+    first = stmt[0].text
+    if first in ("public", "private", "protected", "using", "typedef",
+                 "friend", "static_assert", "template", "enum", "operator"):
+        return
+    texts = []
+    angle = 0
+    has_paren = False
+    name_before_paren = None
+    last_id = None
+    for k, t in enumerate(stmt):
+        if t.text == "<" and k > 0 and stmt[k - 1].kind == "id":
+            angle += 1
+        elif t.text in (">", ">>") and angle > 0:
+            angle -= 2 if t.text == ">>" else 1
+            angle = max(angle, 0)
+        elif angle == 0:
+            if t.text == "(":
+                if not has_paren:
+                    name_before_paren = last_id
+                has_paren = True
+            elif t.text == "=":
+                break
+            elif t.kind == "id":
+                last_id = t.text
+        texts.append(t.text)
+    if has_paren:
+        if name_before_paren:
+            if "virtual" in texts or "override" in texts or \
+                    "final" in texts:
+                cd.virtual_methods.add(name_before_paren)
+            if name_before_paren in SCHEDULING_CALLS:
+                cd.has_schedule_api = True
+        return
+    if "static" in texts or "constexpr" in texts or "const" in texts[:-1]:
+        return  # immutable or process-static: not mutable sim-state
+    if last_id is None or len(stmt) < 2 or stmt[0].kind != "id":
+        return
+    type_str = " ".join(tt.text for tt in stmt
+                        if tt.text != last_id)
+    cd.fields.append((last_id, type_str, stmt[0].line))
+
+
+def chain_root(toks, i):
+    """toks[i] is a member id whose prev token is '.'/'->'; returns the
+    first identifier of the postfix chain (`a->b.c` -> "a",
+    `nic()->x` -> "nic"), or "" when the chain starts with something the
+    text frontend cannot name."""
+    k = i - 1
+    root = ""
+    while k >= 0 and toks[k].text in (".", "->"):
+        k -= 1
+        if k < 0:
+            break
+        if toks[k].text in (")", "]"):
+            opener = "(" if toks[k].text == ")" else "["
+            closer = toks[k].text
+            depth = 0
+            while k >= 0:
+                if toks[k].text == closer:
+                    depth += 1
+                elif toks[k].text == opener:
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k -= 1
+            k -= 1
+            if k >= 0 and toks[k].kind == "id":
+                root = toks[k].text
+                k -= 1
+            else:
+                return ""
+        elif toks[k].kind == "id":
+            root = toks[k].text
+            k -= 1
+        else:
+            return ""
+    return root
+
+
+def heavy_value_params(toks, lp, rp):
+    """Returns (container, name, line) for parameters in toks[lp+1:rp] that
+    copy a heavy container by value. References, pointers, and rvalue refs
+    are skipped; so are smart pointers and strong units (one-word moves)."""
+    parts: list = []
+    part: list = []
+    depth = 0
+    for k in range(lp + 1, rp):
+        t = toks[k]
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        elif t.text == "<" and k > lp + 1 and toks[k - 1].kind == "id":
+            depth += 1
+        elif t.text in (">", ">>") and depth > 0:
+            depth -= 2 if t.text == ">>" else 1
+        if t.text == "," and depth == 0:
+            parts.append(part)
+            part = []
+        else:
+            part.append(t)
+    if part:
+        parts.append(part)
+    out = []
+    for p in parts:
+        texts = [t.text for t in p]
+        if "&" in texts or "*" in texts or "&&" in texts:
+            continue
+        heavy = [t for t in p if t.kind == "id" and
+                 t.text in HEAVY_VALUE_TYPES]
+        if not heavy:
+            continue
+        name = ""
+        for t in p:
+            if t.text == "=":
+                break
+            if t.kind == "id":
+                name = t.text
+        if name in HEAVY_VALUE_TYPES:
+            name = "<unnamed>"
+        if name:
+            out.append((heavy[-1].text, name, p[0].line))
+    return out
 
 
 def extract_switches(toks, start, end, file, out):
@@ -531,9 +936,46 @@ def scan_body(fn: FunctionDef, toks, start, end):
     i = start
     while i < n:
         t = toks[i]
+        if t.text in ("++", "--") and i + 2 < n and \
+                toks[i + 1].kind == "id" and \
+                toks[i + 2].text in (".", "->"):
+            # prefix increment of a member chain: ++h.count_
+            root = toks[i + 1].text
+            k = i + 2
+            last = None
+            while k + 1 < n and toks[k].text in (".", "->") and \
+                    toks[k + 1].kind == "id":
+                last = toks[k + 1]
+                k += 2
+            if last is not None:
+                fn.writes.append((root, last.text, last.line))
+            i = k
+            continue
         if t.kind == "id":
             prev = toks[i - 1].text if i > 0 else ""
             nxt = toks[i + 1].text if i + 1 < n else ""
+            if prev in (".", "->"):
+                if nxt == "(":
+                    fn.member_calls.append(
+                        (chain_root(toks, i), t.text, t.line))
+                else:
+                    # member-field write: skip index groups, then look for
+                    # an assignment/compound-assignment/incdec operator
+                    j = i + 1
+                    while j < n and toks[j].text == "[":
+                        depth = 0
+                        while j < n:
+                            if toks[j].text == "[":
+                                depth += 1
+                            elif toks[j].text == "]":
+                                depth -= 1
+                                if depth == 0:
+                                    break
+                            j += 1
+                        j += 1
+                    if j < n and toks[j].text in ASSIGN_OPS:
+                        fn.writes.append(
+                            (chain_root(toks, i), t.text, t.line))
             if t.text == "new" and prev != "operator":
                 fn.allocs.append(("new", t.line))
                 i += 1
@@ -648,6 +1090,7 @@ def find_function_defs(toks, file, model: TUModel):
                 fn = FunctionDef(
                     name="::".join(name_parts), simple=name_parts[-1],
                     file=file, line=toks[i - 1].line)
+                fn.heavy_params = heavy_value_params(toks, i, rp)
                 scan_body(fn, toks, j + 1, be)
                 extract_switches(toks, j + 1, be, file, fn.switches)
                 extract_range_fors(toks, j + 1, be, fn.range_fors)
@@ -659,13 +1102,34 @@ def find_function_defs(toks, file, model: TUModel):
         i += 1
 
 
+def attribute_owners(model: TUModel):
+    """Assigns each function its owning class: the qualifier for
+    out-of-line `X::f` definitions, else the innermost class whose body
+    span contains the definition line."""
+    for fn in model.functions:
+        if "::" in fn.name:
+            fn.owner = fn.name.split("::")[-2]
+            continue
+        best = None
+        for cd in model.classes:
+            if cd.line <= fn.line <= cd.end_line:
+                if best is None or \
+                        (cd.end_line - cd.line) < (best.end_line - best.line):
+                    best = cd
+        if best is not None:
+            fn.owner = best.name
+
+
 def text_parse_file(path: Path, rel: str) -> TUModel:
     source = path.read_text(encoding="utf-8")
     toks, comments = tokenize(source)
     model = TUModel(file=rel, comments=comments)
     parse_enums(toks, model.enums)
     collect_unordered_decls(toks, model.unordered_decls)
+    collect_container_decls(toks, model.ordered_decls, is_ordered_tok)
+    parse_classes(toks, rel, model.classes)
     find_function_defs(toks, rel, model)
+    attribute_owners(model)
     # .raw() / ->raw() escapes, anywhere in the file
     for i, t in enumerate(toks):
         if t.text == "raw" and t.kind == "id" and i > 0 and \
@@ -701,7 +1165,7 @@ def clang_parse_file(cindex, path: Path, rel: str, args) -> TUModel:
     index = cindex.Index.create()
     tu = index.parse(str(path), args=args)
     source = path.read_text(encoding="utf-8")
-    _, comments = tokenize(source)
+    ttoks, comments = tokenize(source)
     model = TUModel(file=rel, comments=comments)
     ck = cindex.CursorKind
 
@@ -780,6 +1244,32 @@ def clang_parse_file(cindex, path: Path, rel: str, args) -> TUModel:
     for fn in model.functions:
         if any(ln in hot_lines for ln in range(fn.line - 2, fn.line + 1)):
             fn.is_hot = True
+    # v2 facts (classes, ownership writes, ordered decls, heavy params) come
+    # from the token-level collectors even under libclang: they are
+    # comment- and declarator-shaped and the token pass is exact enough,
+    # which keeps both frontends rule-for-rule equivalent.
+    collect_container_decls(ttoks, model.ordered_decls, is_ordered_tok)
+    parse_classes(ttoks, rel, model.classes)
+    shadow = TUModel(file=rel)
+    find_function_defs(ttoks, rel, shadow)
+    shadow.classes = model.classes
+    attribute_owners(shadow)
+    by_simple: dict = {}
+    for sfn in shadow.functions:
+        by_simple.setdefault(sfn.simple, []).append(sfn)
+    for fn in model.functions:
+        cands = by_simple.get(fn.simple, [])
+        best = None
+        for sfn in cands:
+            if abs(sfn.line - fn.line) <= 2 and (
+                    best is None or
+                    abs(sfn.line - fn.line) < abs(best.line - fn.line)):
+                best = sfn
+        if best is not None:
+            fn.owner = best.owner
+            fn.writes = best.writes
+            fn.member_calls = best.member_calls
+            fn.heavy_params = best.heavy_params
     return model
 
 
@@ -860,6 +1350,68 @@ class Analyzer:
         for name, (_, enumerators) in self.enums.items():
             for e in enumerators:
                 self.enum_of_label.setdefault(e, name)
+        # --- v2 registries: classes, ownership domains, event queues -------
+        self.classes: dict[str, ClassDef] = {}
+        for m in models:
+            for cd in m.classes:
+                self.classes.setdefault(cd.name, cd)
+        self._domain_memo: dict[str, object] = {}
+        # field name -> owning domain. Names declared by classes in two
+        # different domains, or by a class the model cannot place, are
+        # dropped from the registry (conservative: no finding beats a wrong
+        # finding for a ratcheted tool).
+        self.field_domain: dict = {}
+        self.field_class: dict = {}
+        ambiguous: set = set()
+        for cd in self.classes.values():
+            dom = self.domain_of_class(cd.name)
+            for fname, _ftype, _fline in cd.fields:
+                if fname in ambiguous:
+                    continue
+                if fname in self.field_domain:
+                    if self.field_domain[fname] != dom:
+                        ambiguous.add(fname)
+                        del self.field_domain[fname]
+                        del self.field_class[fname]
+                    continue
+                if dom is None:
+                    ambiguous.add(fname)
+                    continue
+                self.field_domain[fname] = dom
+                self.field_class[fname] = cd.name
+        self.virtuals: set = set()
+        self.eventq_fields: set = set()
+        for cd in self.classes.values():
+            self.virtuals |= cd.virtual_methods
+            self.eventq_fields |= cd.eventq_members
+        self.ordered: set = set()
+        for m in models:
+            self.ordered |= m.ordered_decls
+        ##< ranked cost sites for sa_hot_cost.json (includes suppressed
+        ##< ones, flagged as such — the report is a worklist, not a verdict)
+        self.hot_cost_sites: list = []
+
+    def domain_of_class(self, name: str):
+        """Ownership domain for a class: its own name, then its base-class
+        chain, then the path of its declaring file (DESIGN.md §12)."""
+        if name in self._domain_memo:
+            return self._domain_memo[name]
+        self._domain_memo[name] = None  # cycle guard for base loops
+        dom = domain_of_name(name)
+        cd = self.classes.get(name)
+        if dom is None and cd is not None:
+            for b in cd.bases:
+                dom = self.domain_of_class(b) if b in self.classes \
+                    else domain_of_name(b)
+                if dom is not None:
+                    break
+        if dom is None and cd is not None:
+            for prefix, pdom in DOMAIN_PATHS:
+                if cd.file.startswith(prefix):
+                    dom = pdom
+                    break
+        self._domain_memo[name] = dom
+        return dom
 
     # --- helpers -----------------------------------------------------------
 
@@ -924,7 +1476,9 @@ class Analyzer:
 
         self.rule_determinism()
         self.rule_packet_switch()
+        self.rule_shard_ownership()
         self.rule_hot_alloc()
+        self.rule_hot_cost()
         self.rule_unit_raw()
         self.rule_unused_suppressions()
         self.findings.sort(key=lambda f: (f.file, f.line, f.rule))
@@ -998,6 +1552,132 @@ class Analyzer:
                                f"{', '.join(missing)} and has no default")
                     self.emit(Finding("packet-switch", sw.file, sw.line, msg))
 
+    def rule_shard_ownership(self):
+        """A write reachable from an event callback must stay inside the
+        writer's ownership domain. Crossing is legal only through Packet
+        hand-off (Packet fields are the conduit and never flagged) or the
+        schedule API (a scheduled lambda runs as its own event; state it
+        captures is re-rooted there)."""
+        roots = []
+        for m in self.models:
+            for fn in m.functions:
+                if fn.simple in OWNERSHIP_ROOT_NAMES:
+                    roots.append(fn)
+                elif fn.schedules and fn.owner and \
+                        self.domain_of_class(fn.owner) not in (
+                            None, DOMAIN_HARNESS):
+                    roots.append(fn)
+        reachable = self.reachable_from(roots)
+        reported = set()
+        for m in self.models:
+            for fn in m.functions:
+                key = (fn.file, fn.name, fn.line)
+                if key not in reachable:
+                    continue
+                wdom = self.domain_of_class(fn.owner) if fn.owner else None
+                if wdom is None or wdom == DOMAIN_HARNESS:
+                    # free functions and harness glue are not shard bodies
+                    continue
+                for root_name, field_name, line in fn.writes:
+                    fdom = self.field_domain.get(field_name)
+                    if fdom is None or fdom == DOMAIN_PACKET:
+                        continue
+                    if fdom == wdom:
+                        continue
+                    if (fn.file, line) in reported:
+                        continue
+                    reported.add((fn.file, line))
+                    path = []
+                    for r in roots:
+                        path = self.find_path(r, key)
+                        if path:
+                            break
+                    via = (f" [event-reachable via {' -> '.join(path)}]"
+                           if len(path) > 1 else "")
+                    dotted = f"{root_name}.{field_name}" if root_name \
+                        else field_name
+                    self.emit(Finding(
+                        "shard-ownership", fn.file, line,
+                        f"{fn.name}() in domain {wdom} writes {dotted}, "
+                        f"owned by {self.field_class.get(field_name)} in "
+                        f"domain {fdom}{via} — cross-domain mutation blocks "
+                        f"one-shard-per-domain parallelism; hand off via a "
+                        f"Packet, go through the schedule API, or justify "
+                        f"with sa-ok(shard-ownership)", path))
+
+    def rule_hot_cost(self):
+        """Per-event cost beyond allocation on sa-hot-reachable paths:
+        heavy pass-by-value copies, virtual dispatch, ordered std::map/set
+        lookups, and event-queue heap operations (type-recognized via
+        ClassDef.eventq_members plus the schedule API itself). Every site —
+        suppressed or not — lands in hot_cost_sites for the ranked
+        sa_hot_cost.json report; unsuppressed sites are findings."""
+        hot_roots = [fn for m in self.models for fn in m.functions
+                     if fn.is_hot]
+        reachable = self.reachable_from(hot_roots, self.hot_scope)
+        reported = set()
+        for m in self.models:
+            for fn in m.functions:
+                key = (fn.file, fn.name, fn.line)
+                if key not in reachable:
+                    continue
+                sites = []
+                for ptype, pname, line in fn.heavy_params:
+                    sites.append((
+                        "heavy-copy", line,
+                        f"parameter '{pname}' of {fn.name}() copies a "
+                        f"std::{ptype} by value on the hot path — pass by "
+                        f"const& (or std::move at every call site)"))
+                for base, method, line in fn.member_calls:
+                    if method in self.virtuals:
+                        sites.append((
+                            "virtual-dispatch", line,
+                            f"virtual dispatch {base or '<expr>'}->"
+                            f"{method}() on the hot path — the indirect "
+                            f"call blocks inlining per packet"))
+                    if method in ORDERED_LOOKUP_CALLS and \
+                            base in self.ordered:
+                        sites.append((
+                            "map-lookup", line,
+                            f"ordered std::map/set lookup {base}."
+                            f"{method}() costs O(log n) pointer chasing "
+                            f"per event — prefer a flat or hashed "
+                            f"container"))
+                    if method in HEAP_MUTATION_CALLS and \
+                            base in self.eventq_fields:
+                        sites.append((
+                            "heap-op", line,
+                            f"event-queue heap operation {base}."
+                            f"{method}() — every event pays the O(log n) "
+                            f"sift"))
+                for callee, line in fn.calls:
+                    if callee in SCHEDULING_CALLS:
+                        sites.append((
+                            "heap-op", line,
+                            f"{callee}() pushes into the simulator event "
+                            f"heap from the hot path — O(log n) per "
+                            f"call"))
+                for cat, line, msg in sites:
+                    if (fn.file, line, cat) in reported:
+                        continue
+                    reported.add((fn.file, line, cat))
+                    sup = self.cover.get(fn.file, {}).get(
+                        "hot-cost", {}).get(line)
+                    self.hot_cost_sites.append({
+                        "category": cat,
+                        "weight": HOT_COST_WEIGHTS[cat],
+                        "file": fn.file,
+                        "line": line,
+                        "function": fn.name,
+                        "detail": msg,
+                        "suppressed": sup is not None,
+                        "justification":
+                            sup.justification if sup is not None else "",
+                    })
+                    self.emit(Finding(
+                        "hot-cost", fn.file, line,
+                        msg + " — or acknowledge with sa-ok(hot-cost)"))
+
     def rule_hot_alloc(self):
         hot_roots = [fn for m in self.models for fn in m.functions
                      if fn.is_hot]
@@ -1046,6 +1726,66 @@ class Analyzer:
 # Driver
 # =============================================================================
 
+def _tool_hash() -> str:
+    return hashlib.sha256(Path(__file__).read_bytes()).hexdigest()
+
+
+def _parse_one(payload):
+    """Worker for the parallel text-frontend parse. Returns (model, hit).
+    The cache key is sha256(tool-source || file-source): editing either the
+    analyzer or the file invalidates the entry, so stale models are
+    structurally impossible. Cache writes are atomic (tmp + rename) so
+    concurrent workers never observe torn pickles."""
+    path_str, rel, cache_dir, tool_hash = payload
+    path = Path(path_str)
+    source = path.read_bytes()
+    key = None
+    if cache_dir:
+        digest = hashlib.sha256(
+            tool_hash.encode("ascii") + source).hexdigest()
+        key = Path(cache_dir) / f"{digest}.pkl"
+        try:
+            with open(key, "rb") as fh:
+                return pickle.load(fh), True
+        except Exception:
+            pass
+    model = text_parse_file(path, rel)
+    if key is not None:
+        try:
+            key.parent.mkdir(parents=True, exist_ok=True)
+            tmp = key.with_name(f"{key.name}.tmp.{os.getpid()}")
+            with open(tmp, "wb") as fh:
+                pickle.dump(model, fh)
+            os.replace(tmp, key)
+        except Exception:
+            pass
+    return model, False
+
+
+def parse_files_text(files, root, jobs, cache_dir):
+    """Parses `files` with the text frontend, fanning out across processes
+    when jobs > 1 and reusing cached TU models keyed by content hash.
+    Returns (models, rels, cache_hits) with models in input order."""
+    tool_hash = _tool_hash() if cache_dir else ""
+    payloads = []
+    rels = []
+    for f in files:
+        rel = f.relative_to(root).as_posix() if f.is_relative_to(root) \
+            else f.as_posix()
+        rels.append(rel)
+        payloads.append((str(f), rel, str(cache_dir) if cache_dir else "",
+                         tool_hash))
+    if jobs > 1 and len(payloads) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_parse_one, payloads, chunksize=4))
+    else:
+        results = [_parse_one(p) for p in payloads]
+    models = [m for m, _ in results]
+    hits = sum(1 for _, hit in results if hit)
+    return models, rels, hits
+
+
 def load_compdb(path: Path):
     db = json.loads(path.read_text(encoding="utf-8"))
     files = []
@@ -1084,6 +1824,14 @@ def main() -> int:
                         help="rewrite tools/sa_baseline.json from this run")
     parser.add_argument("--rules", default=",".join(RULES),
                         help="comma-separated rules to enable")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel parse workers; 0 = one per core "
+                             "(text frontend only)")
+    parser.add_argument("--cache-dir", type=Path,
+                        help="cache parsed TU models here, keyed by "
+                             "tool+file content hash (text frontend only)")
+    parser.add_argument("--hot-cost-json", type=Path,
+                        help="write the ranked hot-path cost report here")
     args = parser.parse_args()
 
     root = args.root.resolve()
@@ -1118,17 +1866,27 @@ def main() -> int:
                   "libclang bindings are unavailable", file=sys.stderr)
             return 2
 
-    models = []
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    cache_hits = 0
     files_text = {}
-    for f in files:
-        rel = f.relative_to(root).as_posix() if f.is_relative_to(root) \
-            else f.as_posix()
-        files_text[rel] = f.read_text(encoding="utf-8").splitlines()
-        if frontend == "clang" and f.suffix == ".cpp":
-            models.append(clang_parse_file(
-                cindex, f, rel, args_by_file.get(f, [])))
-        else:
-            models.append(text_parse_file(f, rel))
+    if frontend == "clang":
+        # clang models depend on per-file compile args, so they are neither
+        # cached nor parallelized; only the gcc-only text path needs speed.
+        models = []
+        for f in files:
+            rel = f.relative_to(root).as_posix() if f.is_relative_to(root) \
+                else f.as_posix()
+            files_text[rel] = f.read_text(encoding="utf-8").splitlines()
+            if f.suffix == ".cpp":
+                models.append(clang_parse_file(
+                    cindex, f, rel, args_by_file.get(f, [])))
+            else:
+                models.append(text_parse_file(f, rel))
+    else:
+        models, rels, cache_hits = parse_files_text(
+            files, root, jobs, args.cache_dir)
+        for f, rel in zip(files, rels):
+            files_text[rel] = f.read_text(encoding="utf-8").splitlines()
 
     enabled = set(args.rules.split(","))
     analyzer = Analyzer(models, files_text, hot_scope, kind_paths)
@@ -1158,10 +1916,31 @@ def main() -> int:
                       f"suppressions, baseline allows {allowed} "
                       f"(tools/dcpim_sa.py --write-baseline)")
 
+    if args.hot_cost_json:
+        sites = sorted(
+            analyzer.hot_cost_sites,
+            key=lambda s: (-s["weight"], s["category"], s["file"],
+                           s["line"]))
+        for rank, s in enumerate(sites, 1):
+            s["rank"] = rank
+        by_category: dict[str, int] = {}
+        for s in sites:
+            by_category[s["category"]] = by_category.get(
+                s["category"], 0) + 1
+        args.hot_cost_json.parent.mkdir(parents=True, exist_ok=True)
+        args.hot_cost_json.write_text(
+            json.dumps({
+                "weights": HOT_COST_WEIGHTS,
+                "total_sites": len(sites),
+                "by_category": by_category,
+                "sites": sites,
+            }, indent=2) + "\n", encoding="utf-8")
+
     report = {
         "frontend": frontend,
         "files": len(files),
         "functions": sum(len(m.functions) for m in models),
+        "cache_hits": cache_hits,
         "rules": sorted(enabled & set(RULES)),
         "findings": [f.to_json() for f in findings],
         "suppressions": sup_counts,

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Run bench/perf_basket and record the result as BENCH_<n>.json.
+
+The perf basket (bench/perf_basket.cpp) times a fixed fig3a-style scenario
+set and emits one JSON object per scenario on stdout; every scenario runs
+twice with result_fingerprint() asserted equal, so the numbers provably
+time the same simulation. This script wraps the binary, shapes the lines
+into one document, and optionally compares against a previous record so a
+perf regression (or an accidental simulation change — the fingerprints
+shift) is visible in review.
+
+Usage:
+  tools/record_bench.py [--build-dir build] [--out BENCH_6.json]
+                        [--compare BENCH_5.json] [--min-speedup 0.8]
+
+Exit status: 0 on success; 1 when the binary fails, output is malformed,
+or --compare finds a slowdown past --min-speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run_basket(build_dir: Path, extra_args: list[str]) -> list[dict]:
+    exe = build_dir / "bench" / "perf_basket"
+    if not exe.exists():
+        sys.exit(f"error: {exe} not found — build the repo first "
+                 f"(cmake --build {build_dir} --target perf_basket)")
+    proc = subprocess.run([str(exe), *extra_args], cwd=REPO,
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"error: perf_basket exited {proc.returncode}")
+    rows = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError:
+            sys.exit(f"error: perf_basket emitted a non-JSON line: {line!r}")
+    if not rows or rows[-1].get("scenario") != "total":
+        sys.exit("error: perf_basket output missing the trailing total row")
+    return rows
+
+
+def shape(rows: list[dict]) -> dict:
+    total = rows[-1]
+    return {
+        "bench": "perf_basket",
+        "source": "bench/perf_basket.cpp via tools/record_bench.py",
+        "fingerprint_checked": True,  # the binary DCPIM_CHECKs run1 == run2
+        "scenarios": rows[:-1],
+        "total": {
+            "events_executed": total["events_executed"],
+            "sim_seconds": total["sim_seconds"],
+            "wall_seconds": total["wall_seconds"],
+            "events_per_sec": total["events_per_sec"],
+            "sim_seconds_per_wall_second":
+                total["sim_seconds_per_wall_second"],
+        },
+    }
+
+
+def compare(record: dict, baseline_path: Path, min_speedup: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    status = 0
+    old_fp = {s["protocol"]: s.get("fingerprint_fnv1a")
+              for s in baseline.get("scenarios", [])}
+    for s in record["scenarios"]:
+        fp = old_fp.get(s["protocol"])
+        if fp is not None and fp != s["fingerprint_fnv1a"]:
+            print(f"note: {s['protocol']} fingerprint changed "
+                  f"{fp} -> {s['fingerprint_fnv1a']} — the simulation "
+                  f"itself changed, perf deltas are not comparable")
+    old = baseline["total"]["events_per_sec"]
+    new = record["total"]["events_per_sec"]
+    speedup = new / old if old else float("inf")
+    print(f"events/sec: {old:.0f} -> {new:.0f}  ({speedup:.2f}x)")
+    if speedup < min_speedup:
+        print(f"FAIL: slowdown past --min-speedup {min_speedup}")
+        status = 1
+    return status
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build", type=Path)
+    ap.add_argument("--out", default=REPO / "BENCH_6.json", type=Path)
+    ap.add_argument("--compare", type=Path, default=None,
+                    help="previous BENCH_*.json to diff against")
+    ap.add_argument("--min-speedup", type=float, default=0.8,
+                    help="fail --compare below this new/old events-per-sec "
+                         "ratio (default 0.8: 20%% slowdown budget for "
+                         "machine noise)")
+    ap.add_argument("basket_args", nargs="*",
+                    help="extra args passed through to perf_basket")
+    args = ap.parse_args()
+
+    build_dir = args.build_dir if args.build_dir.is_absolute() \
+        else REPO / args.build_dir
+    record = shape(run_basket(build_dir, args.basket_args))
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.out}: "
+          f"{record['total']['events_per_sec']:.0f} events/sec, "
+          f"{record['total']['sim_seconds_per_wall_second']:.4f} "
+          f"sim-sec/wall-sec over {len(record['scenarios'])} scenarios")
+    if args.compare:
+        return compare(record, args.compare, args.min_speedup)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

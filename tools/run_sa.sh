@@ -32,7 +32,13 @@ if [[ ! -f "${COMPDB}" ]]; then
     exit 2
 fi
 
+# Parallel parse across cores, with parsed-TU models cached by content hash
+# (editing the tool or a file invalidates its entries; the CI lane persists
+# the cache dir between runs so pushes only re-parse what changed).
 exec python3 tools/dcpim_sa.py \
     --compdb "${COMPDB}" \
     --json "${BUILD_DIR}/sa_report.json" \
+    --hot-cost-json "${BUILD_DIR}/sa_hot_cost.json" \
+    --cache-dir "${BUILD_DIR}/sa_cache" \
+    --jobs 0 \
     "$@"
