@@ -161,6 +161,31 @@ void check_pfc_pause_ledger(net::Network& net, sim::Auditor::Context& ctx) {
   }
 }
 
+void check_packet_pool_hygiene(net::Network& net,
+                               sim::Auditor::Context& ctx) {
+  const net::PacketPool& pool = net.packet_pool();
+  if (!pool.enabled()) return;
+  if (const std::size_t dirty = pool.parked_dirty_count(); dirty > 0) {
+    ctx.fail("packet pool holds " + std::to_string(dirty) +
+             " parked packet(s) that are not pristine — reset_transient() "
+             "missed a field");
+  }
+  if (pool.released() > pool.acquired()) {
+    ctx.fail("packet pool released " + std::to_string(pool.released()) +
+             " packets but acquired only " + std::to_string(pool.acquired()));
+  }
+  if (net.sim().pending() > 0 || pool.outstanding() == 0) return;
+  for (const auto& dev : net.devices()) {
+    for (const auto& port : dev->ports) {
+      if (port->queued_bytes() > Bytes{}) return;  // still draining
+    }
+  }
+  ctx.fail("run drained with " + std::to_string(pool.outstanding()) +
+           " pool packet(s) unaccounted for (acquired " +
+           std::to_string(pool.acquired()) + ", released " +
+           std::to_string(pool.released()) + ")");
+}
+
 template <typename Fn>
 void for_each_dcpim_host(net::Network& net, Fn&& fn) {
   for (int h = 0; h < net.num_hosts(); ++h) {
@@ -241,6 +266,18 @@ void install_standard_probes(sim::Auditor& auditor, net::Network& net) {
   auditor.add_probe("pfc-pause-ledger", [&net](sim::Auditor::Context& ctx) {
     check_pfc_pause_ledger(net, ctx);
   });
+  // Packet-pool hygiene: every parked packet must be indistinguishable from
+  // a fresh `Packet{}` (a stale ECN/trim/INT flag leaking into a recycled
+  // packet would silently change protocol behaviour — the exact bug class
+  // the pool's fingerprint-identity contract forbids), the release counter
+  // can never outrun the acquire counter, and once the run has fully
+  // drained (no pending events, no buffered packets anywhere) every
+  // acquired packet must be back in the pool. Mid-run sweeps skip the
+  // balance check: outstanding packets are then legitimately in flight.
+  auditor.add_probe("packet-pool-hygiene",
+                    [&net](sim::Auditor::Context& ctx) {
+                      check_packet_pool_hygiene(net, ctx);
+                    });
 
   // Event-driven lane (add_event_probe: no sweep fn): every DcpimHost
   // re-runs its token/matching/channel-ledger checks at its own epoch

@@ -267,6 +267,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   net::NetConfig ncfg;
   ncfg.seed = cfg.seed;
   ncfg.packet_spraying = uses_packet_spraying(cfg.protocol);
+  ncfg.packet_pool = cfg.packet_pool;
   rt.net = std::make_unique<net::Network>(ncfg);
 
   auto factory = make_factory(rt);
@@ -305,6 +306,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   ExperimentResult res;
   res.events_executed = rt.net->sim().events_executed();
   res.sim_end = rt.net->sim().now();
+  res.pool_acquired = rt.net->packet_pool().acquired();
+  res.pool_recycled = rt.net->packet_pool().recycled();
   res.bdp = rt.topo->bdp_bytes();
   res.data_rtt = rt.topo->max_data_rtt();
   res.control_rtt = rt.topo->max_control_rtt();

@@ -88,6 +88,11 @@ struct ExperimentConfig {
   bool audit = false;
   Time audit_period = us(10);
 
+  /// Recycle data packets through net::PacketPool (NetConfig::packet_pool).
+  /// Behaviour-invariant by contract: tests/test_packet_pool.cpp asserts
+  /// result_fingerprint() equality on/off for every protocol.
+  bool packet_pool = true;
+
   // --- per-protocol parameters (topology-derived fields filled at run) ---------
   core::DcpimConfig dcpim;
   proto::PhostConfig phost;
@@ -125,6 +130,11 @@ struct ExperimentResult {
   /// per wall-second and simulated-seconds per wall-second.
   std::uint64_t events_executed = 0;
   TimePoint sim_end{};
+  /// PacketPool traffic (zeros when cfg.packet_pool was off). Deliberately
+  /// NOT part of result_fingerprint(): recycling must change allocator
+  /// traffic only, never results.
+  std::uint64_t pool_acquired = 0;
+  std::uint64_t pool_recycled = 0;
   Bytes bdp{};
   Time data_rtt{};
   Time control_rtt{};

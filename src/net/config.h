@@ -50,6 +50,11 @@ struct NetConfig {
   Time switch_latency = ns(450);  ///< per-switch processing delay (Table 1)
   Time host_latency = ns(500);    ///< end-host ingress (NIC/stack) delay
   bool packet_spraying = true;    ///< per-packet uniform ECMP; else per-flow
+  /// Recycle data packets through the Network's PacketPool instead of
+  /// heap-allocating each one. Behaviour-invariant by contract (results must
+  /// fingerprint identically either way); off exists for that A/B check and
+  /// for allocator-level debugging (e.g. ASan use-after-free pinpointing).
+  bool packet_pool = true;
   std::uint64_t seed = 1;
 
   Bytes mtu_wire() const { return mtu_payload + header_bytes; }

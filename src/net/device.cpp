@@ -223,6 +223,7 @@ Device::Device(Network& net, Kind kind, std::string name)
 Port* Device::add_port(const PortConfig& cfg) {
   ports.push_back(
       std::make_unique<Port>(*this, static_cast<int>(ports.size()), cfg));
+  on_port_added(*ports.back());
   return ports.back().get();
 }
 

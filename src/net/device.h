@@ -148,6 +148,10 @@ class Device {
   /// Fixed processing latency applied to packets entering this device.
   virtual Time ingress_latency() const { return Time{}; }
 
+  /// Called after add_port() attaches a new port — topology-build time, so
+  /// subclasses size per-port state here instead of lazily on the hot path.
+  virtual void on_port_added(Port& /*port*/) {}
+
   Port* add_port(const PortConfig& cfg);
 
   Network& network() const { return net_; }

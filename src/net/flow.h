@@ -54,6 +54,13 @@ class FlowRxState {
     if (seq >= seen_.size() || seen_[seq]) return Bytes{};
     seen_[seq] = true;
     ++received_count_;
+    // Advance the cached first-missing cursor past the contiguous prefix.
+    // Each bit is crossed at most once over the flow's lifetime, so the
+    // cumulative-ack lookup below stays amortized O(1) per packet instead
+    // of rescanning the prefix on every ack.
+    while (first_missing_ < seen_.size() && seen_[first_missing_]) {
+      ++first_missing_;
+    }
     const Bytes got = flow_->payload_of(seq, mtu_payload_);
     received_bytes_ += got;
     return got;
@@ -70,16 +77,12 @@ class FlowRxState {
   }
 
   /// Lowest seq not yet received (== total_packets() when complete).
-  std::uint32_t first_missing() const {
-    for (std::uint32_t i = 0; i < seen_.size(); ++i) {
-      if (!seen_[i]) return i;
-    }
-    return total_packets();
-  }
+  std::uint32_t first_missing() const { return first_missing_; }
 
  private:
   Flow* flow_ = nullptr;
   Bytes mtu_payload_{1460};
+  std::uint32_t first_missing_ = 0;  ///< cursor maintained by on_data()
   std::vector<bool> seen_;
   std::size_t received_count_ = 0;
   Bytes received_bytes_{};

@@ -21,9 +21,12 @@ void Host::send(PacketPtr p) {
   nic()->enqueue(std::move(p));
 }
 
+// sa-hot: one call per data packet on the wire. Data packets cycle through
+// the network's PacketPool: acquire() here, release at whichever drop or
+// delivery site destroys the PacketPtr (PacketDeleter funnels them back).
 PacketPtr Host::make_data_packet(const Flow& flow, DataPacketSpec spec) const {
   const auto& cfg = network().config();
-  auto p = std::make_unique<Packet>();
+  PacketPtr p = network().packet_pool().acquire();
   p->src = flow.src;
   p->dst = flow.dst;
   p->flow_id = flow.id;

@@ -8,7 +8,8 @@
 
 namespace dcpim::net {
 
-Network::Network(NetConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+Network::Network(NetConfig cfg)
+    : cfg_(cfg), pool_(cfg.packet_pool), rng_(cfg.seed) {}
 
 Network::~Network() = default;
 

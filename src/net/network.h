@@ -16,6 +16,7 @@
 #include "net/config.h"
 #include "net/device.h"
 #include "net/flow.h"
+#include "net/packet_pool.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -33,6 +34,8 @@ class Network {
   sim::Simulator& sim() { return sim_; }
   Rng& rng() { return rng_; }
   const NetConfig& config() const { return cfg_; }
+  PacketPool& packet_pool() { return pool_; }
+  const PacketPool& packet_pool() const { return pool_; }
 
   /// Constructs and registers a device. T must derive from Device and take
   /// (Network&, args...) as constructor arguments.
@@ -144,6 +147,11 @@ class Network {
   FaultFilter fault_filter_;
 
   NetConfig cfg_;
+  /// Declared before sim_ and devices_ on purpose: members destroy in
+  /// reverse order, so pending events and port queues (both of which hold
+  /// PacketPtrs whose deleters point at this pool) drain into the pool
+  /// before it frees its parked packets.
+  PacketPool pool_;
   sim::Simulator sim_;
   Rng rng_;
   std::vector<std::unique_ptr<Device>> devices_;

@@ -64,9 +64,67 @@ struct Packet {
   virtual ~Packet() = default;
   Packet(const Packet&) = default;
   Packet& operator=(const Packet&) = default;
+
+  /// Returns every field to its freshly-constructed value so a recycled
+  /// packet is indistinguishable from `Packet{}`. `int_hops` is cleared but
+  /// keeps its capacity — that retained buffer is the point of pooling for
+  /// INT-heavy runs. Must cover every field; `is_pristine()` is the audit
+  /// counterpart and the two must stay in lockstep.
+  void reset_transient() {
+    src = -1;
+    dst = -1;
+    flow_id = UINT64_MAX;
+    size = Bytes{};
+    payload = Bytes{};
+    priority = 0;
+    control = false;
+    seq = 0;
+    unscheduled = false;
+    ecn_ce = false;
+    trimmed = false;
+    int_hops.clear();
+    collect_int = false;
+    pfc_ingress = -1;
+    created_at = kTimeUnset;
+    kind = 0;
+  }
+
+  /// True when every field holds its default — what reset_transient()
+  /// guarantees and the packet-pool-hygiene audit probe asserts for every
+  /// parked packet.
+  bool is_pristine() const {
+    return src == -1 && dst == -1 && flow_id == UINT64_MAX &&
+           size == Bytes{} && payload == Bytes{} && priority == 0 &&
+           !control && seq == 0 && !unscheduled && !ecn_ce && !trimmed &&
+           int_hops.empty() && !collect_int && pfc_ingress == -1 &&
+           created_at == kTimeUnset && kind == 0;
+  }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+class PacketPool;
+
+/// Deleter carried by every PacketPtr. Pool-acquired data packets carry a
+/// pointer back to their PacketPool and are parked (not destroyed) when the
+/// PacketPtr dies — drop, deliver, and fault-kill paths all recycle through
+/// this one funnel. Everything else (control packets, hand-built test
+/// packets) carries a null pool and is deleted normally.
+///
+/// The converting constructor from std::default_delete<T> keeps the
+/// ubiquitous `std::make_unique<SomeControlPacket>()` factory idiom working:
+/// unique_ptr's converting constructor requires the source deleter to be
+/// convertible to this one.
+struct PacketDeleter {
+  PacketPool* pool = nullptr;
+
+  PacketDeleter() = default;
+  explicit PacketDeleter(PacketPool* p) : pool(p) {}
+  template <typename T>
+  PacketDeleter(std::default_delete<T>) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  void operator()(Packet* p) const;  // defined in packet_pool.cpp
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 
 /// Convenience downcast after checking `kind`. Behaviour is undefined if the
 /// kind does not correspond to T (as with static_cast generally).

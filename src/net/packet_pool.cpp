@@ -1,0 +1,50 @@
+#include "net/packet_pool.h"
+
+#include "util/check.h"
+
+namespace dcpim::net {
+
+void PacketDeleter::operator()(Packet* p) const {
+  if (pool != nullptr) {
+    pool->release(p);
+  } else {
+    delete p;
+  }
+}
+
+PacketPool::~PacketPool() {
+  for (Packet* p : free_) delete p;
+}
+
+PacketPtr PacketPool::acquire() {
+  if (!enabled_) {
+    // Disabled arm: identical packets, plain-delete lifetime, zero pool
+    // accounting — outstanding() stays 0 so the hygiene probe is inert.
+    return PacketPtr(new Packet(), PacketDeleter());
+  }
+  ++acquired_;
+  if (!free_.empty()) {
+    ++recycled_;
+    Packet* p = free_.back();
+    free_.pop_back();
+    return PacketPtr(p, PacketDeleter(this));
+  }
+  return PacketPtr(new Packet(), PacketDeleter(this));
+}
+
+void PacketPool::release(Packet* p) {
+  DCPIM_DCHECK(p != nullptr, "released a null packet");
+  ++released_;
+  p->reset_transient();
+  free_.push_back(p);
+}
+
+std::size_t PacketPool::parked_dirty_count() const {
+  std::size_t dirty = 0;
+  for (const Packet* p : free_) {
+    if (!p->is_pristine()) ++dirty;
+  }
+  return dirty;
+}
+
+}  // namespace dcpim::net

@@ -28,15 +28,14 @@ Port* Switch::select_egress(const Packet& p) {
   return ports[cands[pick]].get();
 }
 
+void Switch::on_port_added(Port& /*port*/) {
+  ingress_bytes_.resize(ports.size(), Bytes{});
+  ingress_paused_.resize(ports.size(), false);
+}
+
 void Switch::pfc_account_arrival(Packet& p, Port* in) {
   if (in == nullptr || !in->config().pfc_enable) return;
   const auto idx = static_cast<std::size_t>(in->index());
-  if (ingress_bytes_.size() <= idx) {
-    // sa-ok(hot-alloc): one-time lazy sizing on the first PFC arrival per
-    // switch; every later packet takes the branch-not-taken path.
-    ingress_bytes_.resize(ports.size(), Bytes{});
-    ingress_paused_.resize(ports.size(), false);
-  }
   p.pfc_ingress = in->index();
   ingress_bytes_[idx] += p.size;
   pfc_update(in->index());

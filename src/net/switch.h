@@ -21,6 +21,10 @@ class Switch : public Device {
 
   void receive(PacketPtr p, Port* in) override;
   void on_packet_departed(const Packet& p) override;
+
+  /// Sizes the per-ingress PFC ledgers eagerly at topology-build time, so
+  /// the per-packet accounting path never grows a vector.
+  void on_port_added(Port& port) override;
   Time ingress_latency() const override {
     return network().config().switch_latency;
   }

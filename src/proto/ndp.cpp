@@ -26,6 +26,7 @@ void NdpHost::on_flow_arrival(net::Flow& flow) {
   tx.packets = static_cast<std::uint32_t>(
       // sa-ok(unit-raw): data seq numbers are raw uint32 indices on the wire
       flow.packet_count(network().config().mtu_payload).raw());
+  tx.acked.reset(tx.packets);
   tx.last_progress = network().sim().now();
   auto [it, _] = tx_flows_.emplace(flow.id, std::move(tx));
   TxFlow& ref = it->second;
@@ -50,7 +51,7 @@ void NdpHost::send_one(TxFlow& tx) {
     ++counters_.retransmissions;
   } else {
     while (tx.next_new_seq < tx.packets &&
-           tx.acked.count(tx.next_new_seq) != 0) {
+           tx.acked.contains(tx.next_new_seq)) {
       ++tx.next_new_seq;
     }
     if (tx.next_new_seq >= tx.packets) return;  // nothing left to release
@@ -71,7 +72,7 @@ void NdpHost::handle_nack(const net::Packet& p) {
   auto it = tx_flows_.find(p.flow_id);
   if (it == tx_flows_.end()) return;
   TxFlow& tx = it->second;
-  if (tx.acked.count(nack.data_seq) == 0) tx.retx.insert(nack.data_seq);
+  if (!tx.acked.contains(nack.data_seq)) tx.retx.insert(nack.data_seq);
 }
 
 void NdpHost::handle_ack(const net::Packet& p) {
@@ -97,7 +98,7 @@ void NdpHost::arm_rto(std::uint64_t flow_id) {
       ++tx.rto_count;
       ++counters_.rto_fires;
       for (std::uint32_t seq = 0; seq < tx.packets; ++seq) {
-        if (tx.acked.count(seq) == 0) {
+        if (!tx.acked.contains(seq)) {
           send(make_data_packet(
               *tx.flow, {.seq = seq, .priority = cfg_.data_priority}));
           break;

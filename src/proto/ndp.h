@@ -19,6 +19,7 @@
 
 #include "net/host.h"
 #include "net/topology.h"
+#include "proto/common.h"
 
 namespace dcpim::proto {
 
@@ -64,8 +65,8 @@ class NdpHost : public net::Host {
     net::Flow* flow = nullptr;
     std::uint32_t packets = 0;
     std::uint32_t next_new_seq = 0;
-    std::set<std::uint32_t> retx;   ///< NACKed seqs awaiting a pull
-    std::set<std::uint32_t> acked;  ///< receiver-confirmed seqs
+    std::set<std::uint32_t> retx;  ///< NACKed seqs awaiting a pull (ordered)
+    SeqBitmap acked;               ///< receiver-confirmed seqs (membership)
     int rto_count = 0;
     TimePoint last_progress{};
   };

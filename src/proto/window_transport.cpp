@@ -23,6 +23,7 @@ void WindowHost::on_flow_arrival(net::Flow& flow) {
   f.packets = static_cast<std::uint32_t>(
       // sa-ok(unit-raw): data seq numbers are raw uint32 indices on the wire
       flow.packet_count(network().config().mtu_payload).raw());
+  f.acked.reset(f.packets);
   // sa-ok(unit-raw): the congestion window evolves multiplicatively, in doubles
   f.cwnd_bytes = static_cast<double>(cfg_.effective_init_cwnd().raw());
   f.window_start = network().sim().now();
@@ -52,8 +53,7 @@ void WindowHost::try_send(WFlow& f) {
       f.retx.erase(f.retx.begin());
       ++counters_.retransmissions;
     } else {
-      while (f.next_new_seq < f.packets &&
-             f.acked.count(f.next_new_seq) != 0) {
+      while (f.next_new_seq < f.packets && f.acked.contains(f.next_new_seq)) {
         ++f.next_new_seq;
       }
       if (f.next_new_seq >= f.packets) return;
@@ -139,7 +139,7 @@ void WindowHost::handle_ack(net::PacketPtr p) {
   } else if (ack.acked_seq > f.cum_ack) {
     ++f.dupacks;
     if (f.dupacks >= cfg_.dupack_threshold &&
-        f.fast_retx_seq != f.cum_ack && f.acked.count(f.cum_ack) == 0) {
+        f.fast_retx_seq != f.cum_ack && !f.acked.contains(f.cum_ack)) {
       f.fast_retx_seq = f.cum_ack;
       f.retx.insert(f.cum_ack);
       f.inflight.erase(f.cum_ack);

@@ -62,9 +62,9 @@ class WindowHost : public net::Host {
     double cwnd_bytes = 0;
     double ssthresh = 1e18;
     std::uint32_t next_new_seq = 0;
-    std::set<std::uint32_t> retx;
+    std::set<std::uint32_t> retx;  ///< ordered: lowest lost seq resent first
     std::unordered_map<std::uint32_t, TimePoint> inflight;
-    std::set<std::uint32_t> acked;
+    SeqBitmap acked;  ///< selectively-acked seqs (membership only)
     std::uint32_t cum_ack = 0;
     int dupacks = 0;
     std::uint32_t fast_retx_seq = UINT32_MAX;  ///< once per loss episode

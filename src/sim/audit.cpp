@@ -56,6 +56,8 @@ void Auditor::record(std::size_t probe, TimePoint at, std::string message) {
 }
 
 void Auditor::attach(Simulator& sim) {
+  // sa-ok(lifetime): the captured reference is the Simulator that owns and
+  // runs this callback — it strictly outlives its own event queue.
   sim.schedule_after(options_.period, [this, &sim]() { tick(sim); });
 }
 
@@ -64,6 +66,8 @@ void Auditor::tick(Simulator& sim) {
   // Reschedule only while the simulation has other work: an auditor must
   // observe a run, not prolong it.
   if (sim.pending() > 0) {
+    // sa-ok(lifetime): same as attach() — the Simulator outlives the
+    // callbacks it stores.
     sim.schedule_after(options_.period, [this, &sim]() { tick(sim); });
   }
 }

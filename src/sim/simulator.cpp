@@ -18,39 +18,57 @@ std::int64_t sim_now_for_checks(const void* ctx) {
 
 }  // namespace
 
+namespace {
+
+/// Heap arity. 4-ary halves the tree depth of a binary heap and keeps all
+/// children of a node inside one or two cache lines of 24-byte entries —
+/// the sift-down in heap_pop() was the single hottest function in the
+/// profile when this was binary. The pop order is arity-independent:
+/// Entry::before is a strict total order (ids are unique tie-breakers), so
+/// the simulation replays identically for any heap shape — the perf
+/// basket's fingerprint check proves it.
+constexpr std::size_t kHeapArity = 4;
+
+}  // namespace
+
 void Simulator::heap_push(Entry e) {
   // sa-ok(hot-alloc): vector growth is amortized and the heap reaches its
   // steady-state capacity within the first few simulated RTTs.
-  // sa-ok(hot-cost): the binary-heap push IS the event queue — O(log n) is
+  // sa-ok(hot-cost): the d-ary-heap push IS the event queue — O(log n) is
   // its contract (see the rationale comment in simulator.h).
-  heap_.push_back(std::move(e));
+  heap_.push_back(e);  // placeholder; the hole-sift below places `e`
   std::size_t i = heap_.size() - 1;
   while (i > 0) {
-    std::size_t parent = (i - 1) / 2;
-    if (!heap_[i].before(heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!e.before(heap_[parent])) break;
+    heap_[i] = heap_[parent];  // hole sift: one move per level, no swaps
     i = parent;
   }
+  heap_[i] = e;
 }
 
 Simulator::Entry Simulator::heap_pop() {
-  Entry top = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
+  const Entry top = heap_.front();
+  const Entry last = heap_.back();
   // sa-ok(hot-cost): the sift-down after this pop is the event-queue
   // contract; the pop itself never shrinks capacity.
   heap_.pop_back();
-  std::size_t i = 0;
   const std::size_t n = heap_.size();
+  if (n == 0) return top;
+  std::size_t i = 0;
   while (true) {
-    const std::size_t left = 2 * i + 1;
-    const std::size_t right = left + 1;
-    std::size_t smallest = i;
-    if (left < n && heap_[left].before(heap_[smallest])) smallest = left;
-    if (right < n && heap_[right].before(heap_[smallest])) smallest = right;
-    if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
+    const std::size_t first = kHeapArity * i + 1;
+    if (first >= n) break;
+    const std::size_t end = std::min(first + kHeapArity, n);
+    std::size_t smallest = first;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap_[c].before(heap_[smallest])) smallest = c;
+    }
+    if (!heap_[smallest].before(last)) break;
+    heap_[i] = heap_[smallest];  // hole sift: one move per level
     i = smallest;
   }
+  heap_[i] = last;
   return top;
 }
 
@@ -58,7 +76,7 @@ EventId Simulator::schedule_at(TimePoint t, Callback cb) {
   DCPIM_DCHECK_GE(t, now_, "cannot schedule into the past");
   if (t < now_) t = now_;  // degrade gracefully in release builds
   const EventId id = next_id_++;
-  heap_push(Entry{t, id, std::move(cb)});
+  heap_push(Entry{t, id, slab_.store(std::move(cb))});
   return id;
 }
 
@@ -76,8 +94,14 @@ bool Simulator::cancel(EventId id) {
 bool Simulator::pop_next(Entry& out) {
   while (!heap_.empty()) {
     Entry e = heap_pop();
-    if (!cancelled_.empty() && cancelled_.erase(e.id) > 0) continue;
-    out = std::move(e);
+    if (!cancelled_.empty() && cancelled_.erase(e.id) > 0) {
+      // A tombstoned event still owns a slab slot; recycle it (and destroy
+      // the callback — whatever it captured must not outlive cancellation
+      // by more than this pop).
+      slab_.take(e.slot);
+      continue;
+    }
+    out = e;
     return true;
   }
   return false;
@@ -90,8 +114,8 @@ void Simulator::run(TimePoint until) {
   Entry entry;
   while (!stopped_ && pop_next(entry)) {
     if (entry.t > until) {
-      // Put it back; caller may resume later.
-      heap_push(std::move(entry));
+      // Put it back; caller may resume later (its slab slot is untouched).
+      heap_push(entry);
       now_ = until;
       return;
     }
@@ -101,7 +125,13 @@ void Simulator::run(TimePoint until) {
     DCPIM_CHECK_GE(entry.t, now_, "event queue is not time-ordered");
     now_ = entry.t;
     ++executed_;
-    entry.cb();
+    // slab_.take() recycles the slab slot *before* invoking, so an event
+    // that schedules follow-ups (the common per-hop case) re-uses the very
+    // slot it just vacated. `cb` is destroyed at the end of this
+    // iteration — captured resources, above all pooled PacketPtrs, return
+    // to their owners at end-of-event, never lingering until the next pop.
+    Callback cb = slab_.take(entry.slot);
+    cb();
   }
   if (!stopped_ && until != kTimePointInfinity) now_ = until;
 }
@@ -117,7 +147,8 @@ std::size_t Simulator::run_steps(std::size_t max_events) {
     now_ = entry.t;
     ++executed_;
     ++done;
-    entry.cb();
+    Callback cb = slab_.take(entry.slot);  // eager recycle, as in run()
+    cb();
   }
   return done;
 }

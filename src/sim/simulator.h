@@ -4,10 +4,18 @@
 // callbacks scheduled at absolute or relative times; ties are broken by
 // scheduling order so runs are fully deterministic.
 //
-// Implementation: a hand-rolled binary heap storing the callbacks inline.
-// std::priority_queue cannot move out of top(), so it would force either a
-// copyable callback type or an id->callback side table; keeping the
-// UniqueFunction inside the heap entry avoids both. Cancellation is lazy
+// Implementation: a hand-rolled 4-ary min-heap of 24-byte {time, id, slot}
+// entries plus a callback slab the slots index into. Keeping the callbacks
+// out of the heap entries keeps every sift move trivially cheap (the heap
+// array stays hot in cache and no type-erased move runs per swap), while
+// the CallbackSlab gives each callback a stable home: UniqueFunction
+// stores small callables inline (SBO), so the per-hop forwarding lambdas
+// never touch the allocator — a scheduled callback moves into a recycled
+// slab slot, and the run loop threads the slot back onto the slab's
+// intrusive free list the moment the event fires (eager retire, so
+// captured resources such as pooled packets release at end-of-event).
+// After the first few simulated RTTs the slab reaches steady state and
+// the per-event path allocates nothing at all. Cancellation is lazy
 // via a tombstone set: cancel() pays an O(pending) membership scan, and
 // while any tombstone is outstanding each pop pays one hash-erase probe to
 // filter it (pop_next) — free again once the set drains. That trade keeps
@@ -30,6 +38,53 @@ namespace dcpim::sim {
 /// Handle for a scheduled event; usable with Simulator::cancel().
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
+
+/// Stable, recycled storage for scheduled callbacks, indexed by slot.
+/// Deliberately a separate type from Simulator: these members are NOT the
+/// event queue (no ordering, no sift) — they are a slab with an intrusive
+/// free list threaded through retired slots, so take() allocates nothing
+/// and store() allocates only while the slab is still growing toward the
+/// peak event population.
+class CallbackSlab {
+ public:
+  using Callback = UniqueFunction<void()>;
+
+  /// Moves `cb` into a slot (recycled when possible) and returns its index.
+  std::uint32_t store(Callback&& cb) {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      slots_[slot].cb = std::move(cb);
+      return slot;
+    }
+    const auto slot = static_cast<std::uint32_t>(slots_.size());
+    // sa-ok(hot-alloc): slab growth stops at the peak event population —
+    // every take() threads its slot back onto the intrusive free list, so
+    // the steady-state per-event path never reaches this push.
+    slots_.push_back(Slot{std::move(cb), kNoSlot});
+    return slot;
+  }
+
+  /// Moves the callback out of `slot` and recycles the slot — popped-event
+  /// callback storage is reused, never freed. The moved-from shell is
+  /// destroyed eagerly so captured resources release now, not at reuse.
+  Callback take(std::uint32_t slot) {
+    Callback cb = std::move(slots_[slot].cb);
+    slots_[slot].cb = Callback();
+    slots_[slot].next_free = free_head_;
+    free_head_ = slot;
+    return cb;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+  struct Slot {
+    Callback cb;
+    std::uint32_t next_free = kNoSlot;
+  };
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+};
 
 class Simulator {
  public:
@@ -85,7 +140,7 @@ class Simulator {
   struct Entry {
     TimePoint t{};
     EventId id = kInvalidEvent;
-    Callback cb;
+    std::uint32_t slot = 0;  ///< index into slab_
     bool before(const Entry& o) const {
       return t != o.t ? t < o.t : id < o.id;
     }
@@ -102,6 +157,7 @@ class Simulator {
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
   std::vector<Entry> heap_;
+  CallbackSlab slab_;  ///< callback storage; heap_ entries index into it
   std::unordered_set<EventId> cancelled_;
 };
 

@@ -4,9 +4,19 @@
 // the lambdas move-only and thus incompatible with std::function. This is a
 // minimal replacement supporting exactly what the event queue needs:
 // construction from any callable, move, and invocation.
+//
+// Storage is small-buffer-optimised: callables that fit kInlineSize bytes
+// (and are nothrow-move-constructible, so moves can stay noexcept) live
+// inside the UniqueFunction itself; larger or throwing-move callables fall
+// back to the heap. Every event callback in the simulator's hot paths — the
+// per-hop forwarding lambdas capture at most a pointer or two plus a
+// PacketPtr — fits inline, which removes one allocation and one free per
+// scheduled event and lets the run loop recycle a single Entry's inline
+// bytes for the whole simulation (see sim/simulator.cpp).
 #pragma once
 
-#include <memory>
+#include <cstddef>
+#include <new>
 #include <type_traits>
 #include <utility>
 
@@ -18,42 +28,119 @@ class UniqueFunction;
 template <typename R, typename... Args>
 class UniqueFunction<R(Args...)> {
  public:
+  /// Inline capacity. Sized for the simulator's per-hop event lambdas
+  /// ([this, PacketPtr] = 24 bytes; [peer, rev, PacketPtr] = 32) with room
+  /// for one more pointer of captures before anything spills to the heap.
+  static constexpr std::size_t kInlineSize = 48;
+
   UniqueFunction() = default;
 
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
                 std::is_invocable_r_v<R, F&, Args...>>>
-  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
-      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(f));
+      invoke_ = &invoke_inline<D>;
+      manage_ = &manage_inline<D>;
+    } else {
+      // Cold fallback: every hot-path callable in the tree fits inline.
+      *reinterpret_cast<D**>(&storage_) = new D(std::forward<F>(f));
+      invoke_ = &invoke_heap<D>;
+      manage_ = &manage_heap<D>;
+    }
+  }
 
-  UniqueFunction(UniqueFunction&&) noexcept = default;
-  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
   UniqueFunction(const UniqueFunction&) = delete;
   UniqueFunction& operator=(const UniqueFunction&) = delete;
 
-  explicit operator bool() const { return impl_ != nullptr; }
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
 
   R operator()(Args... args) {
-    return impl_->invoke(std::forward<Args>(args)...);
+    return invoke_(&storage_, std::forward<Args>(args)...);
   }
 
  private:
-  struct Concept {
-    virtual ~Concept() = default;
-    virtual R invoke(Args&&... args) = 0;
-  };
+  enum class Op { kDestroy, kMove };
 
-  template <typename F>
-  struct Model final : Concept {
-    explicit Model(F f) : fn(std::move(f)) {}
-    R invoke(Args&&... args) override {
-      return fn(std::forward<Args>(args)...);
+  using Invoke = R (*)(void*, Args&&...);
+  /// kDestroy: destroy the callable at `self` (`other` unused).
+  /// kMove: move-construct `self`'s callable from `other`'s bytes and
+  /// destroy the source; both operations are noexcept by construction.
+  using Manage = void (*)(void* self, void* other, Op);
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static R invoke_inline(void* s, Args&&... args) {
+    return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static R invoke_heap(void* s, Args&&... args) {
+    return (**static_cast<D**>(s))(std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static void manage_inline(void* self, void* other, Op op) {
+    if (op == Op::kMove) {
+      D* src = static_cast<D*>(other);
+      ::new (self) D(std::move(*src));
+      src->~D();
+    } else {
+      static_cast<D*>(self)->~D();
     }
-    F fn;
-  };
+  }
 
-  std::unique_ptr<Concept> impl_;
+  template <typename D>
+  static void manage_heap(void* self, void* other, Op op) {
+    if (op == Op::kMove) {
+      *static_cast<D**>(self) = *static_cast<D**>(other);
+    } else {
+      delete *static_cast<D**>(self);
+    }
+  }
+
+  void move_from(UniqueFunction& other) noexcept {
+    if (other.manage_ != nullptr) {
+      other.manage_(&storage_, &other.storage_, Op::kMove);
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) {
+      manage_(&storage_, nullptr, Op::kDestroy);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineSize];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
 };
 
 }  // namespace dcpim

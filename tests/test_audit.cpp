@@ -105,8 +105,8 @@ TEST(AuditedExperimentTest, DcpimRunIsClean) {
   EXPECT_GT(res.audit.checks, 0u);
   EXPECT_TRUE(res.audit.clean())
       << harness::format_audit_summary(res.audit);
-  // All eight standard probes plus the built-in monotonicity probe ran.
-  EXPECT_EQ(res.audit.probes.size(), 9u);
+  // All nine standard probes plus the built-in monotonicity probe ran.
+  EXPECT_EQ(res.audit.probes.size(), 10u);
   const std::string report = harness::format_audit_summary(res.audit);
   EXPECT_NE(report.find("flow-byte-conservation"), std::string::npos);
   EXPECT_NE(report.find("queue-occupancy"), std::string::npos);
@@ -114,6 +114,7 @@ TEST(AuditedExperimentTest, DcpimRunIsClean) {
   EXPECT_NE(report.find("dcpim-matching"), std::string::npos);
   EXPECT_NE(report.find("dcpim-channel-ledger"), std::string::npos);
   EXPECT_NE(report.find("pfc-pause-ledger"), std::string::npos);
+  EXPECT_NE(report.find("packet-pool-hygiene"), std::string::npos);
   EXPECT_NE(report.find("dcpim-epoch-rollover"), std::string::npos);
   EXPECT_NE(report.find("clean"), std::string::npos);
 }

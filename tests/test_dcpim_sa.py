@@ -62,6 +62,16 @@ GOLDEN = {
     ("hot-alloc", "fixture_hotcost.cpp", 40),  # same sites, allocation view
     ("hot-alloc", "fixture_hotcost.cpp", 64),
     ("sa-suppression", "fixture_hotcost.cpp", 63),  # empty justification
+    # lifetime family (fixture_lifetime.cpp)
+    ("lifetime", "fixture_lifetime.cpp", 29),  # [&] capture in schedule
+    ("lifetime", "fixture_lifetime.cpp", 30),  # &local capture in schedule
+    ("lifetime", "fixture_lifetime.cpp", 31),  # raw packet param by value
+    ("lifetime", "fixture_lifetime.cpp", 36),  # new LifePacket off-factory
+    ("lifetime", "fixture_lifetime.cpp", 40),  # make_unique off-factory
+    ("lifetime", "fixture_lifetime.cpp", 55),  # under malformed sa-ok
+    ("lifetime", "fixture_lifetime.cpp", 63),  # raw packet pointer field
+    ("lifetime", "fixture_lifetime.cpp", 64),  # vector of raw packets
+    ("sa-suppression", "fixture_lifetime.cpp", 54),  # empty justification
 }
 
 
@@ -98,7 +108,8 @@ class FixtureCorpusTest(unittest.TestCase):
         fired = {f["rule"] for f in report["findings"]}
         self.assertEqual(
             fired, {"determinism", "packet-switch", "hot-alloc", "hot-cost",
-                    "shard-ownership", "unit-raw", "sa-suppression"})
+                    "shard-ownership", "unit-raw", "lifetime",
+                    "sa-suppression"})
 
     def test_rule_selection(self):
         proc, report = self.run_on_fixtures("--rules", "packet-switch")
@@ -125,7 +136,8 @@ class FixtureCorpusTest(unittest.TestCase):
         self.assertEqual(report["suppressions"],
                          {"determinism": 1, "packet-switch": 1,
                           "hot-alloc": 3, "hot-cost": 1,
-                          "shard-ownership": 1, "unit-raw": 1})
+                          "shard-ownership": 1, "unit-raw": 1,
+                          "lifetime": 1})
 
     def test_hot_cost_json_is_ranked_and_keeps_suppressed_sites(self):
         with tempfile.TemporaryDirectory() as td:
@@ -156,6 +168,32 @@ class FixtureCorpusTest(unittest.TestCase):
         self.assertEqual(
             set(cost["by_category"]),
             {"heap-op", "map-lookup", "heavy-copy", "virtual-dispatch"})
+
+    def test_lifetime_json_keeps_suppressed_sites(self):
+        with tempfile.TemporaryDirectory() as td:
+            life_path = Path(td) / "sa_lifetime.json"
+            report_path = Path(td) / "report.json"
+            run_sa("--files",
+                   *sorted(str(p) for p in FIXTURES.glob("*.cpp")),
+                   "--no-ratchet", "--json", str(report_path),
+                   "--lifetime-json", str(life_path))
+            life = json.loads(life_path.read_text())
+        sites = life["sites"]
+        self.assertEqual(life["total_sites"], len(sites))
+        # All three escape classes appear in the fixture corpus.
+        self.assertEqual(set(life["by_class"]),
+                         {"field-escape", "callback-capture", "factory"})
+        # The justified capture in audited_park() is in the ledger, flagged
+        # and quoted — the report is an audit trail, not a findings echo.
+        suppressed = [s for s in sites if s["suppressed"]]
+        self.assertTrue(suppressed)
+        self.assertTrue(any("pins the packet" in s["justification"]
+                            for s in suppressed))
+        # Ledger rows carry enough to audit without rerunning.
+        for s in sites:
+            self.assertTrue(s["file"])
+            self.assertGreater(s["line"], 0)
+            self.assertTrue(s["detail"])
 
     def test_parse_cache_round_trip_and_parallel_equivalence(self):
         with tempfile.TemporaryDirectory() as td:
@@ -194,8 +232,9 @@ class SourceTreeTest(unittest.TestCase):
         self.assertEqual(report["ratchet_failures"], [])
         self.assertEqual(
             sorted(report["rules"]),
-            ["determinism", "hot-alloc", "hot-cost", "packet-switch",
-             "sa-suppression", "shard-ownership", "unit-raw"])
+            ["determinism", "hot-alloc", "hot-cost", "lifetime",
+             "packet-switch", "sa-suppression", "shard-ownership",
+             "unit-raw"])
         # The analyzer really walked the tree, not an empty file list.
         self.assertGreater(report["files"], 50)
         self.assertGreater(report["functions"], 300)
@@ -217,6 +256,24 @@ class SourceTreeTest(unittest.TestCase):
             self.assertTrue(s["file"].startswith("src/"))
             self.assertGreater(s["line"], 0)
             self.assertTrue(s["function"])
+
+    def test_src_lifetime_ledger_has_only_justified_sites(self):
+        compdb = REPO / "build" / "compile_commands.json"
+        if not compdb.exists():
+            self.skipTest("no compile_commands.json (configure first)")
+        with tempfile.TemporaryDirectory() as td:
+            life_path = Path(td) / "sa_lifetime.json"
+            proc = run_sa("--compdb", str(compdb), "--no-ratchet",
+                          "--lifetime-json", str(life_path))
+            life = json.loads(life_path.read_text())
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        # The pool's safety proof: every escape on the real tree is
+        # justified — an unsuppressed row here means recycling can dangle.
+        for s in life["sites"]:
+            self.assertTrue(s["suppressed"],
+                            f"unjustified lifetime escape: {s}")
+            self.assertTrue(s["justification"])
+            self.assertTrue(s["file"].startswith("src/"))
 
     def test_ratchet_fails_on_regression(self):
         compdb = REPO / "build" / "compile_commands.json"

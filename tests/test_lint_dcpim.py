@@ -83,6 +83,61 @@ class ExemptResolutionTest(unittest.TestCase):
             self.assertEqual(proc.returncode, 2)
 
 
+class PacketFactoryRuleTest(unittest.TestCase):
+    """The packet-factory pre-filter: bare allocation of *Packet types is
+    confined to the sanctioned factory files unless justified with
+    `// sa-ok(lifetime):` (same grammar the dcpim-sa lifetime rule
+    enforces semantically)."""
+
+    def lint_tree(self, files: dict[str, str]):
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            for rel, text in files.items():
+                p = root / rel
+                p.parent.mkdir(parents=True, exist_ok=True)
+                p.write_text(text)
+            return run_lint(td, td)
+
+    def flagged(self, proc, rule="packet-factory"):
+        return [ln for ln in proc.stdout.splitlines() if f"[{rule}]" in ln]
+
+    def test_bare_allocations_flagged_outside_factories(self):
+        proc = self.lint_tree({
+            "src/proto/rogue.cpp":
+                "void f() {\n"
+                "  auto* a = new GrantPacket();\n"
+                "  auto b = std::make_unique<proto::TokenPacket>();\n"
+                "  auto c = std::make_shared<Packet>();\n"
+                "}\n",
+        })
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertEqual(len(self.flagged(proc)), 3, proc.stdout)
+
+    def test_sanctioned_factories_and_justified_sites_clean(self):
+        proc = self.lint_tree({
+            "src/net/host.cpp": "void f() { auto* p = new Packet(); }\n",
+            "src/net/packet_pool.cpp":
+                "void g() { auto* p = new Packet(); }\n",
+            "src/proto/justified.cpp":
+                "void h() {\n"
+                "  // sa-ok(lifetime): hand-built probe packet, never pooled.\n"
+                "  auto p = std::make_unique<ProbePacket>();\n"
+                "}\n",
+        })
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_non_packet_names_do_not_fire(self):
+        proc = self.lint_tree({
+            "src/net/other.cpp":
+                "void f() {\n"
+                "  auto a = std::make_unique<PacketPool>();\n"
+                "  auto* b = new PacketLedger();\n"
+                "  auto c = std::make_unique<int>(7);\n"
+                "}\n",
+        })
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
 class RealTreeTest(unittest.TestCase):
     def test_repo_is_clean(self):
         proc = run_lint(REPO, REPO)

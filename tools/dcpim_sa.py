@@ -72,6 +72,24 @@ and checks the semantic properties the ROADMAP's correctness story rests on:
                   row in the ranked sa_hot_cost.json report
                   (--hot-cost-json) that the speed program attacks next.
 
+  lifetime        flow-insensitive escape analysis for packet and event
+                  lifetimes — the proof obligation behind the PacketPool
+                  free-list (DESIGN.md §13). Three escape classes:
+                  (a) field-escape: a class field typed as raw `Packet*`/
+                  `Packet&` (or a container of raw packet pointers) outlives
+                  the delivery call chain, so a recycled packet would leave
+                  it dangling; (b) callback-capture-escape: a lambda handed
+                  to `schedule_at`/`schedule_after` captures by reference
+                  (`[&]` or `[&x]`) or captures a raw packet parameter by
+                  value — the callback runs at event time, after the
+                  captured frame (or the delivered packet) is gone;
+                  (c) factory-discipline: `new`/`make_unique`/`make_shared`
+                  of a packet type outside the sanctioned factory files
+                  (`src/net/host.{h,cpp}`, `src/net/packet_pool.{h,cpp}`)
+                  bypasses the pool and its reset_transient() hygiene.
+                  Every site — suppressed or not — also lands in the
+                  --lifetime-json report, the pool's standing audit ledger.
+
 Suppression grammar (checked by the built-in `sa-suppression` meta-rule):
 
     // sa-ok(<rule>): <justification>
@@ -116,7 +134,7 @@ from pathlib import Path
 # =============================================================================
 
 RULES = ("determinism", "packet-switch", "hot-alloc", "hot-cost",
-         "shard-ownership", "unit-raw", "sa-suppression")
+         "shard-ownership", "unit-raw", "lifetime", "sa-suppression")
 
 # Qualified token chains whose *call* is banned anywhere in src/.
 BANNED_QUALIFIED = {
@@ -184,6 +202,20 @@ OWNERSHIP_ROOT_NAMES = {"on_packet", "on_flow_arrival", "receive"}
 # added fault verb would silently skip injecting it.
 KIND_ENUM_PATHS = ("src/proto/", "src/core/", "src/sim/fault/")
 KIND_ENUM_RE = re.compile(r"Kind$")
+
+# --- lifetime rule tables ----------------------------------------------------
+# The only files that may manufacture packet objects: the Host factories
+# (make_data_packet / make_control) and the pool they draw from. Everything
+# else must go through them — that is what makes recycling provably safe.
+# Empty in --files fixture mode, where every packet allocation is flagged.
+SANCTIONED_FACTORY_FILES = (
+    "src/net/host.h", "src/net/host.cpp",
+    "src/net/packet_pool.h", "src/net/packet_pool.cpp",
+)
+
+# Owning wrappers whose presence in a field's type makes a packet member
+# safe: the wrapper's destructor runs, so recycling cannot dangle it.
+OWNING_WRAPPERS = {"unique_ptr", "shared_ptr", "PacketPtr"}
 
 # hot-alloc traversal only descends into functions defined under these
 # prefixes; a call out of scope is the accepted protocol-dispatch boundary.
@@ -432,6 +464,16 @@ class FunctionDef:
     writes: list = field(default_factory=list)       ##< (root, field, line)
     member_calls: list = field(default_factory=list)  ##< (base, method, line)
     heavy_params: list = field(default_factory=list)  ##< (type, name, line)
+    ##< typed allocations: (alloc_kind, type_name, line) for `new T`,
+    ##< `make_unique<T>`, `make_shared<T>` — the lifetime factory rule
+    ##< filters these against the packet-type registry
+    typed_allocs: list = field(default_factory=list)
+    ##< capture lists of lambdas passed to schedule_at/schedule_after:
+    ##< (list-of-capture-token-lists, line)
+    sched_captures: list = field(default_factory=list)
+    ##< parameter names declared as raw Packet*/Packet& (name-based:
+    ##< `Packet` or `*Packet`; the owning PacketPtr never matches)
+    packet_params: list = field(default_factory=list)
 
 
 @dataclass
@@ -730,6 +772,8 @@ def classify_member(stmt, cd: ClassDef):
     if first in ("public", "private", "protected", "using", "typedef",
                  "friend", "static_assert", "template", "enum", "operator"):
         return
+    if any(t.text == "operator" for t in stmt):
+        return  # operator overload declaration, never a field
     texts = []
     angle = 0
     has_paren = False
@@ -805,10 +849,10 @@ def chain_root(toks, i):
     return root
 
 
-def heavy_value_params(toks, lp, rp):
-    """Returns (container, name, line) for parameters in toks[lp+1:rp] that
-    copy a heavy container by value. References, pointers, and rvalue refs
-    are skipped; so are smart pointers and strong units (one-word moves)."""
+def split_params(toks, lp, rp):
+    """Splits the parameter list in toks[lp+1:rp] into per-parameter token
+    lists at top-level commas (template args, nested parens, and brace
+    defaults do not split)."""
     parts: list = []
     part: list = []
     depth = 0
@@ -829,6 +873,14 @@ def heavy_value_params(toks, lp, rp):
             part.append(t)
     if part:
         parts.append(part)
+    return parts
+
+
+def heavy_value_params(toks, lp, rp):
+    """Returns (container, name, line) for parameters in toks[lp+1:rp] that
+    copy a heavy container by value. References, pointers, and rvalue refs
+    are skipped; so are smart pointers and strong units (one-word moves)."""
+    parts = split_params(toks, lp, rp)
     out = []
     for p in parts:
         texts = [t.text for t in p]
@@ -848,6 +900,33 @@ def heavy_value_params(toks, lp, rp):
             name = "<unnamed>"
         if name:
             out.append((heavy[-1].text, name, p[0].line))
+    return out
+
+
+def raw_packet_params(toks, lp, rp):
+    """Returns the names of parameters in toks[lp+1:rp] declared as raw
+    packet pointers/references (`Packet* p`, `const Packet& p`). The owning
+    `PacketPtr` never matches (name-based: `Packet` or `...Packet`); rvalue
+    refs of owning types don't either. Used by the lifetime rule: capturing
+    such a parameter by value in a scheduled lambda escapes the packet past
+    its delivery scope."""
+    out = []
+    for p in split_params(toks, lp, rp):
+        texts = [t.text for t in p]
+        if "*" not in texts and "&" not in texts:
+            continue
+        if not any(t.kind == "id" and
+                   (t.text == "Packet" or t.text.endswith("Packet"))
+                   for t in p):
+            continue
+        name = ""
+        for t in p:
+            if t.text == "=":
+                break
+            if t.kind == "id":
+                name = t.text
+        if name and name != "Packet" and not name.endswith("Packet"):
+            out.append(name)
     return out
 
 
@@ -978,8 +1057,40 @@ def scan_body(fn: FunctionDef, toks, start, end):
                             (chain_root(toks, i), t.text, t.line))
             if t.text == "new" and prev != "operator":
                 fn.allocs.append(("new", t.line))
+                # allocated type for the lifetime factory rule: the last
+                # identifier of the type chain (`new proto::TokenPacket(...)`
+                # -> TokenPacket), skipping a placement-argument group
+                k = i + 1
+                if k < n and toks[k].text == "(":
+                    k = match_paren(toks, k) + 1
+                last_id = None
+                while k < n and (toks[k].kind == "id" or
+                                 toks[k].text == "::"):
+                    if toks[k].kind == "id":
+                        last_id = toks[k].text
+                    k += 1
+                if last_id is not None:
+                    fn.typed_allocs.append(("new", last_id, t.line))
                 i += 1
                 continue
+            if t.text in ("make_unique", "make_shared") and nxt == "<":
+                # explicit-template-arg allocation: record the allocated
+                # type (first identifier inside the angle brackets)
+                k, depth, first_id = i + 1, 0, None
+                while k < n:
+                    tk = toks[k].text
+                    if tk == "<":
+                        depth += 1
+                    elif tk in (">", ">>"):
+                        depth -= 2 if tk == ">>" else 1
+                        if depth <= 0:
+                            break
+                    elif toks[k].kind == "id" and first_id is None:
+                        first_id = toks[k].text
+                    k += 1
+                if first_id is not None:
+                    fn.typed_allocs.append(
+                        (t.text + "<>", first_id, t.line))
             # qualified banned chains (std::rand, std::chrono::steady_clock)
             chain_hit = False
             for chain, what in BANNED_QUALIFIED.items():
@@ -1017,7 +1128,37 @@ def scan_body(fn: FunctionDef, toks, start, end):
                 fn.calls.append((t.text, t.line))
                 if t.text in SCHEDULING_CALLS:
                     fn.schedules = True
+                    scan_sched_captures(fn, toks, i + 1,
+                                        match_paren(toks, i + 1))
         i += 1
+
+
+def scan_sched_captures(fn: FunctionDef, toks, lp, rp):
+    """Records the capture list of every lambda literal in the argument
+    span toks[lp+1:rp] of a schedule_at/schedule_after call. A `[` opens a
+    capture list only in expression position (after `(`/`,`/an operator);
+    after an identifier or `)`/`]` it is a subscript."""
+    k = lp + 1
+    while k < rp:
+        t = toks[k]
+        if t.text == "[" and k > 0 and \
+                toks[k - 1].kind not in ("id", "num") and \
+                toks[k - 1].text not in (")", "]"):
+            depth = 0
+            close = k
+            while close < rp:
+                if toks[close].text == "[":
+                    depth += 1
+                elif toks[close].text == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                close += 1
+            parts = [[tt.text for tt in p]
+                     for p in split_params(toks, k, close)]
+            fn.sched_captures.append((parts, t.line))
+            k = close
+        k += 1
 
 
 def find_function_defs(toks, file, model: TUModel):
@@ -1091,6 +1232,7 @@ def find_function_defs(toks, file, model: TUModel):
                     name="::".join(name_parts), simple=name_parts[-1],
                     file=file, line=toks[i - 1].line)
                 fn.heavy_params = heavy_value_params(toks, i, rp)
+                fn.packet_params = raw_packet_params(toks, i, rp)
                 scan_body(fn, toks, j + 1, be)
                 extract_switches(toks, j + 1, be, file, fn.switches)
                 extract_range_fors(toks, j + 1, be, fn.range_fors)
@@ -1270,6 +1412,9 @@ def clang_parse_file(cindex, path: Path, rel: str, args) -> TUModel:
             fn.writes = best.writes
             fn.member_calls = best.member_calls
             fn.heavy_params = best.heavy_params
+            fn.typed_allocs = best.typed_allocs
+            fn.sched_captures = best.sched_captures
+            fn.packet_params = best.packet_params
     return model
 
 
@@ -1328,11 +1473,13 @@ def suppression_cover(sups, source_lines):
 # =============================================================================
 
 class Analyzer:
-    def __init__(self, models, files_text, hot_scope, kind_enum_paths):
+    def __init__(self, models, files_text, hot_scope, kind_enum_paths,
+                 factory_files=()):
         self.models = models
         self.files_text = files_text  ##< rel -> list of source lines
         self.hot_scope = hot_scope
         self.kind_enum_paths = kind_enum_paths
+        self.factory_files = set(factory_files)
         self.findings: list[Finding] = []
         self.suppressions: list[Suppression] = []
         self.cover: dict[str, dict[str, dict[int, Suppression]]] = {}
@@ -1390,6 +1537,25 @@ class Analyzer:
         ##< ranked cost sites for sa_hot_cost.json (includes suppressed
         ##< ones, flagged as such — the report is a worklist, not a verdict)
         self.hot_cost_sites: list = []
+        ##< lifetime escape sites for sa_lifetime.json — same contract:
+        ##< every site, suppressed or not; the pool's standing audit ledger
+        self.lifetime_sites: list = []
+        self._packet_type_memo: dict[str, bool] = {}
+
+    def is_packet_type(self, name: str) -> bool:
+        """Packet-type registry: the `Packet` base, anything whose name
+        ends in `Packet` (the project's naming convention for every wire
+        object), and anything whose base-class chain reaches either."""
+        if name in self._packet_type_memo:
+            return self._packet_type_memo[name]
+        self._packet_type_memo[name] = False  # cycle guard
+        result = name == "Packet" or name.endswith("Packet")
+        if not result:
+            cd = self.classes.get(name)
+            if cd is not None:
+                result = any(self.is_packet_type(b) for b in cd.bases)
+        self._packet_type_memo[name] = result
+        return result
 
     def domain_of_class(self, name: str):
         """Ownership domain for a class: its own name, then its base-class
@@ -1480,6 +1646,7 @@ class Analyzer:
         self.rule_hot_alloc()
         self.rule_hot_cost()
         self.rule_unit_raw()
+        self.rule_lifetime()
         self.rule_unused_suppressions()
         self.findings.sort(key=lambda f: (f.file, f.line, f.rule))
         return self.findings
@@ -1713,6 +1880,119 @@ class Analyzer:
                     ".raw() strong-type escape without an sa-ok(unit-raw) "
                     "justification"))
 
+    def _lifetime_site(self, escape_class, file, line, msg):
+        """Records one lifetime escape: a row in the sa_lifetime.json
+        ledger (suppressed or not) and, when unjustified, a finding."""
+        sup = self.cover.get(file, {}).get("lifetime", {}).get(line)
+        self.lifetime_sites.append({
+            "class": escape_class,
+            "file": file,
+            "line": line,
+            "detail": msg,
+            "suppressed": sup is not None,
+            "justification": sup.justification if sup is not None else "",
+        })
+        self.emit(Finding(
+            "lifetime", file, line,
+            msg + " — or justify with sa-ok(lifetime)"))
+
+    def rule_lifetime(self):
+        """Flow-insensitive escape analysis for packets and event
+        callbacks (DESIGN.md §13). The pool contract: a packet's lifetime
+        ends when its PacketPtr is destroyed (delivery, drop, or fault
+        kill), at which point it may be recycled — so nothing may hold a
+        raw pointer/reference past that instant. Three escape classes:
+        raw packet fields, by-reference (or raw-packet-by-value) captures
+        in scheduled lambdas, and packet allocation outside the factory
+        files that guarantee pool hygiene."""
+        reported = set()
+        # (a) field-escape: declaration-based — *having* a raw packet
+        # field is the hazard; flow-insensitivity means we never have to
+        # prove a store happens, the field's existence is the finding.
+        for cd in self.classes.values():
+            for fname, ftype, fline in cd.fields:
+                ttoks = ftype.split()
+                if "*" not in ttoks and "&" not in ttoks:
+                    continue
+                if any(w in ttoks for w in OWNING_WRAPPERS):
+                    continue
+                if not any(tt[0].isalpha() and self.is_packet_type(tt)
+                           for tt in ttoks if tt):
+                    continue
+                if (cd.file, fline, "field-escape") in reported:
+                    continue
+                reported.add((cd.file, fline, "field-escape"))
+                self._lifetime_site(
+                    "field-escape", cd.file, fline,
+                    f"field {cd.name}::{fname} holds a raw packet "
+                    f"pointer/reference ({ftype.strip()}) that survives "
+                    f"the delivery call chain — a recycled packet leaves "
+                    f"it dangling; own it via PacketPtr or copy what you "
+                    f"need")
+        for m in self.models:
+            for fn in m.functions:
+                # (b) callback-capture-escape: scheduled lambdas run at
+                # event time, after the scheduling frame is gone.
+                pparams = set(fn.packet_params)
+                for parts, line in fn.sched_captures:
+                    for p in parts:
+                        if not p or p[0] in ("this", "*", "="):
+                            # [=] copies; [this]/[*this] pin the object,
+                            # whose lifetime the scheduler already owns
+                            continue
+                        key = (fn.file, line, "callback-capture")
+                        if p[0] == "&" and len(p) == 1:
+                            if key in reported:
+                                continue
+                            reported.add(key)
+                            self._lifetime_site(
+                                "callback-capture", fn.file, line,
+                                f"lambda scheduled from {fn.name}() "
+                                f"default-captures by reference — every "
+                                f"capture dangles once the scheduling "
+                                f"frame returns; capture by value/move")
+                        elif p[0] == "&" and len(p) >= 2:
+                            if key in reported:
+                                continue
+                            reported.add(key)
+                            self._lifetime_site(
+                                "callback-capture", fn.file, line,
+                                f"lambda scheduled from {fn.name}() "
+                                f"captures '&{p[1]}' — the reference "
+                                f"dangles once the scheduling frame "
+                                f"returns; capture by value/move")
+                        elif p[0] in pparams and "=" not in p:
+                            if key in reported:
+                                continue
+                            reported.add(key)
+                            self._lifetime_site(
+                                "callback-capture", fn.file, line,
+                                f"lambda scheduled from {fn.name}() "
+                                f"captures raw packet parameter "
+                                f"'{p[0]}' by value — the packet is "
+                                f"recycled when its owner releases it, "
+                                f"before the event fires; move the "
+                                f"PacketPtr in or copy the fields")
+                # (c) factory-discipline: packet allocation outside the
+                # sanctioned factory files bypasses pool hygiene.
+                for what, tname, line in fn.typed_allocs:
+                    if not self.is_packet_type(tname):
+                        continue
+                    if fn.file in self.factory_files:
+                        continue
+                    key = (fn.file, line, "factory")
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    self._lifetime_site(
+                        "factory", fn.file, line,
+                        f"{what} allocates packet type {tname} in "
+                        f"{fn.name}() outside the sanctioned factory "
+                        f"(src/net/host.{{h,cpp}}, "
+                        f"src/net/packet_pool.{{h,cpp}}) — pooled "
+                        f"recycling and reset_transient() hygiene are "
+                        f"bypassed; go through the Host factories")
+
     def rule_unused_suppressions(self):
         for s in self.suppressions:
             if not s.used:
@@ -1832,12 +2112,16 @@ def main() -> int:
                              "tool+file content hash (text frontend only)")
     parser.add_argument("--hot-cost-json", type=Path,
                         help="write the ranked hot-path cost report here")
+    parser.add_argument("--lifetime-json", type=Path,
+                        help="write the lifetime escape ledger here "
+                             "(every site, suppressed or not)")
     args = parser.parse_args()
 
     root = args.root.resolve()
     if args.files:
         files = [f.resolve() for f in args.files]
         kind_paths: tuple = ()
+        factory_files: tuple = ()  # fixtures: every packet alloc flagged
         hot_scope = None if args.hot_scope == "*" else tuple(
             p for p in args.hot_scope.split(",") if p)
         if args.hot_scope == ",".join(DEFAULT_HOT_SCOPE):
@@ -1850,6 +2134,7 @@ def main() -> int:
                         if f.is_relative_to(src)} |
                        set(src.rglob("*.h")))
         kind_paths = KIND_ENUM_PATHS
+        factory_files = SANCTIONED_FACTORY_FILES
         hot_scope = tuple(p for p in args.hot_scope.split(",") if p)
     else:
         print("dcpim_sa: pass --compdb or --files", file=sys.stderr)
@@ -1889,7 +2174,8 @@ def main() -> int:
             files_text[rel] = f.read_text(encoding="utf-8").splitlines()
 
     enabled = set(args.rules.split(","))
-    analyzer = Analyzer(models, files_text, hot_scope, kind_paths)
+    analyzer = Analyzer(models, files_text, hot_scope, kind_paths,
+                        factory_files)
     findings = [f for f in analyzer.run() if f.rule in enabled]
 
     sup_counts: dict[str, int] = {}
@@ -1933,6 +2219,21 @@ def main() -> int:
                 "weights": HOT_COST_WEIGHTS,
                 "total_sites": len(sites),
                 "by_category": by_category,
+                "sites": sites,
+            }, indent=2) + "\n", encoding="utf-8")
+
+    if args.lifetime_json:
+        sites = sorted(
+            analyzer.lifetime_sites,
+            key=lambda s: (s["class"], s["file"], s["line"]))
+        by_class: dict[str, int] = {}
+        for s in sites:
+            by_class[s["class"]] = by_class.get(s["class"], 0) + 1
+        args.lifetime_json.parent.mkdir(parents=True, exist_ok=True)
+        args.lifetime_json.write_text(
+            json.dumps({
+                "total_sites": len(sites),
+                "by_class": by_class,
                 "sites": sites,
             }, indent=2) + "\n", encoding="utf-8")
 

@@ -29,6 +29,17 @@ see .github/workflows/ci.yml):
                     lines below it up to the first blank line (bounded
                     reach), so one justification can cover a paragraph.
 
+  packet-factory    no bare `new`/`make_unique`/`make_shared` of a
+                    `*Packet` type outside the sanctioned factories
+                    (net/host.{h,cpp} and net/packet_pool.{h,cpp}) without
+                    an `// sa-ok(lifetime):` justification — data packets
+                    must come from PacketPool::acquire() via the Host
+                    factories so recycling stays type-safe. This is the
+                    fast regex pre-filter of the dcpim-sa `lifetime`
+                    rule's factory-discipline class (tools/dcpim_sa.py
+                    checks the same thing semantically, through typedefs
+                    and both frontends).
+
 The historical unit-raw rule (every `.raw()` escape needs a justification)
 moved to tools/dcpim_sa.py, which checks it semantically — including via
 auto and templates — under the `sa-ok(unit-raw)` suppression grammar.
@@ -55,6 +66,12 @@ SOURCE_SUFFIXES = {".h", ".cpp"}
 # Files exempt from a specific rule: (rule, path relative to repo root).
 EXEMPT = {
     ("naked-assert", "src/util/check.h"),  # defines the check macros
+    # Sanctioned packet factories: the only places allowed to allocate
+    # packet types bare (mirrors SANCTIONED_FACTORY_FILES in dcpim_sa.py).
+    ("packet-factory", "src/net/host.h"),
+    ("packet-factory", "src/net/host.cpp"),
+    ("packet-factory", "src/net/packet_pool.h"),
+    ("packet-factory", "src/net/packet_pool.cpp"),
 }
 
 NAKED_ASSERT = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
@@ -102,6 +119,14 @@ STATIC_LOCAL = re.compile(
     r"[\w:<>,*&\s]+?[\w_]+\s*(?:[={;]|$)")
 SHARED_OK_TAG = "shared-ok:"
 
+# Allocation of a type whose name ends in `Packet` (qualified or not), via
+# bare `new` or the make_unique/make_shared factories. `\w*Packet\b` cannot
+# land inside identifiers like PacketPool (no word boundary there).
+PACKET_FACTORY = re.compile(
+    r"\bnew\s+(?:[\w:]+::)?\w*Packet\b"
+    r"|\bmake_(?:unique|shared)\s*<\s*(?:[\w:]+::)?\w*Packet\s*[>,]")
+SA_OK_LIFETIME_TAG = "sa-ok(lifetime):"
+
 
 def strip_comments_and_strings(line: str) -> str:
     """Removes // comments and string/char literal contents (approximate,
@@ -148,6 +173,7 @@ def lint_file(path: Path, rel: str) -> list[str]:
     violations: list[str] = []
     lines = path.read_text(encoding="utf-8").splitlines()
     shared_ok = tag_covered_lines(lines, SHARED_OK_TAG)
+    lifetime_ok = tag_covered_lines(lines, SA_OK_LIFETIME_TAG)
 
     for idx, line in enumerate(lines):
         where = f"{rel}:{idx + 1}"
@@ -176,6 +202,14 @@ def lint_file(path: Path, rel: str) -> list[str]:
                 f"{where}: [static-local] static non-const local state "
                 f"breaks per-experiment isolation (harness/sweep.h); make "
                 f"it per-experiment or justify with `// {SHARED_OK_TAG}`")
+
+        if (("packet-factory", rel) not in EXEMPT
+                and PACKET_FACTORY.search(code)
+                and idx not in lifetime_ok):
+            violations.append(
+                f"{where}: [packet-factory] packet types are allocated by "
+                f"the Host factories / PacketPool::acquire() only; route "
+                f"through them or justify with `// {SA_OK_LIFETIME_TAG}`")
 
     return violations
 

@@ -39,6 +39,7 @@ exec python3 tools/dcpim_sa.py \
     --compdb "${COMPDB}" \
     --json "${BUILD_DIR}/sa_report.json" \
     --hot-cost-json "${BUILD_DIR}/sa_hot_cost.json" \
+    --lifetime-json "${BUILD_DIR}/sa_lifetime.json" \
     --cache-dir "${BUILD_DIR}/sa_cache" \
     --jobs 0 \
     "$@"
