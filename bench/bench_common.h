@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "campaign/grid.h"
+#include "campaign/runner.h"
+#include "campaign/spec.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "harness/sweep.h"
@@ -234,6 +237,58 @@ inline void maybe_print_faults(const harness::ExperimentResult& result) {
   if (!result.recovery.enabled) return;
   std::printf("    %s\n",
               harness::format_recovery_stats(result.recovery).c_str());
+}
+
+/// --emit-spec: print the binary's embedded campaign spec verbatim and
+/// exit. The golden corpus under tests/campaign_specs/ is generated this
+/// way, so the committed .campaign files and the binaries can never drift
+/// (test_campaign asserts byte equality). Call right after
+/// parse_common_flags(), before any other output.
+inline void handle_emit_spec(int argc, char** argv, const char* spec_text) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--emit-spec") {
+      std::fputs(spec_text, stdout);
+      std::exit(0);
+    }
+  }
+}
+
+/// An embedded spec expanded and executed: the binary's single source of
+/// scenario truth. Cells are in expansion order (grid.h), results parallel.
+struct SpecRun {
+  campaign::CampaignSpec spec;
+  std::vector<campaign::Cell> cells;
+  std::vector<harness::ExperimentResult> results;
+};
+
+/// Parses the binary's embedded spec, folds the shared bench flags
+/// (--audit/--faults/--fault-seed) into it exactly like bench/campaign
+/// does, expands, and runs the grid on jobs_flag() workers. `file` labels
+/// diagnostics (use the committed spec path so errors point somewhere
+/// checkoutable).
+inline SpecRun run_embedded_spec(const char* spec_text, const char* file) {
+  SpecRun run;
+  run.spec = campaign::parse_campaign_spec(spec_text, file);
+  campaign::apply_overrides(run.spec, audit_flag(), faults_flag(),
+                            fault_seed_flag());
+  run.cells = campaign::expand(run.spec);
+  std::vector<harness::ExperimentConfig> configs;
+  configs.reserve(run.cells.size());
+  for (const campaign::Cell& cell : run.cells) configs.push_back(cell.config);
+  run.results = run_sweep(configs, run.spec.name.c_str());
+  return run;
+}
+
+/// The shared per-cell fingerprint block. Byte-identical to the cell lines
+/// `bench/campaign --spec <this spec>` prints, which is the cross-check
+/// contract between the figure binaries and the campaign runner.
+inline void print_cell_lines(const SpecRun& run) {
+  for (std::size_t i = 0; i < run.cells.size(); ++i) {
+    const std::uint64_t fnv =
+        campaign::fnv1a(harness::result_fingerprint(run.results[i]));
+    std::printf("%s\n",
+                campaign::format_cell_line(i, run.cells[i].label, fnv).c_str());
+  }
 }
 
 }  // namespace dcpim::bench

@@ -8,6 +8,11 @@
 // protocol is normalized by its own ratio at the 0.5 baseline load: the
 // sustained region is where the normalized ratio stays near 1, and the knee
 // where it collapses. Raise DCPIM_BENCH_SCALE for longer, sharper windows.
+//
+// The scenario itself lives in the embedded campaign spec below (also
+// committed as tests/campaign_specs/fig3a.campaign; --emit-spec prints it):
+// this binary only renders the table. `campaign --spec ...fig3a.campaign`
+// runs the identical grid and prints identical `cell` fingerprint lines.
 #include <cstdio>
 #include <vector>
 
@@ -16,47 +21,65 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
+namespace {
+
+constexpr char kSpec[] =
+    R"([campaign]
+name = fig3a
+binary = fig3a_max_load
+
+[timing]
+scaled = true
+gen_stop = 2.5ms
+horizon = 2.5ms
+measure_start = 1.25ms
+measure_end = 2.5ms
+
+[traffic]
+workload = imc10
+
+[sweep]
+protocol = dcpim, homa_aeolus, ndp, hpcc
+load = 0.5, 0.6, 0.7, 0.8, 0.84, 0.88, 0.92
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::parse_common_flags(argc, argv);
+  bench::handle_emit_spec(argc, argv, kSpec);
   bench::print_header("Figure 3(a): maximum sustainable load (IMC10)",
                       "dcPIM 0.84, Homa Aeolus next best, NDP/HPCC lower; "
                       "(WebSearch also 0.84, DataMining 0.7)");
 
-  const std::vector<double> loads = {0.5, 0.6, 0.7, 0.8, 0.84, 0.88, 0.92};
   const double keep_fraction = 0.92;  // normalized ratio to count as "kept up"
+
+  // All (protocol, load) points are independent: the spec's grid runs as one
+  // batch so --jobs N parallelizes across the whole figure, then prints in
+  // order (protocol axis outer, load axis fastest).
+  const bench::SpecRun run =
+      bench::run_embedded_spec(kSpec, "tests/campaign_specs/fig3a.campaign");
+  const std::vector<std::string>& loads = run.spec.axes[1].values;
+  const std::size_t n_protocols = run.spec.axes[0].values.size();
 
   std::printf("  carried ratio, normalized to each protocol's 0.5-load "
               "baseline:\n");
   std::printf("  %-12s", "protocol");
-  for (double l : loads) std::printf(" %6.2f", l);
+  for (const std::string& l : loads) std::printf(" %6.2f", std::stod(l));
   std::printf(" | max sustained\n");
 
-  // All (protocol, load) points are independent: sweep them in one batch so
-  // --jobs N parallelizes across the whole figure, then print in order.
-  const std::vector<Protocol> protocols = bench::figure_protocols();
-  std::vector<ExperimentConfig> configs;
-  for (Protocol p : protocols) {
-    ExperimentConfig cfg = bench::default_setup(p);
-    bench::steady_state_timing(cfg, ms(2.5));
-    for (double load : loads) {
-      cfg.load = load;
-      configs.push_back(cfg);
-    }
-  }
-  const std::vector<ExperimentResult> all =
-      bench::run_sweep(configs, "fig3a");
-
-  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
-    const Protocol p = protocols[pi];
+  for (std::size_t pi = 0; pi < n_protocols; ++pi) {
+    const Protocol p = run.cells[pi * loads.size()].config.protocol;
     std::printf("  %-12s", to_string(p));
     double baseline = 0;
     double sustained = 0;
     std::vector<const ExperimentResult*> results;
     for (std::size_t li = 0; li < loads.size(); ++li) {
-      const double load = loads[li];
-      const ExperimentResult& res = all[pi * loads.size() + li];
+      const double load = std::stod(loads[li]);
+      const ExperimentResult& res = run.results[pi * loads.size() + li];
       results.push_back(&res);
-      bench::maybe_csv("fig3a", p, configs[pi * loads.size() + li].workload,
+      bench::maybe_csv("fig3a", p,
+                       run.cells[pi * loads.size() + li].config.workload,
                        load, res);
       bench::maybe_print_audit(res);
       bench::maybe_print_faults(res);
@@ -87,5 +110,6 @@ int main(int argc, char** argv) {
       "saturation. Default horizons underestimate absolute sustainability "
       "(heavy-tail ramp); DCPIM_BENCH_SCALE>=4 sharpens the estimate.\n",
       keep_fraction);
+  bench::print_cell_lines(run);
   return 0;
 }

@@ -2,6 +2,9 @@
 // every protocol sustains), for the three Table-1 workloads.
 // Paper result: dcPIM and Homa Aeolus achieve the best overall means;
 // NDP and HPCC trail (HPCC good on short flows, poor on long).
+//
+// Scenario lives in the embedded campaign spec (committed as
+// tests/campaign_specs/fig3b.campaign; --emit-spec prints it).
 #include <cstdio>
 
 #include "bench_common.h"
@@ -9,37 +12,54 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
+namespace {
+
+constexpr char kSpec[] =
+    R"([campaign]
+name = fig3b
+binary = fig3b_mean_slowdown
+
+[timing]
+scaled = true
+gen_stop = 1.2ms
+horizon = 3ms
+measure_start = 300us
+measure_end = 1.2ms
+
+[traffic]
+load = 0.6
+
+[sweep]
+protocol = dcpim, homa_aeolus, ndp, hpcc
+workload = imc10, websearch, datamining
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::parse_common_flags(argc, argv);
+  bench::handle_emit_spec(argc, argv, kSpec);
   bench::print_header(
       "Figure 3(b): mean slowdown across all flows, load 0.6",
       "dcPIM/HomaAeolus lowest overall mean; NDP worst; slowdown >= 1");
 
-  const std::vector<std::string> workloads = {"imc10", "websearch",
-                                              "datamining"};
+  const bench::SpecRun run =
+      bench::run_embedded_spec(kSpec, "tests/campaign_specs/fig3b.campaign");
+  const std::vector<std::string>& workloads = run.spec.axes[1].values;
+  const std::size_t n_protocols = run.spec.axes[0].values.size();
+
   std::printf("  %-12s", "protocol");
   for (const auto& w : workloads) std::printf(" %12s", w.c_str());
   std::printf("\n");
 
-  const std::vector<Protocol> protocols = bench::figure_protocols();
-  std::vector<ExperimentConfig> configs;
-  for (Protocol p : protocols) {
-    for (const auto& w : workloads) {
-      ExperimentConfig cfg = bench::default_setup(p);
-      cfg.workload = w;
-      configs.push_back(cfg);
-    }
-  }
-  const std::vector<ExperimentResult> all =
-      bench::run_sweep(configs, "fig3b");
-
-  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
-    std::printf("  %-12s", to_string(protocols[pi]));
+  for (std::size_t pi = 0; pi < n_protocols; ++pi) {
+    const Protocol p = run.cells[pi * workloads.size()].config.protocol;
+    std::printf("  %-12s", to_string(p));
     for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
       const std::size_t idx = pi * workloads.size() + wi;
-      const ExperimentResult& res = all[idx];
-      bench::maybe_csv("fig3b", protocols[pi], workloads[wi],
-                       configs[idx].load, res);
+      const ExperimentResult& res = run.results[idx];
+      bench::maybe_csv("fig3b", p, workloads[wi], run.cells[idx].config.load,
+                       res);
       std::printf(" %12.2f", res.overall.mean);
       bench::maybe_print_audit(res);
       bench::maybe_print_faults(res);
@@ -47,5 +67,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
     std::fflush(stdout);
   }
+  bench::print_cell_lines(run);
   return 0;
 }

@@ -5,6 +5,9 @@
 // Paper result: HPCC achieves better mean and slightly better tail latency
 // than dcPIM on this (unrealistic) workload; NDP and Homa Aeolus remain
 // worse than both.
+//
+// Scenario lives in the embedded campaign spec (committed as
+// tests/campaign_specs/fig4b.campaign; --emit-spec prints it).
 #include <cstdio>
 
 #include "bench_common.h"
@@ -12,30 +15,52 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
+namespace {
+
+constexpr char kSpec[] =
+    R"([campaign]
+name = fig4b
+binary = fig4b_worstcase
+
+[timing]
+scaled = true
+gen_stop = 1.2ms
+horizon = 3ms
+measure_start = 300us
+measure_end = 1.2ms
+
+[traffic]
+workload = imc10
+load = 0.6
+fixed_size = -1
+
+[sweep]
+protocol = dcpim, homa_aeolus, ndp, hpcc
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::parse_common_flags(argc, argv);
+  bench::handle_emit_spec(argc, argv, kSpec);
   bench::print_header(
       "Figure 4(b): worst case, all flows of size BDP+1, load 0.6",
       "HPCC beats dcPIM on mean and slightly on tail here; NDP/HomaAeolus "
       "worse than both (proactive drops)");
 
+  const bench::SpecRun run =
+      bench::run_embedded_spec(kSpec, "tests/campaign_specs/fig4b.campaign");
+
   std::printf("  %-12s %8s %8s %8s\n", "protocol", "mean", "p99", "carried");
-  const std::vector<Protocol> protocols = bench::figure_protocols();
-  std::vector<ExperimentConfig> configs;
-  for (Protocol p : protocols) {
-    ExperimentConfig cfg = bench::default_setup(p);
-    cfg.fixed_size = Bytes{-1};  // BDP+1 sentinel
-    configs.push_back(cfg);
-  }
-  const std::vector<ExperimentResult> all =
-      bench::run_sweep(configs, "fig4b");
-  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
-    const ExperimentResult& res = all[pi];
-    std::printf("  %-12s %8.2f %8.2f %8.3f\n", to_string(protocols[pi]),
-                res.overall.mean, res.overall.p99, res.load_carried_ratio);
+  for (std::size_t pi = 0; pi < run.cells.size(); ++pi) {
+    const ExperimentResult& res = run.results[pi];
+    std::printf("  %-12s %8.2f %8.2f %8.3f\n",
+                to_string(run.cells[pi].config.protocol), res.overall.mean,
+                res.overall.p99, res.load_carried_ratio);
     bench::maybe_print_audit(res);
     bench::maybe_print_faults(res);
     std::fflush(stdout);
   }
+  bench::print_cell_lines(run);
   return 0;
 }

@@ -6,6 +6,11 @@
 // 32.9% theoretical floor) because realized matchings beat the expectation
 // bound; HPCC collapses under constant PFC; NDP thrashes on retransmits;
 // Homa Aeolus converges but takes >1000us.
+//
+// Scenario lives in the embedded campaign spec (committed as
+// tests/campaign_specs/fig4c.campaign; --emit-spec prints it). The horizons
+// stretch with DCPIM_BENCH_SCALE; util_bin deliberately does not, matching
+// the original hand-built scenario.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -13,40 +18,52 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
+namespace {
+
+constexpr char kSpec[] =
+    R"([campaign]
+name = fig4c
+binary = fig4c_dense_tm
+
+[timing]
+scaled = true
+gen_stop = 0us
+horizon = 600us
+measure_start = 0us
+measure_end = 600us
+util_bin = 50us
+
+[traffic]
+pattern = dense_tm
+dense_flow_size = 1000000
+
+[sweep]
+protocol = dcpim, homa_aeolus, ndp, hpcc
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::parse_common_flags(argc, argv);
+  bench::handle_emit_spec(argc, argv, kSpec);
   bench::print_header(
       "Figure 4(c): dense 144x143 traffic matrix, utilization over time",
       "dcPIM ~93.5%% steady utilization; theoretical floor 32.9%%; "
       "baselines collapse or converge in >1000us");
 
-  const Time horizon = bench::scaled(us(600));
-  const Time bin = us(50);
+  const bench::SpecRun run =
+      bench::run_embedded_spec(kSpec, "tests/campaign_specs/fig4c.campaign");
+  const Time horizon = run.cells[0].config.horizon.since_start();
+  const Time bin = run.cells[0].config.util_bin;
+
   std::printf("  utilization per 50us bin (all 144 downlinks):\n");
   std::printf("  %-12s", "protocol");
   for (Time t{}; t < horizon; t += bin) std::printf(" %5.0f", to_us(t));
   std::printf("  (us)\n");
 
-  const std::vector<Protocol> protocols = bench::figure_protocols();
-  std::vector<ExperimentConfig> configs;
-  for (Protocol p : protocols) {
-    ExperimentConfig cfg;
-    cfg.protocol = p;
-    cfg.pattern = Pattern::DenseTM;
-    cfg.dense_flow_size = kMB;
-    cfg.gen_stop = TimePoint{};
-    cfg.measure_start = TimePoint{};
-    cfg.measure_end = TimePoint(horizon);
-    cfg.horizon = TimePoint(horizon);
-    cfg.util_bin = bin;
-    cfg.audit = bench::audit_flag();
-    configs.push_back(cfg);
-  }
-  const std::vector<ExperimentResult> all =
-      bench::run_sweep(configs, "fig4c");
-  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
-    const ExperimentResult& res = all[pi];
-    std::printf("  %-12s", to_string(protocols[pi]));
+  for (std::size_t pi = 0; pi < run.cells.size(); ++pi) {
+    const ExperimentResult& res = run.results[pi];
+    std::printf("  %-12s", to_string(run.cells[pi].config.protocol));
     for (std::size_t i = 0; bin * i < horizon; ++i) {
       std::printf(" %5.2f",
                   i < res.util_series.size() ? res.util_series[i] : 0.0);
@@ -62,5 +79,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\n  theoretical floor (Theorem 1, N=144, deg=144, alpha=1.2, r=4): "
       "32.9%%\n");
+  bench::print_cell_lines(run);
   return 0;
 }

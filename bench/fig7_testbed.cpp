@@ -5,6 +5,10 @@
 // Paper result: for short flows dcPIM achieves 21-43x better mean slowdown
 // and 34-76x better p99 than DCTCP/TCP, while long-flow FCT is
 // 1.71-2.61x lower.
+//
+// Scenario lives in the embedded campaign spec (committed as
+// tests/campaign_specs/fig7.campaign; --emit-spec prints it). 10G links
+// are 10x slower, hence the stretched horizons.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -12,36 +16,48 @@
 using namespace dcpim;
 using namespace dcpim::harness;
 
+namespace {
+
+constexpr char kSpec[] =
+    R"([campaign]
+name = fig7
+binary = fig7_testbed
+
+[topology]
+topo = testbed
+
+[timing]
+scaled = true
+gen_stop = 8ms
+horizon = 30ms
+measure_start = 2ms
+measure_end = 8ms
+
+[traffic]
+workload = imc10
+load = 0.5
+
+[sweep]
+protocol = dcpim, dctcp, tcp
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::parse_common_flags(argc, argv);
+  bench::handle_emit_spec(argc, argv, kSpec);
   bench::print_header(
       "Figure 7: 32-server testbed (10G), dcPIM vs DCTCP vs TCP, load 0.5",
       "dcPIM short flows 21-43x better mean / 34-76x better p99; long "
       "flows 1.71-2.61x faster");
 
-  const std::vector<Protocol> protos = {Protocol::Dcpim, Protocol::Dctcp,
-                                        Protocol::Tcp};
-  std::vector<ExperimentConfig> configs;
-  for (Protocol p : protos) {
-    ExperimentConfig cfg;
-    cfg.protocol = p;
-    cfg.topo = TopoKind::Testbed;
-    cfg.workload = "imc10";
-    cfg.load = 0.5;
-    // 10G links are 10x slower: stretch all horizons accordingly.
-    cfg.gen_stop = TimePoint(bench::scaled(ms(8)));
-    cfg.measure_start = TimePoint(bench::scaled(ms(2)));
-    cfg.measure_end = TimePoint(bench::scaled(ms(8)));
-    cfg.horizon = TimePoint(bench::scaled(ms(30)));
-    cfg.audit = bench::audit_flag();
-    configs.push_back(cfg);
-  }
-  const std::vector<ExperimentResult> all = bench::run_sweep(configs, "fig7");
+  const bench::SpecRun run =
+      bench::run_embedded_spec(kSpec, "tests/campaign_specs/fig7.campaign");
 
   bool header_done = false;
-  for (std::size_t pi = 0; pi < protos.size(); ++pi) {
-    const Protocol p = protos[pi];
-    const ExperimentResult& res = all[pi];
+  for (std::size_t pi = 0; pi < run.cells.size(); ++pi) {
+    const Protocol p = run.cells[pi].config.protocol;
+    const ExperimentResult& res = run.results[pi];
     if (!header_done) {
       std::printf("  %-12s %6s", "protocol", "");
       for (const auto& b : res.buckets) {
@@ -71,5 +87,6 @@ int main(int argc, char** argv) {
     bench::maybe_print_faults(res);
     std::fflush(stdout);
   }
+  bench::print_cell_lines(run);
   return 0;
 }

@@ -7,6 +7,11 @@
 // only counts if it provably timed the same simulation, so an optimization
 // that perturbs results can never masquerade as a speedup.
 //
+// The scenario set lives in the embedded campaign spec (committed as
+// tests/campaign_specs/perf_basket.campaign; --emit-spec prints it); the
+// grid is expanded directly here — not journaled — because a timing run
+// must never be satisfied from a cache.
+//
 // Output is one JSON object per line on stdout (tools/record_bench.py
 // parses these into BENCH_6.json); progress goes to stderr. Wall-clock
 // reads live here and in bench_common.h only — sim code never sees them.
@@ -23,16 +28,25 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// FNV-1a over the fingerprint text: a short stable id for JSON/logs that
-/// still changes whenever any fingerprinted quantity changes.
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+constexpr char kSpec[] =
+    R"([campaign]
+name = perf_basket
+binary = perf_basket
+
+[timing]
+scaled = true
+gen_stop = 1.2ms
+horizon = 3ms
+measure_start = 300us
+measure_end = 1.2ms
+
+[traffic]
+workload = imc10
+load = 0.6
+
+[sweep]
+protocol = dcpim, homa_aeolus, ndp, hpcc
+)";
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -43,21 +57,26 @@ double seconds_since(Clock::time_point t0) {
 int main(int argc, char** argv) {
   using namespace dcpim;
   bench::parse_common_flags(argc, argv);
+  bench::handle_emit_spec(argc, argv, kSpec);
+
+  campaign::CampaignSpec spec = campaign::parse_campaign_spec(
+      kSpec, "tests/campaign_specs/perf_basket.campaign");
+  campaign::apply_overrides(spec, bench::audit_flag(), bench::faults_flag(),
+                            bench::fault_seed_flag());
 
   std::uint64_t total_events = 0;
   double total_wall = 0.0;
   double total_sim = 0.0;
 
-  for (harness::Protocol p : bench::figure_protocols()) {
-    const char* name = harness::to_string(p);
+  for (const campaign::Cell& cell : campaign::expand(spec)) {
+    const char* name = harness::to_string(cell.config.protocol);
     std::fprintf(stderr, "perf_basket: %s ...\n", name);
-    harness::ExperimentConfig cfg = bench::default_setup(p);
 
     const Clock::time_point t1 = Clock::now();
-    const harness::ExperimentResult r1 = harness::run_experiment(cfg);
+    const harness::ExperimentResult r1 = harness::run_experiment(cell.config);
     const double wall1 = seconds_since(t1);
     const Clock::time_point t2 = Clock::now();
-    const harness::ExperimentResult r2 = harness::run_experiment(cfg);
+    const harness::ExperimentResult r2 = harness::run_experiment(cell.config);
     const double wall2 = seconds_since(t2);
 
     const std::string fp1 = harness::result_fingerprint(r1);
@@ -82,7 +101,7 @@ int main(int argc, char** argv) {
         name, static_cast<unsigned long long>(r1.events_executed), sim_s,
         wall1, wall2, static_cast<double>(r1.events_executed) / wall,
         sim_s / wall, r1.flows_done,
-        static_cast<unsigned long long>(fnv1a(fp1)));
+        static_cast<unsigned long long>(campaign::fnv1a(fp1)));
     std::fflush(stdout);
   }
 

@@ -26,6 +26,7 @@ std::vector<ExperimentResult> SweepRunner::run(
     for (std::size_t i = 0; i < total; ++i) {
       try {
         results[i] = run_experiment(configs[i]);
+        if (options_.on_result) options_.on_result(i, results[i]);
       } catch (...) {
         errors[i] = std::current_exception();
       }
@@ -38,12 +39,15 @@ std::vector<ExperimentResult> SweepRunner::run(
     for (std::size_t i = 0; i < total; ++i) {
       pool.submit([this, &configs, &results, &errors, &progress_mu, &done,
                    total, i] {
+        bool succeeded = false;
         try {
           results[i] = run_experiment(configs[i]);
+          succeeded = true;
         } catch (...) {
           errors[i] = std::current_exception();
         }
         util::MutexLock lk(progress_mu);
+        if (succeeded && options_.on_result) options_.on_result(i, results[i]);
         ++done;
         if (options_.progress) options_.progress(done, total);
       });

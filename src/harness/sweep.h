@@ -37,6 +37,12 @@ struct SweepOptions {
   /// cheap and do not print to stdout if byte-identical output matters
   /// (bench progress/ETA lines go to stderr for exactly that reason).
   std::function<void(std::size_t done, std::size_t total)> progress;
+  /// Invoked after each successful experiment with its submission index and
+  /// result, under the same serialization as `progress` (so callers may
+  /// journal or aggregate without their own lock). Not called for
+  /// experiments that threw. Completion order, not submission order.
+  std::function<void(std::size_t index, const ExperimentResult& result)>
+      on_result;
 };
 
 class SweepRunner {

@@ -138,6 +138,70 @@ class PacketFactoryRuleTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
 
 
+class InlineScenarioRuleTest(unittest.TestCase):
+    """The inline-scenario rule: once a campaign spec names a bench binary
+    (its `binary =` key), hand-built ExperimentConfigs in that binary are
+    flagged unless justified with `// campaign-ok:`; binaries without a
+    spec stay unlinted."""
+
+    def lint_tree(self, files: dict[str, str]):
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+            (root / "src").mkdir()  # satisfy the src/ scope check
+            for rel, text in files.items():
+                p = root / rel
+                p.parent.mkdir(parents=True, exist_ok=True)
+                p.write_text(text)
+            return run_lint(td, td)
+
+    def flagged(self, proc):
+        return [ln for ln in proc.stdout.splitlines()
+                if "[inline-scenario]" in ln]
+
+    SPEC = "[campaign]\nname = figx\nbinary = figx_bench\n"
+
+    def test_retired_binary_with_inline_config_flagged(self):
+        proc = self.lint_tree({
+            "tests/campaign_specs/figx.campaign": self.SPEC,
+            "bench/figx_bench.cpp":
+                "int main() {\n"
+                "  harness::ExperimentConfig cfg;\n"
+                "  cfg.load = 0.6;\n"
+                "}\n",
+        })
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        flagged = self.flagged(proc)
+        self.assertEqual(len(flagged), 1, proc.stdout)
+        self.assertIn("bench/figx_bench.cpp:2:", flagged[0])
+        self.assertIn("figx.campaign", flagged[0])
+
+    def test_unretired_binary_is_not_linted(self):
+        proc = self.lint_tree({
+            "bench/legacy.cpp":
+                "int main() { harness::ExperimentConfig cfg; }\n",
+        })
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_campaign_ok_tag_suppresses(self):
+        proc = self.lint_tree({
+            "tests/campaign_specs/figx.campaign": self.SPEC,
+            "bench/figx_bench.cpp":
+                "int main() {\n"
+                "  // campaign-ok: perf baseline needs a raw config copy.\n"
+                "  harness::ExperimentConfig cfg;\n"
+                "}\n",
+        })
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_spec_without_binary_key_retires_nothing(self):
+        proc = self.lint_tree({
+            "tests/campaign_specs/figx.campaign": "[campaign]\nname = x\n",
+            "bench/figx_bench.cpp":
+                "int main() { harness::ExperimentConfig cfg; }\n",
+        })
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
 class RealTreeTest(unittest.TestCase):
     def test_repo_is_clean(self):
         proc = run_lint(REPO, REPO)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Show which campaign cells a spec edit invalidates.
+
+Runs `bench/campaign --list-cells` on two spec files (typically the
+committed spec and an edited working copy) and diffs the expanded grids by
+cell label:
+
+  unchanged    same label, same fingerprint — a journaled result still
+               satisfies this cell; it will NOT re-execute
+  invalidated  same label, different fingerprint — the cell's canonical
+               spec text changed (base-key or axis-value edit); it WILL
+               re-execute on the next campaign run
+  added        label only in NEW
+  removed      label only in OLD
+
+With --journal, each unchanged/invalidated cell is annotated with whether
+the journal actually holds a result for it (`cached` / `uncached`): an
+"unchanged" cell with no journal entry still has to execute once.
+
+Usage:
+  tools/campaign_diff.py OLD.campaign NEW.campaign
+                         [--build-dir build] [--journal PATH]
+
+Exit status: 0 (the diff itself is the product; a spec that fails to parse
+exits 2 with the campaign binary's one-line diagnostic).
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def list_cells(binary: Path, spec: Path) -> dict[str, str]:
+    """label -> 16-hex fingerprint, in expansion order (dicts preserve it)."""
+    proc = subprocess.run([str(binary), "--spec", str(spec), "--list-cells"],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        sys.exit(2)
+    cells: dict[str, str] = {}
+    for line in proc.stdout.splitlines():
+        # `cell <16hex> <label>` (label may be empty for an axis-less spec)
+        parts = line.split(" ", 2)
+        if len(parts) < 2 or parts[0] != "cell":
+            continue
+        label = parts[2] if len(parts) == 3 else ""
+        cells[label] = parts[1]
+    return cells
+
+
+def journal_fingerprints(path: Path) -> set[str]:
+    fps: set[str] = set()
+    try:
+        text = path.read_text()
+    except OSError:
+        return fps
+    for line in text.splitlines():
+        parts = line.split(" ")
+        if len(parts) >= 3 and parts[0] == "cell" and len(parts[1]) == 16:
+            fps.add(parts[1])
+    return fps
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old_spec", type=Path)
+    ap.add_argument("new_spec", type=Path)
+    ap.add_argument("--build-dir", default="build", type=Path)
+    ap.add_argument("--journal", type=Path, default=None,
+                    help="campaign journal to annotate cached status with")
+    args = ap.parse_args()
+
+    build_dir = args.build_dir if args.build_dir.is_absolute() \
+        else REPO / args.build_dir
+    binary = build_dir / "bench" / "campaign"
+    if not binary.exists():
+        sys.exit(f"error: {binary} not found — build the repo first "
+                 f"(cmake --build {build_dir} --target campaign)")
+
+    old_cells = list_cells(binary, args.old_spec)
+    new_cells = list_cells(binary, args.new_spec)
+    cached = journal_fingerprints(args.journal) if args.journal else None
+
+    counts = {"unchanged": 0, "invalidated": 0, "added": 0, "removed": 0}
+
+    def annotate(fp: str) -> str:
+        if cached is None:
+            return ""
+        return "  [cached]" if fp in cached else "  [uncached]"
+
+    for label, fp in new_cells.items():
+        if label not in old_cells:
+            counts["added"] += 1
+            print(f"  added        {label}{annotate(fp)}")
+        elif old_cells[label] != fp:
+            counts["invalidated"] += 1
+            print(f"  invalidated  {label}{annotate(fp)}")
+        else:
+            counts["unchanged"] += 1
+            print(f"  unchanged    {label}{annotate(fp)}")
+    for label in old_cells:
+        if label not in new_cells:
+            counts["removed"] += 1
+            print(f"  removed      {label}")
+
+    print(f"summary: {counts['unchanged']} unchanged, "
+          f"{counts['invalidated']} invalidated (will re-execute), "
+          f"{counts['added']} added, {counts['removed']} removed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,9 @@ def run_basket(build_dir: Path, extra_args: list[str]) -> list[dict]:
 
 
 def shape(rows: list[dict]) -> dict:
+    if len(rows) < 2:
+        sys.exit("error: perf_basket produced no scenario rows — an empty "
+                 "record would silently pass every future --compare")
     total = rows[-1]
     return {
         "bench": "perf_basket",
@@ -99,6 +102,14 @@ def compare(record: dict, baseline_path: Path, min_speedup: float,
             out_path: Path) -> int:
     baseline = json.loads(baseline_path.read_text())
     status = 0
+    # A record with zero scenarios must fail loudly: iterating an empty list
+    # below would "pass" the fingerprint check without checking anything.
+    if not record.get("scenarios"):
+        sys.exit("error: current record has zero scenarios — nothing was "
+                 "benchmarked, refusing to compare")
+    if not baseline.get("scenarios"):
+        sys.exit(f"error: baseline {baseline_path} has zero scenarios — "
+                 f"refusing to compare against an empty record")
     old_fp = {s["protocol"]: s.get("fingerprint_fnv1a")
               for s in baseline.get("scenarios", [])}
     for s in record["scenarios"]:
