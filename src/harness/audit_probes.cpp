@@ -69,10 +69,10 @@ void check_flow_conservation(net::Network& net, const FlowLedger& ledger,
                "only " + to_string(entry.injected) + " injected");
     }
   }
-  if (delivered_sum != net.total_payload_delivered) {
+  if (delivered_sum != net.total_payload_delivered()) {
     ctx.fail("per-flow delivered sum " + to_string(delivered_sum) +
              " != network total " +
-             to_string(net.total_payload_delivered));
+             to_string(net.total_payload_delivered()));
   }
 }
 

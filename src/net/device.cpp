@@ -201,18 +201,18 @@ void Port::try_transmit() {
   // at each device boundary. Its per-hop cost is the baseline the perf
   // basket tracks (BENCH_*.json); collapsing stages would change simulated
   // semantics, not just speed.
-  net_.sim().schedule_after(ser, [this, pkt = std::move(p)]() mutable {
+  net_.sim().schedule_local(ser, [this, pkt = std::move(p)]() mutable {
     tx_bytes += pkt->size;
     ++tx_packets;
     busy_ = false;
-    const Time delay = cfg_.propagation + peer_->ingress_latency();
     Device* peer = peer_;
     Port* rev = reverse_;
     // sa-ok(hot-cost): the propagation stage of the pipeline justified
     // above — one timer plus the virtual hand-off into the peer device.
-    net_.sim().schedule_after(delay, [peer, rev, pp = std::move(pkt)]() mutable {
-      peer->receive(std::move(pp), rev);
-    });
+    net_.sim().schedule_remote(link_lookahead(), peer->ingress_latency(),
+                               [peer, rev, pp = std::move(pkt)]() mutable {
+                                 peer->receive(std::move(pp), rev);
+                               });
     try_transmit();
   });
 }

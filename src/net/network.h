@@ -129,7 +129,10 @@ class Network {
   /// Drops attributed to injected faults (is_injected_drop reasons) only.
   std::uint64_t total_injected_drops() const;
   std::uint64_t total_trims() const;
-  Bytes total_payload_delivered{};
+  /// Sum of per-host delivery counters (Host::payload_delivered) — each
+  /// host counts its own received payload, so the hot path never writes a
+  /// global; this aggregate is computed on demand by probes and tests.
+  Bytes total_payload_delivered() const;
   std::uint64_t completed_flows = 0;
 
   const std::vector<std::unique_ptr<Device>>& devices() const {

@@ -55,13 +55,13 @@ void Switch::pfc_update(int ingress_index) {
     // link-delay callbacks and fire only on threshold crossings, not per
     // packet.
     Port* upstream = in->reverse();
-    network().sim().schedule_after(cfg.propagation,
-                                   [upstream]() { upstream->set_paused(true); });
+    network().sim().schedule_remote(
+        in->link_lookahead(), [upstream]() { upstream->set_paused(true); });
   } else if (should_resume && ingress_paused_[idx]) {
     ingress_paused_[idx] = false;
     Port* upstream = in->reverse();
-    network().sim().schedule_after(
-        cfg.propagation, [upstream]() { upstream->set_paused(false); });
+    network().sim().schedule_remote(
+        in->link_lookahead(), [upstream]() { upstream->set_paused(false); });
   }
 }
 

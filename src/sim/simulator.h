@@ -39,6 +39,25 @@ namespace dcpim::sim {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+/// Proven-positive scheduling bound for cross-domain events — the PDES
+/// lookahead of a link. Constructible only from a strictly positive Time,
+/// and with Time being integer picoseconds that means every Lookahead is
+/// statically >= 1 ps: a schedule_remote() call carries its own proof that
+/// the target shard's clock may safely lag the caller's by the bound
+/// (DESIGN.md §15). The dcpim-sa pdes rule restricts construction to the
+/// link seam (Port::link_lookahead), which ties every bound to a physical
+/// propagation delay rather than an arbitrary constant.
+class Lookahead {
+ public:
+  explicit Lookahead(Time bound) : bound_(bound) {
+    DCPIM_CHECK_GT(bound_, Time{}, "cross-domain lookahead must be positive");
+  }
+  Time bound() const { return bound_; }
+
+ private:
+  Time bound_;
+};
+
 /// Stable, recycled storage for scheduled callbacks, indexed by slot.
 /// Deliberately a separate type from Simulator: these members are NOT the
 /// event queue (no ordering, no sift) — they are a slab with an intrusive
@@ -100,11 +119,42 @@ class Simulator {
   /// Schedules `cb` at absolute time `t` (must be >= now()).
   EventId schedule_at(TimePoint t, Callback cb);
 
-  /// Schedules `cb` `delay` after now().
-  // sa-ok(hot-cost): the forwarding shim is where every timer legitimately
-  // enters the heap; the push cost is charged once, inside heap_push.
+  /// Schedules `cb` `delay` after now(). Prefer the locality-typed entry
+  /// points below in domain-owned code; this raw shim remains for harness
+  /// and bootstrap call sites that no ownership domain claims.
   EventId schedule_after(Time delay, Callback cb) {
     return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  // --- PDES locality-typed scheduling (DESIGN.md §15) -----------------------
+  // The typed entry points make delay provenance visible to the dcpim-sa
+  // pdes rule: _local asserts the callback stays inside the caller's
+  // ownership domain (zero delay is fine there — a future sharded scheduler
+  // keeps same-shard events in order for free), while _remote crosses
+  // domains and must carry a link's Lookahead, so every cross-shard edge
+  // has a proven positive bound. All of them forward to schedule_at with
+  // the same arithmetic the raw call sites used — identical EventIds and
+  // tie-breaking, so migrating a call site cannot change a simulation.
+
+  /// Same-domain relative scheduling: timers, self-ticks, staged work.
+  EventId schedule_local(Time delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Same-domain absolute scheduling (epoch ticks, arrival injection).
+  EventId schedule_local_at(TimePoint t, Callback cb) {
+    return schedule_at(t, std::move(cb));
+  }
+
+  /// Cross-domain scheduling: fires `link.bound() + extra` after now().
+  /// `extra` models receiver-side processing latency and may be zero; the
+  /// positive link bound is the lookahead the target shard is guaranteed.
+  EventId schedule_remote(Lookahead link, Time extra, Callback cb) {
+    DCPIM_CHECK_GE(extra, Time{}, "remote extra delay cannot be negative");
+    return schedule_at(now_ + link.bound() + extra, std::move(cb));
+  }
+  EventId schedule_remote(Lookahead link, Callback cb) {
+    return schedule_remote(link, Time{}, std::move(cb));
   }
 
   /// Cancels a pending event. Returns false if the event already ran,

@@ -1,0 +1,97 @@
+// dcpim-sa fixture: planted pdes (conservative-PDES lookahead) violations.
+//
+// Golden expectations (tests/test_dcpim_sa.py):
+//   - a raw schedule_after with an opaque delay in a sharded domain
+//   - a raw schedule_at with a literal-zero time (the classical
+//     zero-lookahead hazard, called out with the sharper message)
+//   - a schedule_local whose lambda hands off through a conduit method
+//   - a sim::Lookahead constructed away from the link seam
+//   - a write through a mutable accessor into another domain's class
+//     (the method-return escape the field registry cannot see)
+//   - an sa-ok(pdes)-justified raw schedule that must NOT fire (counted)
+//   - negative controls: the scheduling API's own forwarding shim, a
+//     schedule_remote conduit hand-off (the sanctioned crossing), a
+//     zero-delay schedule_local (locality makes zero fine), and a
+//     domain-less harness scheduler
+
+namespace fixture {
+
+// domain: per-simulator — the class the mutable accessor hands out.
+class PdesGridSimulator {
+ public:
+  int cursor = 0;
+};
+
+// domain: per-switch-port. Declares the same field name as the class
+// above so the field-name registry (shard-ownership) drops `cursor` as
+// ambiguous — only the accessor registry can still resolve the escape.
+class PdesTapPort {
+ public:
+  int cursor = 0;
+  void receive(int tag) { cursor = tag; }   // conduit method (by name)
+  void set_paused(bool on) { cursor = on ? 1 : 0; }
+};
+
+class PdesPumpHost {  // domain: per-host — the event shard under test
+ public:
+  PdesGridSimulator& grid() { return grid_; }  // mutable accessor
+
+  void on_packet(PdesTapPort* peer) {
+    schedule_after(jitter_);    // planted: raw call hides delay provenance
+    schedule_at(TimePoint{});   // planted: literal zero lookahead
+    // planted: the lambda hands off through the conduit, so the locality
+    // claim on the next line is false.
+    schedule_local(Time{}, [this, peer]() { peer->receive(1); });
+    schedule_local(Time{}, [this]() { burst_ += 1; });  // own-domain: clean
+    grid().cursor = 1;  // planted: accessor escape into per-simulator
+    relay_remote(peer);
+    bad_bound();
+    audited_defer();
+  }
+
+  void relay_remote(PdesTapPort* peer) {
+    // Sanctioned crossing: the hand-off rides a link Lookahead, so the
+    // conduit call inside the lambda must NOT fire.
+    schedule_remote(link_, [peer]() { peer->receive(2); });
+  }
+
+  void bad_bound() {
+    // planted: the bound is minted off the link seam — an arbitrary
+    // constant, not a link's propagation delay.
+    schedule_remote(Lookahead(7), [this]() { burst_ = 0; });
+  }
+
+  void audited_defer() {
+    // sa-ok(pdes): replay warm-up runs before the parallel epoch begins;
+    // the event loop is provably single-threaded until first dispatch.
+    schedule_after(tick_);
+  }
+
+ private:
+  PdesGridSimulator grid_;
+  int link_ = 3;
+  int jitter_ = 2;
+  int tick_ = 5;
+  int burst_ = 0;
+};
+
+// domain: per-simulator — the scheduling API itself. Its forwarding shim
+// is the implementation of the locality-typed API, not a call site, so
+// the raw schedule_at inside must NOT fire.
+class PdesLoopSimulator {
+ public:
+  void schedule_local(int delay) { schedule_at(delay); }
+  void schedule_at(int at) { queued_ = at; }
+
+ private:
+  int queued_ = 0;
+};
+
+class PdesBench {  // no name rule, no src/ path: domain-less harness glue
+ public:
+  void stage() {
+    schedule_at(0);  // harness setup before events: clean
+  }
+};
+
+}  // namespace fixture

@@ -212,7 +212,7 @@ TEST(DcpimTest, PipeliningBeatsSequentialUtilization) {
     workload::PoissonGenerator gen(*f.net, f.topo->host_rate(), pc);
     gen.start();
     f.net->sim().run(TimePoint(us(400)));
-    return f.net->total_payload_delivered;
+    return f.net->total_payload_delivered();
   };
   const Bytes pipelined = run_mode(true);
   const Bytes sequential = run_mode(false);

@@ -72,6 +72,14 @@ GOLDEN = {
     ("lifetime", "fixture_lifetime.cpp", 63),  # raw packet pointer field
     ("lifetime", "fixture_lifetime.cpp", 64),  # vector of raw packets
     ("sa-suppression", "fixture_lifetime.cpp", 54),  # empty justification
+    # pdes family (fixture_pdes.cpp, plus the raw schedule the ownership
+    # fixture's fabric-domain scheduler was already committing)
+    ("pdes", "fixture_ownership.cpp", 61),  # raw schedule in fabric domain
+    ("pdes", "fixture_pdes.cpp", 40),   # raw delay, provenance hidden
+    ("pdes", "fixture_pdes.cpp", 41),   # literal-zero lookahead
+    ("pdes", "fixture_pdes.cpp", 44),   # conduit call under schedule_local
+    ("pdes", "fixture_pdes.cpp", 46),   # mutable-accessor escape
+    ("pdes", "fixture_pdes.cpp", 61),   # Lookahead minted off the seam
 }
 
 
@@ -108,7 +116,7 @@ class FixtureCorpusTest(unittest.TestCase):
         fired = {f["rule"] for f in report["findings"]}
         self.assertEqual(
             fired, {"determinism", "packet-switch", "hot-alloc", "hot-cost",
-                    "shard-ownership", "unit-raw", "lifetime",
+                    "shard-ownership", "unit-raw", "lifetime", "pdes",
                     "sa-suppression"})
 
     def test_rule_selection(self):
@@ -137,7 +145,7 @@ class FixtureCorpusTest(unittest.TestCase):
                          {"determinism": 1, "packet-switch": 1,
                           "hot-alloc": 3, "hot-cost": 1,
                           "shard-ownership": 1, "unit-raw": 1,
-                          "lifetime": 1})
+                          "lifetime": 1, "pdes": 1})
 
     def test_hot_cost_json_is_ranked_and_keeps_suppressed_sites(self):
         with tempfile.TemporaryDirectory() as td:
@@ -195,6 +203,47 @@ class FixtureCorpusTest(unittest.TestCase):
             self.assertGreater(s["line"], 0)
             self.assertTrue(s["detail"])
 
+    def test_pdes_json_ledger_and_edge_table(self):
+        with tempfile.TemporaryDirectory() as td:
+            pdes_path = Path(td) / "sa_pdes.json"
+            report_path = Path(td) / "report.json"
+            run_sa("--files",
+                   *sorted(str(p) for p in FIXTURES.glob("*.cpp")),
+                   "--no-ratchet", "--json", str(report_path),
+                   "--pdes-json", str(pdes_path))
+            pdes = json.loads(pdes_path.read_text())
+        sites = pdes["sites"]
+        self.assertEqual(pdes["total_sites"], len(sites))
+        # Every scheduling idiom appears in the fixture corpus, and the
+        # by_kind histogram matches the ledger.
+        self.assertEqual(set(pdes["by_kind"]), {"raw", "local", "remote"})
+        for kind, count in pdes["by_kind"].items():
+            self.assertEqual(count,
+                             len([s for s in sites if s["kind"] == kind]))
+        # The API's own forwarding shim is in the ledger but marked as the
+        # implementation, not a call site.
+        shims = [s for s in sites if s["shim"]]
+        self.assertTrue(any(s["function"] == "schedule_local"
+                            for s in shims))
+        # The justified raw schedule is in the ledger, flagged and quoted —
+        # the table is an audit trail, not a findings echo.
+        suppressed = [s for s in sites if s["suppressed"]]
+        self.assertTrue(any("parallel epoch" in s["justification"]
+                            for s in suppressed))
+        # Cross-domain edge classes are ranked and each carries the proven
+        # static floor (Lookahead's constructor rejects <= 0).
+        self.assertEqual(pdes["min_lookahead_ps"], 1)
+        edges = pdes["edges"]
+        self.assertTrue(edges)
+        self.assertEqual([e["rank"] for e in edges],
+                         list(range(1, len(edges) + 1)))
+        for e in edges:
+            self.assertGreaterEqual(e["min_delay_ps"], 1)
+            self.assertTrue(e["sites"])
+        # The sanctioned remote hand-off appears as an edge (conduit
+        # receive), never as a finding.
+        self.assertTrue(any(e["conduit"] == "receive" for e in edges))
+
     def test_parse_cache_round_trip_and_parallel_equivalence(self):
         with tempfile.TemporaryDirectory() as td:
             cache = Path(td) / "cache"
@@ -217,6 +266,30 @@ class FixtureCorpusTest(unittest.TestCase):
                 self.assertEqual(r[key], cold[key],
                                  f"cached/parallel run differs on {key}")
 
+    def test_cache_key_includes_rule_selection(self):
+        # A warm cache from an all-rules run must NOT serve a run with a
+        # different --rules selection: analysis flags are part of the key,
+        # so flag changes can never replay stale models.
+        with tempfile.TemporaryDirectory() as td:
+            cache = Path(td) / "cache"
+            reports = []
+            for name, extra in (("all.json", []),
+                                ("one.json", ["--rules", "unit-raw"]),
+                                ("one2.json", ["--rules", "unit-raw"])):
+                report_path = Path(td) / name
+                run_sa("--files",
+                       *sorted(str(p) for p in FIXTURES.glob("*.cpp")),
+                       "--no-ratchet", "--json", str(report_path),
+                       "--cache-dir", str(cache), *extra)
+                reports.append(json.loads(report_path.read_text()))
+        all_rules, one, one2 = reports
+        self.assertEqual(all_rules["cache_hits"], 0)
+        self.assertEqual(one["cache_hits"], 0,
+                         "rule-selection change must miss the cache")
+        self.assertEqual(one2["cache_hits"], one2["files"],
+                         "identical flags must hit the cache")
+        self.assertEqual({f["rule"] for f in one["findings"]}, {"unit-raw"})
+
 
 class SourceTreeTest(unittest.TestCase):
     def test_src_is_clean_with_all_rules(self):
@@ -233,7 +306,7 @@ class SourceTreeTest(unittest.TestCase):
         self.assertEqual(
             sorted(report["rules"]),
             ["determinism", "hot-alloc", "hot-cost", "lifetime",
-             "packet-switch", "sa-suppression", "shard-ownership",
+             "packet-switch", "pdes", "sa-suppression", "shard-ownership",
              "unit-raw"])
         # The analyzer really walked the tree, not an empty file list.
         self.assertGreater(report["files"], 50)
@@ -274,6 +347,37 @@ class SourceTreeTest(unittest.TestCase):
                             f"unjustified lifetime escape: {s}")
             self.assertTrue(s["justification"])
             self.assertTrue(s["file"].startswith("src/"))
+
+    def test_src_pdes_table_proves_positive_lookahead(self):
+        compdb = REPO / "build" / "compile_commands.json"
+        if not compdb.exists():
+            self.skipTest("no compile_commands.json (configure first)")
+        with tempfile.TemporaryDirectory() as td:
+            pdes_path = Path(td) / "sa_pdes.json"
+            proc = run_sa("--compdb", str(compdb), "--no-ratchet",
+                          "--pdes-json", str(pdes_path))
+            pdes = json.loads(pdes_path.read_text())
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        # The shardability proof: every cross-domain edge class on the real
+        # tree has a strictly positive minimum lookahead, and every bound
+        # traces to the link seam (Port::link_lookahead).
+        self.assertTrue(pdes["edges"], "no cross-domain edges found")
+        for e in pdes["edges"]:
+            self.assertGreaterEqual(e["min_delay_ps"], 1)
+            self.assertIn("link_lookahead", e["lookahead_expr"])
+            self.assertTrue(e["sites"])
+        # The two physical crossings: packet delivery over a link, and the
+        # PFC pause wire. Both are conduit-mediated.
+        conduits = {e["conduit"] for e in pdes["edges"]}
+        self.assertEqual(conduits, {"receive", "set_paused"})
+        # Raw scheduling survives only in unsharded (harness) domains or
+        # behind a justification.
+        for s in pdes["sites"]:
+            if s["kind"] == "raw" and not s["shim"] and not s["suppressed"]:
+                self.assertFalse(
+                    s["event_reachable"] and
+                    s["domain"] not in (None, "harness-global"),
+                    f"unjustified raw schedule in sharded domain: {s}")
 
     def test_ratchet_fails_on_regression(self):
         compdb = REPO / "build" / "compile_commands.json"
@@ -327,6 +431,20 @@ class BaselineShrinkGuardTest(unittest.TestCase):
                               {"unit-raw": 50, "shard-ownership": 3})
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
         self.assertIn("new rule family 'shard-ownership'", proc.stdout)
+
+    def test_pdes_family_can_enter_then_never_grow(self):
+        # The pdes family lands like any other: admitted once, then the
+        # ratchet holds — growth from the admitted count is a failure.
+        enter = self.run_guard({"unit-raw": 50}, {"unit-raw": 50, "pdes": 2})
+        self.assertEqual(enter.returncode, 0, enter.stdout + enter.stderr)
+        self.assertIn("new rule family 'pdes'", enter.stdout)
+        grow = self.run_guard({"unit-raw": 50, "pdes": 2},
+                              {"unit-raw": 50, "pdes": 3})
+        self.assertEqual(grow.returncode, 1)
+        self.assertIn("FAIL: pdes grew 2 -> 3", grow.stdout)
+        shrink = self.run_guard({"unit-raw": 50, "pdes": 2},
+                                {"unit-raw": 50})
+        self.assertEqual(shrink.returncode, 0, shrink.stdout + shrink.stderr)
 
     def test_current_baseline_holds_against_itself(self):
         baseline = json.loads(

@@ -422,7 +422,7 @@ TEST(NetworkTest, FlowLifecycleAndObservers) {
   EXPECT_EQ(completions, 2);
   EXPECT_EQ(payload_seen, Bytes{120'000});
   EXPECT_EQ(net.completed_flows, 2u);
-  EXPECT_EQ(net.total_payload_delivered, Bytes{120'000});
+  EXPECT_EQ(net.total_payload_delivered(), Bytes{120'000});
 }
 
 }  // namespace

@@ -130,7 +130,7 @@ class ShapeZeroRecords(unittest.TestCase):
             rb.shape([{"scenario": "total", "events_executed": 0,
                        "sim_seconds": 0, "wall_seconds": 0,
                        "events_per_sec": 0,
-                       "sim_seconds_per_wall_second": 0}])
+                       "sim_seconds_per_wall_second": 0}], Path("build"))
         self.assertIn("no scenario rows", str(ctx.exception))
 
     def test_healthy_shape(self):
@@ -139,9 +139,58 @@ class ShapeZeroRecords(unittest.TestCase):
                  "sim_seconds": 0.001, "wall_seconds": 0.1,
                  "events_per_sec": 1000.0,
                  "sim_seconds_per_wall_second": 0.01}]
-        shaped = rb.shape(rows)
+        shaped = rb.shape(rows, Path("does-not-exist"))
         self.assertEqual(len(shaped["scenarios"]), 1)
         self.assertEqual(shaped["total"]["events_per_sec"], 1000.0)
+
+
+class HostMetadata(unittest.TestCase):
+    """A perf number without its machine context is noise: every record
+    carries the recording host's core count and the CMake build type the
+    basket binary came from."""
+
+    def test_shape_records_host_context(self):
+        rows = [scenario("dcPIM"),
+                {"scenario": "total", "events_executed": 100,
+                 "sim_seconds": 0.001, "wall_seconds": 0.1,
+                 "events_per_sec": 1000.0,
+                 "sim_seconds_per_wall_second": 0.01}]
+        with tempfile.TemporaryDirectory() as td:
+            (Path(td) / "CMakeCache.txt").write_text(
+                "//commentary\nCMAKE_BUILD_TYPE:STRING=RelWithDebInfo\n")
+            shaped = rb.shape(rows, Path(td))
+        self.assertGreater(shaped["host"]["cpu_count"], 0)
+        self.assertEqual(shaped["host"]["cmake_build_type"], "RelWithDebInfo")
+
+    def test_build_type_unreadable_cache(self):
+        self.assertEqual(rb.build_type_of(Path("does-not-exist")), "unknown")
+
+    def test_build_type_unset(self):
+        with tempfile.TemporaryDirectory() as td:
+            (Path(td) / "CMakeCache.txt").write_text(
+                "CMAKE_BUILD_TYPE:STRING=\n")
+            self.assertEqual(rb.build_type_of(Path(td)), "unset")
+
+    def test_compare_notes_host_change(self):
+        with tempfile.TemporaryDirectory() as td:
+            d = Path(td)
+            saved = rb.REPO
+            rb.REPO = d
+            try:
+                base = record([scenario("dcPIM")], eps=1000)
+                base["host"] = {"cpu_count": 4,
+                                "cmake_build_type": "RelWithDebInfo"}
+                base_path = d / "BENCH_base.json"
+                base_path.write_text(json.dumps(base))
+                cur = record([scenario("dcPIM")], eps=1000)
+                cur["host"] = {"cpu_count": 64,
+                               "cmake_build_type": "Debug"}
+                out = io.StringIO()
+                with redirect_stdout(out):
+                    rb.compare(cur, base_path, 0.8, d / "BENCH_new.json")
+            finally:
+                rb.REPO = saved
+        self.assertIn("host/build changed", out.getvalue())
 
 
 if __name__ == "__main__":

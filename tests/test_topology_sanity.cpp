@@ -1,0 +1,151 @@
+// PDES-readiness guard over the campaign corpus (DESIGN.md §15): every
+// topology reachable from a committed campaign spec must give every
+// inter-device link a strictly positive propagation delay. Link propagation
+// is the lookahead of a conservative parallel run — one zero-delay link in
+// a spec-reachable topology and the whole shardability argument collapses
+// (sim::Lookahead would reject the bound at construction, but this test
+// catches the misconfiguration at spec level, with the spec's name on it).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "campaign/grid.h"
+#include "campaign/spec.h"
+#include "harness/experiment.h"
+#include "net/host.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "util/time.h"
+
+namespace dcpim {
+namespace {
+
+#ifndef DCPIM_CAMPAIGN_SPEC_DIR
+#error "build must define DCPIM_CAMPAIGN_SPEC_DIR"
+#endif
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The committed spec corpus (kept in sync with tests/test_campaign.cpp).
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> names = {
+      "fig3a",        "fig3b",       "fig4b", "fig4c",      "fig7",
+      "incast_sweep", "perf_basket", "smoke", "constrained"};
+  return names;
+}
+
+// Protocol-free host: topology wiring only, no traffic.
+class ProbeHost final : public net::Host {
+ public:
+  using net::Host::Host;
+  void on_flow_arrival(net::Flow&) override {}
+
+ protected:
+  void on_packet(net::PacketPtr) override {}
+};
+
+net::Topology::HostFactory probe_factory() {
+  return [](net::Network& n, int id, const net::PortConfig& nic) {
+    return static_cast<net::Host*>(n.add_device<ProbeHost>(id, nic));
+  };
+}
+
+// The topology-shaping fields of an expanded cell — one build per distinct
+// tuple, not per cell (a load sweep reuses its topology).
+using TopoSignature = std::tuple<harness::TopoKind, int, int, int, int>;
+
+TopoSignature signature_of(const harness::ExperimentConfig& cfg) {
+  return {cfg.topo, cfg.racks, cfg.hosts_per_rack, cfg.spines,
+          cfg.fat_tree_k};
+}
+
+// Mirrors harness build_topology (experiment.cpp): same params, same
+// builders, minus the protocol port hooks (which never touch propagation).
+void build_and_check(const TopoSignature& sig, const std::string& label) {
+  const auto [kind, racks, hosts_per_rack, spines, fat_tree_k] = sig;
+  net::Network net{net::NetConfig{}};
+  std::unique_ptr<net::Topology> topo;
+  switch (kind) {
+    case harness::TopoKind::LeafSpine:
+    case harness::TopoKind::Oversubscribed: {
+      net::LeafSpineParams p;
+      p.racks = racks;
+      p.hosts_per_rack = hosts_per_rack;
+      p.spines = spines;
+      if (kind == harness::TopoKind::Oversubscribed) {
+        p.spine_rate = p.spine_rate / 2;
+      }
+      topo = std::make_unique<net::Topology>(
+          net::Topology::leaf_spine(net, p, probe_factory()));
+      break;
+    }
+    case harness::TopoKind::FatTree: {
+      net::FatTreeParams p;
+      p.k = fat_tree_k;
+      topo = std::make_unique<net::Topology>(
+          net::Topology::fat_tree(net, p, probe_factory()));
+      break;
+    }
+    case harness::TopoKind::Testbed: {
+      net::LeafSpineParams p;
+      p.racks = 2;
+      p.hosts_per_rack = 16;
+      p.spines = 2;
+      p.host_rate = 10 * kGbps;
+      p.spine_rate = 40 * kGbps;
+      topo = std::make_unique<net::Topology>(
+          net::Topology::leaf_spine(net, p, probe_factory()));
+      break;
+    }
+  }
+  ASSERT_NE(topo, nullptr) << label;
+  ASSERT_GT(topo->num_hosts(), 0) << label;
+  std::size_t links = 0;
+  for (const auto& dev : net.devices()) {
+    for (const auto& port : dev->ports) {
+      ++links;
+      EXPECT_GT(port->config().propagation, Time{})
+          << label << ": zero-propagation link on device '" << dev->name()
+          << "' — no lookahead, conservative PDES impossible";
+    }
+  }
+  EXPECT_GT(links, 0u) << label;
+}
+
+TEST(TopologySanityTest, EverySpecReachableTopologyHasPositiveLookahead) {
+  std::set<TopoSignature> seen;
+  for (const std::string& name : corpus()) {
+    const std::string path =
+        std::string(DCPIM_CAMPAIGN_SPEC_DIR) + "/" + name + ".campaign";
+    const campaign::CampaignSpec spec =
+        campaign::parse_campaign_spec(read_file(path), path);
+    for (const campaign::Cell& cell : campaign::expand(spec)) {
+      const TopoSignature sig = signature_of(cell.config);
+      if (!seen.insert(sig).second) continue;
+      build_and_check(sig, name + ".campaign cell '" + cell.label + "'");
+    }
+  }
+  EXPECT_FALSE(seen.empty());
+}
+
+// The default parameter sets themselves (what a spec inherits when its
+// [topology] section is silent) must also carry positive propagation.
+TEST(TopologySanityTest, BuilderDefaultsHavePositiveLookahead) {
+  EXPECT_GT(net::LeafSpineParams{}.propagation, Time{});
+  EXPECT_GT(net::FatTreeParams{}.propagation, Time{});
+}
+
+}  // namespace
+}  // namespace dcpim

@@ -134,7 +134,8 @@ from pathlib import Path
 # =============================================================================
 
 RULES = ("determinism", "packet-switch", "hot-alloc", "hot-cost",
-         "shard-ownership", "unit-raw", "lifetime", "sa-suppression")
+         "shard-ownership", "unit-raw", "lifetime", "pdes",
+         "sa-suppression")
 
 # Qualified token chains whose *call* is banned anywhere in src/.
 BANNED_QUALIFIED = {
@@ -186,7 +187,42 @@ UNORDERED_RE = re.compile(
 # schedules).
 EVENT_ROOT_NAMES = {"on_packet", "on_flow_arrival", "receive", "run",
                     "run_steps", "random_fault_plan", "expand"}
-SCHEDULING_CALLS = {"schedule_at", "schedule_after"}
+SCHEDULING_CALLS = {"schedule_at", "schedule_after", "schedule_local",
+                    "schedule_local_at", "schedule_remote"}
+
+# --- pdes rule tables (DESIGN.md §15) ----------------------------------------
+# Conservative PDES needs every cross-shard event to carry a provably
+# positive delay (the lookahead). The locality-typed scheduling API makes
+# that provenance syntactic: _local claims same-domain (zero delay fine),
+# _remote crosses domains behind a link's Lookahead. Raw calls say nothing,
+# so inside a sharded domain they are findings.
+PDES_RAW_CALLS = {"schedule_at", "schedule_after"}
+PDES_LOCAL_CALLS = {"schedule_local", "schedule_local_at"}
+PDES_REMOTE_CALLS = {"schedule_remote"}
+
+# The sanctioned cross-domain hand-off seam: a Packet delivered through
+# Device::receive, and the PFC pause wire into a peer port. A call to one
+# of these inside a schedule_local lambda means the "local" claim is a lie.
+PDES_CONDUIT_METHODS = {"receive", "set_paused"}
+
+# The only file that may construct sim::Lookahead in src/: the Port link
+# seam (Port::link_lookahead), which ties every bound to a link's
+# propagation delay. Empty in --files fixture mode (every construction
+# outside a suppression is flagged).
+PDES_LOOKAHEAD_FILES = ("src/net/device.h",)
+
+# Time is integer picoseconds and Lookahead's constructor checks > 0, so
+# every proven bound is statically >= 1 ps. The sa_pdes.json table reports
+# this floor; the real per-edge bound is the link's configured propagation.
+PDES_MIN_LOOKAHEAD_PS = 1
+
+# Literal-zero delay expressions the raw-schedule message calls out
+# explicitly (the classical zero-lookahead PDES hazard).
+PDES_ZERO_ARG_FORMS = {
+    ("0",), ("Time", "{", "}"), ("Time", "{", "0", "}"),
+    ("Time", "(", "0", ")"), ("TimePoint", "{", "}"),
+    ("ps", "(", "0", ")"), ("ns", "(", "0", ")"), ("us", "(", "0", ")"),
+}
 
 # shard-ownership roots are narrower than EVENT_ROOT_NAMES: `run` would drag
 # SweepRunner::run (same simple name) into the event-reachable set and flag
@@ -468,9 +504,17 @@ class FunctionDef:
     ##< `make_unique<T>`, `make_shared<T>` — the lifetime factory rule
     ##< filters these against the packet-type registry
     typed_allocs: list = field(default_factory=list)
-    ##< capture lists of lambdas passed to schedule_at/schedule_after:
+    ##< capture lists of lambdas passed to the scheduling API:
     ##< (list-of-capture-token-lists, line)
     sched_captures: list = field(default_factory=list)
+    ##< scheduling call sites for the pdes rule: (callee, line,
+    ##< first-arg-token-texts, ((conduit_method, line), ...)) — conduit
+    ##< methods called inside the argument span, nested scheduling calls
+    ##< excluded (they are their own sites)
+    sched_sites: list = field(default_factory=list)
+    ##< lines where sim::Lookahead is constructed call-style — the pdes
+    ##< provenance check restricts these to the link seam
+    lookahead_ctors: list = field(default_factory=list)
     ##< parameter names declared as raw Packet*/Packet& (name-based:
     ##< `Packet` or `*Packet`; the owning PacketPtr never matches)
     packet_params: list = field(default_factory=list)
@@ -490,6 +534,10 @@ class ClassDef:
     ##< priority_queue anywhere, or vector/deque inside the class that
     ##< declares the schedule API)
     eventq_members: set = field(default_factory=set)
+    ##< method-return escapes: accessor name -> returned class for
+    ##< `T& name(...)` / `T* name(...)` members (const-ref returns are
+    ##< excluded — nothing can be written through them)
+    accessor_returns: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -802,6 +850,21 @@ def classify_member(stmt, cd: ClassDef):
                 cd.virtual_methods.add(name_before_paren)
             if name_before_paren in SCHEDULING_CALLS:
                 cd.has_schedule_api = True
+            # method-return escape: `T& name(...)` / `T* name(...)` hands
+            # the caller a mutable window into T — the pdes accessor-escape
+            # check resolves writes rooted at such accessors to T's domain.
+            # Leading `const` means read-only, which cannot escape a write.
+            head = []
+            for t in stmt:
+                if t.text == "(":
+                    break
+                head.append(t.text)
+            if (len(head) >= 3 and head[-1] == name_before_paren and
+                    head[-2] in ("&", "*") and "const" not in head):
+                rtype = [h for h in head[:-2]
+                         if h not in ("virtual", "static", "inline", "::")]
+                if rtype and rtype[-1][:1].isupper():
+                    cd.accessor_returns[name_before_paren] = rtype[-1]
         return
     if "static" in texts or "constexpr" in texts or "const" in texts[:-1]:
         return  # immutable or process-static: not mutable sim-state
@@ -1034,10 +1097,15 @@ def scan_body(fn: FunctionDef, toks, start, end):
             prev = toks[i - 1].text if i > 0 else ""
             nxt = toks[i + 1].text if i + 1 < n else ""
             if prev in (".", "->"):
+                # `.field =` directly after `{` or `,` is a designated
+                # initializer (aggregate construction), not a write into
+                # someone's live state — the object does not exist yet.
+                designated = (prev == "." and i >= 2 and
+                              toks[i - 2].text in ("{", ","))
                 if nxt == "(":
                     fn.member_calls.append(
                         (chain_root(toks, i), t.text, t.line))
-                else:
+                elif not designated:
                     # member-field write: skip index groups, then look for
                     # an assignment/compound-assignment/incdec operator
                     j = i + 1
@@ -1126,11 +1194,52 @@ def scan_body(fn: FunctionDef, toks, start, end):
                 if t.text in ALLOC_CALLS:
                     fn.allocs.append((t.text + "()", t.line))
                 fn.calls.append((t.text, t.line))
+                if t.text == "Lookahead":
+                    fn.lookahead_ctors.append(t.line)
                 if t.text in SCHEDULING_CALLS:
                     fn.schedules = True
-                    scan_sched_captures(fn, toks, i + 1,
-                                        match_paren(toks, i + 1))
+                    rp = match_paren(toks, i + 1)
+                    scan_sched_captures(fn, toks, i + 1, rp)
+                    record_sched_site(fn, toks, i, rp)
         i += 1
+
+
+def record_sched_site(fn: FunctionDef, toks, i, rp):
+    """Records one scheduling call for the pdes rule: the callee, the
+    token texts of its first argument (the delay / lookahead expression),
+    and any conduit-method calls made inside the argument span. Nested
+    scheduling calls are skipped — each gets its own site with its own
+    verdict, so an inner schedule_remote hand-off never taints the outer
+    call's locality claim."""
+    callee = toks[i].text
+    lp = i + 1
+    first_arg = []
+    k, depth = lp + 1, 0
+    while k < rp:
+        tt = toks[k].text
+        if tt in ("(", "[", "{"):
+            depth += 1
+        elif tt in (")", "]", "}"):
+            depth -= 1
+        elif tt == "," and depth == 0:
+            break
+        first_arg.append(tt)
+        k += 1
+    conduits = []
+    k = lp + 1
+    while k < rp:
+        t = toks[k]
+        if t.kind == "id" and t.text in SCHEDULING_CALLS and \
+                k + 1 < rp and toks[k + 1].text == "(":
+            k = match_paren(toks, k + 1)
+            continue
+        if t.kind == "id" and t.text in PDES_CONDUIT_METHODS and \
+                k + 1 < rp and toks[k + 1].text == "(" and \
+                toks[k - 1].text in (".", "->"):
+            conduits.append((t.text, t.line))
+        k += 1
+    fn.sched_sites.append((callee, toks[i].line, tuple(first_arg),
+                           tuple(conduits)))
 
 
 def scan_sched_captures(fn: FunctionDef, toks, lp, rp):
@@ -1414,6 +1523,8 @@ def clang_parse_file(cindex, path: Path, rel: str, args) -> TUModel:
             fn.heavy_params = best.heavy_params
             fn.typed_allocs = best.typed_allocs
             fn.sched_captures = best.sched_captures
+            fn.sched_sites = best.sched_sites
+            fn.lookahead_ctors = best.lookahead_ctors
             fn.packet_params = best.packet_params
     return model
 
@@ -1474,12 +1585,13 @@ def suppression_cover(sups, source_lines):
 
 class Analyzer:
     def __init__(self, models, files_text, hot_scope, kind_enum_paths,
-                 factory_files=()):
+                 factory_files=(), lookahead_files=()):
         self.models = models
         self.files_text = files_text  ##< rel -> list of source lines
         self.hot_scope = hot_scope
         self.kind_enum_paths = kind_enum_paths
         self.factory_files = set(factory_files)
+        self.lookahead_files = set(lookahead_files)
         self.findings: list[Finding] = []
         self.suppressions: list[Suppression] = []
         self.cover: dict[str, dict[str, dict[int, Suppression]]] = {}
@@ -1540,6 +1652,28 @@ class Analyzer:
         ##< lifetime escape sites for sa_lifetime.json — same contract:
         ##< every site, suppressed or not; the pool's standing audit ledger
         self.lifetime_sites: list = []
+        ##< scheduling sites classified for sa_pdes.json — the lookahead
+        ##< table a sharded scheduler would consume (every site, any kind)
+        self.pdes_sites: list = []
+        # accessor name -> (returned class, domain): method-return escapes.
+        # Same conservatism as field_domain: a name returning classes in
+        # two different domains is dropped; sim-state domains only (the
+        # packet conduit and harness glue never constitute an escape).
+        self.accessor_domain: dict = {}
+        acc_ambiguous: set = set()
+        for cd in self.classes.values():
+            for aname, rclass in cd.accessor_returns.items():
+                rdom = self.domain_of_class(rclass)
+                if rdom in (None, DOMAIN_PACKET, DOMAIN_HARNESS):
+                    continue
+                if aname in acc_ambiguous:
+                    continue
+                if aname in self.accessor_domain:
+                    if self.accessor_domain[aname][1] != rdom:
+                        acc_ambiguous.add(aname)
+                        del self.accessor_domain[aname]
+                    continue
+                self.accessor_domain[aname] = (rclass, rdom)
         self._packet_type_memo: dict[str, bool] = {}
 
     def is_packet_type(self, name: str) -> bool:
@@ -1647,6 +1781,7 @@ class Analyzer:
         self.rule_hot_cost()
         self.rule_unit_raw()
         self.rule_lifetime()
+        self.rule_pdes()
         self.rule_unused_suppressions()
         self.findings.sort(key=lambda f: (f.file, f.line, f.rule))
         return self.findings
@@ -1719,12 +1854,11 @@ class Analyzer:
                                f"{', '.join(missing)} and has no default")
                     self.emit(Finding("packet-switch", sw.file, sw.line, msg))
 
-    def rule_shard_ownership(self):
-        """A write reachable from an event callback must stay inside the
-        writer's ownership domain. Crossing is legal only through Packet
-        hand-off (Packet fields are the conduit and never flagged) or the
-        schedule API (a scheduled lambda runs as its own event; state it
-        captures is re-rooted there)."""
+    def ownership_roots(self):
+        """Event-reachability roots shared by shard-ownership and pdes:
+        the per-event callbacks plus any scheduler whose own class lives in
+        a sharded domain (narrower than EVENT_ROOT_NAMES — see the comment
+        on OWNERSHIP_ROOT_NAMES)."""
         roots = []
         for m in self.models:
             for fn in m.functions:
@@ -1734,6 +1868,15 @@ class Analyzer:
                         self.domain_of_class(fn.owner) not in (
                             None, DOMAIN_HARNESS):
                     roots.append(fn)
+        return roots
+
+    def rule_shard_ownership(self):
+        """A write reachable from an event callback must stay inside the
+        writer's ownership domain. Crossing is legal only through Packet
+        hand-off (Packet fields are the conduit and never flagged) or the
+        schedule API (a scheduled lambda runs as its own event; state it
+        captures is re-rooted there)."""
+        roots = self.ownership_roots()
         reachable = self.reachable_from(roots)
         reported = set()
         for m in self.models:
@@ -1818,7 +1961,12 @@ class Analyzer:
                             f"{method}() — every event pays the O(log n) "
                             f"sift"))
                 for callee, line in fn.calls:
-                    if callee in SCHEDULING_CALLS:
+                    # The scheduling API's own forwarding shims are where
+                    # every timer legitimately enters the heap; the push
+                    # is charged once, at the call site into the API, not
+                    # again inside each one-line forwarder.
+                    if callee in SCHEDULING_CALLS and \
+                            fn.simple not in SCHEDULING_CALLS:
                         sites.append((
                             "heap-op", line,
                             f"{callee}() pushes into the simulator event "
@@ -1993,6 +2141,135 @@ class Analyzer:
                         f"recycling and reset_transient() hygiene are "
                         f"bypassed; go through the Host factories")
 
+    def rule_pdes(self):
+        """Conservative-PDES lookahead safety (DESIGN.md §15), over code
+        event-reachable from the ownership roots and owned by a sharded
+        domain. Four checks:
+        (1) raw-schedule: schedule_at/schedule_after say nothing about the
+            target domain — a sharded caller must use schedule_local (same
+            domain; zero delay is fine) or schedule_remote (cross-domain;
+            carries a link Lookahead). A literal-zero raw delay is the
+            classical zero-lookahead hazard and is called out as such.
+        (2) local-conduit: a schedule_local lambda that calls a conduit
+            method (Device::receive / Port::set_paused) crosses the domain
+            boundary while claiming locality.
+        (3) lookahead-provenance: sim::Lookahead may only be constructed
+            at the link seam (Port::link_lookahead), so every remote bound
+            traces to a physical propagation delay — and the Lookahead
+            constructor's > 0 check makes each bound >= 1 ps statically.
+        (4) accessor-escape: the method-return extension of the
+            shard-ownership field registry — a write rooted at an accessor
+            that returns a mutable reference into another domain's class
+            crosses shards without a Packet or a scheduled event.
+        The scheduling API's own forwarding shims (functions whose simple
+        name is in SCHEDULING_CALLS) are the implementation, not call
+        sites. Every scheduling site — compliant or not — lands in
+        pdes_sites for the sa_pdes.json lookahead table."""
+        roots = self.ownership_roots()
+        reachable = self.reachable_from(roots)
+        reported = set()
+        for m in self.models:
+            for fn in m.functions:
+                # (3) applies everywhere: provenance is a property of the
+                # construction site, not of event reachability.
+                for line in fn.lookahead_ctors:
+                    if fn.file in self.lookahead_files:
+                        continue
+                    if (fn.file, line, "lookahead") in reported:
+                        continue
+                    reported.add((fn.file, line, "lookahead"))
+                    self.emit(Finding(
+                        "pdes", fn.file, line,
+                        f"Lookahead constructed in {fn.name}() outside the "
+                        f"link seam — cross-domain bounds must come from "
+                        f"Port::link_lookahead() so they trace to a link's "
+                        f"propagation delay, not an arbitrary constant — "
+                        f"or justify with sa-ok(pdes)"))
+                key = (fn.file, fn.name, fn.line)
+                in_event = key in reachable
+                wdom = self.domain_of_class(fn.owner) if fn.owner else None
+                sharded = in_event and wdom not in (None, DOMAIN_HARNESS)
+                is_shim = fn.simple in SCHEDULING_CALLS
+                for callee, line, arg0, conduits in fn.sched_sites:
+                    kind = ("raw" if callee in PDES_RAW_CALLS else
+                            "remote" if callee in PDES_REMOTE_CALLS else
+                            "local")
+                    if (fn.file, line, callee) in reported:
+                        continue
+                    reported.add((fn.file, line, callee))
+                    sup = self.cover.get(fn.file, {}).get(
+                        "pdes", {}).get(line)
+                    self.pdes_sites.append({
+                        "kind": kind,
+                        "callee": callee,
+                        "file": fn.file,
+                        "line": line,
+                        "function": fn.name,
+                        "domain": wdom,
+                        "event_reachable": in_event,
+                        "delay_expr": " ".join(arg0),
+                        "conduits": [c for c, _ in conduits],
+                        "shim": is_shim,
+                        "suppressed": sup is not None,
+                        "justification":
+                            sup.justification if sup is not None else "",
+                    })
+                    if not sharded or is_shim:
+                        continue
+                    if kind == "raw":
+                        if tuple(arg0) in PDES_ZERO_ARG_FORMS:
+                            self.emit(Finding(
+                                "pdes", fn.file, line,
+                                f"zero-delay {callee}() in sharded domain "
+                                f"{wdom} — zero lookahead makes "
+                                f"conservative parallel execution "
+                                f"impossible; use schedule_local if the "
+                                f"event stays in {fn.name}()'s own domain, "
+                                f"or justify with sa-ok(pdes)"))
+                        else:
+                            self.emit(Finding(
+                                "pdes", fn.file, line,
+                                f"raw {callee}() in sharded domain {wdom} "
+                                f"hides its delay provenance — use "
+                                f"schedule_local / schedule_local_at for "
+                                f"same-domain events or "
+                                f"schedule_remote(link_lookahead(), ...) "
+                                f"across domains, or justify with "
+                                f"sa-ok(pdes)"))
+                    elif kind == "local" and conduits:
+                        names = ", ".join(sorted({c for c, _ in conduits}))
+                        self.emit(Finding(
+                            "pdes", fn.file, line,
+                            f"{callee}() lambda in {fn.name}() calls "
+                            f"conduit method(s) {names} — a "
+                            f"receive/set_paused hand-off crosses the "
+                            f"domain boundary, so the locality claim is "
+                            f"false; use "
+                            f"schedule_remote(link_lookahead(), ...) or "
+                            f"justify with sa-ok(pdes)"))
+                if not sharded:
+                    continue
+                # (4) accessor-escape: writes whose chain roots at a
+                # mutable accessor into another domain's class.
+                for root_name, field_name, line in fn.writes:
+                    acc = self.accessor_domain.get(root_name)
+                    if acc is None:
+                        continue
+                    rclass, rdom = acc
+                    if rdom == wdom:
+                        continue
+                    if (fn.file, line, "accessor") in reported:
+                        continue
+                    reported.add((fn.file, line, "accessor"))
+                    self.emit(Finding(
+                        "pdes", fn.file, line,
+                        f"{fn.name}() in domain {wdom} writes "
+                        f"{root_name}().{field_name} through a mutable "
+                        f"accessor into {rclass} (domain {rdom}) — a "
+                        f"method-return escape crossing shards without a "
+                        f"Packet or a scheduled event; move the write to "
+                        f"the owning domain or justify with sa-ok(pdes)"))
+
     def rule_unused_suppressions(self):
         for s in self.suppressions:
             if not s.used:
@@ -2016,13 +2293,18 @@ def _parse_one(payload):
     analyzer or the file invalidates the entry, so stale models are
     structurally impossible. Cache writes are atomic (tmp + rename) so
     concurrent workers never observe torn pickles."""
-    path_str, rel, cache_dir, tool_hash = payload
+    path_str, rel, cache_dir, tool_hash, flag_salt = payload
     path = Path(path_str)
     source = path.read_bytes()
     key = None
     if cache_dir:
+        # The flag salt folds the CLI analysis configuration (rule
+        # selection, hot scope) into the key: the parsed model is
+        # flag-independent today, but a cached entry must never be able to
+        # outlive a flag change that could alter what gets extracted.
         digest = hashlib.sha256(
-            tool_hash.encode("ascii") + source).hexdigest()
+            tool_hash.encode("ascii") + b"\x00" +
+            flag_salt.encode("utf-8") + b"\x00" + source).hexdigest()
         key = Path(cache_dir) / f"{digest}.pkl"
         try:
             with open(key, "rb") as fh:
@@ -2042,10 +2324,11 @@ def _parse_one(payload):
     return model, False
 
 
-def parse_files_text(files, root, jobs, cache_dir):
+def parse_files_text(files, root, jobs, cache_dir, flag_salt=""):
     """Parses `files` with the text frontend, fanning out across processes
-    when jobs > 1 and reusing cached TU models keyed by content hash.
-    Returns (models, rels, cache_hits) with models in input order."""
+    when jobs > 1 and reusing cached TU models keyed by content hash (plus
+    the CLI flag salt — see _parse_one). Returns (models, rels,
+    cache_hits) with models in input order."""
     tool_hash = _tool_hash() if cache_dir else ""
     payloads = []
     rels = []
@@ -2054,7 +2337,7 @@ def parse_files_text(files, root, jobs, cache_dir):
             else f.as_posix()
         rels.append(rel)
         payloads.append((str(f), rel, str(cache_dir) if cache_dir else "",
-                         tool_hash))
+                         tool_hash, flag_salt))
     if jobs > 1 and len(payloads) > 1:
         from concurrent.futures import ProcessPoolExecutor
         with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -2115,6 +2398,11 @@ def main() -> int:
     parser.add_argument("--lifetime-json", type=Path,
                         help="write the lifetime escape ledger here "
                              "(every site, suppressed or not)")
+    parser.add_argument("--pdes-json", type=Path,
+                        help="write the PDES lookahead table here: every "
+                             "scheduling site classified local/remote/raw "
+                             "plus cross-domain edge classes with their "
+                             "proven minimum delay bounds")
     args = parser.parse_args()
 
     root = args.root.resolve()
@@ -2122,6 +2410,7 @@ def main() -> int:
         files = [f.resolve() for f in args.files]
         kind_paths: tuple = ()
         factory_files: tuple = ()  # fixtures: every packet alloc flagged
+        lookahead_files: tuple = ()  # fixtures: every construction flagged
         hot_scope = None if args.hot_scope == "*" else tuple(
             p for p in args.hot_scope.split(",") if p)
         if args.hot_scope == ",".join(DEFAULT_HOT_SCOPE):
@@ -2135,6 +2424,7 @@ def main() -> int:
                        set(src.rglob("*.h")))
         kind_paths = KIND_ENUM_PATHS
         factory_files = SANCTIONED_FACTORY_FILES
+        lookahead_files = PDES_LOOKAHEAD_FILES
         hot_scope = tuple(p for p in args.hot_scope.split(",") if p)
     else:
         print("dcpim_sa: pass --compdb or --files", file=sys.stderr)
@@ -2168,14 +2458,15 @@ def main() -> int:
             else:
                 models.append(text_parse_file(f, rel))
     else:
+        flag_salt = f"rules={args.rules};hot_scope={args.hot_scope}"
         models, rels, cache_hits = parse_files_text(
-            files, root, jobs, args.cache_dir)
+            files, root, jobs, args.cache_dir, flag_salt)
         for f, rel in zip(files, rels):
             files_text[rel] = f.read_text(encoding="utf-8").splitlines()
 
     enabled = set(args.rules.split(","))
     analyzer = Analyzer(models, files_text, hot_scope, kind_paths,
-                        factory_files)
+                        factory_files, lookahead_files)
     findings = [f for f in analyzer.run() if f.rule in enabled]
 
     sup_counts: dict[str, int] = {}
@@ -2234,6 +2525,56 @@ def main() -> int:
             json.dumps({
                 "total_sites": len(sites),
                 "by_class": by_class,
+                "sites": sites,
+            }, indent=2) + "\n", encoding="utf-8")
+
+    if args.pdes_json:
+        sites = sorted(
+            analyzer.pdes_sites,
+            key=lambda s: (s["kind"], s["file"], s["line"]))
+        by_kind: dict[str, int] = {}
+        for s in sites:
+            by_kind[s["kind"]] = by_kind.get(s["kind"], 0) + 1
+        # Cross-domain edge classes: every schedule_remote site, grouped
+        # by (scheduling function -> conduit). The proven minimum bound is
+        # the static floor — Lookahead's constructor rejects zero and Time
+        # is integer picoseconds, so every edge is >= 1 ps; the actual
+        # per-edge bound at run time is the link's configured propagation
+        # delay (the topology-sanity ctest pins it strictly positive on
+        # every inter-host link in the campaign corpus).
+        edges: dict[str, dict] = {}
+        for s in sites:
+            if s["kind"] != "remote" or s["shim"]:
+                continue
+            conduits = s["conduits"] or ["(opaque callback)"]
+            for c in conduits:
+                ec = f"{s['function']}->{c}"
+                e = edges.setdefault(ec, {
+                    "edge_class": ec,
+                    "from_domain": s["domain"],
+                    "conduit": c,
+                    "min_delay_ps": PDES_MIN_LOOKAHEAD_PS,
+                    "lookahead_expr": s["delay_expr"],
+                    "sites": [],
+                })
+                e["sites"].append({"file": s["file"], "line": s["line"]})
+        ranked = sorted(edges.values(),
+                        key=lambda e: (-len(e["sites"]), e["edge_class"]))
+        for rank, e in enumerate(ranked, 1):
+            e["rank"] = rank
+        args.pdes_json.parent.mkdir(parents=True, exist_ok=True)
+        args.pdes_json.write_text(
+            json.dumps({
+                "min_lookahead_ps": PDES_MIN_LOOKAHEAD_PS,
+                "provenance": (
+                    "sim::Lookahead rejects non-positive bounds at "
+                    "construction and may only be built at the link seam "
+                    "(Port::link_lookahead), so every cross-domain edge "
+                    "bound is a link propagation delay: integer "
+                    "picoseconds, statically >= 1 ps"),
+                "total_sites": len(sites),
+                "by_kind": by_kind,
+                "edges": ranked,
                 "sites": sites,
             }, indent=2) + "\n", encoding="utf-8")
 

@@ -27,11 +27,40 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import re
 import subprocess
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+
+CACHE_BUILD_TYPE = re.compile(r"^CMAKE_BUILD_TYPE:\w+=(.*)$")
+
+
+def build_type_of(build_dir: Path) -> str:
+    """CMAKE_BUILD_TYPE the basket binary was configured with, read from
+    the build tree's CMakeCache.txt ("unknown" when unreadable). Recorded
+    so a Debug-build record can never masquerade as the perf bar."""
+    cache = build_dir / "CMakeCache.txt"
+    try:
+        for line in cache.read_text(encoding="utf-8").splitlines():
+            match = CACHE_BUILD_TYPE.match(line.strip())
+            if match:
+                return match.group(1) or "unset"
+    except OSError:
+        pass
+    return "unknown"
+
+
+def host_metadata(build_dir: Path) -> dict:
+    """The context a perf number is meaningless without: how many cores the
+    recording host had and what build type produced the binary. Comparisons
+    across records stay honest when these differ (see --compare note)."""
+    return {
+        "cpu_count": os.cpu_count() or 0,
+        "cmake_build_type": build_type_of(build_dir),
+    }
 
 
 def run_basket(build_dir: Path, extra_args: list[str]) -> list[dict]:
@@ -58,7 +87,7 @@ def run_basket(build_dir: Path, extra_args: list[str]) -> list[dict]:
     return rows
 
 
-def shape(rows: list[dict]) -> dict:
+def shape(rows: list[dict], build_dir: Path) -> dict:
     if len(rows) < 2:
         sys.exit("error: perf_basket produced no scenario rows — an empty "
                  "record would silently pass every future --compare")
@@ -67,6 +96,7 @@ def shape(rows: list[dict]) -> dict:
         "bench": "perf_basket",
         "source": "bench/perf_basket.cpp via tools/record_bench.py",
         "fingerprint_checked": True,  # the binary DCPIM_CHECKs run1 == run2
+        "host": host_metadata(build_dir),
         "scenarios": rows[:-1],
         "total": {
             "events_executed": total["events_executed"],
@@ -127,6 +157,10 @@ def compare(record: dict, baseline_path: Path, min_speedup: float,
                           key=lambda pr: pr[1]["total"]["events_per_sec"])
     old = best["total"]["events_per_sec"]
     new = record["total"]["events_per_sec"]
+    old_host = best.get("host")
+    if old_host is not None and old_host != record.get("host"):
+        print(f"note: host/build changed {old_host} -> {record['host']} — "
+              f"the perf delta includes the machine, not just the code")
     speedup = new / old if old else float("inf")
     print(f"events/sec: {old:.0f} ({best_path.name}, best of "
           f"{len(priors)} prior record(s)) -> {new:.0f}  ({speedup:.2f}x)")
@@ -152,12 +186,14 @@ def main() -> int:
 
     build_dir = args.build_dir if args.build_dir.is_absolute() \
         else REPO / args.build_dir
-    record = shape(run_basket(build_dir, args.basket_args))
+    record = shape(run_basket(build_dir, args.basket_args), build_dir)
     args.out.write_text(json.dumps(record, indent=2) + "\n")
+    host = record["host"]
     print(f"wrote {args.out}: "
           f"{record['total']['events_per_sec']:.0f} events/sec, "
           f"{record['total']['sim_seconds_per_wall_second']:.4f} "
-          f"sim-sec/wall-sec over {len(record['scenarios'])} scenarios")
+          f"sim-sec/wall-sec over {len(record['scenarios'])} scenarios "
+          f"({host['cpu_count']} cores, {host['cmake_build_type']})")
     if args.compare:
         return compare(record, args.compare, args.min_speedup, args.out)
     return 0

@@ -40,6 +40,7 @@ exec python3 tools/dcpim_sa.py \
     --json "${BUILD_DIR}/sa_report.json" \
     --hot-cost-json "${BUILD_DIR}/sa_hot_cost.json" \
     --lifetime-json "${BUILD_DIR}/sa_lifetime.json" \
+    --pdes-json "${BUILD_DIR}/sa_pdes.json" \
     --cache-dir "${BUILD_DIR}/sa_cache" \
     --jobs 0 \
     "$@"
