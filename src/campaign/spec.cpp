@@ -70,9 +70,35 @@ harness::Protocol parse_protocol_token(const std::string& t) {
   if (t == "hpcc") return Protocol::Hpcc;
   if (t == "dctcp") return Protocol::Dctcp;
   if (t == "tcp") return Protocol::Tcp;
+  if (t == "fastpass") return Protocol::Fastpass;
   throw std::invalid_argument(
       "unknown protocol '" + t +
-      "' (dcpim|phost|homa|homa_aeolus|ndp|hpcc|dctcp|tcp)");
+      "' (dcpim|phost|homa|homa_aeolus|ndp|hpcc|dctcp|tcp|fastpass)");
+}
+
+/// `auto` keeps lb_policy_auto (the protocol's canonical policy); any
+/// explicit policy clears it. Applied via the lb_policy registry row.
+void apply_lb_policy_token(harness::ExperimentConfig& c,
+                           const std::string& t) {
+  using net::LbPolicy;
+  if (t == "auto") {
+    c.lb_policy_auto = true;
+    return;
+  }
+  c.lb_policy_auto = false;
+  if (t == "spray") {
+    c.lb_policy = LbPolicy::kSpray;
+  } else if (t == "ecmp_flow") {
+    c.lb_policy = LbPolicy::kEcmpFlow;
+  } else if (t == "flowlet") {
+    c.lb_policy = LbPolicy::kFlowlet;
+  } else if (t == "ecmp_weighted") {
+    c.lb_policy = LbPolicy::kEcmpWeighted;
+  } else {
+    throw std::invalid_argument(
+        "unknown lb_policy '" + t +
+        "' (auto|spray|ecmp_flow|flowlet|ecmp_weighted)");
+  }
 }
 
 harness::TopoKind parse_topo_token(const std::string& t) {
@@ -158,6 +184,15 @@ const KeyInfo kRegistry[] = {
        const long long v = parse_int_token(t);
        if (v < 2) throw std::invalid_argument("fat_tree_k must be >= 2");
        c.fat_tree_k = static_cast<int>(v);
+     }},
+    {"lb_policy", "topology", true, apply_lb_policy_token},
+    {"flowlet_gap", "topology", true,
+     [](Config& c, const std::string& t) {
+       const Time v = parse_time_token(t);
+       if (v <= Time{}) {
+         throw std::invalid_argument("flowlet_gap must be > 0");
+       }
+       c.flowlet_gap = v;
      }},
 
     {"scaled", "timing", false, nullptr},

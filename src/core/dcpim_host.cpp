@@ -78,6 +78,7 @@ void DcpimHost::epoch_tick(std::uint64_t m) {
   // checks: matching state for epoch m-1 is final, m's is untouched.
   if (epoch_audit_hook_) epoch_audit_hook_(m);
 
+  rescue_overdue_short_flows();
   ReceiverEpochState& st = receiver_epoch(m);
   snapshot_demand(st);
 
@@ -381,6 +382,28 @@ void DcpimHost::check_short_flow(std::uint64_t flow_id) {
   rx_by_sender_[rx.flow->src].push_back(flow_id);
 }
 
+void DcpimHost::rescue_overdue_short_flows() {
+  if (rescue_watch_.empty()) return;
+  const TimePoint now = network().sim().now();
+  std::vector<std::uint64_t> keep;
+  // The watch list is in packet-arrival order, so the sweep is
+  // deterministic without touching the unordered flow table's iteration
+  // order; lookups by id are fine.
+  for (std::uint64_t id : rescue_watch_) {
+    auto it = rx_flows_.find(id);
+    if (it == rx_flows_.end() || it->second.needs_matching ||
+        it->second.flow->finished()) {
+      continue;  // drained, or already in the matching path
+    }
+    if (now >= it->second.rescue_deadline) {
+      check_short_flow(id);
+    } else {
+      keep.push_back(id);
+    }
+  }
+  rescue_watch_.swap(keep);
+}
+
 void DcpimHost::handle_finish(const FinishPacket& fin) {
   const net::Flow* flow = network().flow(fin.flow_id);
   if (flow == nullptr) return;
@@ -418,6 +441,20 @@ void DcpimHost::handle_data(net::PacketPtr p) {
     it = rx_flows_.emplace(id, std::move(rx)).first;
     if (it->second.needs_matching) {
       rx_by_sender_[flow->src].push_back(id);
+    } else {
+      // Short flow whose data raced ahead of its notification. The
+      // notification that eventually lands takes the duplicate early-return
+      // above, so no check_short_flow timer is ever armed for it — a
+      // partially-lost unscheduled burst (gray loss, blackholed spine)
+      // would otherwise never be re-admitted: the receiver never requests,
+      // and the sender's finish retries go unanswered until it gives up.
+      // Stamp the deadline for the epoch_tick orphan sweep instead of
+      // scheduling an event: the common completes-in-time case must leave
+      // the clean-run event stream untouched.
+      it->second.rescue_deadline = network().sim().now() +
+                                   nic()->tx_time(flow->size) +
+                                   cfg_.control_rtt * 4;
+      rescue_watch_.push_back(id);
     }
   }
   RxFlow& rx = it->second;

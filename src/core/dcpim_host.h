@@ -156,7 +156,12 @@ class DcpimHost : public net::Host {
     std::deque<std::uint32_t> readmit;  ///< lost-token seqs to re-admit
     std::unordered_map<std::uint32_t, TimePoint> outstanding;  ///< token->sent instant
     bool needs_matching = false;  ///< long flow, or rescued short flow
-    bool rescue_scheduled = false;
+    /// Orphan-rescue deadline for a short flow whose data raced ahead of
+    /// its notification: no check_short_flow timer was armed (the
+    /// notification takes the duplicate early-return), so epoch_tick
+    /// sweeps overdue incomplete flows into the matching path instead.
+    /// kTimeUnset for flows covered by the notification-path timer.
+    TimePoint rescue_deadline = kTimeUnset;
   };
 
   struct ReceiverEpochState {
@@ -185,6 +190,10 @@ class DcpimHost : public net::Host {
   void token_tick(std::uint64_t phase, std::size_t match_idx);
   bool issue_token(ActiveMatch& match);
   void check_short_flow(std::uint64_t flow_id);
+  /// Epoch-boundary sweep over RxFlow::rescue_deadline (see there). Rides
+  /// the existing epoch_tick event on purpose: the no-orphan common case
+  /// schedules nothing, so clean-run event streams are byte-identical.
+  void rescue_overdue_short_flows();
   std::uint8_t data_priority_for(Bytes remaining) const;
 
   Bytes flow_remaining(const RxFlow& rx) const;
@@ -211,6 +220,10 @@ class DcpimHost : public net::Host {
   std::unordered_map<std::uint64_t, RxFlow> rx_flows_;
   /// Receiver-side index: sender -> flow ids that (may) need matching.
   std::unordered_map<int, std::vector<std::uint64_t>> rx_by_sender_;
+  /// Flow ids carrying a live RxFlow::rescue_deadline, in packet-arrival
+  /// order — the sweep iterates this instead of the unordered flow table
+  /// so rescue order is deterministic by construction.
+  std::vector<std::uint64_t> rescue_watch_;
 
   std::unordered_map<std::uint64_t, SenderEpochState> send_epochs_;
   std::unordered_map<std::uint64_t, ReceiverEpochState> recv_epochs_;

@@ -28,12 +28,19 @@ namespace {
 /// are ledgered apart from protocol/buffer drops, so a conservation
 /// violation message names how much of the loss was deliberate and a
 /// protocol bug cannot hide behind an active FaultPlan (DESIGN.md §11).
+/// Gray drops (silent Bernoulli loss with no link-down signal) get their
+/// own bucket inside the injected share: a survivability run can then read
+/// off how much loss was *invisible* to the control plane versus the
+/// binary failures every protocol is told about.
 struct FlowLedger {
   struct Entry {
     Bytes injected{};       ///< payload bytes handed to the sender NIC
-    Bytes dropped_fault{};  ///< payload bytes killed by injected faults
+    Bytes dropped_fault{};  ///< bytes killed by binary injected faults
+    Bytes dropped_gray{};   ///< bytes killed silently (DropReason::kGrayLoss)
     Bytes dropped_proto{};  ///< payload bytes lost to buffers/Aeolus
-    Bytes dropped() const { return dropped_fault + dropped_proto; }
+    Bytes dropped() const {
+      return dropped_fault + dropped_gray + dropped_proto;
+    }
   };
   std::unordered_map<std::uint64_t, Entry> flows;
 };
@@ -65,7 +72,8 @@ void check_flow_conservation(net::Network& net, const FlowLedger& ledger,
     if (delivered + entry.dropped() > entry.injected) {
       ctx.fail(tag + " accounts " + to_string(delivered) + " delivered + " +
                to_string(entry.dropped()) + " dropped (" +
-               to_string(entry.dropped_fault) + " fault-injected) against " +
+               to_string(entry.dropped_fault) + " fault-injected, " +
+               to_string(entry.dropped_gray) + " gray) against " +
                "only " + to_string(entry.injected) + " injected");
     }
   }
@@ -206,7 +214,9 @@ void install_standard_probes(sim::Auditor& auditor, net::Network& net) {
                                  net::DropReason reason) {
     if (p.payload <= Bytes{}) return;
     auto& entry = ledger->flows[p.flow_id];
-    if (net::is_injected_drop(reason)) {
+    if (reason == net::DropReason::kGrayLoss) {
+      entry.dropped_gray += p.payload;
+    } else if (net::is_injected_drop(reason)) {
       entry.dropped_fault += p.payload;
     } else {
       entry.dropped_proto += p.payload;

@@ -25,6 +25,7 @@ const char* to_string(Protocol p) {
     case Protocol::Hpcc: return "HPCC";
     case Protocol::Dctcp: return "DCTCP";
     case Protocol::Tcp: return "TCP";
+    case Protocol::Fastpass: return "Fastpass";
   }
   return "?";
 }
@@ -51,6 +52,9 @@ struct Runtime {
       : exp(cfg) {}
   ExperimentConfig exp;  ///< owned copy; protocol configs live here
   std::unique_ptr<net::Network> net;
+  /// Fastpass only: the shared arbiter, created after the Network and
+  /// before the topology (hosts bind to it at construction).
+  std::unique_ptr<proto::FastpassArbiter> fastpass_arbiter;
   std::unique_ptr<net::Topology> topo;
   std::unique_ptr<FaultInjector> faults;
   /// Owns the synthetic fixed-size CDF when exp.fixed_size is set. Must be
@@ -59,12 +63,24 @@ struct Runtime {
   std::unique_ptr<workload::EmpiricalCdf> fixed_cdf;
 };
 
-bool uses_packet_spraying(Protocol p) {
+net::LbPolicy default_lb_policy(Protocol p) {
   // The TCP family (and HPCC, per its paper) use per-flow ECMP to avoid
-  // pathological reordering; the receiver-driven designs spray per packet.
-  return p == Protocol::Dcpim || p == Protocol::Phost ||
-         p == Protocol::Homa || p == Protocol::HomaAeolus ||
-         p == Protocol::Ndp;
+  // pathological reordering, as does Fastpass (its arbiter assumes in-order
+  // timeslots); the receiver-driven designs spray per packet.
+  switch (p) {
+    case Protocol::Dcpim:
+    case Protocol::Phost:
+    case Protocol::Homa:
+    case Protocol::HomaAeolus:
+    case Protocol::Ndp:
+      return net::LbPolicy::kSpray;
+    case Protocol::Hpcc:
+    case Protocol::Dctcp:
+    case Protocol::Tcp:
+    case Protocol::Fastpass:
+      return net::LbPolicy::kEcmpFlow;
+  }
+  return net::LbPolicy::kSpray;
 }
 
 net::Topology::HostFactory make_factory(Runtime& rt) {
@@ -84,6 +100,11 @@ net::Topology::HostFactory make_factory(Runtime& rt) {
       return proto::dctcp_host_factory(rt.exp.dctcp);
     case Protocol::Tcp:
       return proto::tcp_host_factory(rt.exp.tcp);
+    case Protocol::Fastpass:
+      rt.fastpass_arbiter = std::make_unique<proto::FastpassArbiter>(
+          *rt.net, rt.exp.fastpass);
+      return proto::fastpass_host_factory(rt.exp.fastpass,
+                                          *rt.fastpass_arbiter);
   }
   throw std::logic_error("unknown protocol");
 }
@@ -184,6 +205,10 @@ void fill_protocol_params(Runtime& rt) {
     w->base_rtt = topo.max_data_rtt();
   }
   exp.hpcc.window.collect_int = true;
+
+  // Same post-topology fill the Fastpass test fixture uses: the arbiter and
+  // hosts hold the config by reference, so this lands before any event runs.
+  exp.fastpass.control_rtt = topo.max_control_rtt();
 }
 
 void drive_pattern(Runtime& rt, std::vector<std::unique_ptr<workload::PoissonGenerator>>& gens) {
@@ -266,7 +291,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   net::NetConfig ncfg;
   ncfg.seed = cfg.seed;
-  ncfg.packet_spraying = uses_packet_spraying(cfg.protocol);
+  ncfg.lb_policy =
+      cfg.lb_policy_auto ? default_lb_policy(cfg.protocol) : cfg.lb_policy;
+  ncfg.flowlet_gap = cfg.flowlet_gap;
   ncfg.packet_pool = cfg.packet_pool;
   rt.net = std::make_unique<net::Network>(ncfg);
 

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "core/dcpim_config.h"
+#include "net/config.h"
 #include "proto/dctcp.h"
+#include "proto/fastpass.h"
 #include "sim/audit.h"
 #include "sim/fault/fault_plan.h"
 #include "proto/homa.h"
@@ -22,7 +24,17 @@
 
 namespace dcpim::harness {
 
-enum class Protocol { Dcpim, Phost, Homa, HomaAeolus, Ndp, Hpcc, Dctcp, Tcp };
+enum class Protocol {
+  Dcpim,
+  Phost,
+  Homa,
+  HomaAeolus,
+  Ndp,
+  Hpcc,
+  Dctcp,
+  Tcp,
+  Fastpass,  ///< centralized-arbiter baseline (survivability campaigns)
+};
 enum class TopoKind {
   LeafSpine,       ///< Table 1: 9 racks x 16 hosts, 4 spines, 100G/400G
   Oversubscribed,  ///< same, spine links halved (2:1)
@@ -75,6 +87,16 @@ struct ExperimentConfig {
 
   // --- failure injection --------------------------------------------------------
   double loss_rate = 0.0;  ///< random per-packet loss on every port
+
+  // --- load balancing -----------------------------------------------------------
+  /// Multi-path forwarding policy at every switch. With `lb_policy_auto`
+  /// (the default) the protocol's canonical policy is used — spray for the
+  /// receiver-driven designs, per-flow ECMP for the window-based family and
+  /// Fastpass — exactly the pre-lb_policy behaviour. Campaigns set an
+  /// explicit policy to sweep the survivability grid.
+  bool lb_policy_auto = true;
+  net::LbPolicy lb_policy = net::LbPolicy::kSpray;
+  Time flowlet_gap = us(5);  ///< NetConfig::flowlet_gap (flowlet policy only)
   /// FaultPlan spec executed against the topology (empty = no faults); the
   /// `--faults` grammar of sim/fault/fault_plan.h. Wildcard targets and
   /// `rand:` bursts resolve from `fault_seed`, never the workload RNG.
@@ -101,6 +123,7 @@ struct ExperimentConfig {
   proto::HpccConfig hpcc;
   proto::DctcpConfig dctcp;
   proto::TcpConfig tcp;
+  proto::FastpassConfig fastpass;
 };
 
 struct ExperimentResult {

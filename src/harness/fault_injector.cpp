@@ -163,6 +163,79 @@ void FaultInjector::install_targeted(const fault::FaultEvent& ev) {
   rules_.push_back(rule);
 }
 
+void FaultInjector::install_gray(const fault::FaultEvent& ev) {
+  const bool wildcard = is_wildcard_target(ev.target);
+  net::Device* dev = pick_device(ev.target);
+  for (net::Port* port : pick_ports(*dev, ev, wildcard)) {
+    const double rate = ev.rate;
+    // Same capture-at-open discipline as install_loss, on the gray knob:
+    // the link raises no down signal, packets just silently vanish at this
+    // rate (attributed as DropReason::kGrayLoss).
+    auto saved = std::make_shared<double>(0.0);
+    net_.sim().schedule_at(ev.start, [port, rate, saved] {
+      *saved = port->mutable_config().gray_loss_rate;
+      port->mutable_config().gray_loss_rate = rate;
+    });
+    net_.sim().schedule_at(ev.end(), [port, saved] {
+      port->mutable_config().gray_loss_rate = *saved;
+    });
+  }
+}
+
+void FaultInjector::install_degrade(const fault::FaultEvent& ev) {
+  const bool wildcard = is_wildcard_target(ev.target);
+  net::Device* dev = pick_device(ev.target);
+  for (net::Port* port : pick_ports(*dev, ev, wildcard)) {
+    const double fraction = ev.rate;
+    // A browned-out link runs slow in both directions; serialization times
+    // pick up the new rate per packet, so no Port machinery changes.
+    for (net::Port* side : {port, port->reverse()}) {
+      if (side == nullptr) continue;
+      auto saved = std::make_shared<BitsPerSec>();
+      net_.sim().schedule_at(ev.start, [side, fraction, saved] {
+        *saved = side->mutable_config().rate;
+        side->mutable_config().rate = *saved * fraction;
+      });
+      net_.sim().schedule_at(ev.end(), [side, saved] {
+        side->mutable_config().rate = *saved;
+      });
+    }
+  }
+  degrade_windows_.push_back(fault::FaultWindow{ev.start, ev.end()});
+}
+
+void FaultInjector::install_srlg(const fault::FaultEvent& ev) {
+  SrlgGroup group;
+  group.name = ev.target;
+  group.start = ev.start;
+  group.end = ev.end();
+  for (const std::string& member : ev.members) {
+    // Member grammar mirrors flap targets: name[.port], wildcards allowed.
+    fault::FaultEvent m;
+    m.target = member;
+    const auto dot = member.rfind('.');
+    if (dot != std::string::npos && dot + 1 < member.size() &&
+        member.find_first_not_of("0123456789", dot + 1) ==
+            std::string::npos) {
+      m.port = std::stoi(member.substr(dot + 1));
+      m.target = member.substr(0, dot);
+    }
+    const bool wildcard = is_wildcard_target(m.target);
+    net::Device* dev = pick_device(m.target);
+    for (net::Port* port : pick_ports(*dev, m, wildcard)) {
+      net_.sim().schedule_at(ev.start, [port] { port->set_link_up(false); });
+      net_.sim().schedule_at(ev.end(), [port] { port->set_link_up(true); });
+      group.ports.push_back(port);
+      if (net::Port* rev = port->reverse()) {
+        net_.sim().schedule_at(ev.start, [rev] { rev->set_link_up(false); });
+        net_.sim().schedule_at(ev.end(), [rev] { rev->set_link_up(true); });
+        group.ports.push_back(rev);
+      }
+    }
+  }
+  srlg_groups_.push_back(std::move(group));
+}
+
 bool FaultInjector::targeted_drop(const net::Packet& p,
                                   net::Port& port) const {
   const TimePoint now = net_.sim().now();
@@ -198,9 +271,79 @@ void FaultInjector::install_event(const fault::FaultEvent& ev) {
     case fault::FaultKind::TargetedDrop:
       install_targeted(ev);
       break;
+    case fault::FaultKind::GrayLoss:
+      install_gray(ev);
+      break;
+    case fault::FaultKind::Degrade:
+      install_degrade(ev);
+      break;
+    case fault::FaultKind::Srlg:
+      install_srlg(ev);
+      break;
     case fault::FaultKind::RandomBurst:
       DCPIM_CHECK(false, "bursts are expanded before install");
       break;
+  }
+}
+
+void FaultInjector::install_gray_observers() {
+  bool any_gray = false;
+  for (const auto& ev : plan_.events) {
+    if (ev.kind == fault::FaultKind::GrayLoss) any_gray = true;
+  }
+  if (any_gray || !srlg_groups_.empty()) {
+    net_.add_drop_observer([this](const net::Packet& p, const net::Port& port,
+                                  net::DropReason reason) {
+      if (reason == net::DropReason::kGrayLoss) {
+        ++gray_drops_;
+        if (!first_retransmit_seen_ && !p.control) {
+          // Remember every silently-lost data packet (earliest drop per
+          // (flow, seq)); the inject observer below waits for any of them
+          // to reappear on the wire.
+          const std::uint64_t key = (p.flow_id << 32) ^ p.seq;
+          auto it = gray_pending_.find(key);
+          if (it == gray_pending_.end()) {
+            gray_pending_[key] = net_.sim().now();
+          }
+        }
+      } else if (reason == net::DropReason::kLinkDown &&
+                 !srlg_groups_.empty()) {
+        const TimePoint now = net_.sim().now();
+        for (SrlgGroup& g : srlg_groups_) {
+          if (now < g.start || now >= g.end) continue;
+          for (const net::Port* member : g.ports) {
+            if (member == &port) {
+              ++g.drops;
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  if (any_gray) {
+    net_.add_inject_observer([this](const net::Packet& p) {
+      if (first_retransmit_seen_ || p.control || gray_pending_.empty()) {
+        return;
+      }
+      const std::uint64_t key = (p.flow_id << 32) ^ p.seq;
+      const auto it = gray_pending_.find(key);
+      if (it != gray_pending_.end()) {
+        first_retransmit_seen_ = true;
+        time_to_first_retransmit_ = net_.sim().now() - it->second;
+        gray_pending_.clear();
+      }
+    });
+  }
+  if (!degrade_windows_.empty()) {
+    std::sort(degrade_windows_.begin(), degrade_windows_.end(),
+              [](const fault::FaultWindow& a, const fault::FaultWindow& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.end < b.end;
+              });
+    net_.add_payload_observer([this](Bytes fresh, TimePoint at) {
+      if (in_degrade_window(at)) bytes_during_degrade_ += fresh;
+    });
   }
 }
 
@@ -212,6 +355,7 @@ void FaultInjector::install() {
     install_event(ev);
     LOG_DEBUG("fault: %s", fault::describe(ev).c_str());
   }
+  install_gray_observers();
   if (!rules_.empty()) {
     net_.set_fault_filter([this](const net::Packet& p, net::Port& port) {
       return targeted_drop(p, port);
@@ -235,6 +379,14 @@ void FaultInjector::install() {
 
 bool FaultInjector::in_fault_window(TimePoint at) const {
   for (const auto& w : windows_) {
+    if (at >= w.start && at < w.end) return true;
+    if (w.start > at) break;  // sorted by start
+  }
+  return false;
+}
+
+bool FaultInjector::in_degrade_window(TimePoint at) const {
+  for (const auto& w : degrade_windows_) {
     if (at >= w.start && at < w.end) return true;
     if (w.start > at) break;  // sorted by start
   }
@@ -306,6 +458,34 @@ fault::RecoveryStats FaultInjector::recovery(double capacity_bps) const {
   if (capacity_bytes_per_sec > 0 && tail_sec > 0) {
     stats.goodput_after_faults =
         fratio(bytes_after_, Bytes{1}) / (capacity_bytes_per_sec * tail_sec);
+  }
+
+  // Gray-failure outcomes (all zero / empty unless such faults ran).
+  stats.gray_drops = gray_drops_;
+  stats.time_to_first_retransmit = time_to_first_retransmit_;
+  TimePoint degrade_until =
+      degrade_windows_.empty() ? TimePoint{} : degrade_windows_[0].start;
+  for (const auto& w : degrade_windows_) {
+    const TimePoint from = std::max(w.start, degrade_until);
+    if (w.end > from) {
+      stats.degrade_active += w.end - from;
+      degrade_until = w.end;
+    }
+  }
+  const double degrade_sec = to_sec(stats.degrade_active);
+  if (capacity_bytes_per_sec > 0 && degrade_sec > 0) {
+    stats.goodput_during_degrade = fratio(bytes_during_degrade_, Bytes{1}) /
+                                   (capacity_bytes_per_sec * degrade_sec);
+  }
+  for (const SrlgGroup& g : srlg_groups_) {
+    fault::RecoveryStats::SrlgOutcome out;
+    out.name = g.name;
+    out.member_ports = g.ports.size();
+    out.drops = g.drops;
+    for (const auto& f : net_.flows()) {
+      if (!f->finished() && f->start_time < g.end) ++out.flows_stalled;
+    }
+    stats.srlg.push_back(std::move(out));
   }
   return stats;
 }

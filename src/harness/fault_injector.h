@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/network.h"
@@ -67,11 +68,28 @@ class FaultInjector {
   static constexpr int kControlOnly = -3;
   static constexpr int kDataOnly = -4;
 
+  /// A resolved shared-risk group: the concrete ports the group took down
+  /// and the window it owned them, accumulated into per-group attribution
+  /// by the drop observer.
+  struct SrlgGroup {
+    std::string name;
+    TimePoint start{};
+    TimePoint end{};
+    std::vector<const net::Port*> ports;
+    std::uint64_t drops = 0;
+  };
+
   void install_event(const sim::fault::FaultEvent& ev);
   void install_flap(const sim::fault::FaultEvent& ev);
   void install_loss(const sim::fault::FaultEvent& ev);
   void install_stall(const sim::fault::FaultEvent& ev);
   void install_targeted(const sim::fault::FaultEvent& ev);
+  void install_gray(const sim::fault::FaultEvent& ev);
+  void install_degrade(const sim::fault::FaultEvent& ev);
+  void install_srlg(const sim::fault::FaultEvent& ev);
+  /// Observers for gray-failure attribution (gray drop counting, first
+  /// retransmit timing, per-SRLG drop attribution, degrade-window goodput).
+  void install_gray_observers();
   bool targeted_drop(const net::Packet& p, net::Port& port) const;
 
   /// Devices whose name matches `pattern` (exact, or prefix wildcard
@@ -86,6 +104,7 @@ class FaultInjector {
                                      bool wildcard_target);
 
   bool in_fault_window(TimePoint at) const;
+  bool in_degrade_window(TimePoint at) const;
 
   net::Network& net_;
   sim::fault::FaultPlan plan_;
@@ -97,6 +116,19 @@ class FaultInjector {
   TimePoint last_window_end_{};
   Bytes bytes_during_{};  ///< payload delivered inside fault windows
   Bytes bytes_after_{};   ///< payload delivered after the last window
+
+  // --- gray-failure attribution state (see install_gray_observers) ----------
+  std::vector<sim::fault::FaultWindow> degrade_windows_;  ///< sorted by start
+  Bytes bytes_during_degrade_{};
+  std::vector<SrlgGroup> srlg_groups_;
+  std::uint64_t gray_drops_ = 0;
+  /// Silently-dropped data packets awaiting their retransmit: (flow, seq)
+  /// key -> drop instant. The first re-injection of any such pair closes
+  /// the measurement (a single tracked packet would be fragile: a gray-
+  /// dropped *duplicate* is never re-sent). Cleared once measured.
+  std::unordered_map<std::uint64_t, TimePoint> gray_pending_;
+  bool first_retransmit_seen_ = false;
+  Time time_to_first_retransmit_{};
 };
 
 /// True if `pattern` is a wildcard (`*` suffix or bare `*`).

@@ -15,7 +15,9 @@ std::string csv_header() {
          "bdp_bytes,data_rtt_us,control_rtt_us,audit_checks,audit_violations,"
          "fault_events,injected_drops,recovery_actions,flows_stalled,"
          "fault_active_us,mean_recovery_us,max_recovery_us,"
-         "goodput_during_faults,goodput_after_faults";
+         "goodput_during_faults,goodput_after_faults,"
+         "gray_drops,time_to_first_retx_us,degrade_active_us,"
+         "goodput_during_degrade,srlg_groups,srlg_drops,srlg_flows_stalled";
 }
 
 std::string format_recovery_stats(const sim::fault::RecoveryStats& r) {
@@ -28,6 +30,18 @@ std::string format_recovery_stats(const sim::fault::RecoveryStats& r) {
      << " us, " << r.flows_stalled << " flow(s) stalled\n"
      << "  goodput: " << r.goodput_during_faults << " during, "
      << r.goodput_after_faults << " after\n";
+  if (r.gray_drops > 0 || r.time_to_first_retransmit > Time{}) {
+    os << "  gray: " << r.gray_drops << " silent drop(s), first retransmit "
+       << to_us(r.time_to_first_retransmit) << " us after loss\n";
+  }
+  if (r.degrade_active > Time{}) {
+    os << "  degrade: active " << to_us(r.degrade_active) << " us, goodput "
+       << r.goodput_during_degrade << " during\n";
+  }
+  for (const auto& g : r.srlg) {
+    os << "  srlg " << g.name << ": " << g.member_ports << " port(s), "
+       << g.drops << " drop(s), " << g.flows_stalled << " flow(s) stalled\n";
+  }
   return os.str();
 }
 
@@ -70,7 +84,18 @@ std::string to_csv_row(const ReportRow& row) {
      << to_us(r.recovery.mean_recovery) << ','
      << to_us(r.recovery.max_recovery) << ','
      << r.recovery.goodput_during_faults << ','
-     << r.recovery.goodput_after_faults;
+     << r.recovery.goodput_after_faults << ','
+     << r.recovery.gray_drops << ','
+     << to_us(r.recovery.time_to_first_retransmit) << ','
+     << to_us(r.recovery.degrade_active) << ','
+     << r.recovery.goodput_during_degrade << ',';
+  std::uint64_t srlg_drops = 0;
+  std::uint64_t srlg_stalled = 0;
+  for (const auto& g : r.recovery.srlg) {
+    srlg_drops += g.drops;
+    srlg_stalled += g.flows_stalled;
+  }
+  os << r.recovery.srlg.size() << ',' << srlg_drops << ',' << srlg_stalled;
   return os.str();
 }
 
@@ -137,6 +162,19 @@ std::string result_fingerprint(const ExperimentResult& r) {
   os << ",goodput_after=";
   append_exact(os, r.recovery.goodput_after_faults);
   os << " injected_drops_total=" << r.injected_drops;
+  if (r.recovery.enabled) {
+    // Gray/SRLG extension, gated on a fault plan having run: clean-network
+    // fingerprints must stay byte-identical across this feature's life.
+    os << "\ngray:drops=" << r.recovery.gray_drops
+       << ",first_retx=" << r.recovery.time_to_first_retransmit
+       << ",degrade_active=" << r.recovery.degrade_active
+       << ",goodput_during_degrade=";
+    append_exact(os, r.recovery.goodput_during_degrade);
+    for (const auto& g : r.recovery.srlg) {
+      os << "\nsrlg:" << g.name << "=ports:" << g.member_ports
+         << ",drops:" << g.drops << ",stalled:" << g.flows_stalled;
+    }
+  }
   os << "\naudit:enabled=" << r.audit.enabled << ",sweeps=" << r.audit.sweeps
      << ",checks=" << r.audit.checks
      << ",violations_total=" << r.audit.violations_total << "\n";

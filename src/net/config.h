@@ -3,12 +3,26 @@
 
 #include <cstdint>
 
+#include "util/check.h"
 #include "util/time.h"
 #include "util/units.h"
 
 namespace dcpim::net {
 
 inline constexpr int kNumPriorities = 8;
+
+/// How a switch spreads a multi-path destination across its equal-cost
+/// next hops (Switch::select_egress). Spray and EcmpFlow reproduce the
+/// paper's two forwarding modes; Flowlet and EcmpWeighted are the
+/// survivability study's degraded-topology policies (ROADMAP item 5).
+enum class LbPolicy {
+  kSpray,         ///< per-packet uniform random (workload RNG, paper default)
+  kEcmpFlow,      ///< static per-flow hash
+  kFlowlet,       ///< per-flow hash, re-drawn after an idle gap (flowlet_gap)
+  kEcmpWeighted,  ///< per-packet draw weighted by current egress link rates
+};
+
+const char* to_string(LbPolicy policy);
 
 /// Per-egress-port behaviour knobs. Defaults model a commodity
 /// shared-buffer switch port as in Table 1; protocols flip individual
@@ -40,6 +54,11 @@ struct PortConfig {
 
   /// Random loss injection for failure tests (probability per packet).
   double loss_rate = 0.0;
+
+  /// Gray failure: silent Bernoulli loss (probability per packet) that
+  /// raises no link-down signal and is attributed as DropReason::kGrayLoss
+  /// rather than kInjectedLoss. Driven by FaultKind::GrayLoss windows.
+  double gray_loss_rate = 0.0;
 };
 
 /// Network-wide constants.
@@ -49,7 +68,11 @@ struct NetConfig {
   Bytes control_packet_bytes{64};  ///< wire size of control packets
   Time switch_latency = ns(450);  ///< per-switch processing delay (Table 1)
   Time host_latency = ns(500);    ///< end-host ingress (NIC/stack) delay
-  bool packet_spraying = true;    ///< per-packet uniform ECMP; else per-flow
+  /// Multi-path forwarding policy (replaces the old `packet_spraying`
+  /// boolean; see the deprecation shim below).
+  LbPolicy lb_policy = LbPolicy::kSpray;
+  /// Flowlet policy only: idle gap after which a flow's next hop re-draws.
+  Time flowlet_gap = us(5);
   /// Recycle data packets through the Network's PacketPool instead of
   /// heap-allocating each one. Behaviour-invariant by contract (results must
   /// fingerprint identically either way); off exists for that A/B check and
@@ -58,6 +81,19 @@ struct NetConfig {
   std::uint64_t seed = 1;
 
   Bytes mtu_wire() const { return mtu_payload + header_bytes; }
+
+  /// Deprecation shim for the retired `packet_spraying` boolean: maps the
+  /// old two-mode world onto LbPolicy. Refuses to run once a non-legacy
+  /// policy is configured — a stale boolean caller must not silently undo a
+  /// flowlet/weighted selection. New code sets `lb_policy` directly
+  /// (lint_dcpim's packet-spraying rule flags fresh uses of this shim).
+  void set_packet_spraying(bool spraying) {
+    DCPIM_CHECK(lb_policy == LbPolicy::kSpray ||
+                    lb_policy == LbPolicy::kEcmpFlow,
+                "set_packet_spraying: lb_policy already set to a non-legacy "
+                "policy; configure NetConfig::lb_policy instead");
+    lb_policy = spraying ? LbPolicy::kSpray : LbPolicy::kEcmpFlow;
+  }
 };
 
 }  // namespace dcpim::net

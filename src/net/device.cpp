@@ -33,6 +33,7 @@ const char* to_string(DropReason reason) {
     case DropReason::kLinkDown: return "link-down";
     case DropReason::kInjectedLoss: return "injected-loss";
     case DropReason::kTargetedFault: return "targeted-fault";
+    case DropReason::kGrayLoss: return "gray-loss";
   }
   return "?";
 }
@@ -83,6 +84,12 @@ void Port::enqueue(PacketPtr p) {
   // sequences anywhere else (sweep determinism, DESIGN.md §11).
   if (cfg_.loss_rate > 0.0 && fault_rng_.bernoulli(cfg_.loss_rate)) {
     drop_packet(std::move(p), DropReason::kInjectedLoss);
+    return;
+  }
+  // Gray failure: same fault-RNG isolation, but attributed separately —
+  // the link reports up, nothing pauses, the packet just vanishes.
+  if (cfg_.gray_loss_rate > 0.0 && fault_rng_.bernoulli(cfg_.gray_loss_rate)) {
+    drop_packet(std::move(p), DropReason::kGrayLoss);
     return;
   }
 

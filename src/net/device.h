@@ -35,13 +35,15 @@ enum class DropReason {
   kLinkDown,        ///< port link administratively down (set_link_up)
   kInjectedLoss,    ///< Bernoulli loss window (PortConfig::loss_rate)
   kTargetedFault,   ///< FaultPlan targeted drop (Network fault filter)
+  kGrayLoss,        ///< silent gray failure (PortConfig::gray_loss_rate)
 };
 
 /// True for drops caused by injected faults rather than protocol behavior.
 constexpr bool is_injected_drop(DropReason reason) {
   return reason == DropReason::kLinkDown ||
          reason == DropReason::kInjectedLoss ||
-         reason == DropReason::kTargetedFault;
+         reason == DropReason::kTargetedFault ||
+         reason == DropReason::kGrayLoss;
 }
 
 const char* to_string(DropReason reason);

@@ -6,8 +6,57 @@
 
 namespace dcpim::net {
 
+namespace {
+
+/// Per-switch seed for the LB RNG stream. Same SplitMix64 shape as the port
+/// fault streams, but a different salt constant keeps the two families of
+/// streams disjoint even for the same (seed, device) coordinates.
+std::uint64_t lb_stream_seed(std::uint64_t net_seed, int device_id) {
+  std::uint64_t z =
+      net_seed ^ (0xD1B54A32D192ED03ull +
+                  (static_cast<std::uint64_t>(device_id + 1) << 23));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* to_string(LbPolicy policy) {
+  switch (policy) {
+    case LbPolicy::kSpray: return "spray";
+    case LbPolicy::kEcmpFlow: return "ecmp_flow";
+    case LbPolicy::kFlowlet: return "flowlet";
+    case LbPolicy::kEcmpWeighted: return "ecmp_weighted";
+  }
+  return "?";
+}
+
 Switch::Switch(Network& net, std::string name)
     : Device(net, Kind::Switch, std::move(name)) {}
+
+/// Rate-weighted ECMP: the draw probability of each candidate follows its
+/// *current* egress rate, so degraded links attract proportionally less
+/// traffic and downed links none — modelling a telemetry-informed LB.
+std::size_t Switch::weighted_pick(const std::vector<std::uint16_t>& cands) {
+  double total = 0;
+  for (const std::uint16_t c : cands) {
+    const Port& port = *ports[c];
+    if (port.link_up()) total += fratio(port.config().rate, kGbps);
+  }
+  if (total <= 0.0) {
+    // Everything down or rate-less: uniform, the packet drops at the port.
+    return lb_rng_.uniform_int(cands.size());
+  }
+  double draw = lb_rng_.uniform() * total;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const Port& port = *ports[cands[i]];
+    if (!port.link_up()) continue;
+    draw -= fratio(port.config().rate, kGbps);
+    if (draw < 0.0) return i;
+  }
+  return cands.size() - 1;  // fp rounding spill-over
+}
 
 Port* Switch::select_egress(const Packet& p) {
   DCPIM_CHECK(p.dst >= 0 && static_cast<std::size_t>(p.dst) < next_hops_.size(),
@@ -16,13 +65,37 @@ Port* Switch::select_egress(const Packet& p) {
   DCPIM_CHECK(!cands.empty(), "no route to destination");
   std::size_t pick = 0;
   if (cands.size() > 1) {
-    if (network().config().packet_spraying) {
-      pick = network().rng().uniform_int(cands.size());
-    } else {
-      // Per-flow ECMP: stable hash of the flow id.
-      std::uint64_t h = p.flow_id * 0x9E3779B97F4A7C15ull;
-      h ^= h >> 29;
-      pick = h % cands.size();
+    switch (network().config().lb_policy) {
+      case LbPolicy::kSpray:
+        // Workload-RNG draw, exactly as the paper's per-packet spraying has
+        // always worked here — clean-run fingerprints depend on this stream
+        // assignment staying put.
+        pick = network().rng().uniform_int(cands.size());
+        break;
+      case LbPolicy::kEcmpFlow: {
+        // Per-flow ECMP: stable hash of the flow id.
+        std::uint64_t h = p.flow_id * 0x9E3779B97F4A7C15ull;
+        h ^= h >> 29;
+        pick = h % cands.size();
+        break;
+      }
+      case LbPolicy::kFlowlet: {
+        // A gap of flowlet_gap since this flow's last packet here re-draws
+        // its path; inside a burst the pick is sticky (packet order holds).
+        FlowletState& st = flowlet_[p.flow_id];
+        const TimePoint now = network().sim().now();
+        if (!st.valid || now - st.last >= network().config().flowlet_gap) {
+          st.pick =
+              static_cast<std::uint16_t>(lb_rng_.uniform_int(cands.size()));
+          st.valid = true;
+        }
+        st.last = now;
+        pick = st.pick % cands.size();
+        break;
+      }
+      case LbPolicy::kEcmpWeighted:
+        pick = weighted_pick(cands);
+        break;
     }
   }
   return ports[cands[pick]].get();
@@ -31,6 +104,10 @@ Port* Switch::select_egress(const Packet& p) {
 void Switch::on_port_added(Port& /*port*/) {
   ingress_bytes_.resize(ports.size(), Bytes{});
   ingress_paused_.resize(ports.size(), false);
+  // Topology-build time: the device id is assigned by now (it is -1 during
+  // construction) and no LB draw has happened yet, so reseeding per added
+  // port is deterministic and idempotent in effect.
+  lb_rng_.reseed(lb_stream_seed(network().config().seed, device_id()));
 }
 
 void Switch::pfc_account_arrival(Packet& p, Port* in) {

@@ -1,17 +1,23 @@
 // Output-queued switch with shortest-path ECMP routing and optional PFC.
 //
 // Routing tables are next-hop candidate lists per destination host,
-// computed by the topology builder (BFS over the device graph). With packet
-// spraying enabled a uniform-random candidate is chosen per packet;
-// otherwise a flow hash picks a stable candidate (per-flow ECMP).
+// computed by the topology builder (BFS over the device graph). Among
+// multiple candidates, NetConfig::lb_policy picks the egress: per-packet
+// spray (workload RNG, the paper default), a stable per-flow hash, flowlet
+// re-hashing after an idle gap, or a rate-weighted draw that follows
+// currently-degraded links. Flowlet and weighted draws consume a dedicated
+// per-switch LB RNG stream so enabling them cannot perturb workload
+// arrivals (same isolation contract as the port fault streams).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/device.h"
 #include "net/network.h"
+#include "util/rng.h"
 
 namespace dcpim::net {
 
@@ -53,13 +59,28 @@ class Switch : public Device {
   std::uint64_t pfc_pauses_sent = 0;
 
  private:
+  /// Flowlet policy state: the sticky egress pick and the last time this
+  /// flow sent through here. Looked up by flow id (never iterated).
+  struct FlowletState {
+    std::uint16_t pick = 0;
+    bool valid = false;
+    TimePoint last{};
+  };
+
   Port* select_egress(const Packet& p);
+  std::size_t weighted_pick(const std::vector<std::uint16_t>& cands);
   void pfc_account_arrival(Packet& p, Port* in);
   void pfc_update(int ingress_index);
 
   std::vector<std::vector<std::uint16_t>> next_hops_;
   std::vector<Bytes> ingress_bytes_;
   std::vector<bool> ingress_paused_;
+  /// LB RNG stream, disjoint from the workload RNG and the per-port fault
+  /// streams; seeded from (network seed, device id) at topology-build time
+  /// (on_port_added — the device id is not assigned yet in the
+  /// constructor).
+  Rng lb_rng_;
+  std::unordered_map<std::uint64_t, FlowletState> flowlet_;
 };
 
 }  // namespace dcpim::net

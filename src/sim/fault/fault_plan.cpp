@@ -79,6 +79,35 @@ double parse_rate(const std::string& item, const std::string& text) {
   return rate;
 }
 
+/// Degrade keeps a *strict* fraction of the link rate: 1 would be a no-op
+/// and 0 is a blackhole wearing a disguise — both are spec bugs.
+double parse_fraction(const std::string& item, const std::string& text) {
+  const double frac = parse_number(item, text, "fraction");
+  if (frac <= 0.0 || frac >= 1.0) {
+    bad_spec(item, "fraction must be in (0, 1)");
+  }
+  return frac;
+}
+
+/// Splits an SRLG member list on '+' or ',' ('+' is canonical: campaign
+/// sweep axes split cell values on commas, so canonical specs must not
+/// contain any).
+std::vector<std::string> parse_members(const std::string& item,
+                                       const std::string& text) {
+  std::vector<std::string> members;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto sep = text.find_first_of("+,", pos);
+    const std::string member = trim(
+        text.substr(pos, sep == std::string::npos ? sep : sep - pos));
+    if (member.empty()) bad_spec(item, "empty srlg member");
+    members.push_back(member);
+    if (sep == std::string::npos) break;
+    pos = sep + 1;
+  }
+  return members;
+}
+
 FaultEvent parse_item(const std::string& item) {
   const auto colon = item.find(':');
   if (colon == std::string::npos) {
@@ -118,6 +147,33 @@ FaultEvent parse_item(const std::string& item) {
     ev.kind = FaultKind::HostStall;
     parse_target(item, head, ev);
     if (ev.port >= 0) bad_spec(item, "stall takes a host, not a port");
+  } else if (verb == "gray") {
+    ev.kind = FaultKind::GrayLoss;
+    const auto sep = head.rfind(':');
+    if (sep == std::string::npos) {
+      bad_spec(item, "expected 'gray:<target>:<rate>@...'");
+    }
+    parse_target(item, head.substr(0, sep), ev);
+    ev.rate = parse_rate(item, head.substr(sep + 1));
+  } else if (verb == "degrade") {
+    ev.kind = FaultKind::Degrade;
+    const auto sep = head.rfind(':');
+    if (sep == std::string::npos) {
+      bad_spec(item, "expected 'degrade:<target>:<fraction>@...'");
+    }
+    parse_target(item, head.substr(0, sep), ev);
+    ev.rate = parse_fraction(item, head.substr(sep + 1));
+  } else if (verb == "srlg") {
+    ev.kind = FaultKind::Srlg;
+    const auto eq = head.find('=');
+    if (eq == std::string::npos) {
+      bad_spec(item, "expected 'srlg:<name>=<t1+t2+...>@...'");
+    }
+    ev.target = trim(head.substr(0, eq));
+    if (ev.target.empty()) bad_spec(item, "missing srlg name");
+    const std::string list = trim(head.substr(eq + 1));
+    if (list.empty()) bad_spec(item, "empty member list");
+    ev.members = parse_members(item, list);
   } else if (verb == "rand") {
     ev.kind = FaultKind::RandomBurst;
     ev.count = static_cast<int>(parse_number(item, head, "event count"));
@@ -177,13 +233,16 @@ FaultEvent random_event(TimePoint window_start, Time window_span,
   // Candidate kinds; random plans only ever target switches by wildcard
   // (plus host stalls), so any draw leaves the network recoverable once its
   // window closes — the property the chaos suite asserts.
-  FaultKind kinds[5];
+  FaultKind kinds[8];
   std::size_t n = 0;
   kinds[n++] = FaultKind::LinkFlap;
   kinds[n++] = FaultKind::LossWindow;
   if (opts.allow_targeted) kinds[n++] = FaultKind::TargetedDrop;
   if (opts.allow_stall) kinds[n++] = FaultKind::HostStall;
   if (opts.allow_blackhole) kinds[n++] = FaultKind::Blackhole;
+  if (opts.allow_gray) kinds[n++] = FaultKind::GrayLoss;
+  if (opts.allow_degrade) kinds[n++] = FaultKind::Degrade;
+  if (opts.allow_srlg) kinds[n++] = FaultKind::Srlg;
 
   FaultEvent ev;
   ev.kind = kinds[rng.uniform_int(n)];
@@ -215,6 +274,25 @@ FaultEvent random_event(TimePoint window_start, Time window_span,
       // even in-window traffic keeps a route.
       ev.target = "spine*";
       break;
+    case FaultKind::GrayLoss:
+      ev.target = rng.bernoulli(0.5) ? "leaf*" : "spine*";
+      // Gray loss is *silent*: rates are an order of magnitude below the
+      // loss-window cap, low enough that nothing trips a link-down path.
+      ev.rate = opts.max_gray_rate * (0.25 + 0.75 * rng.uniform());
+      break;
+    case FaultKind::Degrade:
+      ev.target = rng.bernoulli(0.5) ? "leaf*" : "spine*";
+      ev.rate = opts.min_degrade +
+                (opts.max_degrade - opts.min_degrade) * rng.uniform();
+      break;
+    case FaultKind::Srlg:
+      // Two correlated single-port failures, fabric-side wildcards only —
+      // like flap, every draw leaves the network recoverable.
+      ev.target = std::string("risk") +
+                  static_cast<char>('a' + rng.uniform_int(4));
+      ev.members.push_back(rng.bernoulli(0.5) ? "leaf*" : "spine*");
+      ev.members.push_back(rng.bernoulli(0.5) ? "leaf*" : "spine*");
+      break;
     case FaultKind::RandomBurst:
       break;  // unreachable: not in the candidate set
   }
@@ -230,6 +308,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::TargetedDrop: return "drop";
     case FaultKind::Blackhole: return "blackhole";
     case FaultKind::HostStall: return "stall";
+    case FaultKind::GrayLoss: return "gray";
+    case FaultKind::Degrade: return "degrade";
+    case FaultKind::Srlg: return "srlg";
     case FaultKind::RandomBurst: return "rand";
   }
   return "?";
@@ -293,11 +374,20 @@ std::string to_spec(const FaultPlan& plan) {
         out += format_target(ev);
         break;
       case FaultKind::LossWindow:
+      case FaultKind::GrayLoss:
+      case FaultKind::Degrade:
         out += format_target(ev) + ":" + format_rate(ev.rate);
         break;
       case FaultKind::TargetedDrop:
         out += ev.packet_kind;
         if (ev.rate < 1.0) out += ":" + format_rate(ev.rate);
+        break;
+      case FaultKind::Srlg:
+        out += ev.target + "=";
+        for (std::size_t i = 0; i < ev.members.size(); ++i) {
+          if (i > 0) out += "+";
+          out += ev.members[i];
+        }
         break;
       case FaultKind::RandomBurst:
         out += std::to_string(ev.count);
@@ -325,6 +415,17 @@ std::string describe(const FaultEvent& ev) {
       break;
     case FaultKind::HostStall:
       what = "stall " + ev.target;
+      break;
+    case FaultKind::GrayLoss:
+      what = "gray loss " + format_rate(ev.rate) + " on " + format_target(ev);
+      break;
+    case FaultKind::Degrade:
+      what = "degrade " + format_target(ev) + " to " + format_rate(ev.rate) +
+             " of rate";
+      break;
+    case FaultKind::Srlg:
+      what = "srlg " + ev.target + " (" +
+             std::to_string(ev.members.size()) + " members) down";
       break;
     case FaultKind::RandomBurst:
       what = std::to_string(ev.count) + " random events";

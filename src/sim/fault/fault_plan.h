@@ -19,6 +19,9 @@
 //   drop:<kind>[:<rate>]@<start>:<dur>     targeted drop by packet kind
 //   blackhole:<device>@<start>:<dur>       every port of a device goes down
 //   stall:<host>@<start>:<dur>             host NIC pauses (no loss)
+//   gray:<target>:<rate>@<start>:<dur>     silent Bernoulli loss, link stays up
+//   degrade:<target>:<frac>@<start>:<dur>  link runs at frac of its rate
+//   srlg:<name>=<t1+t2+...>@<start>:<dur>  named group, members fail together
 //   rand:<count>@<start>:<dur>             count random events in the window
 //
 // <target> is a device name (`leaf0`, `spine1`, `host3`), optionally with a
@@ -43,6 +46,9 @@ enum class FaultKind {
   TargetedDrop, ///< drop packets matching a kind name, network-wide
   Blackhole,    ///< every port of a device down (switch failure)
   HostStall,    ///< host NIC stops transmitting (no drops; models a pause)
+  GrayLoss,     ///< silent low-rate Bernoulli loss; no link-down signal
+  Degrade,      ///< link runs at a fraction of its rate (brownout/downshift)
+  Srlg,         ///< named shared-risk group: member links fail together
   RandomBurst,  ///< expands into `count` random concrete events
 };
 
@@ -60,12 +66,18 @@ struct FaultEvent {
   /// Port index on the target device; -1 = all ports of an exact device,
   /// or one RNG-chosen port of a wildcard device.
   int port = -1;
-  /// Loss probability for LossWindow / TargetedDrop (1.0 = drop all).
+  /// Loss probability for LossWindow / TargetedDrop / GrayLoss (1.0 = drop
+  /// all); for Degrade, the rate *fraction* the link keeps, in (0, 1).
   double rate = 1.0;
   /// Packet-kind name for TargetedDrop (see header comment).
   std::string packet_kind;
   /// Number of events a RandomBurst expands into.
   int count = 0;
+  /// Srlg only: member link targets (each a device name with optional
+  /// `.<port>` suffix, wildcards allowed). `target` holds the group name.
+  /// The canonical separator is '+' (parse also accepts ','), so canonical
+  /// specs survive campaign sweep-axis splitting on commas.
+  std::vector<std::string> members;
 
   TimePoint end() const { return start + duration; }
 };
@@ -106,9 +118,15 @@ struct RandomFaultOptions {
   Time min_duration = us(2);
   Time max_duration = us(40);
   double max_loss_rate = 0.5;   ///< cap for loss/targeted-drop rates
+  double max_gray_rate = 0.02;  ///< cap for silent gray-loss rates
+  double min_degrade = 0.1;     ///< degraded links keep at least this fraction
+  double max_degrade = 0.5;     ///< ... and at most this fraction of rate
   bool allow_stall = true;
   bool allow_blackhole = true;
   bool allow_targeted = true;
+  bool allow_gray = true;
+  bool allow_degrade = true;
+  bool allow_srlg = true;
 };
 
 /// Expands every RandomBurst in `plan` into concrete wildcard events drawn
@@ -148,6 +166,26 @@ struct RecoveryStats {
   /// the pattern's aggregate receiver capacity over the same span.
   double goodput_during_faults = 0;
   double goodput_after_faults = 0;
+
+  // --- gray-failure outcomes (zero / empty unless such faults were planned) —
+  /// Packets silently killed by GrayLoss windows.
+  std::uint64_t gray_drops = 0;
+  /// Time from the first silent gray drop of a data packet until the sender
+  /// re-injected that same (flow, seq) — how long the loss stayed invisible.
+  /// Zero when no gray drop was ever retransmitted.
+  Time time_to_first_retransmit{};
+  /// Union of Degrade windows on the clock, and the goodput fraction the
+  /// pattern retained inside them (same capacity normalization as above).
+  Time degrade_active{};
+  double goodput_during_degrade = 0;
+  /// Per-SRLG attribution: what each named shared-risk group cost.
+  struct SrlgOutcome {
+    std::string name;
+    std::uint64_t member_ports = 0;  ///< concrete ports the group took down
+    std::uint64_t drops = 0;         ///< link-down drops on member ports
+    std::uint64_t flows_stalled = 0; ///< flows caught by the group, unfinished
+  };
+  std::vector<SrlgOutcome> srlg;
 };
 
 }  // namespace dcpim::sim::fault

@@ -69,4 +69,45 @@ void audited_default(FixtureKind k) {
   }
 }
 
+// --- grown-enum corpus -------------------------------------------------------
+// Mirrors the FaultKind gray-failure extension: kFixGray/kFixSrlg were
+// appended to an enum whose consumers predate them. A switch written
+// against the legacy verbs must fire (planted below); the consumer that
+// learned the new enumerators must stay silent.
+
+enum FixtureFaultKind : int {
+  kFixFlap = 0,
+  kFixBlackhole,
+  kFixGray,
+  kFixSrlg,
+};
+
+void legacy_consumer(FixtureFaultKind k) {
+  switch (k) {  // planted: kFixGray and kFixSrlg unhandled, no default
+    case kFixFlap:
+      sink = 10;
+      break;
+    case kFixBlackhole:
+      sink = 11;
+      break;
+  }
+}
+
+void updated_consumer(FixtureFaultKind k) {
+  switch (k) {
+    case kFixFlap:
+      sink = 12;
+      break;
+    case kFixBlackhole:
+      sink = 13;
+      break;
+    case kFixGray:
+      sink = 14;
+      break;
+    case kFixSrlg:
+      sink = 15;
+      break;
+  }
+}
+
 }  // namespace fixture

@@ -97,6 +97,27 @@ TEST(ChaosPropertyTest, FixedSeedSmokeIsDeterministic) {
             harness::result_fingerprint(harness::run_experiment(cfg)));
 }
 
+TEST(ChaosPropertyTest, FixedSeedGraySrlgSmoke) {
+  // Gray-failure classes under an explicit plan (no RandomBurst draw): a
+  // silent loss window, a correlated shared-risk outage of both spines,
+  // and a brownout — every protocol must drain clean after all three.
+  // Picked up by the CI sanitizer lanes' FixedSeed* filter.
+  for (Protocol p : {Protocol::Dcpim, Protocol::Ndp, Protocol::Homa}) {
+    ExperimentConfig cfg = chaos_config(p, /*seed=*/2026);
+    cfg.faults =
+        "gray:leaf*:0.02@20us:120us;srlg:power=spine0+spine1@60us:40us;"
+        "degrade:leaf*:0.3@30us:100us";
+    const ExperimentResult res = harness::run_experiment(cfg);
+    expect_recovered(cfg, res);
+    SCOPED_TRACE(harness::to_string(p));
+    EXPECT_EQ(res.recovery.degrade_active, us(100));
+    ASSERT_EQ(res.recovery.srlg.size(), 1u);
+    EXPECT_EQ(res.recovery.srlg[0].name, "power");
+    EXPECT_GT(res.recovery.srlg[0].member_ports, 0u);
+    EXPECT_EQ(res.recovery.srlg[0].flows_stalled, 0u);
+  }
+}
+
 // ---- the full randomized property run ---------------------------------------
 
 TEST(ChaosPropertyTest, RandomizedPlansAcrossAllProtocols) {

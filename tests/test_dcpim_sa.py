@@ -36,6 +36,7 @@ GOLDEN = {
     ("determinism", "fixture_determinism.cpp", 46),   # unordered range-for
     ("packet-switch", "fixture_switch.cpp", 20),      # kFixAck, no default
     ("packet-switch", "fixture_switch.cpp", 31),      # kFixNack behind default
+    ("packet-switch", "fixture_switch.cpp", 86),      # grown enum, legacy switch
     ("hot-alloc", "fixture_hotalloc.cpp", 28),        # push_back under sa-hot
     ("hot-alloc", "fixture_hotalloc.cpp", 29),        # new under sa-hot
     ("unit-raw", "fixture_unitraw.cpp", 22),          # direct .raw()
@@ -124,7 +125,7 @@ class FixtureCorpusTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertEqual({f["rule"] for f in report["findings"]},
                          {"packet-switch"})
-        self.assertEqual(len(report["findings"]), 2)
+        self.assertEqual(len(report["findings"]), 3)
 
     def test_call_paths_reported(self):
         _, report = self.run_on_fixtures()

@@ -109,7 +109,7 @@ TEST(LinkFailureTest, NdpSurvivesSpineLinkFlap) {
 
 TEST(LinkFailureTest, TcpSurvivesAccessLinkFlap) {
   net::NetConfig ncfg;
-  ncfg.packet_spraying = false;
+  ncfg.lb_policy = net::LbPolicy::kEcmpFlow;
   net::Network net(ncfg);
   proto::TcpConfig cfg;
   auto topo = net::Topology::leaf_spine(net, small_topo(),

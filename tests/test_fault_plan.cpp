@@ -89,6 +89,50 @@ TEST(FaultSpecTest, RoundTripsThroughToSpec) {
   EXPECT_EQ(fault::to_spec(fault::parse_fault_spec(canonical)), canonical);
 }
 
+TEST(FaultSpecTest, ParsesGrayDegradeSrlg) {
+  const fault::FaultPlan plan = fault::parse_fault_spec(
+      "gray:leaf0.2:0.01@30us:40us;degrade:spine*:0.25@50us:20us;"
+      "srlg:riska=leaf0+spine1.0@60us:10us");
+  ASSERT_EQ(plan.events.size(), 3u);
+
+  const fault::FaultEvent& gray = plan.events[0];
+  EXPECT_EQ(gray.kind, fault::FaultKind::GrayLoss);
+  EXPECT_EQ(gray.target, "leaf0");
+  EXPECT_EQ(gray.port, 2);
+  EXPECT_DOUBLE_EQ(gray.rate, 0.01);
+
+  const fault::FaultEvent& degrade = plan.events[1];
+  EXPECT_EQ(degrade.kind, fault::FaultKind::Degrade);
+  EXPECT_EQ(degrade.target, "spine*");
+  EXPECT_DOUBLE_EQ(degrade.rate, 0.25);
+
+  const fault::FaultEvent& srlg = plan.events[2];
+  EXPECT_EQ(srlg.kind, fault::FaultKind::Srlg);
+  EXPECT_EQ(srlg.target, "riska");  // group name, not a device
+  ASSERT_EQ(srlg.members.size(), 2u);
+  EXPECT_EQ(srlg.members[0], "leaf0");
+  EXPECT_EQ(srlg.members[1], "spine1.0");
+}
+
+TEST(FaultSpecTest, SrlgAcceptsCommaMembersButCanonicalizesToPlus) {
+  // ',' parses (hand-written specs) but the canonical form is '+', so a
+  // canonical spec survives campaign sweep-axis splitting on commas.
+  const fault::FaultPlan plan =
+      fault::parse_fault_spec("srlg:power=leaf0,leaf1@10us:5us");
+  ASSERT_EQ(plan.events.size(), 1u);
+  ASSERT_EQ(plan.events[0].members.size(), 2u);
+  const std::string canonical = fault::to_spec(plan);
+  EXPECT_EQ(canonical, "srlg:power=leaf0+leaf1@10us:5us");
+  EXPECT_EQ(fault::to_spec(fault::parse_fault_spec(canonical)), canonical);
+}
+
+TEST(FaultSpecTest, GrayDegradeSrlgRoundTrip) {
+  const std::string spec =
+      "gray:leaf0.2:0.01@30us:40us;degrade:spine*:0.25@50us:20us;"
+      "srlg:riska=leaf0+spine1.0@60us:10us";
+  EXPECT_EQ(fault::to_spec(fault::parse_fault_spec(spec)), spec);
+}
+
 TEST(FaultSpecTest, ToleratesWhitespaceAndEmptyItems) {
   const fault::FaultPlan plan =
       fault::parse_fault_spec("  flap:leaf0@1us:2us ; ;stall:host0@3us:4us;");
@@ -114,6 +158,16 @@ TEST(FaultSpecTest, RejectsMalformedItems) {
       "rand:0@30us:1us",                // count must be > 0
       "explode:leaf0@30us:1us",         // unknown verb
       "flap:leaf0@bogus:1us",           // malformed start time
+      "gray:leaf0@30us:1us",            // gray without a rate
+      "gray:leaf0:0@30us:1us",          // gray rate == 0
+      "degrade:leaf0:0@30us:1us",       // fraction must be strictly > 0
+      "degrade:leaf0:1@30us:1us",       // fraction of 1 is a no-op
+      "degrade:leaf0:1.5@30us:1us",     // fraction > 1
+      "degrade:leaf0@30us:1us",         // degrade without a fraction
+      "srlg:riska=@30us:1us",           // empty member list
+      "srlg:riska=leaf0++leaf1@30us:1us",  // empty member inside the list
+      "srlg:=leaf0@30us:1us",           // missing group name
+      "srlg:riska=leaf0@30us:0us",      // zero duration
   };
   for (const char* spec : bad) {
     EXPECT_THROW(fault::parse_fault_spec(spec), std::invalid_argument)
@@ -191,8 +245,57 @@ TEST(RandomFaultPlanTest, EventsRespectBounds) {
       if (ev.kind == fault::FaultKind::HostStall) {
         EXPECT_EQ(ev.target, "host*");
       }
+      if (ev.kind == fault::FaultKind::GrayLoss) {
+        EXPECT_LE(ev.rate, opts.max_gray_rate);
+        EXPECT_GT(ev.rate, 0.0);
+      }
+      if (ev.kind == fault::FaultKind::Degrade) {
+        EXPECT_GE(ev.rate, opts.min_degrade);
+        EXPECT_LE(ev.rate, opts.max_degrade);
+      }
+      if (ev.kind == fault::FaultKind::Srlg) {
+        EXPECT_EQ(ev.members.size(), 2u);
+        for (const std::string& m : ev.members) {
+          EXPECT_TRUE(m == "leaf*" || m == "spine*") << m;
+        }
+      }
     }
   }
+}
+
+TEST(RandomFaultPlanTest, GrayDegradeSrlgGatedByOptions) {
+  fault::RandomFaultOptions opts;
+  opts.allow_gray = false;
+  opts.allow_degrade = false;
+  opts.allow_srlg = false;
+  opts.min_events = 4;
+  opts.max_events = 8;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    for (const fault::FaultEvent& ev :
+         fault::random_fault_plan(opts, seed).events) {
+      EXPECT_NE(ev.kind, fault::FaultKind::GrayLoss) << fault::describe(ev);
+      EXPECT_NE(ev.kind, fault::FaultKind::Degrade) << fault::describe(ev);
+      EXPECT_NE(ev.kind, fault::FaultKind::Srlg) << fault::describe(ev);
+    }
+  }
+}
+
+TEST(RandomFaultPlanTest, GrayDegradeSrlgDrawnWhenAllowed) {
+  // Default options allow all three new kinds; over enough seeds each one
+  // must actually appear (the chaos suite depends on that coverage).
+  const fault::RandomFaultOptions opts;
+  bool saw_gray = false, saw_degrade = false, saw_srlg = false;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    for (const fault::FaultEvent& ev :
+         fault::random_fault_plan(opts, seed).events) {
+      saw_gray |= ev.kind == fault::FaultKind::GrayLoss;
+      saw_degrade |= ev.kind == fault::FaultKind::Degrade;
+      saw_srlg |= ev.kind == fault::FaultKind::Srlg;
+    }
+  }
+  EXPECT_TRUE(saw_gray);
+  EXPECT_TRUE(saw_degrade);
+  EXPECT_TRUE(saw_srlg);
 }
 
 TEST(RandomFaultPlanTest, OptionFlagsExcludeKinds) {
@@ -200,6 +303,9 @@ TEST(RandomFaultPlanTest, OptionFlagsExcludeKinds) {
   opts.allow_stall = false;
   opts.allow_blackhole = false;
   opts.allow_targeted = false;
+  opts.allow_gray = false;
+  opts.allow_degrade = false;
+  opts.allow_srlg = false;
   opts.min_events = 4;
   opts.max_events = 8;
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
@@ -414,6 +520,86 @@ TEST(FaultInjectorTest, RecoveryStatsAfterFaultedRun) {
   EXPECT_GT(stats.injected_drops, 0u);  // the blackhole really dropped
   EXPECT_EQ(stats.fault_active, us(60));
   EXPECT_GE(stats.max_recovery, stats.mean_recovery);
+}
+
+TEST(FaultInjectorTest, GrayWindowSavesAndRestoresGrayRate) {
+  Fixture f;
+  harness::FaultInjector inj(
+      f.net, fault::parse_fault_spec("gray:leaf0.0:0.02@10us:20us"),
+      injector_opts());
+  inj.install();
+  net::Port* port = f.device("leaf0")->ports.at(0).get();
+  const double before = port->config().gray_loss_rate;
+  f.net.sim().run(TimePoint(us(15)));
+  EXPECT_DOUBLE_EQ(port->config().gray_loss_rate, 0.02);
+  EXPECT_TRUE(port->link_up());  // gray loss is silent: no link-down signal
+  f.net.sim().run(TimePoint(us(40)));
+  EXPECT_DOUBLE_EQ(port->config().gray_loss_rate, before);
+}
+
+TEST(FaultInjectorTest, DegradeScalesAndRestoresLinkRate) {
+  Fixture f;
+  harness::FaultInjector inj(
+      f.net, fault::parse_fault_spec("degrade:leaf0.0:0.25@10us:20us"),
+      injector_opts());
+  inj.install();
+  net::Port* port = f.device("leaf0")->ports.at(0).get();
+  const BitsPerSec before = port->config().rate;
+  const BitsPerSec before_rev = port->reverse()->config().rate;
+  f.net.sim().run(TimePoint(us(15)));
+  EXPECT_EQ(port->config().rate, before * 0.25);
+  EXPECT_EQ(port->reverse()->config().rate, before_rev * 0.25);
+  EXPECT_TRUE(port->link_up());  // a brownout, not an outage
+  f.net.sim().run(TimePoint(us(40)));
+  EXPECT_EQ(port->config().rate, before);
+  EXPECT_EQ(port->reverse()->config().rate, before_rev);
+}
+
+TEST(FaultInjectorTest, SrlgMembersFailAndRecoverTogether) {
+  Fixture f;
+  harness::FaultInjector inj(
+      f.net,
+      fault::parse_fault_spec("srlg:power=leaf0.0+spine1.0@10us:20us"),
+      injector_opts());
+  inj.install();
+  net::Port* a = f.device("leaf0")->ports.at(0).get();
+  net::Port* b = f.device("spine1")->ports.at(0).get();
+  f.net.sim().run(TimePoint(us(15)));  // mid-window: the whole group is down
+  EXPECT_FALSE(a->link_up());
+  EXPECT_FALSE(a->reverse()->link_up());
+  EXPECT_FALSE(b->link_up());
+  EXPECT_FALSE(b->reverse()->link_up());
+  f.net.sim().run(TimePoint(us(40)));  // and recovers as one
+  EXPECT_TRUE(a->link_up());
+  EXPECT_TRUE(b->link_up());
+}
+
+TEST(FaultInjectorTest, GraySrlgRecoveryStatsAttribute) {
+  Fixture f;
+  for (int i = 0; i < 4; ++i) {
+    // Large flows: data must still be on the wire once the windows open.
+    f.net.create_flow(i, 4 + i, f.bdp * 32, TimePoint(us(i)));
+  }
+  harness::FaultInjector inj(
+      f.net,
+      fault::parse_fault_spec(
+          "gray:leaf0:0.5@2us:100us;srlg:power=spine0+spine1@5us:40us;"
+          "degrade:leaf1:0.5@5us:65us"),
+      injector_opts());
+  inj.install();
+  f.net.sim().run(TimePoint(ms(60)));
+  EXPECT_EQ(f.net.completed_flows, f.net.num_flows());
+
+  const fault::RecoveryStats stats = inj.recovery(/*capacity_bps=*/100e9 * 8);
+  EXPECT_TRUE(stats.enabled);
+  EXPECT_GT(stats.gray_drops, 0u);  // 50% gray loss under load must bite
+  EXPECT_GT(stats.time_to_first_retransmit, Time{});
+  EXPECT_EQ(stats.degrade_active, us(65));
+  ASSERT_EQ(stats.srlg.size(), 1u);
+  EXPECT_EQ(stats.srlg[0].name, "power");
+  // Both spines, both directions of the one picked port each.
+  EXPECT_GT(stats.srlg[0].member_ports, 0u);
+  EXPECT_EQ(stats.flows_stalled, 0u);  // everything recovered
 }
 
 // ---- satellite: per-port fault RNG streams ----------------------------------

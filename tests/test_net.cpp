@@ -316,7 +316,7 @@ TEST(TopologyTest, SingleFlowAchievesNearOracleFct) {
 
 TEST(TopologyTest, PacketSprayingUsesAllSpines) {
   NetConfig ncfg;
-  ncfg.packet_spraying = true;
+  ncfg.lb_policy = net::LbPolicy::kSpray;
   Network net(ncfg);
   LeafSpineParams p;
   p.racks = 2;
@@ -343,7 +343,7 @@ TEST(TopologyTest, PacketSprayingUsesAllSpines) {
 
 TEST(TopologyTest, PerFlowEcmpIsStable) {
   NetConfig ncfg;
-  ncfg.packet_spraying = false;
+  ncfg.lb_policy = net::LbPolicy::kEcmpFlow;
   Network net(ncfg);
   LeafSpineParams p;
   p.racks = 2;

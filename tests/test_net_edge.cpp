@@ -64,7 +64,7 @@ Topology::HostFactory factory_of() {
 
 TEST(SprayingTest, UplinkLoadIsBalanced) {
   NetConfig ncfg;
-  ncfg.packet_spraying = true;
+  ncfg.lb_policy = net::LbPolicy::kSpray;
   Network net(ncfg);
   LeafSpineParams p;
   p.racks = 2;

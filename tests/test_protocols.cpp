@@ -249,7 +249,8 @@ struct WinFixture {
   }
   static net::NetConfig make_ncfg(bool spraying) {
     net::NetConfig ncfg;
-    ncfg.packet_spraying = spraying;
+    // Exercises the deprecation shim (the only sanctioned caller).
+    ncfg.set_packet_spraying(spraying);
     return ncfg;
   }
   ConfigT cfg;

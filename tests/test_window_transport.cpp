@@ -38,7 +38,7 @@ struct Fix {
   }
   static net::NetConfig make_ncfg() {
     net::NetConfig ncfg;
-    ncfg.packet_spraying = false;
+    ncfg.lb_policy = net::LbPolicy::kEcmpFlow;
     return ncfg;
   }
   HostT* host(int i) { return static_cast<HostT*>(net->host(i)); }
